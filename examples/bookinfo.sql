@@ -1,0 +1,34 @@
+-- The paper's Example 1 as a scripted SQL session:
+--   dune exec bin/dyno_cli.exe -- sql examples/bookinfo.sql
+--
+-- Everything before CREATE VIEW loads the sources; every statement after
+-- it is an autonomous source commit that Dyno maintains the view under.
+
+CREATE TABLE Store@Retailer (SID INT, Store VARCHAR);
+CREATE TABLE Item@Retailer (SID INT, Book VARCHAR, Author VARCHAR, Price FLOAT);
+CREATE TABLE Catalog@Library (Title VARCHAR, Author VARCHAR, Category VARCHAR,
+                              Publisher VARCHAR, Year INT, Review VARCHAR);
+
+INSERT INTO Store@Retailer VALUES (10, 'Amazon'), (20, 'Powells');
+INSERT INTO Item@Retailer VALUES
+  (10, 'Database Systems', 'Ullman', 79.99),
+  (10, 'Transaction Processing', 'Gray', 120.5),
+  (20, 'Database Systems', 'Ullman', 72.0);
+INSERT INTO Catalog@Library VALUES
+  ('Database Systems', 'Ullman', 'CS', 'Prentice Hall', 2001, 'classic'),
+  ('Transaction Processing', 'Gray', 'CS', 'Morgan Kaufmann', 1992, 'definitive');
+
+-- Query (1)
+CREATE VIEW BookInfo AS
+SELECT Store, Book, I.Author, Price, Publisher, Category, Review
+FROM Store@Retailer AS S, Item@Retailer AS I, Catalog@Library AS C
+WHERE S.SID = I.SID AND I.Book = C.Title;
+
+-- autonomous source updates (maintained incrementally by Dyno)
+INSERT INTO Catalog@Library VALUES
+  ('Data Integration Guide', 'Adams', 'Engineering', 'Princeton', 2003, 'thorough');
+INSERT INTO Item@Retailer VALUES (10, 'Data Integration Guide', 'Adams', 35.99);
+DELETE FROM Item@Retailer VALUES (20, 'Database Systems', 'Ullman', 72.0);
+
+-- a harmless schema change: the view manager tracks it
+ALTER TABLE Catalog@Library ADD COLUMN Stock INT DEFAULT 0;
