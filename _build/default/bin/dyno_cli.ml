@@ -1,0 +1,364 @@
+(* dyno — command-line driver for the Dyno view-maintenance simulator.
+
+   Subcommands:
+     run      simulate a mixed DU/SC workload over the paper's 6-relation
+              schema under a chosen concurrency strategy
+     inspect  print the dependency graph + corrected legal order for a
+              workload, without running maintenance
+     demo     the BookInfo walk-through is available as example binaries;
+              this points at them
+
+   Examples:
+     dyno run --strategy pessimistic --dus 200 --scs 10 --sc-interval 9
+     dyno run --strategy optimistic --dus 50 --scs 5 --trace
+     dyno inspect --dus 8 --scs 3 *)
+
+open Cmdliner
+open Dyno_workload
+open Dyno_core
+
+(* ---- shared options ------------------------------------------------ *)
+
+let rows =
+  let doc = "Physical tuples per relation (cost model scales to 100k)." in
+  Arg.(value & opt int 200 & info [ "rows" ] ~docv:"N" ~doc)
+
+let dus =
+  let doc = "Number of data updates." in
+  Arg.(value & opt int 100 & info [ "dus" ] ~docv:"N" ~doc)
+
+let scs =
+  let doc = "Number of schema changes (1 drop-attribute + renames)." in
+  Arg.(value & opt int 5 & info [ "scs" ] ~docv:"N" ~doc)
+
+let du_interval =
+  let doc = "Seconds between data-update commits." in
+  Arg.(value & opt float 1.0 & info [ "du-interval" ] ~docv:"S" ~doc)
+
+let sc_interval =
+  let doc = "Seconds between schema-change commits." in
+  Arg.(value & opt float 10.0 & info [ "sc-interval" ] ~docv:"S" ~doc)
+
+let seed =
+  let doc = "Workload random seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let strategy =
+  let parse s =
+    match Strategy.of_string s with
+    | Some st -> Ok st
+    | None -> Error (`Msg (Fmt.str "unknown strategy %S" s))
+  in
+  let strategy_conv = Arg.conv ~docv:"STRATEGY" (parse, Strategy.pp) in
+  let doc = "Concurrency strategy: pessimistic | optimistic | merge-all." in
+  Arg.(
+    value & opt strategy_conv Strategy.Pessimistic & info [ "strategy"; "s" ] ~doc)
+
+let trace_flag =
+  let doc = "Print the full execution trace." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let no_compensation =
+  let doc = "Disable SWEEP compensation (demonstrates duplication anomalies)." in
+  Arg.(value & flag & info [ "no-compensation" ] ~doc)
+
+let report_flag =
+  let doc = "Print a cost-breakdown report derived from the trace." in
+  Arg.(value & flag & info [ "report" ] ~doc)
+
+let multi_flag =
+  let doc =
+    "Maintain a second, narrower view (R1 join R2) alongside the full \
+     24-attribute view with the multi-view scheduler."
+  in
+  Arg.(value & flag & info [ "multi" ] ~doc)
+
+let timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval =
+  Generator.mixed ~rows ~seed ~n_dus:dus ~du_interval ~sc_interval
+    ~sc_kinds:(Generator.drop_then_renames scs)
+    ()
+
+(* ---- run ----------------------------------------------------------- *)
+
+let run_cmd =
+  let action rows dus scs du_interval sc_interval seed strategy trace
+      no_compensation report multi =
+    let timeline =
+      timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval
+    in
+    let t =
+      Scenario.make ~rows
+        ~cost:(Dyno_sim.Cost_model.scaled (100_000.0 /. float_of_int rows))
+        ~track_snapshots:true ~trace_enabled:(trace || report) ~timeline ()
+    in
+    let stats =
+      if multi then begin
+        let open Dyno_relational in
+        let open Dyno_view in
+        let narrow =
+          Query.make ~name:"V2"
+            ~select:[ Query.item "R1.K1"; Query.item "R1.B1"; Query.item "R2.B2" ]
+            ~from:[ Query.table "DS1" "R1"; Query.table "DS1" "R2" ]
+            ~where:[ Predicate.eq_attr "R1.K1" "R2.K2" ]
+        in
+        let vd =
+          View_def.create
+            ~schemas:
+              [
+                ("R1", Paper_schema.schema_of_rel 1);
+                ("R2", Paper_schema.schema_of_rel 2);
+              ]
+            narrow
+        in
+        let mv2 =
+          Mat_view.create ~track_snapshots:true vd (Relation.create Schema.empty)
+        in
+        let env (tr : Query.table_ref) =
+          Dyno_source.Data_source.relation
+            (Dyno_source.Registry.find t.Scenario.registry tr.source)
+            tr.rel
+        in
+        Mat_view.replace mv2 ~at:0.0 ~maintained:[] (Eval.query env narrow);
+        let m = Multi_scheduler.create [ t.Scenario.mv; mv2 ] in
+        let stats =
+          Multi_scheduler.run
+            ~config:
+              {
+                Multi_scheduler.strategy;
+                max_steps = 1_000_000;
+                compensate = not no_compensation;
+              }
+            t.Scenario.engine m t.Scenario.mk
+        in
+        List.iteri
+          (fun i mv ->
+            match Consistency.convergent t.Scenario.engine mv with
+            | Ok b -> Fmt.pr "view %d convergent: %b@." i b
+            | Error e -> Fmt.pr "view %d: not checkable (%s)@." i e)
+          (Multi_scheduler.views m);
+        stats
+      end
+      else Scenario.run ~compensate:(not no_compensation) t ~strategy
+    in
+    if trace then Fmt.pr "%a@.@." Dyno_sim.Trace.pp t.Scenario.trace;
+    if report then Fmt.pr "%a@.@." Report.pp (Report.of_trace t.Scenario.trace);
+    Fmt.pr "strategy: %a@.%a@." Strategy.pp strategy Stats.pp stats;
+    (if not multi then
+       match Scenario.check_convergent t with
+       | Ok b -> Fmt.pr "convergent: %b@." b
+       | Error e -> Fmt.pr "convergence: not checkable (%s)@." e);
+    if not multi then
+      Fmt.pr "strong consistency: %a@." Consistency.pp_report
+        (Scenario.check_strong t);
+    if Stats.(stats.view_undefined) then exit 2
+  in
+  let term =
+    Term.(
+      const action $ rows $ dus $ scs $ du_interval $ sc_interval $ seed
+      $ strategy $ trace_flag $ no_compensation $ report_flag $ multi_flag)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate a mixed workload under a strategy")
+    term
+
+(* ---- inspect ------------------------------------------------------- *)
+
+let inspect_cmd =
+  let action rows dus scs seed =
+    (* Flood everything at t=0 so the whole workload is queued, then show
+       the dependency graph and its correction. *)
+    let timeline =
+      Generator.mixed ~rows ~seed ~n_dus:dus ~du_interval:0.0 ~sc_interval:0.0
+        ~sc_kinds:(Generator.drop_then_renames scs)
+        ()
+    in
+    let t =
+      Scenario.make ~rows ~cost:Dyno_sim.Cost_model.free ~timeline ()
+    in
+    Dyno_view.Query_engine.deliver_due t.Scenario.engine;
+    let vd = Dyno_view.Mat_view.def t.Scenario.mv in
+    let g =
+      Dep_graph.build
+        (Dyno_view.View_def.peek vd)
+        (Dyno_view.View_def.schemas vd)
+        (Dyno_view.Umq.entries t.Scenario.umq)
+    in
+    Fmt.pr "%a@.@.unsafe dependencies: %d@.@." Dep_graph.pp g
+      (List.length (Dep_graph.unsafe g));
+    let c = Dep_graph.correct g in
+    Fmt.pr "correction: %d cycle(s) merged (%d update(s))@.legal order:@."
+      c.Dep_graph.merged_cycles c.Dep_graph.merged_updates;
+    List.iteri
+      (fun i e -> Fmt.pr "  %2d. %a@." i Dyno_view.Umq.pp_entry e)
+      c.Dep_graph.order
+  in
+  let term = Term.(const action $ rows $ dus $ scs $ seed) in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:"Show the dependency graph and corrected legal order")
+    term
+
+(* ---- sql: run a scripted session ----------------------------------- *)
+
+let sql_cmd =
+  let file =
+    let doc = "SQL script: CREATE TABLE / INSERT statements set up the \
+               sources, CREATE VIEW materializes the view, every statement \
+               after it commits autonomously (1 s apart) and Dyno maintains \
+               the view." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let action file strategy trace =
+    let open Dyno_relational in
+    let text =
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    (* strip -- comments, split on ';' *)
+    let stmts =
+      String.split_on_char '\n' text
+      |> List.map (fun line ->
+             match String.index_opt line '-' with
+             | Some i
+               when i + 1 < String.length line
+                    && line.[i + 1] = '-'
+                    && (i = 0 || line.[i - 1] <> '\'') ->
+                 String.sub line 0 i
+             | _ -> line)
+      |> String.concat "\n"
+      |> String.split_on_char ';'
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    let registry = Dyno_source.Registry.create () in
+    let mk = Dyno_source.Meta_knowledge.create () in
+    let umq = Dyno_view.Umq.create () in
+    let timeline = Dyno_sim.Timeline.create () in
+    let tracer = Dyno_sim.Trace.create ~enabled:trace () in
+    let engine =
+      Dyno_view.Query_engine.create ~trace:tracer
+        ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
+        ~registry ~timeline ~umq ()
+    in
+    let mv = ref None in
+    let next_time = ref 1.0 in
+    let ensure_source id =
+      if not (Dyno_source.Registry.mem registry id) then
+        Dyno_source.Registry.register registry (Dyno_source.Data_source.create id)
+    in
+    let fail fmt = Fmt.kstr (fun s -> Fmt.epr "error: %s@." s; exit 1) fmt in
+    let schema_of ~source ~rel =
+      match Dyno_source.Registry.find_opt registry source with
+      | None -> fail "unknown source %s" source
+      | Some s -> (
+          match Catalog.schema_of_opt (Dyno_source.Data_source.catalog s) rel with
+          | Some sc -> sc
+          | None -> fail "unknown relation %s@%s" rel source)
+    in
+    List.iter
+      (fun stmt_text ->
+        if
+          String.length stmt_text >= 11
+          && String.uppercase_ascii (String.sub stmt_text 0 11) = "CREATE VIEW"
+        then begin
+          match Sql_parser.parse_view stmt_text with
+          | Error e -> fail "in %S: %s" stmt_text e
+          | Ok q ->
+              let schemas =
+                List.map
+                  (fun (tr : Query.table_ref) ->
+                    (tr.alias, schema_of ~source:tr.source ~rel:tr.rel))
+                  (Query.from q)
+              in
+              let vd = Dyno_view.View_def.create ~schemas q in
+              let m =
+                Dyno_view.Mat_view.create ~track_snapshots:true vd
+                  (Relation.create Schema.empty)
+              in
+              let env (tr : Query.table_ref) =
+                Dyno_source.Data_source.relation
+                  (Dyno_source.Registry.find registry tr.source)
+                  tr.rel
+              in
+              Dyno_view.Mat_view.replace m ~at:0.0 ~maintained:[]
+                (Eval.query env q);
+              mv := Some m
+        end
+        else
+          match Sql_parser.parse_statement stmt_text with
+          | Error e -> fail "in %S: %s" stmt_text e
+          | Ok (Sql_parser.Create_table { source; rel; schema }) ->
+              ensure_source source;
+              Dyno_source.Data_source.add_relation
+                (Dyno_source.Registry.find registry source)
+                rel schema
+          | Ok (Sql_parser.Insert { source; rel; _ } as stmt)
+          | Ok (Sql_parser.Delete { source; rel; _ } as stmt) -> (
+              let schema = schema_of ~source ~rel in
+              match Sql_parser.to_update schema stmt with
+              | Error e -> fail "in %S: %s" stmt_text e
+              | Ok u ->
+                  if !mv = None then
+                    (* before the view exists: direct load *)
+                    Dyno_source.Data_source.load_counted
+                      (Dyno_source.Registry.find registry source)
+                      rel
+                      (List.map
+                         (fun (t, c) -> (Array.to_list t, c))
+                         (Relation.to_counted (Update.delta u)))
+                  else begin
+                    Dyno_sim.Timeline.schedule timeline ~time:!next_time
+                      (Dyno_sim.Timeline.Du u);
+                    next_time := !next_time +. 1.0
+                  end)
+          | Ok (Sql_parser.Alter sc) ->
+              if !mv = None then fail "schema changes require a view first";
+              Dyno_sim.Timeline.schedule timeline ~time:!next_time
+                (Dyno_sim.Timeline.Sc sc);
+              next_time := !next_time +. 1.0)
+      stmts;
+    match !mv with
+    | None -> fail "the script must contain a CREATE VIEW statement"
+    | Some m ->
+        let stats =
+          Dyno_core.Scheduler.run
+            ~config:{ Dyno_core.Scheduler.default_config with strategy }
+            engine m mk
+        in
+        if trace then Fmt.pr "%a@.@." Dyno_sim.Trace.pp tracer;
+        Fmt.pr "%a@.@." Sql.pp_view (Dyno_view.View_def.peek (Dyno_view.Mat_view.def m));
+        Fmt.pr "%a@.@." Sql.pp_relation_table (Dyno_view.Mat_view.extent m);
+        Fmt.pr "%a@." Stats.pp stats;
+        match Consistency.convergent engine m with
+        | Ok b -> Fmt.pr "convergent: %b@." b
+        | Error e -> Fmt.pr "convergence not checkable: %s@." e
+  in
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Run a scripted SQL session under Dyno maintenance")
+    Term.(const action $ file $ strategy $ trace_flag)
+
+(* ---- demo ---------------------------------------------------------- *)
+
+let demo_cmd =
+  let action () =
+    Fmt.pr
+      "The BookInfo walk-throughs of the paper's examples are separate \
+       binaries:@.@.  dune exec examples/quickstart.exe@.  dune exec \
+       examples/bookinfo_anomalies.exe@.  dune exec \
+       examples/cyclic_schema_changes.exe@.  dune exec \
+       examples/grid_monitor.exe@."
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Where to find the runnable demos")
+    Term.(const action $ const ())
+
+let () =
+  let info =
+    Cmd.info "dyno" ~version:"1.0.0"
+      ~doc:
+        "Detection and correction of conflicting source updates for view \
+         maintenance (ICDE 2004 reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; inspect_cmd; sql_cmd; demo_cmd ]))

@@ -1,0 +1,1 @@
+examples/bookinfo_anomalies.ml: Bookinfo Dyno_core Dyno_relational Dyno_sim Dyno_view Fmt List Relation Tuple Update Value

@@ -1,0 +1,1 @@
+examples/bookinfo_anomalies.mli:

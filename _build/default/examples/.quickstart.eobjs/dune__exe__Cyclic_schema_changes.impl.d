@@ -1,0 +1,1 @@
+examples/cyclic_schema_changes.ml: Bookinfo Dyno_core Dyno_view Fmt List Mat_view Query_engine Umq View_def

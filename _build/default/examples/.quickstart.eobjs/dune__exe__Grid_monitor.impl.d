@@ -1,0 +1,1 @@
+examples/grid_monitor.ml: Consistency Dyno_core Dyno_sim Dyno_workload Fmt Generator List Scenario Stats Strategy

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bookinfo Dyno_core Dyno_relational Dyno_sim Dyno_view Fmt List Sql Update Value

@@ -1,0 +1,60 @@
+(* A Data-Grid style integration (the motivating environment of Section 1):
+   six relations across three autonomous source servers, a 24-attribute
+   materialized join view, and a mixed stream of data updates and schema
+   changes.  Runs the same workload under each concurrency strategy and
+   compares cost, aborts and consistency.
+
+     dune exec examples/grid_monitor.exe *)
+
+open Dyno_workload
+open Dyno_core
+
+let rows = 100
+
+let workload () =
+  Generator.mixed ~rows ~seed:2026 ~n_dus:80 ~du_interval:1.0 ~sc_start:2.0
+    ~sc_interval:12.0
+    ~sc_kinds:
+      [
+        Generator.Drop_attr;
+        Generator.Rename_rel;
+        Generator.Rename_attr;
+        Generator.Rename_rel;
+        Generator.Add_attr;
+        Generator.Rename_rel;
+      ]
+    ()
+
+let () =
+  Fmt.pr
+    "Grid monitor: 3 autonomous sources x 2 relations, 80 DUs trickling at \
+     1/s,@.6 schema changes every 12 s.  Simulated costs; same workload per \
+     strategy.@.";
+  Fmt.pr "@.%12s  %9s  %9s  %7s  %7s  %8s  %7s  %11s  %7s@." "strategy"
+    "cost(s)" "abort(s)" "aborts" "merges" "batches" "commits" "convergent"
+    "strong";
+  List.iter
+    (fun strategy ->
+      let t =
+        Scenario.make ~rows
+          ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1000.0 }
+          ~track_snapshots:true ~timeline:(workload ()) ()
+      in
+      let s = Scenario.run t ~strategy in
+      let convergent =
+        match Scenario.check_convergent t with
+        | Ok b -> string_of_bool b
+        | Error _ -> "n/a"
+      in
+      let strong =
+        Consistency.ok (Scenario.check_strong t) |> string_of_bool
+      in
+      Fmt.pr "%12s  %9.1f  %9.1f  %7d  %7d  %8d  %7d  %11s  %7s@."
+        (Strategy.to_string strategy)
+        s.Stats.busy s.Stats.abort_cost s.Stats.aborts s.Stats.merges
+        s.Stats.batches s.Stats.view_commits convergent strong)
+    Strategy.all;
+  Fmt.pr
+    "@.Notes: merge-all trades intermediate view states (fewer commits) for \
+     simplicity;@.Dyno's cycle-granular merging keeps the view as fresh as \
+     the dependencies allow.@."

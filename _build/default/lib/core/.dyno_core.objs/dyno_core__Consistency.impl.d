@@ -1,0 +1,1 @@
+lib/core/consistency.ml: Catalog Dyno_relational Dyno_source Dyno_view Eval Fmt Hashtbl List Mat_view Option Query Query_engine Relation Stdlib View_def

@@ -1,0 +1,1 @@
+lib/core/consistency.mli: Dyno_view Format Mat_view Query_engine

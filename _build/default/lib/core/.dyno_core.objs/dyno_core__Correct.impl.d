@@ -1,0 +1,1 @@
+lib/core/correct.ml: Dep_graph Dyno_view Int List Umq Update_msg

@@ -1,0 +1,1 @@
+lib/core/correct.mli: Dep_graph Dyno_view Umq

@@ -1,0 +1,1 @@
+lib/core/dep_graph.ml: Array Dependency Dyno_relational Dyno_view Fmt Hashtbl Int List Option Query Schema Umq Update_msg

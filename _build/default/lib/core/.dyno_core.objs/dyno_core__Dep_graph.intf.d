@@ -1,0 +1,1 @@
+lib/core/dep_graph.mli: Dependency Dyno_relational Dyno_view Format Query Schema Umq

@@ -1,0 +1,1 @@
+lib/core/dependency.ml: Array Dyno_relational Dyno_view Dyno_vm Fmt Hashtbl Int List Query Schema Schema_change Update_msg

@@ -1,0 +1,1 @@
+lib/core/dependency.mli: Dyno_relational Dyno_view Format Query Schema Schema_change Update_msg

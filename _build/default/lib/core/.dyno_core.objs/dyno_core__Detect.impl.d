@@ -1,0 +1,1 @@
+lib/core/detect.ml: Dep_graph Dyno_view List Umq View_def

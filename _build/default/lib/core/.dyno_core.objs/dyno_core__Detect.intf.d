@@ -1,0 +1,1 @@
+lib/core/detect.mli: Dep_graph Dyno_view Umq View_def

@@ -1,0 +1,1 @@
+lib/core/multi_scheduler.ml: Correct Cost_model Dep_graph Dyno_sim Dyno_source Dyno_va Dyno_view Dyno_vm List Mat_view Query_engine Scheduler Stats Strategy Timeline Trace Umq Update_msg View_def

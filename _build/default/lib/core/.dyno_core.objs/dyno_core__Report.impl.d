@@ -1,0 +1,1 @@
+lib/core/report.ml: Dyno_sim Float Fmt Hashtbl List Option String Trace

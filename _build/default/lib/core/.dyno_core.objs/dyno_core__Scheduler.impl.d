@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Correct Cost_model Dep_graph Detect Dyno_sim Dyno_source Dyno_va Dyno_view Dyno_vm List Mat_view Query_engine Stats Strategy Trace Umq Update_msg View_def

@@ -1,0 +1,1 @@
+lib/core/scheduler.mli: Dyno_source Dyno_view Mat_view Query_engine Stats Strategy

@@ -1,0 +1,128 @@
+(** Dependencies between maintenance processes (Section 3).
+
+    [M(X) ← M(Y)] ("M(X) depends on M(Y)") constrains the processing
+    order: Y must be maintained before X.  Two kinds:
+
+    - {b Concurrent dependency} (Definition 3): Y's maintenance writes the
+      view definition (Y is a schema change that touches metadata the view
+      uses) while X's maintenance reads it.  The write must happen first,
+      because the schema change has already invalidated the definition
+      every other maintenance query is built from.
+    - {b Semantic dependency} (Definition 4): X and Y committed at the same
+      source, Y first; the view must reflect source states in commit order
+      or it loses strong consistency (and deletions may precede their
+      insertions). *)
+
+open Dyno_relational
+open Dyno_view
+
+type kind = Concurrent | Semantic
+
+let kind_to_string = function Concurrent -> "cd" | Semantic -> "sd"
+
+(** An edge [dependent ← prerequisite] between node indices of a
+    dependency graph (indices, not message ids: nodes may be merged
+    batches). *)
+type edge = { dependent : int; prerequisite : int; kind : kind }
+
+let pp_edge ppf e =
+  Fmt.pf ppf "M(%d) <-%s- M(%d)" e.dependent (kind_to_string e.kind)
+    e.prerequisite
+
+(** [sc_mentioned_in_view query schemas sc] — the paper's literal test
+    (Section 4.1.1): does [sc] modify metadata (a relation or attribute)
+    that is included in the view query?  Add-only changes and changes to
+    unused attributes never are. *)
+let sc_mentioned_in_view (query : Query.t)
+    (schemas : (string * Schema.t) list) (sc : Schema_change.t) : bool =
+  if not (Schema_change.destructive sc) then false
+  else
+    let source = Schema_change.source sc in
+    match sc with
+    | Schema_change.Rename_relation { old_name; _ } ->
+        Query.mentions_relation query ~source ~rel:old_name
+    | Schema_change.Drop_relation { name; _ } ->
+        Query.mentions_relation query ~source ~rel:name
+    | Schema_change.Rename_attribute { rel; old_name; _ } ->
+        Query.mentions_relation query ~source ~rel
+        && (try
+              let owner = Dyno_vm.Maint_query.owner_of_schemas schemas in
+              Query.mentions_attribute query ~source ~rel ~attr:old_name owner
+            with _ -> true (* unresolvable view: be conservative *))
+    | Schema_change.Drop_attribute { rel; attr; _ } ->
+        Query.mentions_relation query ~source ~rel
+        && (try
+              let owner = Dyno_vm.Maint_query.owner_of_schemas schemas in
+              Query.mentions_attribute query ~source ~rel ~attr owner
+            with _ -> true)
+    | Schema_change.Add_relation _ | Schema_change.Add_attribute _ -> false
+
+(** [sc_conflicts_with_view query schemas sc] — the CD-edge test Dyno
+    uses.  It extends {!sc_mentioned_in_view} to {e any} destructive change
+    at a source the view reads: under chained unmaintained renames
+    (R→X queued, then X→Y arrives) the second change's relation name no
+    longer matches the view's stale reference even though it absolutely
+    invalidates it, so a purely name-based test would miss the dependency
+    and let maintenance livelock on broken queries.  Widening to source
+    granularity is sound (extra safe orderings only) and cheap (schema
+    changes on unrelated relations become no-op maintenance steps). *)
+let sc_conflicts_with_view (query : Query.t)
+    (schemas : (string * Schema.t) list) (sc : Schema_change.t) : bool =
+  sc_mentioned_in_view query schemas sc
+  || Schema_change.destructive sc
+     && List.mem (Schema_change.source sc) (Query.sources query)
+
+(** [message_edges query schemas msgs] computes all dependencies among a
+    list of update messages (positions in the list are the node indices):
+
+    - concurrent: for every message Y carrying a view-conflicting SC, every
+      other message X gets [M(X) ← M(Y)] — X's r(VD) conflicts with Y's
+      w(VD) (the paper draws the edge regardless of relative position; the
+      safe/unsafe classification is positional, Definition 6);
+    - semantic: adjacent commits at the same source get
+      [M(later) ← M(earlier)] (one bucket per source, one scan: O(n)).
+
+    Self-edges never arise; duplicate (dependent, prerequisite) pairs are
+    kept at most once per kind. *)
+let message_edges (query : Query.t) (schemas : (string * Schema.t) list)
+    (msgs : Update_msg.t list) : edge list =
+  let arr = Array.of_list msgs in
+  let n = Array.length arr in
+  let edges = ref [] in
+  (* Concurrent dependencies: O(m·n). *)
+  Array.iteri
+    (fun y my ->
+      match Update_msg.as_sc my with
+      | Some sc when sc_conflicts_with_view query schemas sc ->
+          for x = 0 to n - 1 do
+            if x <> y then
+              edges := { dependent = x; prerequisite = y; kind = Concurrent } :: !edges
+          done
+      | _ -> ())
+    arr;
+  (* Semantic dependencies: bucket per source, adjacent commits chained. *)
+  let buckets : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let by_commit =
+    List.sort
+      (fun (_, a) (_, b) -> Int.compare (Update_msg.id a) (Update_msg.id b))
+      (Array.to_list (Array.mapi (fun i m -> (i, m)) arr))
+  in
+  List.iter
+    (fun (i, m) ->
+      let src = Update_msg.source m in
+      (match Hashtbl.find_opt buckets src with
+      | Some prev ->
+          edges := { dependent = i; prerequisite = prev; kind = Semantic } :: !edges
+      | None -> ());
+      Hashtbl.replace buckets src i)
+    by_commit;
+  List.rev !edges
+
+(** Safety of a dependency under queue positions (Definition 6): the edge
+    [M(X) ← M(Y)] is {e safe} iff Y is positioned before X.  [pos] maps a
+    node index to its queue position. *)
+let is_safe pos (e : edge) = pos e.prerequisite < pos e.dependent
+
+(** Unsafe edges under the identity position map (list order = queue
+    order). *)
+let unsafe_edges edges = List.filter (fun e -> not (is_safe (fun i -> i) e)) edges

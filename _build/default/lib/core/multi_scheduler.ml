@@ -1,0 +1,220 @@
+(** Multi-view Dyno: one update stream, several materialized views.
+
+    The paper frames Dyno for a single view but notes it "has the
+    potential to be plugged into any view system"; this module is that
+    extension.  One UMQ and one dependency-correction pipeline serve a
+    {e set} of views:
+
+    - a schema change induces concurrent dependencies as soon as it
+      conflicts with {e any} view ({!Dep_graph.build_many}), so the legal
+      order is legal for every view at once;
+    - the head entry is maintained against each view in turn.  If a later
+      view's maintenance breaks, the entry stays queued while the earlier
+      views have already committed it — so the scheduler tracks, per view,
+      the set of {e applied} message ids still in the queue: on retry (or
+      after the entry is merged into a larger batch) each view maintains
+      only the messages it has not yet applied, and compensation is told
+      to keep the applied ones in ([~applied]).
+
+    Statistics are aggregated across views; per-view consistency is
+    checked with the ordinary {!Consistency} tools against each view's own
+    commit log. *)
+
+open Dyno_view
+open Dyno_sim
+
+type view_state = {
+  mv : Mat_view.t;
+  mutable applied : int list;  (** queued message ids already integrated *)
+}
+
+type t = { views : view_state list }
+
+let create mvs = { views = List.map (fun mv -> { mv; applied = [] }) mvs }
+
+let views t = List.map (fun v -> v.mv) t.views
+
+(* Detection + correction against all views at once. *)
+let detect_and_correct ~(force : bool) (w : Query_engine.t) (t : t)
+    (stats : Stats.t) : unit =
+  let umq = Query_engine.umq w in
+  let cost = Query_engine.cost w in
+  let t0 = Query_engine.now w in
+  let fired =
+    if force then begin
+      ignore (Umq.test_and_clear_schema_change_flag umq);
+      true
+    end
+    else Umq.test_and_clear_schema_change_flag umq
+  in
+  if not fired then Query_engine.advance w cost.Cost_model.detect_flag
+  else begin
+    let view_specs =
+      List.filter_map
+        (fun v ->
+          let vd = Mat_view.def v.mv in
+          if View_def.is_valid vd then
+            Some (View_def.peek vd, View_def.schemas vd)
+          else None)
+        t.views
+    in
+    let g = Dep_graph.build_many view_specs (Umq.entries umq) in
+    stats.Stats.detections <- stats.Stats.detections + 1;
+    let n = Dep_graph.size g in
+    let m = List.length (List.filter Update_msg.is_sc (Umq.messages umq)) in
+    Query_engine.advance w
+      (Cost_model.detect cost ~n:(n * max 1 (List.length view_specs)) ~m);
+    let r = Correct.apply umq g in
+    Query_engine.advance w
+      (Cost_model.correct cost ~nodes:r.Correct.nodes ~edges:r.Correct.edges);
+    if r.Correct.reordered then
+      stats.Stats.corrections <- stats.Stats.corrections + 1;
+    if r.Correct.merged_cycles > 0 then
+      stats.Stats.merges <- stats.Stats.merges + r.Correct.merged_cycles
+  end;
+  stats.Stats.busy <- stats.Stats.busy +. (Query_engine.now w -. t0)
+
+(* Maintain one entry against one view, skipping already-applied msgs. *)
+let maintain_for_view ~compensate (w : Query_engine.t)
+    (mk : Dyno_source.Meta_knowledge.t) (stats : Stats.t) (v : view_state)
+    (entry : Umq.entry) : (unit, Dyno_source.Data_source.broken) result =
+  let vd = Mat_view.def v.mv in
+  let todo =
+    List.filter
+      (fun m -> not (List.mem (Update_msg.id m) v.applied))
+      (Umq.entry_messages entry)
+  in
+  if todo = [] || not (View_def.is_valid vd) then Ok ()
+  else
+    let outcome =
+      match todo with
+      | [ m ] when Update_msg.is_du m -> (
+          match Update_msg.as_du m with
+          | Some u -> (
+              match
+                Dyno_vm.Vm.maintain ~compensate ~applied:v.applied w v.mv m u
+              with
+              | Dyno_vm.Vm.Refreshed { stats = s; _ } ->
+                  stats.Stats.du_maintained <- stats.Stats.du_maintained + 1;
+                  stats.Stats.probes <- stats.Stats.probes + s.Dyno_vm.Sweep.probes;
+                  stats.Stats.view_commits <- stats.Stats.view_commits + 1;
+                  Ok ()
+              | Dyno_vm.Vm.Irrelevant ->
+                  stats.Stats.irrelevant <- stats.Stats.irrelevant + 1;
+                  Ok ()
+              | Dyno_vm.Vm.Aborted b -> Error b)
+          | None -> Ok ())
+      | msgs -> (
+          match Dyno_va.Batch.maintain ~applied:v.applied w v.mv mk msgs with
+          | Dyno_va.Batch.Adapted ->
+              (if List.exists Update_msg.is_sc msgs then
+                 if List.length msgs > 1 then begin
+                   stats.Stats.batches <- stats.Stats.batches + 1;
+                   stats.Stats.batch_updates <-
+                     stats.Stats.batch_updates + List.length msgs
+                 end
+                 else stats.Stats.sc_maintained <- stats.Stats.sc_maintained + 1);
+              stats.Stats.view_commits <- stats.Stats.view_commits + 1;
+              Ok ()
+          | Dyno_va.Batch.Aborted b -> Error b
+          | Dyno_va.Batch.View_undefined _ ->
+              stats.Stats.view_undefined <- true;
+              Ok ())
+    in
+    match outcome with
+    | Ok () ->
+        v.applied <- List.map Update_msg.id todo @ v.applied;
+        Ok ()
+    | Error b -> Error b
+
+type config = {
+  strategy : Strategy.t;
+  max_steps : int;
+  compensate : bool;
+}
+
+let default_config =
+  { strategy = Strategy.Pessimistic; max_steps = 1_000_000; compensate = true }
+
+(** [run ?config w t mk] — the multi-view Dyno loop: drains the UMQ and
+    the timeline, maintaining every entry against every view. *)
+let run ?(config = default_config) (w : Query_engine.t) (t : t)
+    (mk : Dyno_source.Meta_knowledge.t) : Stats.t =
+  let stats = Stats.create () in
+  let umq = Query_engine.umq w in
+  let timeline = Query_engine.timeline w in
+  let steps = ref 0 in
+  let trace = Query_engine.trace w in
+  let rec loop () =
+    incr steps;
+    if !steps > config.max_steps then
+      raise (Scheduler.Step_limit_exceeded !steps);
+    Query_engine.deliver_due w;
+    if Umq.is_empty umq then begin
+      match Timeline.next_time timeline with
+      | None -> ()
+      | Some tm ->
+          let dt = tm -. Query_engine.now w in
+          if dt > 0.0 then stats.Stats.idle <- stats.Stats.idle +. dt;
+          Query_engine.idle_until w tm;
+          loop ()
+    end
+    else begin
+      (match config.strategy with
+      | Strategy.Pessimistic -> detect_and_correct ~force:false w t stats
+      | Strategy.Optimistic | Strategy.Merge_all -> ());
+      match Umq.head umq with
+      | None -> loop ()
+      | Some entry -> (
+          Umq.clear_broken_query_flag umq;
+          let t0 = Query_engine.now w in
+          let rec maintain_views = function
+            | [] -> Ok ()
+            | v :: rest -> (
+                match
+                  maintain_for_view ~compensate:config.compensate w mk stats v
+                    entry
+                with
+                | Ok () -> maintain_views rest
+                | Error b -> Error b)
+          in
+          match maintain_views t.views with
+          | Ok () ->
+              stats.Stats.busy <-
+                stats.Stats.busy +. (Query_engine.now w -. t0);
+              (* Entry fully integrated everywhere: dequeue and drop its
+                 ids from the applied sets (they can never reappear). *)
+              let ids = Umq.entry_ids entry in
+              List.iter
+                (fun v ->
+                  v.applied <-
+                    List.filter (fun id -> not (List.mem id ids)) v.applied)
+                t.views;
+              Umq.remove_head umq;
+              loop ()
+          | Error b ->
+              let dt = Query_engine.now w -. t0 in
+              stats.Stats.busy <- stats.Stats.busy +. dt;
+              stats.Stats.abort_cost <- stats.Stats.abort_cost +. dt;
+              stats.Stats.aborts <- stats.Stats.aborts + 1;
+              stats.Stats.broken_queries <- stats.Stats.broken_queries + 1;
+              Trace.recordf trace ~time:(Query_engine.now w) Trace.Abort
+                "multi-view maintenance aborted: %a"
+                Dyno_source.Data_source.pp_broken b;
+              (match config.strategy with
+              | Strategy.Pessimistic ->
+                  if not (Umq.peek_schema_change_flag umq) then
+                    detect_and_correct ~force:true w t stats
+              | Strategy.Optimistic -> detect_and_correct ~force:true w t stats
+              | Strategy.Merge_all ->
+                  let r = Correct.merge_all umq in
+                  if r.Correct.reordered then begin
+                    stats.Stats.corrections <- stats.Stats.corrections + 1;
+                    stats.Stats.merges <- stats.Stats.merges + 1
+                  end);
+              loop ())
+    end
+  in
+  loop ();
+  stats.Stats.end_time <- Query_engine.now w;
+  stats

@@ -1,0 +1,37 @@
+(** Multi-view Dyno: one update stream, one UMQ and one dependency
+    correction pipeline serving several materialized views — the "plugged
+    into any view system" extension the paper's conclusion sketches.
+
+    A schema change induces concurrent dependencies as soon as it
+    conflicts with {e any} view, so the corrected legal order is legal for
+    all of them at once.  The head entry is maintained against each view
+    in turn; if a later view's maintenance breaks while earlier views have
+    already committed the entry, per-view {e applied sets} ensure the
+    retry (possibly as part of a larger merged batch) only maintains what
+    each view has not yet integrated, and that compensation keeps
+    already-applied effects in. *)
+
+open Dyno_view
+
+type t
+
+val create : Mat_view.t list -> t
+val views : t -> Mat_view.t list
+
+type config = {
+  strategy : Strategy.t;
+  max_steps : int;
+  compensate : bool;
+}
+
+val default_config : config
+
+val run :
+  ?config:config ->
+  Query_engine.t ->
+  t ->
+  Dyno_source.Meta_knowledge.t ->
+  Stats.t
+(** Drain the UMQ and the timeline, maintaining every entry against every
+    view; statistics are aggregated across views.
+    @raise Scheduler.Step_limit_exceeded beyond [config.max_steps]. *)

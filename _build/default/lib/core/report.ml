@@ -1,0 +1,176 @@
+(** Post-run reporting: cost breakdowns derived from an execution trace.
+
+    {!Stats} carries the aggregate counters the benchmarks plot; this
+    module digs into the {!Dyno_sim.Trace} to answer the operational
+    questions a user of the system asks after a run: how long do
+    maintenance processes take, split by kind and outcome?  where do
+    broken queries happen?  how much time went to each activity? *)
+
+open Dyno_sim
+
+(** Classification of one maintenance episode found in the trace. *)
+type episode_kind = Du_maint | Sc_maint | Batch_maint
+
+let episode_kind_to_string = function
+  | Du_maint -> "data update"
+  | Sc_maint -> "schema change"
+  | Batch_maint -> "merged batch"
+
+type episode = {
+  kind : episode_kind;
+  started : float;
+  duration : float;
+  aborted : bool;
+}
+
+(** Summary statistics over a list of durations. *)
+type summary = {
+  count : int;
+  total : float;
+  mean : float;
+  max : float;
+}
+
+let summarize durations =
+  match durations with
+  | [] -> { count = 0; total = 0.0; mean = 0.0; max = 0.0 }
+  | ds ->
+      let total = List.fold_left ( +. ) 0.0 ds in
+      {
+        count = List.length ds;
+        total;
+        mean = total /. float_of_int (List.length ds);
+        max = List.fold_left Float.max 0.0 ds;
+      }
+
+type t = {
+  episodes : episode list;
+  event_counts : (Trace.kind * int) list;  (** non-zero kinds only *)
+  broken_by_source : (string * int) list;
+}
+
+(* A maintenance episode starts at Maint_start and ends at the next
+   Refresh/Adapt (success) or Abort; its kind is inferred from the entry
+   text (single DU vs SC vs BATCH). *)
+let episodes_of_trace (tr : Trace.t) : episode list =
+  let entries = Trace.entries tr in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (e : Trace.entry) :: rest when e.kind = Trace.Maint_start ->
+        let kind =
+          if String.length e.detail >= 5 && String.sub e.detail 0 5 = "BATCH"
+          then Batch_maint
+          else if
+            (* "#id@t DU(...)" vs "#id@t SC(...)" *)
+            match String.index_opt e.detail ' ' with
+            | Some i ->
+                i + 2 < String.length e.detail
+                && String.sub e.detail (i + 1) 2 = "SC"
+            | None -> false
+          then Sc_maint
+          else Du_maint
+        in
+        let rec finish = function
+          | [] -> None
+          | (f : Trace.entry) :: more -> (
+              match f.kind with
+              | Trace.Refresh | Trace.Adapt ->
+                  Some (f.time, false, more)
+              | Trace.Abort -> Some (f.time, true, more)
+              | Trace.Maint_start -> None (* no terminal event recorded *)
+              | _ -> finish more)
+        in
+        (match finish rest with
+        | Some (endt, aborted, _) ->
+            go
+              ({ kind; started = e.time; duration = endt -. e.time; aborted }
+              :: acc)
+              rest
+        | None -> go acc rest)
+    | _ :: rest -> go acc rest
+  in
+  go [] entries
+
+let broken_by_source (tr : Trace.t) =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Trace.entry) ->
+      (* detail ends with "... at <source>: reason" *)
+      match String.split_on_char ' ' e.detail with
+      | _ ->
+          let detail = e.detail in
+          let marker = " at " in
+          let rec find_from i =
+            if i + 4 > String.length detail then None
+            else if String.sub detail i 4 = marker then Some (i + 4)
+            else find_from (i + 1)
+          in
+          (match find_from 0 with
+          | Some start ->
+              let rest = String.sub detail start (String.length detail - start) in
+              let src =
+                match String.index_opt rest ':' with
+                | Some j -> String.sub rest 0 j
+                | None -> rest
+              in
+              Hashtbl.replace tbl src
+                (1 + Option.value ~default:0 (Hashtbl.find_opt tbl src))
+          | None -> ()))
+    (Trace.find_all tr Trace.Broken_query);
+  List.sort (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let all_kinds =
+  [
+    Trace.Commit; Trace.Enqueue; Trace.Maint_start; Trace.Query_sent;
+    Trace.Query_answered; Trace.Broken_query; Trace.Compensate; Trace.Abort;
+    Trace.Refresh; Trace.Detect; Trace.Correct; Trace.Merge; Trace.Sync;
+    Trace.Adapt; Trace.Info;
+  ]
+
+(** [of_trace tr] builds the full report. *)
+let of_trace (tr : Trace.t) : t =
+  {
+    episodes = episodes_of_trace tr;
+    event_counts =
+      List.filter_map
+        (fun k ->
+          let c = Trace.count tr k in
+          if c > 0 then Some (k, c) else None)
+        all_kinds;
+    broken_by_source = broken_by_source tr;
+  }
+
+(** [by_kind r kind ~aborted] durations of matching episodes. *)
+let by_kind (r : t) kind ~aborted =
+  List.filter_map
+    (fun e ->
+      if e.kind = kind && e.aborted = aborted then Some e.duration else None)
+    r.episodes
+
+let pp ppf (r : t) =
+  Fmt.pf ppf "@[<v>maintenance episodes:@,";
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun aborted ->
+          let s = summarize (by_kind r kind ~aborted) in
+          if s.count > 0 then
+            Fmt.pf ppf
+              "  %-13s %-9s  n=%-4d total=%8.2fs  mean=%7.3fs  max=%7.3fs@,"
+              (episode_kind_to_string kind)
+              (if aborted then "(aborted)" else "(ok)")
+              s.count s.total s.mean s.max)
+        [ false; true ])
+    [ Du_maint; Sc_maint; Batch_maint ];
+  Fmt.pf ppf "event counts:@,";
+  List.iter
+    (fun (k, c) -> Fmt.pf ppf "  %-15s %d@," (Trace.kind_to_string k) c)
+    r.event_counts;
+  if r.broken_by_source <> [] then begin
+    Fmt.pf ppf "broken queries by source:@,";
+    List.iter
+      (fun (s, c) -> Fmt.pf ppf "  %-10s %d@," s c)
+      r.broken_by_source
+  end;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,33 @@
+(** Post-run reporting: cost breakdowns derived from an execution trace —
+    per-kind maintenance durations (split by outcome), event counts, and
+    broken queries by source. *)
+
+open Dyno_sim
+
+type episode_kind = Du_maint | Sc_maint | Batch_maint
+
+val episode_kind_to_string : episode_kind -> string
+
+type episode = {
+  kind : episode_kind;
+  started : float;
+  duration : float;
+  aborted : bool;
+}
+
+type summary = { count : int; total : float; mean : float; max : float }
+
+val summarize : float list -> summary
+
+type t = {
+  episodes : episode list;
+  event_counts : (Trace.kind * int) list;  (** non-zero kinds only *)
+  broken_by_source : (string * int) list;
+}
+
+val of_trace : Trace.t -> t
+
+val by_kind : t -> episode_kind -> aborted:bool -> float list
+(** Durations of matching episodes. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,311 @@
+(** Dyno: the dynamic reordering scheduler (Figure 6).
+
+    The main loop processes the UMQ head forever:
+
+    + (pessimistic only) if the schema-change flag is set, run pre-exec
+      detection — build the dependency graph — and correct the queue into
+      a legal order (merging cycles);
+    + maintain the head entry: VM for a data update, VS+VA for a schema
+      change, batch adaptation for a merged node;
+    + if the maintenance aborted on a broken query (in-exec detection),
+      leave the entry queued and correct: the pessimistic strategy picks
+      the conflict up via the schema-change flag on the next iteration,
+      the optimistic strategy runs detection+correction right now, and the
+      merge-all strawman collapses the whole queue;
+    + otherwise remove the head and continue.
+
+    The loop runs until both the UMQ and the timeline of future source
+    commits are drained (a real deployment runs forever; experiments have
+    finite workloads). *)
+
+open Dyno_view
+open Dyno_sim
+
+(** How data updates are maintained. *)
+type vm_mode =
+  | Incremental  (** SWEEP-style probes computing a view delta (default) *)
+  | Recompute
+      (** naive baseline: re-materialize the whole view per update — the
+          classic strawman incremental maintenance is measured against *)
+
+type config = {
+  strategy : Strategy.t;
+  max_steps : int;  (** safety valve against livelock in tests *)
+  compensate : bool;
+      (** SWEEP compensation for concurrent DUs; disable only to
+          demonstrate the duplication anomaly (Example 1.a) *)
+  vm_mode : vm_mode;
+  du_group : int;
+      (** deferred/grouped maintenance: up to this many consecutive queued
+          data updates are maintained as one atomic batch through the
+          Equation 6 path (1 = the paper's per-update processing).  Groups
+          never cross schema changes or merged batches, and queue order is
+          preserved, so every dependency stays safe — the view just skips
+          some intermediate states, trading freshness for throughput (the
+          deferred-maintenance idea of Colby et al., the paper's [5]). *)
+}
+
+let default_config =
+  {
+    strategy = Strategy.Pessimistic;
+    max_steps = 1_000_000;
+    compensate = true;
+    vm_mode = Incremental;
+    du_group = 1;
+  }
+
+exception Step_limit_exceeded of int
+
+type step_outcome =
+  | Done
+  | AbortedStep of Dyno_source.Data_source.broken
+
+(* Charge a detection pass + correction on the simulated clock and update
+   stats; returns true when the queue was actually reordered. *)
+let detect_and_correct ~(force : bool) (w : Query_engine.t) (mv : Mat_view.t)
+    (stats : Stats.t) : unit =
+  let umq = Query_engine.umq w in
+  let cost = Query_engine.cost w in
+  let vd = Mat_view.def mv in
+  let t0 = Query_engine.now w in
+  let outcome =
+    if force then Detect.force vd umq else Detect.pre_exec vd umq
+  in
+  (match outcome.Detect.graph with
+  | None ->
+      (* Flag fast path: O(1). *)
+      Query_engine.advance w cost.Cost_model.detect_flag
+  | Some g ->
+      stats.Stats.detections <- stats.Stats.detections + 1;
+      let n = Dep_graph.size g in
+      let m =
+        List.length
+          (List.filter Update_msg.is_sc (Umq.messages umq))
+      in
+      Query_engine.advance w (Cost_model.detect cost ~n ~m);
+      Trace.recordf (Query_engine.trace w) ~time:(Query_engine.now w)
+        Trace.Detect "graph: %d node(s), %d edge(s), %d unsafe" n
+        (List.length (Dep_graph.edges g))
+        outcome.Detect.unsafe;
+      let r = Correct.apply umq g in
+      Query_engine.advance w
+        (Cost_model.correct cost ~nodes:r.Correct.nodes ~edges:r.Correct.edges);
+      if r.Correct.reordered then begin
+        stats.Stats.corrections <- stats.Stats.corrections + 1;
+        Trace.recordf (Query_engine.trace w) ~time:(Query_engine.now w)
+          Trace.Correct "queue reordered into a legal order"
+      end;
+      if r.Correct.merged_cycles > 0 then begin
+        stats.Stats.merges <- stats.Stats.merges + r.Correct.merged_cycles;
+        Trace.recordf (Query_engine.trace w) ~time:(Query_engine.now w)
+          Trace.Merge "%d cycle(s) merged (%d update(s))"
+          r.Correct.merged_cycles r.Correct.merged_updates
+      end);
+  stats.Stats.busy <- stats.Stats.busy +. (Query_engine.now w -. t0)
+
+(* Maintain one queue entry.  Updates counters on success. *)
+let maintain_entry ~(compensate : bool) ~(vm_mode : vm_mode)
+    (w : Query_engine.t) (mv : Mat_view.t)
+    (mk : Dyno_source.Meta_knowledge.t) (stats : Stats.t)
+    (entry : Umq.entry) : step_outcome =
+  let trace = Query_engine.trace w in
+  let vd = Mat_view.def mv in
+  Trace.recordf trace ~time:(Query_engine.now w) Trace.Maint_start "%a"
+    Umq.pp_entry entry;
+  if not (View_def.is_valid vd) then begin
+    (* The view is undefined; updates are acknowledged and dropped. *)
+    Trace.recordf trace ~time:(Query_engine.now w) Trace.Info
+      "view undefined; dropping %a" Umq.pp_entry entry;
+    stats.Stats.irrelevant <-
+      stats.Stats.irrelevant + List.length (Umq.entry_messages entry);
+    Done
+  end
+  else
+    match entry with
+    | Umq.Single m -> (
+        match Update_msg.payload m with
+        | Update_msg.Du u when vm_mode = Recompute -> (
+            ignore u;
+            match
+              Dyno_va.Adapt.replace_extent w mv
+                ~maintained:[ Update_msg.id m ]
+                ~exclude:[ Update_msg.id m ]
+            with
+            | Ok () ->
+                stats.Stats.du_maintained <- stats.Stats.du_maintained + 1;
+                stats.Stats.view_commits <- stats.Stats.view_commits + 1;
+                Done
+            | Error b -> AbortedStep b)
+        | Update_msg.Du u -> (
+            match Dyno_vm.Vm.maintain ~compensate w mv m u with
+            | Dyno_vm.Vm.Refreshed { stats = s; _ } ->
+                stats.Stats.du_maintained <- stats.Stats.du_maintained + 1;
+                stats.Stats.probes <- stats.Stats.probes + s.Dyno_vm.Sweep.probes;
+                stats.Stats.compensations <-
+                  stats.Stats.compensations + s.Dyno_vm.Sweep.compensations;
+                stats.Stats.view_commits <- stats.Stats.view_commits + 1;
+                Done
+            | Dyno_vm.Vm.Irrelevant ->
+                stats.Stats.irrelevant <- stats.Stats.irrelevant + 1;
+                Done
+            | Dyno_vm.Vm.Aborted b -> AbortedStep b)
+        | Update_msg.Sc _ -> (
+            match Dyno_va.Batch.maintain w mv mk [ m ] with
+            | Dyno_va.Batch.Adapted ->
+                stats.Stats.sc_maintained <- stats.Stats.sc_maintained + 1;
+                stats.Stats.view_commits <- stats.Stats.view_commits + 1;
+                Done
+            | Dyno_va.Batch.Aborted b -> AbortedStep b
+            | Dyno_va.Batch.View_undefined _ ->
+                stats.Stats.view_undefined <- true;
+                Done))
+    | Umq.Batch msgs -> (
+        match Dyno_va.Batch.maintain w mv mk msgs with
+        | Dyno_va.Batch.Adapted ->
+            stats.Stats.batches <- stats.Stats.batches + 1;
+            stats.Stats.batch_updates <-
+              stats.Stats.batch_updates + List.length msgs;
+            stats.Stats.view_commits <- stats.Stats.view_commits + 1;
+            Done
+        | Dyno_va.Batch.Aborted b -> AbortedStep b
+        | Dyno_va.Batch.View_undefined _ ->
+            stats.Stats.view_undefined <- true;
+            Done)
+
+(** [run ?config w mv mk] drives the Dyno loop until the UMQ and the
+    timeline are both drained; returns the collected statistics. *)
+let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
+    (mk : Dyno_source.Meta_knowledge.t) : Stats.t =
+  let stats = Stats.create () in
+  let umq = Query_engine.umq w in
+  let timeline = Query_engine.timeline w in
+  let steps = ref 0 in
+  let trace = Query_engine.trace w in
+  let rec loop () =
+    incr steps;
+    if !steps > config.max_steps then raise (Step_limit_exceeded !steps);
+    Query_engine.deliver_due w;
+    if Umq.is_empty umq then begin
+      match Dyno_sim.Timeline.next_time timeline with
+      | None -> () (* drained: done *)
+      | Some t ->
+          let dt = t -. Query_engine.now w in
+          if dt > 0.0 then stats.Stats.idle <- stats.Stats.idle +. dt;
+          Query_engine.idle_until w t;
+          loop ()
+    end
+    else begin
+      (match config.strategy with
+      | Strategy.Pessimistic -> detect_and_correct ~force:false w mv stats
+      | Strategy.Optimistic | Strategy.Merge_all ->
+          (* No pre-exec pass; the flag is left set and ignored. *)
+          ());
+      (* Deferred/grouped maintenance: collapse a prefix of single DUs
+         into one transient batch entry.  Taking a queue prefix preserves
+         the legal order. *)
+      let group_size =
+        if config.du_group <= 1 || not (View_def.is_valid (Mat_view.def mv))
+        then 0
+        else begin
+          let rec count n = function
+            | Umq.Single m :: rest
+              when Update_msg.is_du m && n < config.du_group ->
+                count (n + 1) rest
+            | _ -> n
+          in
+          count 0 (Umq.entries umq)
+        end
+      in
+      if group_size > 1 then begin
+        let msgs =
+          List.filteri (fun i _ -> i < group_size) (Umq.entries umq)
+          |> List.concat_map Umq.entry_messages
+        in
+        Umq.clear_broken_query_flag umq;
+        let t0 = Query_engine.now w in
+        match Dyno_vm.Vm.maintain_group ~compensate:config.compensate w mv msgs with
+        | Dyno_vm.Vm.Refreshed _ | Dyno_vm.Vm.Irrelevant ->
+            stats.Stats.busy <- stats.Stats.busy +. (Query_engine.now w -. t0);
+            stats.Stats.batches <- stats.Stats.batches + 1;
+            stats.Stats.batch_updates <-
+              stats.Stats.batch_updates + List.length msgs;
+            stats.Stats.view_commits <- stats.Stats.view_commits + 1;
+            for _ = 1 to group_size do
+              Umq.remove_head umq
+            done;
+            loop ()
+        | Dyno_vm.Vm.Aborted b ->
+            let dt = Query_engine.now w -. t0 in
+            stats.Stats.busy <- stats.Stats.busy +. dt;
+            stats.Stats.abort_cost <- stats.Stats.abort_cost +. dt;
+            stats.Stats.aborts <- stats.Stats.aborts + 1;
+            stats.Stats.broken_queries <- stats.Stats.broken_queries + 1;
+            Trace.recordf trace ~time:(Query_engine.now w) Trace.Abort
+              "grouped maintenance aborted after %.3f s: %a" dt
+              Dyno_source.Data_source.pp_broken b;
+            (match config.strategy with
+            | Strategy.Pessimistic ->
+                if not (Umq.peek_schema_change_flag umq) then
+                  detect_and_correct ~force:true w mv stats
+            | Strategy.Optimistic -> detect_and_correct ~force:true w mv stats
+            | Strategy.Merge_all ->
+                let r = Correct.merge_all umq in
+                if r.Correct.reordered then begin
+                  stats.Stats.corrections <- stats.Stats.corrections + 1;
+                  stats.Stats.merges <- stats.Stats.merges + 1
+                end);
+            loop ()
+      end
+      else
+      match Umq.head umq with
+      | None -> loop ()
+      | Some entry -> (
+          Umq.clear_broken_query_flag umq;
+          let t0 = Query_engine.now w in
+          match
+            maintain_entry ~compensate:config.compensate
+              ~vm_mode:config.vm_mode w mv mk stats entry
+          with
+          | Done ->
+              stats.Stats.busy <- stats.Stats.busy +. (Query_engine.now w -. t0);
+              Umq.remove_head umq;
+              loop ()
+          | AbortedStep b ->
+              let dt = Query_engine.now w -. t0 in
+              stats.Stats.busy <- stats.Stats.busy +. dt;
+              stats.Stats.abort_cost <- stats.Stats.abort_cost +. dt;
+              stats.Stats.aborts <- stats.Stats.aborts + 1;
+              stats.Stats.broken_queries <- stats.Stats.broken_queries + 1;
+              Trace.recordf trace ~time:(Query_engine.now w) Trace.Abort
+                "maintenance aborted after %.3f s: %a" dt
+                Dyno_source.Data_source.pp_broken b;
+              (match config.strategy with
+              | Strategy.Pessimistic ->
+                  (* The SC that broke us set the schema-change flag when it
+                     was enqueued; the next iteration's pre-exec pass will
+                     correct the queue (Figure 6: "corrected in the next
+                     loop").  Defensive: if the flag is somehow already
+                     consumed, force a correction now rather than retry the
+                     same doomed head forever. *)
+                  if not (Umq.peek_schema_change_flag umq) then
+                    detect_and_correct ~force:true w mv stats
+              | Strategy.Optimistic ->
+                  (* In-exec detection is the only mechanism: correct now. *)
+                  detect_and_correct ~force:true w mv stats
+              | Strategy.Merge_all ->
+                  let t1 = Query_engine.now w in
+                  let r = Correct.merge_all umq in
+                  if r.Correct.reordered then begin
+                    stats.Stats.corrections <- stats.Stats.corrections + 1;
+                    stats.Stats.merges <- stats.Stats.merges + 1;
+                    Trace.recordf trace ~time:(Query_engine.now w) Trace.Merge
+                      "merge-all: %d update(s) collapsed" r.Correct.merged_updates
+                  end;
+                  stats.Stats.busy <-
+                    stats.Stats.busy +. (Query_engine.now w -. t1));
+              loop ())
+    end
+  in
+  loop ();
+  stats.Stats.end_time <- Query_engine.now w;
+  stats

@@ -1,0 +1,49 @@
+(** Dyno: the dynamic reordering scheduler — the main loop of Figure 6.
+
+    Drives the UMQ to empty: (pessimistic) pre-exec detection + correction
+    guarded by the schema-change flag, maintenance of the head entry (VM
+    for data updates, VS+VA for schema changes, batch adaptation for
+    merged nodes), and in-exec recovery when a maintenance query breaks:
+    the process aborts, the queue is corrected, and maintenance resumes
+    under the new legal order. *)
+
+open Dyno_view
+
+(** How data updates are maintained. *)
+type vm_mode =
+  | Incremental  (** SWEEP-style probes computing a view delta (default) *)
+  | Recompute
+      (** naive baseline: re-materialize the whole view per update — the
+          classic strawman incremental maintenance is measured against *)
+
+type config = {
+  strategy : Strategy.t;
+  max_steps : int;  (** safety valve against livelock in tests *)
+  compensate : bool;
+      (** SWEEP compensation for concurrent DUs; disable only to
+          demonstrate the duplication anomaly (Example 1.a) *)
+  vm_mode : vm_mode;
+  du_group : int;
+      (** deferred/grouped maintenance: up to this many consecutive queued
+          data updates are maintained as one atomic batch (1 = the paper's
+          per-update processing).  Groups never cross schema changes or
+          merged batches and preserve queue order, so dependencies stay
+          safe; the view skips intermediate states (freshness for
+          throughput). *)
+}
+
+val default_config : config
+(** Pessimistic, compensated, incremental, no grouping, one million
+    steps. *)
+
+exception Step_limit_exceeded of int
+
+val run :
+  ?config:config ->
+  Query_engine.t ->
+  Mat_view.t ->
+  Dyno_source.Meta_knowledge.t ->
+  Stats.t
+(** [run w mv mk] loops until both the UMQ and the timeline of future
+    source commits are drained, and returns the collected statistics.
+    @raise Step_limit_exceeded if the loop exceeds [config.max_steps]. *)

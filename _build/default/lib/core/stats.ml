@@ -1,0 +1,66 @@
+(** Run statistics: the measurements behind every figure of Section 6.
+
+    The paper charts two quantities per run — total maintenance cost and
+    abort cost, both in seconds — plus the event counters we use in tests
+    (broken queries, corrections, merges).  "Maintenance cost" is busy
+    time: work the view manager performed (probes, refreshes, detection,
+    correction, aborted work); idle waiting for source commits is tracked
+    separately.  "The maintenance cost includes the abort cost throughout
+    our experiments" (footnote 4) — same here. *)
+
+type t = {
+  mutable busy : float;  (** total maintenance cost (includes aborts) *)
+  mutable abort_cost : float;  (** work thrown away due to broken queries *)
+  mutable idle : float;  (** time spent waiting for updates *)
+  mutable end_time : float;  (** simulated clock at completion *)
+  mutable du_maintained : int;
+  mutable sc_maintained : int;
+  mutable batches : int;  (** merged batch nodes maintained *)
+  mutable batch_updates : int;  (** messages inside those batches *)
+  mutable irrelevant : int;  (** updates not touching the view *)
+  mutable aborts : int;
+  mutable broken_queries : int;
+  mutable detections : int;  (** pre-exec detection passes *)
+  mutable corrections : int;  (** correction (reorder) passes *)
+  mutable merges : int;  (** cycles collapsed *)
+  mutable probes : int;  (** maintenance queries sent *)
+  mutable compensations : int;  (** probe answers compensated *)
+  mutable view_commits : int;
+  mutable view_undefined : bool;
+}
+
+let create () =
+  {
+    busy = 0.0;
+    abort_cost = 0.0;
+    idle = 0.0;
+    end_time = 0.0;
+    du_maintained = 0;
+    sc_maintained = 0;
+    batches = 0;
+    batch_updates = 0;
+    irrelevant = 0;
+    aborts = 0;
+    broken_queries = 0;
+    detections = 0;
+    corrections = 0;
+    merges = 0;
+    probes = 0;
+    compensations = 0;
+    view_commits = 0;
+    view_undefined = false;
+  }
+
+let pp ppf s =
+  Fmt.pf ppf
+    "@[<v>maintenance cost: %8.2f s (abort cost %6.2f s, idle %8.2f s, end \
+     %8.2f s)@,\
+     maintained: %d DU, %d SC, %d batch (%d msgs), %d irrelevant@,\
+     aborts: %d (broken queries %d)@,\
+     detection passes: %d, corrections: %d, cycles merged: %d@,\
+     probes: %d (compensated %d), view commits: %d%s@]"
+    s.busy s.abort_cost s.idle s.end_time s.du_maintained s.sc_maintained
+    s.batches s.batch_updates s.irrelevant s.aborts s.broken_queries
+    s.detections s.corrections s.merges s.probes s.compensations
+    s.view_commits
+    (if s.view_undefined then ", VIEW UNDEFINED" else "")

@@ -1,0 +1,28 @@
+(** Run statistics: the measurements behind every figure of Section 6.
+    "Maintenance cost" is busy time (probes, refreshes, detection,
+    correction, aborted work); "the maintenance cost includes the abort
+    cost throughout our experiments" (the paper's footnote 4). *)
+
+type t = {
+  mutable busy : float;  (** total maintenance cost, s (includes aborts) *)
+  mutable abort_cost : float;  (** work thrown away on broken queries, s *)
+  mutable idle : float;  (** time spent waiting for updates, s *)
+  mutable end_time : float;  (** simulated clock at completion *)
+  mutable du_maintained : int;
+  mutable sc_maintained : int;
+  mutable batches : int;  (** merged batch nodes maintained *)
+  mutable batch_updates : int;  (** messages inside those batches *)
+  mutable irrelevant : int;  (** updates not touching the view *)
+  mutable aborts : int;
+  mutable broken_queries : int;
+  mutable detections : int;  (** pre-exec detection passes (graph built) *)
+  mutable corrections : int;  (** correction (reorder) passes *)
+  mutable merges : int;  (** cycles collapsed *)
+  mutable probes : int;  (** maintenance queries sent *)
+  mutable compensations : int;  (** probe answers compensated *)
+  mutable view_commits : int;
+  mutable view_undefined : bool;
+}
+
+val create : unit -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+(** Concurrency-handling strategies (Section 4.1.3 and the merge-all
+    strawman of Section 4.2). *)
+
+type t =
+  | Pessimistic
+      (** pre-exec detection before each maintenance round (guarded by the
+          schema-change flag) {e plus} the in-exec broken-query backstop —
+          the combination Dyno ships with (Section 4.3) *)
+  | Optimistic
+      (** in-exec detection only: maintain in arrival order and correct
+          after a query breaks *)
+  | Merge_all
+      (** the "simplistic solution" the paper argues against: on any broken
+          query, merge the whole UMQ into one batch *)
+
+let to_string = function
+  | Pessimistic -> "pessimistic"
+  | Optimistic -> "optimistic"
+  | Merge_all -> "merge-all"
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+let of_string = function
+  | "pessimistic" -> Some Pessimistic
+  | "optimistic" -> Some Optimistic
+  | "merge-all" | "merge_all" -> Some Merge_all
+  | _ -> None
+
+let all = [ Pessimistic; Optimistic; Merge_all ]

@@ -1,0 +1,20 @@
+(** Concurrency-handling strategies (Section 4.1.3, plus the merge-all
+    strawman of Section 4.2). *)
+
+type t =
+  | Pessimistic
+      (** pre-exec detection before each maintenance round (guarded by the
+          schema-change flag) plus the in-exec broken-query backstop — the
+          combination Dyno ships with (Section 4.3) *)
+  | Optimistic
+      (** in-exec detection only: maintain in arrival order, correct after
+          a query breaks *)
+  | Merge_all
+      (** on any broken query, merge the whole UMQ into one batch *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val of_string : string -> t option
+
+val all : t list
+(** All strategies, for sweeps. *)

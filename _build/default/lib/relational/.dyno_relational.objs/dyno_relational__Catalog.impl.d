@@ -1,0 +1,1 @@
+lib/relational/catalog.ml: Fmt List Schema Schema_change String

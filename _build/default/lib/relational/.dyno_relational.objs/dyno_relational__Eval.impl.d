@@ -1,0 +1,1 @@
+lib/relational/eval.ml: Array Attr Fmt List Option Predicate Query Relation Schema String Tuple

@@ -1,0 +1,1 @@
+lib/relational/eval.mli: Attr Query Relation Schema

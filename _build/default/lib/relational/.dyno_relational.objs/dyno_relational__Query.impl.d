@@ -1,0 +1,1 @@
+lib/relational/query.ml: Attr Fmt List Option Predicate String

@@ -1,0 +1,1 @@
+lib/relational/query.mli: Attr Format Predicate

@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Array Fmt List Option Schema Tuple

@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Array Attr Fmt Hashtbl List Option String Value

@@ -1,0 +1,1 @@
+lib/relational/schema_change.ml: Array Attr Fmt List Relation Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/schema_change.mli: Attr Format Relation Schema Tuple Value

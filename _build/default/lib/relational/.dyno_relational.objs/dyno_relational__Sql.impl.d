@@ -1,0 +1,1 @@
+lib/relational/sql.ml: Array Fmt List Query Relation Schema Schema_change String Tuple Update Value

@@ -1,0 +1,1 @@
+lib/relational/sql_parser.ml: Attr Fmt List Option Predicate Query Relation Schema Schema_change Sql_lexer Tuple Update Value

@@ -1,0 +1,1 @@
+lib/relational/sql_parser.mli: Query Schema Schema_change Update Value

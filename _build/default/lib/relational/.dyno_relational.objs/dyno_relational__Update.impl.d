@@ -1,0 +1,1 @@
+lib/relational/update.ml: Fmt Relation String Tuple

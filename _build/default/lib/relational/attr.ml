@@ -1,0 +1,66 @@
+(** Attributes: a name plus a declared type.
+
+    Attribute names are case-sensitive simple identifiers.  Qualified
+    references (["Item.Book"]) are represented by {!Qualified} below and
+    resolved against a {!Schema.t} at query-construction time. *)
+
+type t = { name : string; ty : Value.Vtype.t }
+
+let make name ty = { name; ty }
+
+let name a = a.name
+let ty a = a.ty
+
+let equal a b = String.equal a.name b.name && Value.Vtype.equal a.ty b.ty
+
+let compare a b =
+  match String.compare a.name b.name with
+  | 0 -> Value.Vtype.compare a.ty b.ty
+  | c -> c
+
+let pp ppf a = Fmt.pf ppf "%s:%a" a.name Value.Vtype.pp a.ty
+
+let rename a name = { a with name }
+
+(* Shorthand constructors for the common types. *)
+let int name = make name Value.Vtype.TInt
+let float name = make name Value.Vtype.TFloat
+let string name = make name Value.Vtype.TString
+let bool name = make name Value.Vtype.TBool
+
+(** A possibly relation-qualified attribute reference as written in a query,
+    e.g. [I.Author] versus plain [Author].  [rel] is a relation name or
+    alias. *)
+module Qualified = struct
+  type t = { rel : string option; attr : string }
+
+  let make ?rel attr = { rel; attr }
+
+  let rel q = q.rel
+  let attr q = q.attr
+
+  let equal a b =
+    Option.equal String.equal a.rel b.rel && String.equal a.attr b.attr
+
+  let compare a b =
+    match Option.compare String.compare a.rel b.rel with
+    | 0 -> String.compare a.attr b.attr
+    | c -> c
+
+  let pp ppf q =
+    match q.rel with
+    | None -> Fmt.string ppf q.attr
+    | Some r -> Fmt.pf ppf "%s.%s" r q.attr
+
+  let to_string q = Fmt.str "%a" pp q
+
+  (** [of_string "R.A"] parses an optionally qualified reference. *)
+  let of_string s =
+    match String.index_opt s '.' with
+    | None -> { rel = None; attr = s }
+    | Some i ->
+        {
+          rel = Some (String.sub s 0 i);
+          attr = String.sub s (i + 1) (String.length s - i - 1);
+        }
+end

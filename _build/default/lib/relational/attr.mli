@@ -1,0 +1,38 @@
+(** Attributes: a name plus a declared type; and qualified attribute
+    references as written in queries. *)
+
+type t
+
+val make : string -> Value.Vtype.t -> t
+val name : t -> string
+val ty : t -> Value.Vtype.t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val rename : t -> string -> t
+(** Same type, new name. *)
+
+(** Shorthand constructors. *)
+
+val int : string -> t
+val float : string -> t
+val string : string -> t
+val bool : string -> t
+
+(** A possibly relation-qualified attribute reference, e.g. [I.Author]
+    versus plain [Author].  [rel] is a relation alias. *)
+module Qualified : sig
+  type t
+
+  val make : ?rel:string -> string -> t
+  val rel : t -> string option
+  val attr : t -> string
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+
+  val of_string : string -> t
+  (** ["R.A"] parses as qualified, ["A"] as unqualified. *)
+end

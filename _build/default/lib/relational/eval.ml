@@ -1,0 +1,229 @@
+(** SPJ query evaluation over signed-multiset relations.
+
+    The evaluator binds each FROM entry to a relation supplied by an
+    environment, performs a left-deep pipeline of hash equi-joins with
+    selection push-down, applies residual predicates, and projects the
+    select list.  It is deliberately free of any source/distribution
+    concerns — the distributed decomposition lives in [Dyno_vm]; this module
+    is also what each simulated {e source server} runs locally to answer
+    maintenance queries. *)
+
+exception Error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+(** A binding: alias bound to a relation, its original schema kept for
+    name resolution (joined schemas may have suffix-renamed columns, but
+    positions are stable). *)
+type binding = { alias : string; schema : Schema.t; offset : int }
+
+type binder = {
+  bindings : binding list;
+  owner : Attr.Qualified.t -> string;  (** owning alias of an unqualified ref *)
+}
+
+(** [make_binder q schemas] resolves reference ownership for query [q] given
+    the schema of each alias.  @raise Error on unknown or ambiguous refs. *)
+let make_binder (q : Query.t) (schemas : (string * Schema.t) list) =
+  let bindings =
+    let rec go offset acc = function
+      | [] -> List.rev acc
+      | (tr : Query.table_ref) :: rest ->
+          let schema =
+            match List.assoc_opt tr.alias schemas with
+            | Some s -> s
+            | None -> err "no schema bound for alias %s" tr.alias
+          in
+          go
+            (offset + Schema.arity schema)
+            ({ alias = tr.alias; schema; offset } :: acc)
+            rest
+    in
+    go 0 [] (Query.from q)
+  in
+  let owner (r : Attr.Qualified.t) =
+    let attr = Attr.Qualified.attr r in
+    match
+      List.filter (fun b -> Schema.mem b.schema attr) bindings
+    with
+    | [ b ] -> b.alias
+    | [] -> err "unknown attribute %s" attr
+    | bs ->
+        err "ambiguous attribute %s (in %s)" attr
+          (String.concat ", " (List.map (fun b -> b.alias) bs))
+  in
+  { bindings; owner }
+
+(** [resolve binder r] is the absolute position of reference [r] in the
+    join-product tuple. *)
+let resolve binder (r : Attr.Qualified.t) =
+  let alias =
+    match Attr.Qualified.rel r with
+    | Some a -> a
+    | None -> binder.owner r
+  in
+  match List.find_opt (fun b -> String.equal b.alias alias) binder.bindings with
+  | None -> err "unknown alias %s in reference %a" alias Attr.Qualified.pp r
+  | Some b -> (
+      match Schema.index_of_opt b.schema (Attr.Qualified.attr r) with
+      | Some i -> b.offset + i
+      | None ->
+          err "relation %s has no attribute %s" alias (Attr.Qualified.attr r))
+
+(** [resolve_in_alias binder alias attr] is the position of [attr] within
+    the single relation bound to [alias] (not the join product). *)
+let resolve_in_alias binder alias attr =
+  match List.find_opt (fun b -> String.equal b.alias alias) binder.bindings with
+  | None -> err "unknown alias %s" alias
+  | Some b -> (
+      match Schema.index_of_opt b.schema attr with
+      | Some i -> i
+      | None -> err "relation %s has no attribute %s" alias attr)
+
+(* Positional hash join: join [left] (arbitrary join-product schema) with
+   [right] on (left position, right position) pairs.  The smaller side is
+   hashed and the larger streamed — maintenance probes typically join a
+   partial result of a handful of tuples against a large base relation, so
+   this keeps the per-probe cost at one pass with cheap lookups. *)
+let positional_join left right (pairs : (int * int) list) =
+  let lpos = Array.of_list (List.map fst pairs) in
+  let rpos = Array.of_list (List.map snd pairs) in
+  let schema' = Schema.concat (Relation.schema left) (Relation.schema right) in
+  let out = Relation.create schema' in
+  let hash_left = Relation.support left <= Relation.support right in
+  let build, build_pos, stream, stream_pos =
+    if hash_left then (left, lpos, right, rpos) else (right, rpos, left, lpos)
+  in
+  let index = Tuple.Table.create (max 16 (Relation.support build)) in
+  Relation.iter
+    (fun t c ->
+      let key = Tuple.project_idx t build_pos in
+      let prev = Option.value ~default:[] (Tuple.Table.find_opt index key) in
+      Tuple.Table.replace index key ((t, c) :: prev))
+    build;
+  Relation.iter
+    (fun t c ->
+      let key = Tuple.project_idx t stream_pos in
+      match Tuple.Table.find_opt index key with
+      | None -> ()
+      | Some matches ->
+          List.iter
+            (fun (t', c') ->
+              (* Output order is always (left, right). *)
+              let tup =
+                if hash_left then Tuple.concat t' t else Tuple.concat t t'
+              in
+              Relation.add out tup (c * c'))
+            matches)
+    stream;
+  out
+
+(** [query env q] evaluates [q], resolving each FROM entry with
+    [env : table_ref -> Relation.t].
+    @raise Error on binding or resolution failure. *)
+let query (env : Query.table_ref -> Relation.t) (q : Query.t) =
+  let tables =
+    List.map (fun (tr : Query.table_ref) -> (tr, env tr)) (Query.from q)
+  in
+  let schemas =
+    List.map (fun ((tr : Query.table_ref), r) -> (tr.alias, Relation.schema r)) tables
+  in
+  let binder = make_binder q schemas in
+  let owner r = binder.owner r in
+  let local, global = Predicate.partition_by_alias owner (Query.where q) in
+  let join_pairs = Predicate.equijoin_pairs owner global in
+  (* Residual global atoms: non-equijoin cross-alias conditions. *)
+  let residual =
+    List.filter
+      (fun (a : Predicate.atom) ->
+        match (a.op, a.lhs, a.rhs) with
+        | Predicate.Eq, Predicate.Ref x, Predicate.Ref y ->
+            let ax = match Attr.Qualified.rel x with Some r -> r | None -> owner x in
+            let ay = match Attr.Qualified.rel y with Some r -> r | None -> owner y in
+            String.equal ax ay
+        | _ -> true)
+      global
+  in
+  (* Per-alias selection push-down. *)
+  let filter_local (tr : Query.table_ref) rel =
+    let mine =
+      List.filter
+        (fun (a : Predicate.atom) ->
+          List.exists
+            (fun (r : Attr.Qualified.t) ->
+              let al = match Attr.Qualified.rel r with Some x -> x | None -> owner r in
+              String.equal al tr.alias)
+            (Predicate.refs [ a ]))
+        local
+    in
+    if mine = [] then rel
+    else
+      let res r = resolve_in_alias binder tr.alias (Attr.Qualified.attr r) in
+      Relation.select (fun t -> Predicate.eval res mine t) rel
+  in
+  let joined =
+    match tables with
+    | [] -> err "empty FROM"
+    | (tr0, r0) :: rest ->
+        let acc = ref (filter_local tr0 r0) in
+        let bound = ref [ tr0.alias ] in
+        List.iter
+          (fun ((tr : Query.table_ref), r) ->
+            let r = filter_local tr r in
+            let pairs =
+              List.filter_map
+                (fun ((ax, qx), (ay, qy)) ->
+                  let pos_in_acc qa = resolve binder qa in
+                  let pos_in_new qa =
+                    resolve_in_alias binder tr.alias (Attr.Qualified.attr qa)
+                  in
+                  if List.mem ax !bound && String.equal ay tr.alias then
+                    Some (pos_in_acc qx, pos_in_new qy)
+                  else if List.mem ay !bound && String.equal ax tr.alias then
+                    Some (pos_in_acc qy, pos_in_new qx)
+                  else None)
+                join_pairs
+            in
+            acc :=
+              (if pairs = [] then Relation.product !acc r
+               else positional_join !acc r pairs);
+            bound := tr.alias :: !bound)
+          rest;
+        !acc
+  in
+  (* Residual predicate. *)
+  let joined =
+    if residual = [] then joined
+    else
+      Relation.select
+        (fun t -> Predicate.eval (resolve binder) residual t)
+        joined
+  in
+  (* Final projection with output names and types. *)
+  let out_attrs =
+    List.map
+      (fun (it : Query.select_item) ->
+        let pos = resolve binder it.expr in
+        let alias =
+          match Attr.Qualified.rel it.expr with
+          | Some a -> a
+          | None -> owner it.expr
+        in
+        let b = List.find (fun b -> String.equal b.alias alias) binder.bindings in
+        let src_attr = Schema.find b.schema (Attr.Qualified.attr it.expr) in
+        (pos, Attr.make it.as_name (Attr.ty src_attr)))
+      (Query.select q)
+  in
+  let out_schema = Schema.of_list (List.map snd out_attrs) in
+  let idxs = Array.of_list (List.map fst out_attrs) in
+  Relation.map_tuples out_schema (fun t -> Tuple.project_idx t idxs) joined
+
+(** [query_assoc env q] convenience wrapper: environment given as an
+    association list keyed by alias. *)
+let query_assoc (env : (string * Relation.t) list) (q : Query.t) =
+  query
+    (fun tr ->
+      match List.assoc_opt tr.alias env with
+      | Some r -> r
+      | None -> err "no relation bound for alias %s" tr.alias)
+    q

@@ -1,0 +1,38 @@
+(** SPJ query evaluation over signed-multiset relations: a left-deep
+    pipeline of hash equi-joins with selection push-down, residual
+    predicates and final projection.  Also what each simulated source
+    server runs locally to answer maintenance queries. *)
+
+exception Error of string
+
+(** Name-resolution context: aliases bound to relations, with original
+    schemas kept (joined schemas may suffix-rename clashing columns, but
+    positions are stable). *)
+type binding = { alias : string; schema : Schema.t; offset : int }
+
+type binder = {
+  bindings : binding list;
+  owner : Attr.Qualified.t -> string;
+      (** owning alias of an unqualified reference *)
+}
+
+val make_binder : Query.t -> (string * Schema.t) list -> binder
+(** @raise Error on unknown or ambiguous references. *)
+
+val resolve : binder -> Attr.Qualified.t -> int
+(** Absolute position of a reference in the join-product tuple. *)
+
+val resolve_in_alias : binder -> string -> string -> int
+(** Position of an attribute within a single bound relation. *)
+
+val positional_join : Relation.t -> Relation.t -> (int * int) list -> Relation.t
+(** Hash join on (left position, right position) pairs; the smaller side
+    is hashed.  Output schema is [Schema.concat left right]. *)
+
+val query : (Query.table_ref -> Relation.t) -> Query.t -> Relation.t
+(** Evaluate, resolving each FROM entry through the environment.
+    @raise Error on binding or resolution failure — the relational-level
+    face of a broken query. *)
+
+val query_assoc : (string * Relation.t) list -> Query.t -> Relation.t
+(** Environment given as an association list keyed by alias. *)

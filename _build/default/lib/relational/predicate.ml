@@ -1,0 +1,114 @@
+(** Conjunctive predicates over (possibly qualified) attribute references.
+
+    A predicate is a conjunction of comparison atoms; each operand is either
+    an attribute reference or a constant.  This covers the SPJ view class
+    the paper works with (equality joins plus constant filters, as in
+    Queries 1–5). *)
+
+type op = Eq | Ne | Lt | Le | Gt | Ge
+
+type operand = Ref of Attr.Qualified.t | Const of Value.t
+
+type atom = { lhs : operand; op : op; rhs : operand }
+
+(** Conjunction of atoms; [[]] is TRUE. *)
+type t = atom list
+
+let op_to_string = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let pp_operand ppf = function
+  | Ref q -> Attr.Qualified.pp ppf q
+  | Const v -> Value.pp ppf v
+
+let pp_atom ppf a =
+  Fmt.pf ppf "%a %s %a" pp_operand a.lhs (op_to_string a.op) pp_operand a.rhs
+
+let pp ppf (p : t) =
+  match p with
+  | [] -> Fmt.string ppf "TRUE"
+  | _ -> Fmt.(list ~sep:(any " AND ") pp_atom) ppf p
+
+let to_string p = Fmt.str "%a" pp p
+
+(* Convenience constructors. *)
+let atom lhs op rhs = { lhs; op; rhs }
+
+let eq_attr a b =
+  atom (Ref (Attr.Qualified.of_string a)) Eq (Ref (Attr.Qualified.of_string b))
+
+let eq_const a v = atom (Ref (Attr.Qualified.of_string a)) Eq (Const v)
+
+let cmp a op v = atom (Ref (Attr.Qualified.of_string a)) op (Const v)
+
+let apply_op op c =
+  match op with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+(** [refs p] is every attribute reference occurring in [p]. *)
+let refs (p : t) =
+  List.concat_map
+    (fun a ->
+      let one = function Ref q -> [ q ] | Const _ -> [] in
+      one a.lhs @ one a.rhs)
+    p
+
+(** [eval_atom resolve a tup]: [resolve] maps a qualified reference to a
+    position in [tup].
+    @raise Not_found if [resolve] fails (caller turns that into a
+    broken-query error with context). *)
+let eval_atom resolve a (tup : Tuple.t) =
+  let value = function
+    | Const v -> v
+    | Ref q -> Tuple.get tup (resolve q)
+  in
+  apply_op a.op (Value.compare (value a.lhs) (value a.rhs))
+
+let eval resolve (p : t) tup = List.for_all (fun a -> eval_atom resolve a tup) p
+
+(** [map_refs f p] rewrites every attribute reference (used by view
+    synchronization to apply renamings). *)
+let map_refs f (p : t) : t =
+  List.map
+    (fun a ->
+      let one = function Ref q -> Ref (f q) | Const _ as c -> c in
+      { a with lhs = one a.lhs; rhs = one a.rhs })
+    p
+
+(** [partition_by_alias aliases p] splits the conjunction into (per-alias
+    local atoms, multi-alias join atoms).  [owner q] must return the alias
+    an unqualified reference resolves to. *)
+let partition_by_alias owner (p : t) =
+  let alias_of = function
+    | Const _ -> None
+    | Ref q -> Some (match Attr.Qualified.rel q with Some r -> r | None -> owner q)
+  in
+  List.partition
+    (fun a ->
+      match (alias_of a.lhs, alias_of a.rhs) with
+      | Some x, Some y -> String.equal x y
+      | _ -> true)
+    p
+
+(** Atoms of the shape [R.a = S.b] with distinct aliases — the equi-join
+    conditions a hash join can use. *)
+let equijoin_pairs owner (p : t) =
+  List.filter_map
+    (fun a ->
+      match (a.op, a.lhs, a.rhs) with
+      | Eq, Ref x, Ref y ->
+          let ax = match Attr.Qualified.rel x with Some r -> r | None -> owner x in
+          let ay = match Attr.Qualified.rel y with Some r -> r | None -> owner y in
+          if String.equal ax ay then None else Some ((ax, x), (ay, y))
+      | _ -> None)
+    p

@@ -1,0 +1,56 @@
+(** Conjunctive predicates over (possibly qualified) attribute references —
+    the SPJ predicate class of the paper's Queries (1)–(5): equality joins
+    plus constant filters (all six comparison operators supported). *)
+
+type op = Eq | Ne | Lt | Le | Gt | Ge
+
+type operand = Ref of Attr.Qualified.t | Const of Value.t
+
+type atom = { lhs : operand; op : op; rhs : operand }
+
+type t = atom list
+(** Conjunction of atoms; [[]] is TRUE. *)
+
+val op_to_string : op -> string
+val pp_operand : Format.formatter -> operand -> unit
+val pp_atom : Format.formatter -> atom -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Constructors. *)
+
+val atom : operand -> op -> operand -> atom
+
+val eq_attr : string -> string -> atom
+(** [eq_attr "S.SID" "I.SID"] — equality between two references (parsed
+    with {!Attr.Qualified.of_string}). *)
+
+val eq_const : string -> Value.t -> atom
+val cmp : string -> op -> Value.t -> atom
+
+val apply_op : op -> int -> bool
+(** Interpret a comparison against a [compare]-style result. *)
+
+val refs : t -> Attr.Qualified.t list
+(** Every attribute reference occurring in the conjunction. *)
+
+val eval_atom : (Attr.Qualified.t -> int) -> atom -> Tuple.t -> bool
+(** [resolve] maps a reference to a tuple position. *)
+
+val eval : (Attr.Qualified.t -> int) -> t -> Tuple.t -> bool
+
+val map_refs : (Attr.Qualified.t -> Attr.Qualified.t) -> t -> t
+(** Rewrite every reference (view synchronization uses this to apply
+    renamings). *)
+
+val partition_by_alias :
+  (Attr.Qualified.t -> string) -> t -> atom list * atom list
+(** Split into (per-alias local atoms, multi-alias join atoms); the
+    function resolves unqualified references to their owning alias. *)
+
+val equijoin_pairs :
+  (Attr.Qualified.t -> string) ->
+  t ->
+  ((string * Attr.Qualified.t) * (string * Attr.Qualified.t)) list
+(** Atoms of shape [R.a = S.b] with distinct aliases — the conditions a
+    hash join can use, as ((alias, ref), (alias, ref)) pairs. *)

@@ -1,0 +1,248 @@
+(** Relations as {e signed multisets} of tuples, carrying their schema.
+
+    Multiplicities may be negative: a relation with mixed signs represents a
+    {e delta} (insertions with positive counts, deletions with negative
+    counts), the uniform representation used throughout incremental view
+    maintenance (Griffin–Libkin counting semantics).  All algebra operators
+    ([select], [project], [join], [sum], [diff]) are linear in that
+    representation, which is exactly what Equation 6 of the paper needs. *)
+
+type t = {
+  schema : Schema.t;
+  data : int Tuple.Table.t; (* tuple -> non-zero signed multiplicity *)
+}
+
+exception Schema_mismatch of string
+
+let create schema = { schema; data = Tuple.Table.create 64 }
+
+let schema r = r.schema
+
+(** Number of distinct tuples (support size). *)
+let support r = Tuple.Table.length r.data
+
+(** Sum of multiplicities (can be negative for deltas). *)
+let cardinality r = Tuple.Table.fold (fun _ c acc -> acc + c) r.data 0
+
+(** Sum of absolute multiplicities. *)
+let mass r = Tuple.Table.fold (fun _ c acc -> acc + abs c) r.data 0
+
+let is_empty r = support r = 0
+
+let count r tup = match Tuple.Table.find_opt r.data tup with
+  | Some c -> c
+  | None -> 0
+
+let mem r tup = count r tup <> 0
+
+(** [add r tup k] adjusts the multiplicity of [tup] by [k], dropping the
+    entry when it reaches zero.  Typechecks against the schema. *)
+let add r tup k =
+  if k <> 0 then begin
+    if not (Schema.typecheck r.schema tup) then
+      raise
+        (Schema_mismatch
+           (Fmt.str "tuple %a does not match schema %a" Tuple.pp tup Schema.pp
+              r.schema));
+    let c = count r tup + k in
+    if c = 0 then Tuple.Table.remove r.data tup
+    else Tuple.Table.replace r.data tup c
+  end
+
+let insert r tup = add r tup 1
+let delete r tup = add r tup (-1)
+
+let of_list schema tuples =
+  let r = create schema in
+  List.iter (fun t -> insert r (Tuple.of_list t)) tuples;
+  r
+
+let of_counted schema pairs =
+  let r = create schema in
+  List.iter (fun (t, c) -> add r (Tuple.of_list t) c) pairs;
+  r
+
+let iter f r = Tuple.Table.iter f r.data
+let fold f r acc = Tuple.Table.fold f r.data acc
+
+let to_counted r =
+  List.sort
+    (fun (a, _) (b, _) -> Tuple.compare a b)
+    (fold (fun t c acc -> (t, c) :: acc) r [])
+
+let to_list r =
+  List.concat_map
+    (fun (t, c) -> if c > 0 then List.init c (fun _ -> t) else [])
+    (to_counted r)
+
+let copy r = { schema = r.schema; data = Tuple.Table.copy r.data }
+
+(** Multiset equality: same schema (by attribute equality) and identical
+    multiplicity for every tuple. *)
+let equal a b =
+  Schema.equal a.schema b.schema
+  && support a = support b
+  && (try
+        iter (fun t c -> if count b t <> c then raise Exit) a;
+        true
+      with Exit -> false)
+
+(** Equality up to attribute names (positional contents only) — used when a
+    rewritten view renames columns but preserves extent. *)
+let equal_contents a b =
+  Schema.arity a.schema = Schema.arity b.schema
+  && support a = support b
+  && (try
+        iter (fun t c -> if count b t <> c then raise Exit) a;
+        true
+      with Exit -> false)
+
+let pp ppf r =
+  let rows = to_counted r in
+  Fmt.pf ppf "@[<v>%a@,%a@]" Schema.pp r.schema
+    Fmt.(
+      list ~sep:cut (fun ppf (t, c) ->
+          if c = 1 then Tuple.pp ppf t else Fmt.pf ppf "%a x%d" Tuple.pp t c))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Algebra                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** [select p r] keeps tuples satisfying [p] (multiplicities preserved). *)
+let select p r =
+  let out = create r.schema in
+  iter (fun t c -> if p t then add out t c) r;
+  out
+
+(** [map_tuples schema' f r] applies a tuple transformation, re-aggregating
+    multiplicities under the image (projection semantics on multisets). *)
+let map_tuples schema' f r =
+  let out = create schema' in
+  iter (fun t c -> add out (f t) c) r;
+  out
+
+(** [project r names] multiset projection onto [names] (in order). *)
+let project r names =
+  let idxs = Array.of_list (List.map (Schema.index_of r.schema) names) in
+  let schema' = Schema.project r.schema names in
+  map_tuples schema' (fun t -> Tuple.project_idx t idxs) r
+
+(** [rename_attr r ~old_name ~new_name] renames a column (data unchanged). *)
+let rename_attr r ~old_name ~new_name =
+  let schema' = Schema.rename r.schema ~old_name ~new_name in
+  { r with schema = schema' }
+
+(** [sum a b] multiset union with signed multiplicities (a ⊎ b). *)
+let sum a b =
+  if not (Schema.equal a.schema b.schema) then
+    raise
+      (Schema_mismatch
+         (Fmt.str "sum: %a vs %a" Schema.pp a.schema Schema.pp b.schema));
+  let out = copy a in
+  iter (fun t c -> add out t c) b;
+  out
+
+(** [negate r] flips every multiplicity (turns insertions into deletions). *)
+let negate r =
+  let out = create r.schema in
+  iter (fun t c -> add out t (-c)) r;
+  out
+
+(** [diff a b] is [sum a (negate b)]. *)
+let diff a b = sum a (negate b)
+
+(** [positive r] / [negative r] split a delta into its insert/delete parts;
+    [negative] returns the deletions with positive counts. *)
+let positive r =
+  let out = create r.schema in
+  iter (fun t c -> if c > 0 then add out t c) r;
+  out
+
+let negative r =
+  let out = create r.schema in
+  iter (fun t c -> if c < 0 then add out t (-c)) r;
+  out
+
+(** [product a b] Cartesian product; output schema is [Schema.concat].
+    Multiplicities multiply (counting semantics). *)
+let product a b =
+  let schema' = Schema.concat a.schema b.schema in
+  let out = create schema' in
+  iter
+    (fun ta ca -> iter (fun tb cb -> add out (Tuple.concat ta tb) (ca * cb)) b)
+    a;
+  out
+
+(** [equijoin a b pairs] hash equi-join on [(left_attr, right_attr)] pairs.
+    Output schema is [Schema.concat a b] (right-side clashes suffixed).
+    The smaller side is hashed.  Works on signed multisets: output
+    multiplicity is the product of input multiplicities. *)
+let equijoin a b pairs =
+  let la = List.map (fun (x, _) -> Schema.index_of a.schema x) pairs in
+  let lb = List.map (fun (_, y) -> Schema.index_of b.schema y) pairs in
+  let la = Array.of_list la and lb = Array.of_list lb in
+  let schema' = Schema.concat a.schema b.schema in
+  let out = create schema' in
+  (* Hash the right side on its key; stream the left. *)
+  let index = Tuple.Table.create (max 16 (support b)) in
+  iter
+    (fun tb cb ->
+      let key = Tuple.project_idx tb lb in
+      let prev = Option.value ~default:[] (Tuple.Table.find_opt index key) in
+      Tuple.Table.replace index key ((tb, cb) :: prev))
+    b;
+  iter
+    (fun ta ca ->
+      let key = Tuple.project_idx ta la in
+      match Tuple.Table.find_opt index key with
+      | None -> ()
+      | Some matches ->
+          List.iter
+            (fun (tb, cb) -> add out (Tuple.concat ta tb) (ca * cb))
+            matches)
+    a;
+  out
+
+(** [distinct r] collapses positive multiplicities to 1 and drops negative
+    ones (SQL [SELECT DISTINCT] over the positive support). *)
+let distinct r =
+  let out = create r.schema in
+  iter (fun t c -> if c > 0 then add out t 1) r;
+  out
+
+(** [scale k r] multiplies every multiplicity by [k]. *)
+let scale k r =
+  let out = create r.schema in
+  if k <> 0 then iter (fun t c -> add out t (k * c)) r;
+  out
+
+(** [is_subset a b]: every positive tuple of [a] occurs in [b] with at least
+    the same multiplicity. *)
+let is_subset a b =
+  try
+    iter (fun t c -> if c > 0 && count b t < c then raise Exit) a;
+    true
+  with Exit -> false
+
+(** [min_zero r] clips negative multiplicities to zero — applying a delta to
+    a materialized extent must never leave phantom negative tuples; a
+    negative residue indicates a maintenance bug and is reported by
+    {!apply_delta}. *)
+let has_negative r =
+  try
+    iter (fun _ c -> if c < 0 then raise Exit) r;
+    false
+  with Exit -> true
+
+(** [apply_delta base delta] = [sum base delta], checking that the result is
+    a proper (non-negative) multiset.
+    @raise Schema_mismatch on schema disagreement.
+    @raise Invalid_argument on negative residue. *)
+let apply_delta base delta =
+  let r = sum base delta in
+  if has_negative r then
+    invalid_arg
+      (Fmt.str "apply_delta: negative multiplicity in result (delta %a)"
+         Schema.pp delta.schema);
+  r

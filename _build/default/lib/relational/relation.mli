@@ -1,0 +1,103 @@
+(** Relations as {e signed multisets} of tuples, carrying their schema.
+
+    Multiplicities may be negative: a relation with mixed signs is a
+    {e delta} (insertions positive, deletions negative) — the uniform
+    representation of incremental view maintenance.  Every operator is
+    linear in that representation, which is what SWEEP compensation and
+    Equation 6 rely on. *)
+
+type t
+
+exception Schema_mismatch of string
+
+val create : Schema.t -> t
+val schema : t -> Schema.t
+
+val support : t -> int
+(** Number of distinct tuples. *)
+
+val cardinality : t -> int
+(** Sum of multiplicities (can be negative for deltas). *)
+
+val mass : t -> int
+(** Sum of absolute multiplicities. *)
+
+val is_empty : t -> bool
+val count : t -> Tuple.t -> int
+val mem : t -> Tuple.t -> bool
+
+val add : t -> Tuple.t -> int -> unit
+(** Adjust a tuple's multiplicity; entries reaching zero are dropped.
+    @raise Schema_mismatch when the tuple does not typecheck. *)
+
+val insert : t -> Tuple.t -> unit
+val delete : t -> Tuple.t -> unit
+
+val of_list : Schema.t -> Value.t list list -> t
+val of_counted : Schema.t -> (Value.t list * int) list -> t
+
+val iter : (Tuple.t -> int -> unit) -> t -> unit
+val fold : (Tuple.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_counted : t -> (Tuple.t * int) list
+(** Sorted by tuple order. *)
+
+val to_list : t -> Tuple.t list
+(** Positive part only, with duplicates expanded. *)
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+(** Same schema and identical multiplicity for every tuple. *)
+
+val equal_contents : t -> t -> bool
+(** Equality up to attribute names (positional contents only). *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Algebra (all linear over signed multisets)} *)
+
+val select : (Tuple.t -> bool) -> t -> t
+
+val map_tuples : Schema.t -> (Tuple.t -> Tuple.t) -> t -> t
+(** Transform tuples, re-aggregating multiplicities under the image. *)
+
+val project : t -> string list -> t
+val rename_attr : t -> old_name:string -> new_name:string -> t
+
+val sum : t -> t -> t
+(** Multiset union with signed multiplicities.
+    @raise Schema_mismatch on schema disagreement. *)
+
+val negate : t -> t
+val diff : t -> t -> t
+
+val positive : t -> t
+(** The insertions of a delta. *)
+
+val negative : t -> t
+(** The deletions of a delta, with positive counts. *)
+
+val product : t -> t -> t
+(** Cartesian product; multiplicities multiply. *)
+
+val equijoin : t -> t -> (string * string) list -> t
+(** Hash equi-join on (left attr, right attr) pairs; output schema is
+    [Schema.concat]; multiplicities multiply. *)
+
+val distinct : t -> t
+(** Positive support with multiplicity 1. *)
+
+val scale : int -> t -> t
+
+val is_subset : t -> t -> bool
+(** Every positive tuple occurs in the second argument with at least the
+    same multiplicity. *)
+
+val has_negative : t -> bool
+
+val apply_delta : t -> t -> t
+(** [apply_delta base delta = sum base delta], checking the result is a
+    proper (non-negative) multiset.
+    @raise Invalid_argument on negative residue — the tripwire that turns
+    a maintenance bug into a loud failure. *)

@@ -1,0 +1,95 @@
+(** Source schema changes (SC) and their composition algebra.
+
+    {!t} is the wire-level change a source commits; {!Delta} is the
+    {e net} effect of a sequence of changes on one relation — the
+    Section 5 preprocessing machinery ("rename A to B" then "rename B to
+    C" combines to "rename A to C"; data updates are re-projected through
+    intervening changes so they merge into homogeneous deltas). *)
+
+type t =
+  | Rename_relation of { source : string; old_name : string; new_name : string }
+  | Drop_relation of { source : string; name : string }
+  | Add_relation of { source : string; name : string; schema : Schema.t }
+  | Rename_attribute of {
+      source : string;
+      rel : string;
+      old_name : string;
+      new_name : string;
+    }
+  | Drop_attribute of { source : string; rel : string; attr : string }
+  | Add_attribute of {
+      source : string;
+      rel : string;
+      attr : Attr.t;
+      default : Value.t;
+    }
+
+val source : t -> string
+
+val rel : t -> string
+(** The relation the change applies to, under its name {e before} the
+    change. *)
+
+val destructive : t -> bool
+(** Does the change remove or rename existing metadata?  Add-only changes
+    can never break an existing query. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Net effect of a sequence of schema changes on one relation. *)
+module Delta : sig
+  type sc := t
+
+  (** Fate of an attribute of the original schema. *)
+  type attr_fate = Kept of string  (** current (possibly new) name *) | Dropped
+
+  type t = {
+    source : string;
+    old_rel : string;  (** relation name before the sequence *)
+    new_rel : string option;  (** current name; [None] once dropped *)
+    fates : (string * attr_fate) list;
+        (** original attribute name → fate, in original order *)
+    added : (Attr.t * Value.t) list;
+        (** attributes added by the sequence, with their defaults *)
+  }
+
+  exception Inapplicable of string
+
+  val identity : source:string -> rel:string -> Schema.t -> t
+  val is_identity : t -> bool
+  val dropped_relation : t -> bool
+
+  val current_name : t -> string -> string option
+  (** Current name of an original attribute, [None] if dropped.
+      @raise Inapplicable if it never existed. *)
+
+  val step : t -> sc -> t
+  (** Extend the net delta with one more change (which must target the
+      relation's current name).
+      @raise Inapplicable when it does not apply. *)
+
+  val of_changes : source:string -> rel:string -> Schema.t -> sc list -> t
+  (** Fold a whole sequence from the identity delta. *)
+
+  val apply_schema : t -> Schema.t -> Schema.t
+  (** The relation's schema after the delta.
+      @raise Inapplicable if dropped or the schema disagrees with the
+      recorded original attributes. *)
+
+  val project_tuple : t -> Schema.t -> Tuple.t -> Tuple.t
+  (** Convert a tuple of the original schema into the post-delta schema:
+      dropped positions removed, added attributes filled with defaults —
+      the Section 5 homogenisation of data updates. *)
+
+  val project_delta : t -> Schema.t -> Relation.t -> Relation.t
+  (** Re-express a signed delta relation under the post-delta schema
+      (multiplicities re-aggregated). *)
+
+  val compose : t -> t -> t
+  (** Apply the first, then the second (whose original relation must be
+      the first one's result).
+      @raise Inapplicable on a mismatch. *)
+
+  val pp : Format.formatter -> t -> unit
+end

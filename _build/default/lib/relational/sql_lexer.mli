@@ -1,0 +1,34 @@
+(** Hand-written lexer for the SQL dialect of {!Sql_parser}: identifiers,
+    integer/float/string literals (['' ] escapes a quote), comparison
+    operators, punctuation and a fixed case-insensitive keyword set. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KEYWORD of string  (** uppercased *)
+  | COMMA
+  | DOT
+  | AT
+  | LPAREN
+  | RPAREN
+  | STAR
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | SEMI
+  | EOF
+
+exception Lex_error of string
+
+val keywords : string list
+
+val pp_token : Format.formatter -> token -> unit
+
+val tokenize : string -> token list
+(** Lex the whole input (ends with [EOF]).
+    @raise Lex_error on malformed input. *)

@@ -1,0 +1,26 @@
+(** Recursive-descent parser for the SQL dialect the system speaks:
+    [CREATE VIEW … AS SELECT … FROM rel@source … WHERE …] view
+    definitions (relations carry an explicit [@source] annotation, since
+    queries span autonomous sources), plus DML ([INSERT]/[DELETE … VALUES])
+    and DDL ([CREATE TABLE], [ALTER SOURCE]/[ALTER TABLE]) statements. *)
+
+exception Parse_error of string
+
+val parse_view : string -> (Query.t, string) result
+(** [CREATE VIEW name AS SELECT …] or a bare [SELECT …] (named
+    ["query"]). *)
+
+(** Parsed DML/DDL statements.  Inserts/deletes carry raw value tuples —
+    they become {!Update.t}s once the caller provides the relation's
+    schema. *)
+type statement =
+  | Insert of { source : string; rel : string; rows : Value.t list list }
+  | Delete of { source : string; rel : string; rows : Value.t list list }
+  | Create_table of { source : string; rel : string; schema : Schema.t }
+  | Alter of Schema_change.t
+
+val parse_statement : string -> (statement, string) result
+
+val to_update : Schema.t -> statement -> (Update.t, string) result
+(** Convert a parsed insert/delete into an update, typechecking every row
+    against the schema. *)

@@ -1,0 +1,1 @@
+lib/sim/timeline.ml: Dyno_relational Float Fmt Int List Schema_change Update

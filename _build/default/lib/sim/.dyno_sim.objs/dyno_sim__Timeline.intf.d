@@ -1,0 +1,1 @@
+lib/sim/timeline.mli: Dyno_relational Format Schema_change Update

@@ -1,0 +1,18 @@
+(** Simulated wall clock, in seconds.  All costs in the system (query
+    latency, maintenance work, abort cost) are expressed as advances of
+    this clock. *)
+
+type t
+
+val create : ?start:float -> unit -> t
+val now : t -> float
+
+val advance : t -> float -> unit
+(** @raise Invalid_argument on a negative duration. *)
+
+val advance_to : t -> float -> unit
+(** Move to an absolute time; @raise Invalid_argument when moving
+    backwards. *)
+
+val reset : ?start:float -> t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,75 @@
+(** Timeline of autonomous source commits.
+
+    Sources in a loosely-coupled environment commit updates at times of
+    their own choosing; the timeline holds those future commits, ordered by
+    timestamp.  The view-manager side of the simulation pops every commit
+    whose time has passed whenever the simulated clock advances — which
+    implements Definition 2's conflict condition exactly: an update
+    "committed before the maintenance query is answered" is applied to the
+    source (and enqueued at the view manager) before the query result is
+    computed. *)
+
+open Dyno_relational
+
+type event = Du of Update.t | Sc of Schema_change.t
+
+let event_source = function
+  | Du u -> Update.source u
+  | Sc sc -> Schema_change.source sc
+
+let event_rel = function Du u -> Update.rel u | Sc sc -> Schema_change.rel sc
+
+let is_sc = function Sc _ -> true | Du _ -> false
+
+let pp_event ppf = function
+  | Du u -> Update.pp ppf u
+  | Sc sc -> Schema_change.pp ppf sc
+
+type entry = { time : float; seq : int; event : event }
+
+type t = { mutable pending : entry list; mutable next_seq : int }
+(* [pending] is kept sorted by (time, seq); workloads are a few thousand
+   events, so a sorted list is simpler than a heap and fast enough. *)
+
+let create () = { pending = []; next_seq = 0 }
+
+let compare_entry a b =
+  match Float.compare a.time b.time with
+  | 0 -> Int.compare a.seq b.seq
+  | c -> c
+
+(** [schedule t ~time event] enqueues a commit at absolute time [time];
+    ties are broken by scheduling order. *)
+let schedule t ~time event =
+  let e = { time; seq = t.next_seq; event } in
+  t.next_seq <- t.next_seq + 1;
+  t.pending <- List.sort compare_entry (e :: t.pending)
+
+let of_list entries =
+  let t = create () in
+  List.iter (fun (time, ev) -> schedule t ~time ev) entries;
+  t
+
+let is_empty t = t.pending = []
+
+let length t = List.length t.pending
+
+(** Earliest pending commit time, if any. *)
+let next_time t =
+  match t.pending with [] -> None | e :: _ -> Some e.time
+
+(** [pop_until t ~time] removes and returns (in order) every commit with
+    timestamp ≤ [time]. *)
+let pop_until t ~time =
+  let due, rest =
+    List.partition (fun e -> e.time <= time +. 1e-12) t.pending
+  in
+  t.pending <- rest;
+  due
+
+let peek_all t = t.pending
+
+let pp_entry ppf e = Fmt.pf ppf "@[<h>[%.3fs #%d] %a@]" e.time e.seq pp_event e.event
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_entry) t.pending

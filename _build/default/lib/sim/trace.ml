@@ -1,0 +1,68 @@
+(** Execution traces: a timestamped log of everything notable that happens
+    during a simulated run.
+
+    Tests assert against traces (e.g. "a broken query occurred, then a
+    correction, then no further aborts"), the CLI prints them, and the
+    statistics module derives cost breakdowns from them. *)
+
+type kind =
+  | Commit  (** a source committed an update *)
+  | Enqueue  (** the wrapper delivered an update message to the UMQ *)
+  | Maint_start  (** maintenance of an update began *)
+  | Query_sent  (** a maintenance query was sent to a source *)
+  | Query_answered  (** a maintenance query returned rows *)
+  | Broken_query  (** a maintenance query failed on a schema conflict *)
+  | Compensate  (** compensation removed concurrent-DU effects *)
+  | Abort  (** an in-flight maintenance process was aborted *)
+  | Refresh  (** the materialized view was refreshed and committed *)
+  | Detect  (** a pre-exec detection pass ran *)
+  | Correct  (** the dependency-correction (reorder) ran *)
+  | Merge  (** cyclic dependencies were merged into a batch node *)
+  | Sync  (** view synchronization rewrote the view definition *)
+  | Adapt  (** view adaptation brought the extent up to date *)
+  | Info  (** anything else *)
+
+let kind_to_string = function
+  | Commit -> "commit"
+  | Enqueue -> "enqueue"
+  | Maint_start -> "maint-start"
+  | Query_sent -> "query-sent"
+  | Query_answered -> "query-answered"
+  | Broken_query -> "BROKEN-QUERY"
+  | Compensate -> "compensate"
+  | Abort -> "ABORT"
+  | Refresh -> "refresh"
+  | Detect -> "detect"
+  | Correct -> "correct"
+  | Merge -> "merge"
+  | Sync -> "sync"
+  | Adapt -> "adapt"
+  | Info -> "info"
+
+type entry = { time : float; kind : kind; detail : string }
+
+type t = { mutable entries : entry list (* newest first *); mutable enabled : bool }
+
+let create ?(enabled = true) () = { entries = []; enabled }
+
+let record t ~time kind detail =
+  if t.enabled then t.entries <- { time; kind; detail } :: t.entries
+
+let recordf t ~time kind fmt =
+  Fmt.kstr (fun s -> record t ~time kind s) fmt
+
+(** Entries in chronological order. *)
+let entries t = List.rev t.entries
+
+let count t kind =
+  List.length (List.filter (fun e -> e.kind = kind) t.entries)
+
+let find_all t kind = List.filter (fun e -> e.kind = kind) (entries t)
+
+let clear t = t.entries <- []
+
+let pp_entry ppf e =
+  Fmt.pf ppf "[%8.3fs] %-14s %s" e.time (kind_to_string e.kind) e.detail
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_entry) (entries t)

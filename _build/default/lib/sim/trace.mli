@@ -1,0 +1,41 @@
+(** Execution traces: a timestamped log of everything notable in a
+    simulated run.  Tests assert against traces, the CLI prints them,
+    statistics derive cost breakdowns from them. *)
+
+type kind =
+  | Commit  (** a source committed an update *)
+  | Enqueue  (** the wrapper delivered an update message to the UMQ *)
+  | Maint_start
+  | Query_sent
+  | Query_answered
+  | Broken_query  (** a maintenance query failed on a schema conflict *)
+  | Compensate  (** compensation removed concurrent-DU effects *)
+  | Abort  (** an in-flight maintenance process was aborted *)
+  | Refresh  (** the materialized view was refreshed and committed *)
+  | Detect  (** a pre-exec detection pass ran *)
+  | Correct  (** the dependency correction (reorder) ran *)
+  | Merge  (** cyclic dependencies were merged into a batch node *)
+  | Sync  (** view synchronization rewrote the view definition *)
+  | Adapt  (** view adaptation brought the extent up to date *)
+  | Info
+
+val kind_to_string : kind -> string
+
+type entry = { time : float; kind : kind; detail : string }
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+val record : t -> time:float -> kind -> string -> unit
+
+val recordf :
+  t -> time:float -> kind -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val entries : t -> entry list
+(** Chronological order. *)
+
+val count : t -> kind -> int
+val find_all : t -> kind -> entry list
+val clear : t -> unit
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/source/data_source.ml: Attr Catalog Dyno_relational Dyno_sim Eval Fmt Hashtbl List Option Printexc Query Relation Schema Schema_change String Tuple Update

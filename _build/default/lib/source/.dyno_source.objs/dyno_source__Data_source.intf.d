@@ -1,0 +1,1 @@
+lib/source/data_source.mli: Catalog Dyno_relational Dyno_sim Format Hashtbl Query Relation Schema Schema_change Update Value

@@ -1,0 +1,1 @@
+lib/source/document.ml: Fmt List Option String

@@ -1,0 +1,1 @@
+lib/source/document.mli: Format

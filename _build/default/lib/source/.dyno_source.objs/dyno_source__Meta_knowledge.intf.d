@@ -1,0 +1,1 @@
+lib/source/meta_knowledge.mli: Format

@@ -1,0 +1,1 @@
+lib/source/registry.ml: Data_source Dyno_sim Fmt List String

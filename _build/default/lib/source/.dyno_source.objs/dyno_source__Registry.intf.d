@@ -1,0 +1,1 @@
+lib/source/registry.mli: Data_source Dyno_sim Format

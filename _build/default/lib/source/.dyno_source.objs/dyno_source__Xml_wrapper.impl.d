@@ -1,0 +1,1 @@
+lib/source/xml_wrapper.ml: Array Attr Data_source Document Dyno_relational Dyno_sim Fmt Hashtbl List Relation Schema Schema_change String Tuple Update Value

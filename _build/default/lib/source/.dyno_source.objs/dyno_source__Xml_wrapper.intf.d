@@ -1,0 +1,1 @@
+lib/source/xml_wrapper.mli: Data_source Document Dyno_relational Dyno_sim Relation Schema

@@ -1,0 +1,95 @@
+(** An autonomous data source: a small versioned relational store that
+    commits data updates and schema changes {e autonomously} (they can
+    never be aborted by the view manager — the root constraint of the
+    paper) and answers maintenance queries against its {e current} state.
+    The store is multi-versioned: any past state can be reconstructed,
+    which is what lets tests check strong consistency. *)
+
+open Dyno_relational
+
+type t
+
+type broken = { source : string; query_name : string; reason : string }
+(** Diagnosis of a broken maintenance query. *)
+
+type answer = {
+  rows : Relation.t;
+  scanned : int;  (** source tuples scanned to answer (cost input) *)
+}
+
+val create : string -> t
+val id : t -> string
+val catalog : t -> Catalog.t
+
+val version : t -> int
+(** Bumped on every commit; 0 = initial state. *)
+
+val relations : t -> string list
+
+val relation : t -> string -> Relation.t
+(** @raise Catalog.No_such_relation when absent. *)
+
+val relation_opt : t -> string -> Relation.t option
+
+val add_relation : t -> string -> Schema.t -> unit
+(** Register an empty base relation (initial load, not versioned). *)
+
+val load : t -> string -> Value.t list list -> unit
+(** Bulk-append initial data (not versioned). *)
+
+val load_counted : t -> string -> (Value.t list * int) list -> unit
+
+(** {1 Autonomous commits} *)
+
+exception Commit_rejected of string
+
+val commit_du : t -> time:float -> Update.t -> int
+(** Apply a data update (the delta schema must match the relation's
+    current schema); returns the new version.
+    @raise Commit_rejected when invalid. *)
+
+val commit_sc : t -> time:float -> Schema_change.t -> int
+(** Apply a schema change: catalog surgery plus the corresponding extent
+    transformation; returns the new version.
+    @raise Commit_rejected when inapplicable. *)
+
+val commit : t -> time:float -> Dyno_sim.Timeline.event -> int
+
+(** {1 Query answering} *)
+
+val answer :
+  t -> Query.t -> bound:(string * Relation.t) list ->
+  (answer, broken) result
+(** Evaluate against the current state.  Aliases in [bound] resolve to the
+    supplied relations (partial results shipped with the query, as SWEEP
+    does); other local refs resolve in the catalog.  Any schema
+    discrepancy yields [Error] — the in-exec broken-query signal. *)
+
+val validate : t -> Query.t -> (unit, broken) result
+(** Metadata-only dry run: do the referenced local relations and
+    attributes still exist?  One round trip, no scan. *)
+
+(** {1 Version history} *)
+
+val snapshot_at : t -> version:int -> Catalog.t * (string, Relation.t) Hashtbl.t
+(** Full state at a version, reconstructed by undoing history (schema
+    changes keep pre-images, so it is exact).
+    @raise Invalid_argument when out of range. *)
+
+val relation_at : t -> version:int -> string -> Relation.t
+(** @raise Catalog.No_such_relation if absent at that version. *)
+
+(** Commit-log entries (oldest first from {!history}). *)
+type hist_entry =
+  | H_du of { update : Update.t; time : float }
+  | H_sc of {
+      sc : Schema_change.t;
+      time : float;
+      saved_catalog : Catalog.t;
+      saved_rels : (string * Relation.t) list;
+    }
+
+val history : t -> (int * hist_entry) list
+
+val pp : Format.formatter -> t -> unit
+val pp_broken : Format.formatter -> broken -> unit

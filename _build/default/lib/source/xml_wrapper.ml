@@ -1,0 +1,299 @@
+(** The XML-to-relational wrapper of the paper's Figures 1–2.
+
+    A {!mapping} says how an element forest materializes into relational
+    tables: each {!rule} selects row nodes by path and extracts columns
+    from the node or its ancestors.  Two mappings of the same documents
+    are the paper's two designs:
+
+    - Figure 1: [Store(SID, Store)] + [Item(SID, Book, Author, Price)]
+      (two tables linked by a synthetic store id);
+    - Figure 2: the retuned single table
+      [StoreItems(Store, Book, Author, Price)].
+
+    Beyond extraction, the wrapper {e translates document-level operations
+    into the source-update events} the rest of the system consumes:
+
+    - {!diff_events} turns a document change (books added/removed, a store
+      appearing) into the data updates each mapped table needs;
+    - {!remap_events} turns a mapping retuning into the schema-change
+      sequence of Example 1.b — add the new tables (populated), drop the
+      old ones — which is exactly what breaks in-flight maintenance
+      queries and exercises Dyno. *)
+
+open Dyno_relational
+
+(** Where a column's value comes from, relative to a row node. *)
+type column_src =
+  | Text of string list
+      (** text of the node reached by a relative path ([[]] = the row
+          node's own text) *)
+  | Ancestor_text of string * string list
+      (** climb to the nearest ancestor with the given tag, then follow
+          the relative path *)
+  | Ancestor_index of string
+      (** 1-based index (document order) of the nearest ancestor with the
+          given tag among all nodes of that tag — the synthetic id the
+          Figure 1 mapping uses for [SID] *)
+  | Row_index
+      (** 1-based index of the row node itself among selected rows *)
+
+type rule = {
+  rel : string;  (** target relation name *)
+  schema : Schema.t;
+  row_path : string list;  (** path selecting row nodes *)
+  columns : (string * column_src) list;  (** per-attribute extraction *)
+}
+
+type mapping = rule list
+
+exception Extraction_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Extraction_error s)) fmt
+
+(* index (1-based) of each node with [tag] in document order *)
+let tag_indices tag roots =
+  let nodes = ref [] in
+  let rec walk n =
+    if String.equal (Document.tag n) tag then nodes := n :: !nodes;
+    List.iter walk (Document.children n)
+  in
+  List.iter walk roots;
+  List.mapi (fun i n -> (n, i + 1)) (List.rev !nodes)
+
+let value_for_type ty (s : string) : Value.t =
+  match ty with
+  | Value.Vtype.TString -> Value.string s
+  | Value.Vtype.TInt -> (
+      match int_of_string_opt (String.trim s) with
+      | Some i -> Value.int i
+      | None -> err "cannot read %S as INT" s)
+  | Value.Vtype.TFloat -> (
+      match float_of_string_opt (String.trim s) with
+      | Some f -> Value.float f
+      | None -> err "cannot read %S as FLOAT" s)
+  | Value.Vtype.TBool -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "true" | "1" -> Value.bool true
+      | "false" | "0" -> Value.bool false
+      | _ -> err "cannot read %S as BOOLEAN" s)
+
+(** [extract_rule rule roots] materializes one relation from the forest. *)
+let extract_rule (rule : rule) (roots : Document.node list) : Relation.t =
+  let out = Relation.create rule.schema in
+  let rows = Document.select_with_context rule.row_path roots in
+  let indices_cache : (string, (Document.node * int) list) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let indices tag =
+    match Hashtbl.find_opt indices_cache tag with
+    | Some l -> l
+    | None ->
+        let l = tag_indices tag roots in
+        Hashtbl.add indices_cache tag l;
+        l
+  in
+  List.iteri
+    (fun row_i (ctx, node) ->
+      let ancestor tag =
+        (* the row node itself counts as its own "ancestor" for its tag *)
+        let chain = List.rev (node :: List.rev ctx) in
+        match
+          List.find_opt
+            (fun a -> String.equal (Document.tag a) tag)
+            (List.rev chain)
+        with
+        | Some a -> a
+        | None -> err "row at %s has no ancestor <%s>" rule.rel tag
+      in
+      let rec follow n = function
+        | [] -> Document.text_of n
+        | t :: rest -> (
+            match Document.child n t with
+            | Some c -> follow c rest
+            | None -> err "missing <%s> under <%s>" t (Document.tag n))
+      in
+      let extract = function
+        | Text rel_path -> `S (follow node rel_path)
+        | Ancestor_text (tag, rel_path) -> `S (follow (ancestor tag) rel_path)
+        | Ancestor_index tag -> (
+            let a = ancestor tag in
+            match List.assq_opt a (indices tag) with
+            | Some i -> `I i
+            | None -> err "ancestor <%s> not indexed" tag)
+        | Row_index -> `I (row_i + 1)
+      in
+      let values =
+        List.map
+          (fun attr ->
+            let src =
+              match List.assoc_opt (Attr.name attr) rule.columns with
+              | Some src -> src
+              | None -> err "rule %s has no column %s" rule.rel (Attr.name attr)
+            in
+            match extract src with
+            | `S s -> value_for_type (Attr.ty attr) s
+            | `I i -> (
+                match Attr.ty attr with
+                | Value.Vtype.TInt -> Value.int i
+                | ty -> value_for_type ty (string_of_int i)))
+          (Schema.attrs rule.schema)
+      in
+      Relation.insert out (Tuple.of_list values))
+    rows;
+  out
+
+(** [extract mapping roots] materializes every mapped relation. *)
+let extract (mapping : mapping) (roots : Document.node list) :
+    (string * Relation.t) list =
+  List.map (fun r -> (r.rel, extract_rule r roots)) mapping
+
+(** [install mapping source roots] creates and loads the mapped relations
+    in a fresh relational facade of the documents (initial wiring; not
+    versioned). *)
+let install (mapping : mapping) (src : Data_source.t)
+    (roots : Document.node list) : unit =
+  List.iter
+    (fun rule ->
+      Data_source.add_relation src rule.rel rule.schema;
+      let r = extract_rule rule roots in
+      Data_source.load_counted src rule.rel
+        (List.map (fun (t, c) -> (Array.to_list t, c)) (Relation.to_counted r)))
+    mapping
+
+(** [diff_events ~source mapping ~old_roots ~new_roots ~time] — the
+    autonomous commits a document change induces on the mapped tables:
+    one data update per relation whose extracted extent changed. *)
+let diff_events ~(source : string) (mapping : mapping)
+    ~(old_roots : Document.node list) ~(new_roots : Document.node list)
+    ~(time : float) : (float * Dyno_sim.Timeline.event) list =
+  List.filter_map
+    (fun rule ->
+      let before = extract_rule rule old_roots in
+      let after = extract_rule rule new_roots in
+      let delta = Relation.diff after before in
+      if Relation.is_empty delta then None
+      else
+        Some
+          ( time,
+            Dyno_sim.Timeline.Du (Update.make ~source ~rel:rule.rel delta) ))
+    mapping
+
+(** [remap_events ~source ~old_mapping ~new_mapping ~roots ~time] — the
+    schema-change sequence of a mapping retuning (Example 1.b): new
+    relations are added and populated, relations no longer mapped are
+    dropped; relations present in both get a data diff.  All events share
+    [time]: the designer commits the retuning atomically at the source. *)
+let remap_events ~(source : string) ~(old_mapping : mapping)
+    ~(new_mapping : mapping) ~(roots : Document.node list) ~(time : float) :
+    (float * Dyno_sim.Timeline.event) list =
+  let old_rels = List.map (fun r -> r.rel) old_mapping in
+  let new_rels = List.map (fun r -> r.rel) new_mapping in
+  let added =
+    List.filter (fun r -> not (List.mem r.rel old_rels)) new_mapping
+  in
+  let dropped =
+    List.filter (fun r -> not (List.mem r.rel new_rels)) old_mapping
+  in
+  let kept = List.filter (fun r -> List.mem r.rel old_rels) new_mapping in
+  List.concat_map
+    (fun rule ->
+      let populate = extract_rule rule roots in
+      [
+        ( time,
+          Dyno_sim.Timeline.Sc
+            (Schema_change.Add_relation
+               { source; name = rule.rel; schema = rule.schema }) );
+      ]
+      @
+      if Relation.is_empty populate then []
+      else
+        [
+          ( time,
+            Dyno_sim.Timeline.Du (Update.make ~source ~rel:rule.rel populate) );
+        ])
+    added
+  @ List.concat_map
+      (fun (rule : rule) ->
+        (* same relation, possibly different extraction: emit a diff *)
+        let old_rule = List.find (fun r -> r.rel = rule.rel) old_mapping in
+        let delta =
+          Relation.diff (extract_rule rule roots) (extract_rule old_rule roots)
+        in
+        if Relation.is_empty delta then []
+        else
+          [
+            ( time,
+              Dyno_sim.Timeline.Du (Update.make ~source ~rel:rule.rel delta) );
+          ])
+      kept
+  @ List.map
+      (fun (rule : rule) ->
+        ( time,
+          Dyno_sim.Timeline.Sc
+            (Schema_change.Drop_relation { source; name = rule.rel }) ))
+      dropped
+
+(* ------------------------------------------------------------------ *)
+(* The paper's two Retailer mappings (Figures 1 and 2)                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Figure 1: [Store(SID, Store)] ⋈ [Item(SID, Book, Author, Price)]. *)
+let retailer_two_tables : mapping =
+  [
+    {
+      rel = "Store";
+      schema = Schema.of_list [ Attr.int "SID"; Attr.string "Store" ];
+      row_path = [ "Store" ];
+      columns =
+        [ ("SID", Ancestor_index "Store"); ("Store", Text [ "Name" ]) ];
+    };
+    {
+      rel = "Item";
+      schema =
+        Schema.of_list
+          [ Attr.int "SID"; Attr.string "Book"; Attr.string "Author";
+            Attr.float "Price" ];
+      row_path = [ "Store"; "Book" ];
+      columns =
+        [
+          ("SID", Ancestor_index "Store");
+          ("Book", Text [ "Title" ]);
+          ("Author", Text [ "Author" ]);
+          ("Price", Text [ "Price" ]);
+        ];
+    };
+  ]
+
+(** Figure 2: the retuned single table [StoreItems]. *)
+let retailer_single_table : mapping =
+  [
+    {
+      rel = "StoreItems";
+      schema =
+        Schema.of_list
+          [ Attr.string "Store"; Attr.string "Book"; Attr.string "Author";
+            Attr.float "Price" ];
+      row_path = [ "Store"; "Book" ];
+      columns =
+        [
+          ("Store", Ancestor_text ("Store", [ "Name" ]));
+          ("Book", Text [ "Title" ]);
+          ("Author", Text [ "Author" ]);
+          ("Price", Text [ "Price" ]);
+        ];
+    };
+  ]
+
+(** A Retailer document forest matching the paper's Figure 1 sketch. *)
+let store_doc ~name ~books : Document.node =
+  Document.elem "Store"
+    (Document.leaf "Name" name
+    :: List.map
+         (fun (title, author, price) ->
+           Document.elem "Book"
+             [
+               Document.leaf "Title" title;
+               Document.leaf "Author" author;
+               Document.leaf "Price" (string_of_float price);
+             ])
+         books)

@@ -1,0 +1,1 @@
+lib/va/adapt.ml: Dyno_relational Dyno_sim Dyno_source Dyno_view Dyno_vm Eval Fmt List Mat_view Query Query_engine Relation Schema String Update Update_msg View_def

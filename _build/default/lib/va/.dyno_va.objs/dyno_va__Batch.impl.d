@@ -1,0 +1,1 @@
+lib/va/batch.ml: Adapt Dyno_relational Dyno_sim Dyno_source Dyno_view Dyno_vm Dyno_vs Fmt Hashtbl List Mat_view Query Query_engine Relation Schema Schema_change String Update Update_msg View_def

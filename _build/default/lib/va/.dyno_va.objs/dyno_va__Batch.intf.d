@@ -1,0 +1,1 @@
+lib/va/batch.mli: Dyno_relational Dyno_source Dyno_view Mat_view Query Query_engine Relation Schema Schema_change Update_msg

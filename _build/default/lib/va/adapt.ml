@@ -1,0 +1,266 @@
+(** View Adaptation (VA): bringing the materialized extent in line with a
+    (possibly rewritten) view definition.
+
+    Two mechanisms:
+
+    - {!equation6} — the incremental delta of Section 5:
+      [ΔV = ΔR₁ ⋈ R₂ ⋈ … ⋈ Rₙ + R₁ⁿᵉʷ ⋈ ΔR₂ ⋈ R₃ ⋈ … + … +
+      R₁ⁿᵉʷ ⋈ … ⋈ Rₙ₋₁ⁿᵉʷ ⋈ ΔRₙ], evaluated over signed multisets so
+      insertions and deletions ride in one pass;
+    - {!fetch_compensated} / {!replace_extent} — re-reading the (filtered)
+      source relations through maintenance queries, compensating away
+      pending unmaintained data updates, and rebuilding the extent; used
+      when the rewriting changed the view's shape so no delta against the
+      old extent exists.
+
+    Both go through {!Dyno_view.Query_engine}, so concurrent schema changes
+    can break adaptation queries too — that is the type (4) anomaly (SC
+    conflicting with M(SC)), and its abort is the expensive one in the
+    paper's Figure 9. *)
+
+open Dyno_relational
+open Dyno_view
+
+(** [equation6 ~query ~old_env ~new_env] computes
+    [eval query new_env − eval query old_env] incrementally, term by term.
+    [old_env]/[new_env] bind every alias of [query] to its old/new state;
+    the delta of each alias is derived as [new − old].  Aliases whose delta
+    is empty contribute no term (their join work is skipped), which is what
+    makes the batch maintenance of a few changed relations cheap. *)
+let equation6 ~(query : Query.t) ~(old_env : (string * Relation.t) list)
+    ~(new_env : (string * Relation.t) list) : Relation.t =
+  let aliases = Query.aliases query in
+  let get env alias =
+    match List.assoc_opt alias env with
+    | Some r -> r
+    | None -> raise (Eval.Error (Fmt.str "equation6: alias %s unbound" alias))
+  in
+  let deltas =
+    List.map
+      (fun a -> (a, Relation.diff (get new_env a) (get old_env a)))
+      aliases
+  in
+  let terms =
+    List.mapi
+      (fun i (alias_i, delta_i) ->
+        if Relation.is_empty delta_i then None
+        else
+          Some
+            (List.mapi
+               (fun j alias_j ->
+                 if j < i then (alias_j, get new_env alias_j)
+                 else if j = i then (alias_i, delta_i)
+                 else (alias_j, get old_env alias_j))
+               aliases))
+      deltas
+  in
+  List.fold_left
+    (fun acc term ->
+      match term with
+      | None -> acc
+      | Some env -> (
+          let dv = Eval.query_assoc env query in
+          match acc with
+          | None -> Some dv
+          | Some a -> Some (Relation.sum a dv)))
+    None terms
+  |> function
+  | Some dv -> dv
+  | None ->
+      (* No alias changed: the delta is empty with the view's schema. *)
+      Eval.query_assoc
+        (List.map (fun a -> (a, Relation.create (Relation.schema (get new_env a))))
+           aliases)
+        query
+
+(** [fetch_compensated w ~query ~schemas tr ~exclude] reads table [tr]'s
+    current (filtered, projected) extent through a maintenance query and
+    compensates away every pending unmaintained DU on it except those in
+    [exclude] (the ids being maintained right now, whose effects {e must}
+    stay in).  Returns the compensated relation. *)
+let fetch_compensated ?(extra_cost = 0.0) (w : Query_engine.t)
+    ~(query : Query.t) ~(schemas : (string * Schema.t) list)
+    (tr : Query.table_ref) ~(exclude : int list) :
+    (Relation.t, Dyno_source.Data_source.broken) result =
+  let owner = Dyno_vm.Maint_query.owner_of_schemas schemas in
+  let fq = Dyno_vm.Maint_query.fetch_query query owner tr in
+  match Query_engine.execute w fq ~bound:[] ~target:tr.Query.source with
+  | Error b -> Error b
+  | Ok ans -> (
+      (* Read the pending set at the same commit frontier the answer was
+         computed at — BEFORE charging further work, which would deliver
+         newer commits that the answer cannot contain. *)
+      let pending =
+        List.filter
+          (fun (m, _) -> not (List.mem (Update_msg.id m) exclude))
+          (Query_engine.pending_dus w ~source:tr.Query.source ~rel:tr.Query.rel)
+      in
+      (* Adaptation joins each fetched relation in as it arrives; charge
+         that incremental work now so that an abort mid-adaptation carries
+         a realistic sunk cost (the expensive abort of Figure 9). *)
+      Query_engine.advance w
+        (((Query_engine.cost w).Dyno_sim.Cost_model.va_per_tuple
+         *. Dyno_sim.Cost_model.rows (Query_engine.cost w)
+              ans.Dyno_source.Data_source.scanned)
+        +. extra_cost);
+      (* Group by schema and compensate each group in one evaluation
+         (SPJ linearity over signed multisets). *)
+      let groups =
+        List.fold_left
+          (fun acc (_, u) ->
+            let s = Update.schema u in
+            let rec insert = function
+              | [] -> [ (s, Relation.copy (Update.delta u)) ]
+              | (s', d) :: rest when Schema.equal s s' ->
+                  (s', Relation.sum d (Update.delta u)) :: rest
+              | g :: rest -> g :: insert rest
+            in
+            insert acc)
+          [] pending
+      in
+      try
+        Ok
+          (List.fold_left
+             (fun acc (_, combined) ->
+               let contribution =
+                 Eval.query_assoc [ (tr.Query.alias, combined) ] fq
+               in
+               Relation.diff acc contribution)
+             ans.Dyno_source.Data_source.rows groups)
+      with Eval.Error reason ->
+        Error
+          {
+            Dyno_source.Data_source.source = tr.Query.source;
+            query_name = Query.name fq;
+            reason = Fmt.str "adaptation compensation failed: %s" reason;
+          })
+
+(** [fetch_all w ~query ~schemas ~exclude] fetches every view relation,
+    compensated; stops at the first broken probe. *)
+let fetch_all ?(extra_per_fetch = 0.0) w ~query ~schemas ~exclude :
+    ((string * Relation.t) list, Dyno_source.Data_source.broken) result =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | tr :: rest -> (
+        match
+          fetch_compensated ~extra_cost:extra_per_fetch w ~query ~schemas tr
+            ~exclude
+        with
+        | Error b -> Error b
+        | Ok r -> go ((tr.Query.alias, r) :: acc) rest)
+  in
+  go [] (Query.from query)
+
+(** [validated_tail w ~query ~schemas ~tail_cost] — the back half of an
+    adaptation: the remaining local work ([tail_cost] simulated seconds,
+    e.g. the extent rebuild at the view server) interleaved with
+    lightweight metadata {e validation probes} to every source the view
+    reads.  An Equation-6 style adaptation touches the sources repeatedly
+    until it commits, so a schema change landing anywhere in the window is
+    detected (in-exec) before w(MV) — this is what makes late aborts both
+    possible and expensive, as in Figures 9–11. *)
+let validated_tail (w : Query_engine.t) ~(query : Query.t)
+    ~(schemas : (string * Schema.t) list) ~(tail_cost : float) :
+    (unit, Dyno_source.Data_source.broken) result =
+  let owner = Dyno_vm.Maint_query.owner_of_schemas schemas in
+  let waves = 4 in
+  let chunk = tail_cost /. float_of_int waves in
+  let rec wave k =
+    if k > waves then Ok ()
+    else begin
+      Query_engine.advance w chunk;
+      let rec check = function
+        | [] -> wave (k + 1)
+        | (tr : Query.table_ref) :: rest -> (
+            let fq = Dyno_vm.Maint_query.fetch_query query owner tr in
+            match Query_engine.validate w fq ~target:tr.Query.source with
+            | Ok () -> check rest
+            | Error b -> Error b)
+      in
+      check (Query.from query)
+    end
+  in
+  wave 1
+
+(** [replace_extent w mv ~maintained ~exclude] rebuilds the view extent
+    from compensated source reads against the current (rewritten)
+    definition, charging adaptation cost, and commits.  The view changed
+    shape, so the view server deletes and reinserts the whole extent —
+    which is why this path (e.g. a dropped attribute) costs well above a
+    rename. *)
+let replace_extent (w : Query_engine.t) (mv : Mat_view.t)
+    ~(maintained : int list) ~(exclude : int list) :
+    (unit, Dyno_source.Data_source.broken) result =
+  let vd = Mat_view.def mv in
+  let query, _ = View_def.read vd in
+  let schemas = View_def.schemas vd in
+  match fetch_all w ~query ~schemas ~exclude with
+  | Error b -> Error b
+  | Ok env -> (
+      let extent = Eval.query_assoc env query in
+      let tail_cost =
+        Dyno_sim.Cost_model.adapt (Query_engine.cost w) ~scanned:0
+          ~written:(Relation.support extent)
+        +. Dyno_sim.Cost_model.rebuild (Query_engine.cost w)
+             ~written:(Relation.support extent)
+      in
+      match validated_tail w ~query ~schemas ~tail_cost with
+      | Error b -> Error b
+      | Ok () ->
+          Mat_view.replace mv ~at:(Query_engine.now w) ~maintained extent;
+          Dyno_sim.Trace.recordf (Query_engine.trace w)
+            ~time:(Query_engine.now w) Dyno_sim.Trace.Adapt
+            "view %s re-materialized: %d tuples" (Query.name query)
+            (Relation.cardinality extent);
+          Ok ())
+
+(** [refresh_with_equation6 w mv ~maintained ~batch_deltas ~exclude]
+    adapts incrementally: fetches compensated new states, reconstructs the
+    old states by subtracting the batch's own accumulated deltas
+    ([batch_deltas] : alias → ΔRᵢ, already projected to the current
+    schema), runs {!equation6} and refreshes the extent in place.  Only
+    valid when the rewriting preserved the view's output schema (renames
+    and pure data batches). *)
+let refresh_with_equation6 (w : Query_engine.t) (mv : Mat_view.t)
+    ~(maintained : int list) ~(batch_deltas : (string * Relation.t) list)
+    ~(exclude : int list) : (unit, Dyno_source.Data_source.broken) result =
+  let vd = Mat_view.def mv in
+  let query, _ = View_def.read vd in
+  let schemas = View_def.schemas vd in
+  match fetch_all w ~query ~schemas ~exclude with
+  | Error b -> Error b
+  | Ok new_env ->
+      let owner = Dyno_vm.Maint_query.owner_of_schemas schemas in
+      let old_env =
+        List.map
+          (fun (alias, new_r) ->
+            match List.assoc_opt alias batch_deltas with
+            | None -> (alias, new_r)
+            | Some d ->
+                (* The fetched state is filtered/projected; express the
+                   delta the same way before subtracting. *)
+                let tr =
+                  List.find
+                    (fun (t : Query.table_ref) -> String.equal t.alias alias)
+                    (Query.from query)
+                in
+                let fq = Dyno_vm.Maint_query.fetch_query query owner tr in
+                let d' = Eval.query_assoc [ (alias, d) ] fq in
+                (alias, Relation.diff new_r d'))
+          new_env
+      in
+      let dv = equation6 ~query ~old_env ~new_env in
+      (* Per-fetch join work already charged in [fetch_compensated]. *)
+      let tail_cost =
+        Dyno_sim.Cost_model.adapt (Query_engine.cost w) ~scanned:0
+          ~written:(Relation.mass dv)
+      in
+      match validated_tail w ~query ~schemas ~tail_cost with
+      | Error b -> Error b
+      | Ok () ->
+          Mat_view.refresh mv ~at:(Query_engine.now w) ~maintained dv;
+          Dyno_sim.Trace.recordf (Query_engine.trace w)
+            ~time:(Query_engine.now w) Dyno_sim.Trace.Adapt
+            "view %s += %d tuple(s) via Equation 6" (Query.name query)
+            (Relation.mass dv);
+          Ok ()

@@ -1,0 +1,75 @@
+(** View Adaptation (VA): bringing the materialized extent in line with a
+    (possibly rewritten) view definition — the incremental Equation 6 of
+    Section 5, compensated source re-reads, and shape-changing
+    re-materialization.  All source access goes through the query engine,
+    so concurrent schema changes can break adaptation too (the type (4)
+    anomaly, whose abort is the expensive one in Figure 9). *)
+
+open Dyno_relational
+open Dyno_view
+
+val equation6 :
+  query:Query.t ->
+  old_env:(string * Relation.t) list ->
+  new_env:(string * Relation.t) list ->
+  Relation.t
+(** [ΔV = ΔR₁ ⋈ R₂ ⋈ … ⋈ Rₙ + R₁ⁿᵉʷ ⋈ ΔR₂ ⋈ … + … +
+    R₁ⁿᵉʷ ⋈ … ⋈ ΔRₙ] over signed multisets; equals
+    [eval query new_env − eval query old_env].  Aliases whose delta is
+    empty contribute no term. *)
+
+val fetch_compensated :
+  ?extra_cost:float ->
+  Query_engine.t ->
+  query:Query.t ->
+  schemas:(string * Schema.t) list ->
+  Query.table_ref ->
+  exclude:int list ->
+  (Relation.t, Dyno_source.Data_source.broken) result
+(** Read one table's current (filtered, projected) extent through a
+    maintenance query, compensating away every pending unmaintained DU on
+    it except the ids in [exclude] (being maintained right now, whose
+    effects must stay in).  [extra_cost] simulated seconds are charged
+    after the probe (pipelined adaptation work). *)
+
+val fetch_all :
+  ?extra_per_fetch:float ->
+  Query_engine.t ->
+  query:Query.t ->
+  schemas:(string * Schema.t) list ->
+  exclude:int list ->
+  ((string * Relation.t) list, Dyno_source.Data_source.broken) result
+(** Fetch every view relation, compensated; stops at the first broken
+    probe. *)
+
+val validated_tail :
+  Query_engine.t ->
+  query:Query.t ->
+  schemas:(string * Schema.t) list ->
+  tail_cost:float ->
+  (unit, Dyno_source.Data_source.broken) result
+(** The back half of an adaptation: the remaining local work interleaved
+    with metadata validation probes to every source, so a schema change
+    landing anywhere in the maintenance window is detected before w(MV). *)
+
+val replace_extent :
+  Query_engine.t ->
+  Mat_view.t ->
+  maintained:int list ->
+  exclude:int list ->
+  (unit, Dyno_source.Data_source.broken) result
+(** Rebuild the extent from compensated reads against the current
+    (rewritten) definition — the shape-changing path, charged with the
+    full extent rebuild. *)
+
+val refresh_with_equation6 :
+  Query_engine.t ->
+  Mat_view.t ->
+  maintained:int list ->
+  batch_deltas:(string * Relation.t) list ->
+  exclude:int list ->
+  (unit, Dyno_source.Data_source.broken) result
+(** Adapt incrementally: fetch compensated new states, reconstruct old
+    states by subtracting the batch's own deltas, run {!equation6}, and
+    refresh in place.  Only valid when the rewriting preserved the view's
+    output schema. *)

@@ -1,0 +1,1 @@
+lib/view/mat_view.ml: Dyno_relational Fmt List Query Relation Schema View_def

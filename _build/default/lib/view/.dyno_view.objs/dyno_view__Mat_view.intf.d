@@ -1,0 +1,1 @@
+lib/view/mat_view.mli: Dyno_relational Format Query Relation Schema View_def

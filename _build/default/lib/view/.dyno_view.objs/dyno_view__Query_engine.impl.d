@@ -1,0 +1,1 @@
+lib/view/query_engine.ml: Clock Cost_model Dyno_relational Dyno_sim Dyno_source Float List Query Relation String Timeline Trace Umq Update_msg

@@ -1,0 +1,1 @@
+lib/view/query_engine.mli: Clock Cost_model Dyno_relational Dyno_sim Dyno_source Query Relation Timeline Trace Umq Update Update_msg

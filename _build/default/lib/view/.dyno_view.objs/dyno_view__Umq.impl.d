@@ -1,0 +1,1 @@
+lib/view/umq.ml: Fmt Hashtbl List Option Update_msg

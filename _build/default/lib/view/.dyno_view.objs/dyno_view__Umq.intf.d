@@ -1,0 +1,1 @@
+lib/view/umq.mli: Dyno_relational Format Update_msg

@@ -1,0 +1,1 @@
+lib/view/update_msg.ml: Dyno_relational Dyno_sim Fmt Schema_change Update

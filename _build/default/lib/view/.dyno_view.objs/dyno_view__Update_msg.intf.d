@@ -1,0 +1,1 @@
+lib/view/update_msg.mli: Dyno_relational Dyno_sim Format Schema_change Update

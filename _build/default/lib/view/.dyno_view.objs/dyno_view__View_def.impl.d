@@ -1,0 +1,1 @@
+lib/view/view_def.ml: Dyno_relational Fmt List Query Schema

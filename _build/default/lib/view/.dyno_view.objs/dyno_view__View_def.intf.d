@@ -1,0 +1,1 @@
+lib/view/view_def.mli: Dyno_relational Format Query Schema

@@ -1,0 +1,69 @@
+(** The materialized view: extent storage plus a commit log.
+
+    Every successful maintenance process ends with w(MV) c(MV): the extent
+    is updated and a commit record appended.  When [track_snapshots] is on
+    (tests, consistency checking), each commit also stores a full copy of
+    the extent so that strong consistency can be verified offline. *)
+
+open Dyno_relational
+
+type commit = {
+  at : float;  (** simulated commit time *)
+  def_version : int;  (** view-definition version the commit was built on *)
+  maintained : int list;  (** update-message ids integrated by this commit *)
+  snapshot : Relation.t option;
+  def_snapshot : (Query.t * (string * Schema.t) list) option;
+      (** definition + believed schemas at commit time (when tracking) *)
+}
+
+type t = {
+  def : View_def.t;
+  mutable extent : Relation.t;
+  mutable commits : commit list;  (** newest first *)
+  track_snapshots : bool;
+}
+
+let create ?(track_snapshots = false) def extent =
+  { def; extent; commits = []; track_snapshots }
+
+let def v = v.def
+let extent v = v.extent
+let cardinality v = Relation.cardinality v.extent
+
+let commit_count v = List.length v.commits
+
+(** Commits in chronological order. *)
+let commits v = List.rev v.commits
+
+let record_commit v ~at ~maintained =
+  v.commits <-
+    {
+      at;
+      def_version = View_def.version v.def;
+      maintained;
+      snapshot = (if v.track_snapshots then Some (Relation.copy v.extent) else None);
+      def_snapshot =
+        (if v.track_snapshots then
+           Some (View_def.peek v.def, View_def.schemas v.def)
+         else None);
+    }
+    :: v.commits
+
+(** [refresh v ~at ~maintained delta] applies a signed delta to the extent
+    and commits — the w(MV) c(MV) of a VM process.
+    @raise Invalid_argument if the delta drives a multiplicity negative
+    (a maintenance bug; tests rely on this tripwire). *)
+let refresh v ~at ~maintained delta =
+  v.extent <- Relation.apply_delta v.extent delta;
+  record_commit v ~at ~maintained
+
+(** [replace v ~at ~maintained extent] installs a whole new extent — used
+    by view adaptation when the definition itself changed shape. *)
+let replace v ~at ~maintained extent =
+  v.extent <- extent;
+  record_commit v ~at ~maintained
+
+let pp ppf v =
+  Fmt.pf ppf "@[<v>%a@,extent: %d tuples, %d commits@]" View_def.pp v.def
+    (Relation.cardinality v.extent)
+    (commit_count v)

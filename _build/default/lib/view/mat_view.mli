@@ -1,0 +1,40 @@
+(** The materialized view: extent storage plus a commit log.  Every
+    successful maintenance process ends with w(MV) c(MV); with snapshot
+    tracking on, each commit stores a full copy of the extent and the
+    definition it was built on, so strong consistency can be verified
+    offline. *)
+
+open Dyno_relational
+
+type commit = {
+  at : float;  (** simulated commit time *)
+  def_version : int;  (** view-definition version the commit was built on *)
+  maintained : int list;  (** update-message ids integrated by this commit *)
+  snapshot : Relation.t option;
+  def_snapshot : (Query.t * (string * Schema.t) list) option;
+}
+
+type t
+
+val create : ?track_snapshots:bool -> View_def.t -> Relation.t -> t
+val def : t -> View_def.t
+val extent : t -> Relation.t
+val cardinality : t -> int
+val commit_count : t -> int
+
+val commits : t -> commit list
+(** Chronological order. *)
+
+val record_commit : t -> at:float -> maintained:int list -> unit
+(** Commit without an extent change (irrelevant updates, no-op batches). *)
+
+val refresh : t -> at:float -> maintained:int list -> Relation.t -> unit
+(** Apply a signed delta and commit — w(MV) c(MV) of a VM process.
+    @raise Invalid_argument if the delta drives a multiplicity negative
+    (a maintenance bug; tests rely on this tripwire). *)
+
+val replace : t -> at:float -> maintained:int list -> Relation.t -> unit
+(** Install a whole new extent (adaptation after the definition changed
+    shape). *)
+
+val pp : Format.formatter -> t -> unit

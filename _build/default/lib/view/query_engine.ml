@@ -1,0 +1,148 @@
+(** The query engine and simulated world.
+
+    Ties together the simulated clock, the timeline of future autonomous
+    source commits, the source registry and the UMQ.  Responsibilities:
+
+    - {b UMQ manager} (Figure 7, [UMQ_Manager]): whenever simulated time
+      passes a scheduled commit, the commit is applied at its source and
+      the corresponding update message is enqueued (setting the
+      schema-change flag for SCs).
+    - {b Query execution with in-exec detection} (Figure 7,
+      [Query_Engine]): a maintenance query is charged its latency and scan
+      cost on the simulated clock; every source commit whose time precedes
+      the answer is applied {e first}, so the answer reflects exactly the
+      interleaving semantics of Definition 2.  A schema mismatch yields
+      [Error] and raises the broken-query flag. *)
+
+open Dyno_relational
+open Dyno_sim
+
+type t = {
+  clock : Clock.t;
+  timeline : Timeline.t;
+  registry : Dyno_source.Registry.t;
+  umq : Umq.t;
+  cost : Cost_model.t;
+  trace : Trace.t;
+}
+
+let create ?(trace = Trace.create ()) ~cost ~registry ~timeline ~umq () =
+  { clock = Clock.create (); timeline; registry; umq; cost; trace }
+
+let now w = Clock.now w.clock
+let timeline w = w.timeline
+let clock w = w.clock
+let trace w = w.trace
+let umq w = w.umq
+let registry w = w.registry
+let cost w = w.cost
+
+(** [deliver_due w] applies every source commit scheduled at or before the
+    current simulated time, enqueuing the corresponding messages. *)
+let deliver_due w =
+  List.iter
+    (fun (e : Timeline.entry) ->
+      let src, version =
+        Dyno_source.Registry.commit w.registry ~time:e.time e.event
+      in
+      Trace.recordf w.trace ~time:e.time Trace.Commit "%s v%d: %a"
+        (Dyno_source.Data_source.id src)
+        version Timeline.pp_event e.event;
+      let payload =
+        match e.event with
+        | Timeline.Du u -> Update_msg.Du u
+        | Timeline.Sc sc -> Update_msg.Sc sc
+      in
+      let m =
+        Umq.enqueue w.umq ~commit_time:e.time ~source_version:version payload
+      in
+      Trace.recordf w.trace ~time:(now w) Trace.Enqueue "%a" Update_msg.pp m)
+    (Timeline.pop_until w.timeline ~time:(now w))
+
+(** [advance w dt] spends [dt] simulated seconds of view-manager work and
+    delivers any source commits that happen meanwhile. *)
+let advance w dt =
+  Clock.advance w.clock dt;
+  deliver_due w
+
+(** [idle_until w t] lets the view manager sit idle until absolute time [t]
+    (used by no-concurrency baselines that space updates apart). *)
+let idle_until w t =
+  if t > now w then begin
+    Clock.advance_to w.clock t;
+    deliver_due w
+  end
+
+(** [execute w q ~bound ~target] runs one maintenance-query probe against
+    source [target].
+
+    Timing: the round-trip latency plus the source-side scan cost elapse
+    {e before} the answer is computed, and every source commit falling in
+    that window is applied first — so the answer reflects all updates
+    "committed before the query is answered" (Definition 2), which is what
+    makes compensation necessary and schema conflicts observable.  The
+    result-transfer cost elapses after evaluation. *)
+let execute w (q : Query.t) ~bound ~target :
+    (Dyno_source.Data_source.answer, Dyno_source.Data_source.broken) result =
+  Trace.recordf w.trace ~time:(now w) Trace.Query_sent "%s <- %s" target
+    (Query.name q);
+  let src = Dyno_source.Registry.find w.registry target in
+  (* Estimate the scan the source is about to do (current sizes). *)
+  let scan_estimate =
+    List.fold_left
+      (fun acc (tr : Query.table_ref) ->
+        if String.equal tr.source target then
+          match Dyno_source.Data_source.relation_opt src tr.rel with
+          | Some r -> acc + Relation.support r
+          | None -> acc
+        else acc)
+      0 (Query.from q)
+  in
+  advance w (Cost_model.probe w.cost ~scanned:scan_estimate ~returned:0);
+  match Dyno_source.Data_source.answer src q ~bound with
+  | Ok ans ->
+      (* Result transfer: time passes but commits landing in this window
+         are NOT delivered yet — the answer was computed before them, so
+         the caller's compensation frontier must not include them either.
+         They are delivered at the next source interaction. *)
+      Clock.advance w.clock
+        (Cost_model.probe w.cost ~scanned:0 ~returned:(Relation.support ans.rows)
+        -. w.cost.Cost_model.query_latency
+        |> Float.max 0.0);
+      Trace.recordf w.trace ~time:(now w) Trace.Query_answered
+        "%s -> %d rows" target
+        (Relation.support ans.rows);
+      Ok ans
+  | Error b ->
+      Umq.set_broken_query_flag w.umq;
+      Trace.recordf w.trace ~time:(now w) Trace.Broken_query "%a"
+        Dyno_source.Data_source.pp_broken b;
+      Error b
+
+(** [validate w q ~target] — lightweight metadata check of [q] against
+    source [target]'s current catalog: one round trip, no scan.  View
+    adaptation interleaves these with its computation so that a schema
+    change committed at any point of the maintenance window is detected
+    (in-exec) before the view commits. *)
+let validate w (q : Query.t) ~target : (unit, Dyno_source.Data_source.broken) result
+    =
+  advance w w.cost.Cost_model.query_latency;
+  let src = Dyno_source.Registry.find w.registry target in
+  match Dyno_source.Data_source.validate src q with
+  | Ok () -> Ok ()
+  | Error b ->
+      Umq.set_broken_query_flag w.umq;
+      Trace.recordf w.trace ~time:(now w) Trace.Broken_query "validation: %a"
+        Dyno_source.Data_source.pp_broken b;
+      Error b
+
+(** [source_relation w ~source ~rel] direct read of a source's current
+    relation — used by adaptation, which the paper models as maintenance
+    queries too; we charge it through [execute]-style costs at the caller. *)
+let source_relation w ~source ~rel =
+  let src = Dyno_source.Registry.find w.registry source in
+  Dyno_source.Data_source.relation_opt src rel
+
+(** Concurrent data updates currently pending in the UMQ against relation
+    [rel] at [source] — the information compensation needs. *)
+let pending_dus w ~source ~rel = Umq.pending_dus w.umq ~source ~rel

@@ -1,0 +1,68 @@
+(** The query engine and simulated world: ties together the clock, the
+    timeline of future autonomous commits, the source registry and the
+    UMQ.  Implements the paper's Figure 7 processes — the UMQ manager
+    (deliver commits, set the schema-change flag) and the query engine
+    with in-exec broken-query detection — with Definition 2's interleaving
+    semantics: every commit falling before a query is answered is applied
+    first. *)
+
+open Dyno_relational
+open Dyno_sim
+
+type t
+
+val create :
+  ?trace:Trace.t ->
+  cost:Cost_model.t ->
+  registry:Dyno_source.Registry.t ->
+  timeline:Timeline.t ->
+  umq:Umq.t ->
+  unit ->
+  t
+
+val now : t -> float
+val timeline : t -> Timeline.t
+val clock : t -> Clock.t
+val trace : t -> Trace.t
+val umq : t -> Umq.t
+val registry : t -> Dyno_source.Registry.t
+val cost : t -> Cost_model.t
+
+val deliver_due : t -> unit
+(** Apply every source commit scheduled at or before the current simulated
+    time, enqueuing the corresponding messages. *)
+
+val advance : t -> float -> unit
+(** Spend simulated seconds of view-manager work, delivering any source
+    commits that happen meanwhile. *)
+
+val idle_until : t -> float -> unit
+(** Sit idle until an absolute time (the no-concurrency baselines). *)
+
+val execute :
+  t ->
+  Query.t ->
+  bound:(string * Relation.t) list ->
+  target:string ->
+  (Dyno_source.Data_source.answer, Dyno_source.Data_source.broken) result
+(** Run one maintenance-query probe against a source.  Round-trip latency
+    and scan cost elapse (with commit delivery) {e before} the answer is
+    computed; result-transfer time elapses after it {e without} delivery,
+    so the caller's compensation frontier matches the answer exactly.  A
+    schema conflict yields [Error] and raises the broken-query flag. *)
+
+val validate :
+  t -> Query.t -> target:string -> (unit, Dyno_source.Data_source.broken) result
+(** Lightweight metadata check against a source's current catalog: one
+    round trip, no scan.  Adaptation interleaves these with its
+    computation so late-arriving schema changes are detected in-exec. *)
+
+val source_relation : t -> source:string -> rel:string -> Relation.t option
+(** Direct read of a source's current relation (oracles, initialization —
+    not charged). *)
+
+val pending_dus :
+  t -> source:string -> rel:string -> (Update_msg.t * Update.t) list
+(** Concurrent data updates currently pending in the UMQ against a
+    relation — the information compensation needs (delegates to
+    {!Umq.pending_dus}). *)

@@ -1,0 +1,158 @@
+(** The Update Message Queue (UMQ).
+
+    Buffers update messages from the wrappers in arrival order; Dyno's
+    correction step may {e reorder} it (that is the whole point of DYnamic
+    reOrdering) and may {e merge} cyclically-dependent messages into batch
+    entries that are maintained atomically.
+
+    The queue also carries the two global flags of Figure 6/7:
+    [new_schema_change] (set by the UMQ manager when an SC arrives, consumed
+    test-and-set by the Dyno loop) and [broken_query] (set by the query
+    engine's in-exec detection). *)
+
+type entry =
+  | Single of Update_msg.t
+  | Batch of Update_msg.t list
+      (** merged cyclic updates, in their internal legal (commit) order *)
+
+let entry_messages = function Single m -> [ m ] | Batch ms -> ms
+
+let entry_ids e = List.map Update_msg.id (entry_messages e)
+
+let entry_has_sc e = List.exists Update_msg.is_sc (entry_messages e)
+
+let pp_entry ppf = function
+  | Single m -> Update_msg.pp ppf m
+  | Batch ms ->
+      Fmt.pf ppf "BATCH{%a}" Fmt.(list ~sep:(any "; ") Update_msg.pp) ms
+
+type t = {
+  mutable entries : entry list;  (** head first *)
+  mutable next_id : int;
+  mutable new_schema_change : bool;
+  mutable broken_query : bool;
+  mutable total_enqueued : int;
+  mutable history : Update_msg.t list;
+      (** every message ever enqueued, newest first (audit/consistency) *)
+  du_index : (string * string, Update_msg.t list) Hashtbl.t;
+      (** (source, rel) → queued DU messages, newest first — the hot
+          lookup of SWEEP compensation, kept incremental so probing does
+          not scan the whole queue *)
+}
+
+let create () =
+  {
+    entries = [];
+    next_id = 0;
+    new_schema_change = false;
+    broken_query = false;
+    total_enqueued = 0;
+    history = [];
+    du_index = Hashtbl.create 16;
+  }
+
+let index_key m =
+  (Update_msg.source m, Update_msg.rel m)
+
+let index_add q m =
+  if Update_msg.is_du m then begin
+    let k = index_key m in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt q.du_index k) in
+    Hashtbl.replace q.du_index k (m :: prev)
+  end
+
+let index_remove q m =
+  if Update_msg.is_du m then begin
+    let k = index_key m in
+    match Hashtbl.find_opt q.du_index k with
+    | None -> ()
+    | Some l ->
+        let l' =
+          List.filter (fun x -> Update_msg.id x <> Update_msg.id m) l
+        in
+        if l' = [] then Hashtbl.remove q.du_index k
+        else Hashtbl.replace q.du_index k l'
+  end
+
+let is_empty q = q.entries = []
+let length q = List.length q.entries
+let entries q = q.entries
+
+(** All messages currently queued, in queue order. *)
+let messages q = List.concat_map entry_messages q.entries
+
+let total_enqueued q = q.total_enqueued
+
+(** [enqueue q ~commit_time ~source_version payload] appends a new message,
+    assigning its id; sets the schema-change flag for SCs (the UMQ manager
+    of Figure 7). *)
+let enqueue q ~commit_time ~source_version payload =
+  let m =
+    Update_msg.make ~id:q.next_id ~commit_time ~source_version payload
+  in
+  q.next_id <- q.next_id + 1;
+  q.total_enqueued <- q.total_enqueued + 1;
+  q.entries <- q.entries @ [ Single m ];
+  q.history <- m :: q.history;
+  index_add q m;
+  if Update_msg.is_sc m then q.new_schema_change <- true;
+  m
+
+(** [pending_dus q ~source ~rel] — queued, unmaintained data updates on
+    [rel@source], in commit order. *)
+let pending_dus q ~source ~rel =
+  match Hashtbl.find_opt q.du_index (source, rel) with
+  | None -> []
+  | Some l ->
+      List.rev_map
+        (fun m ->
+          match Update_msg.as_du m with
+          | Some u -> (m, u)
+          | None -> assert false)
+        l
+
+(** Every message ever enqueued, in arrival order. *)
+let history q = List.rev q.history
+
+let head q = match q.entries with [] -> None | e :: _ -> Some e
+
+let remove_head q =
+  match q.entries with
+  | [] -> ()
+  | e :: rest ->
+      List.iter (index_remove q) (entry_messages e);
+      q.entries <- rest
+
+(** [replace q entries] installs a corrected (reordered / merged) queue.
+    The multiset of message ids must be preserved — correction may neither
+    drop nor invent updates (sources cannot abort).
+    @raise Invalid_argument otherwise. *)
+let replace q entries =
+  let ids es = List.sort compare (List.concat_map entry_ids es) in
+  if ids entries <> ids q.entries then
+    invalid_arg "Umq.replace: correction must preserve the set of updates";
+  q.entries <- entries
+
+(* Flag protocol of Figure 6 (atomic in the paper; the simulation is
+   single-threaded so plain reads/writes suffice). *)
+
+let set_schema_change_flag q = q.new_schema_change <- true
+
+(** Test-and-clear, as in [Test_If_True_Set_False]. *)
+let test_and_clear_schema_change_flag q =
+  let v = q.new_schema_change in
+  q.new_schema_change <- false;
+  v
+
+let peek_schema_change_flag q = q.new_schema_change
+
+let set_broken_query_flag q = q.broken_query <- true
+let clear_broken_query_flag q = q.broken_query <- false
+let broken_query_flag q = q.broken_query
+
+let pp ppf q =
+  Fmt.pf ppf "@[<v>UMQ (%d entries)%s%s:@,%a@]" (length q)
+    (if q.new_schema_change then " [SC-flag]" else "")
+    (if q.broken_query then " [broken-flag]" else "")
+    Fmt.(list ~sep:cut pp_entry)
+    q.entries

@@ -1,0 +1,67 @@
+(** The Update Message Queue (UMQ): buffers update messages in arrival
+    order; Dyno's correction may {e reorder} it and may {e merge}
+    cyclically-dependent messages into batch entries maintained
+    atomically.  Also carries the two global flags of the paper's
+    Figures 6/7: the schema-change flag (set on SC arrival, consumed
+    test-and-set by the Dyno loop) and the broken-query flag (set by the
+    query engine's in-exec detection). *)
+
+type entry =
+  | Single of Update_msg.t
+  | Batch of Update_msg.t list
+      (** merged cyclic updates, in their internal legal (commit) order *)
+
+val entry_messages : entry -> Update_msg.t list
+val entry_ids : entry -> int list
+val entry_has_sc : entry -> bool
+val pp_entry : Format.formatter -> entry -> unit
+
+type t
+
+val create : unit -> t
+val is_empty : t -> bool
+val length : t -> int
+val entries : t -> entry list
+
+val messages : t -> Update_msg.t list
+(** All queued messages, in queue order. *)
+
+val total_enqueued : t -> int
+
+val enqueue :
+  t -> commit_time:float -> source_version:int -> Update_msg.payload ->
+  Update_msg.t
+(** Append a new message, assigning its id; sets the schema-change flag
+    for SCs (the UMQ manager of Figure 7). *)
+
+val history : t -> Update_msg.t list
+(** Every message ever enqueued, in arrival order (audit / consistency
+    checking). *)
+
+val pending_dus :
+  t -> source:string -> rel:string -> (Update_msg.t * Dyno_relational.Update.t) list
+(** Queued, unmaintained data updates on [rel@source] in commit order —
+    the indexed hot lookup of SWEEP compensation. *)
+
+val head : t -> entry option
+val remove_head : t -> unit
+
+val replace : t -> entry list -> unit
+(** Install a corrected (reordered / merged) queue.  The multiset of
+    message ids must be preserved — correction may neither drop nor invent
+    updates (sources cannot abort).
+    @raise Invalid_argument otherwise. *)
+
+(** {1 Flags (Figure 6/7 protocol)} *)
+
+val set_schema_change_flag : t -> unit
+
+val test_and_clear_schema_change_flag : t -> bool
+(** [Test_If_True_Set_False]. *)
+
+val peek_schema_change_flag : t -> bool
+val set_broken_query_flag : t -> unit
+val clear_broken_query_flag : t -> unit
+val broken_query_flag : t -> bool
+
+val pp : Format.formatter -> t -> unit

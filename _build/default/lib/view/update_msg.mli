@@ -1,0 +1,31 @@
+(** Update messages: what the wrappers deliver into the UMQ.  Each wraps
+    one autonomous source commit together with the commit time and the
+    source version it produced; the id (assigned at enqueue) identifies
+    the corresponding maintenance process in the dependency graph. *)
+
+open Dyno_relational
+
+type payload = Du of Update.t | Sc of Schema_change.t
+
+type t
+
+val make : id:int -> commit_time:float -> source_version:int -> payload -> t
+val id : t -> int
+val commit_time : t -> float
+val source_version : t -> int
+val payload : t -> payload
+val source : t -> string
+
+val rel : t -> string
+(** Relation targeted, under its name at commit time. *)
+
+val is_sc : t -> bool
+val is_du : t -> bool
+val as_du : t -> Update.t option
+val as_sc : t -> Schema_change.t option
+
+val of_event :
+  id:int -> commit_time:float -> source_version:int -> Dyno_sim.Timeline.event -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/vm/maint_query.ml: Array Attr Dyno_relational Eval Fmt List Predicate Query Relation Schema String Tuple

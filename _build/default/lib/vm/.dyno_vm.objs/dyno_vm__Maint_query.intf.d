@@ -1,0 +1,1 @@
+lib/vm/maint_query.mli: Attr Dyno_relational Predicate Query Relation Schema

@@ -1,0 +1,1 @@
+lib/vm/sweep.ml: Dyno_relational Dyno_sim Dyno_source Dyno_view Eval Fmt List Maint_query Query Query_engine Relation Schema Update Update_msg

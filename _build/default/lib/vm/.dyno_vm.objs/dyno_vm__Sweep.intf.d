@@ -1,0 +1,1 @@
+lib/vm/sweep.mli: Dyno_relational Dyno_source Dyno_view Query Query_engine Relation Schema

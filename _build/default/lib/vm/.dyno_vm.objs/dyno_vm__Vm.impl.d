@@ -1,0 +1,1 @@
+lib/vm/vm.ml: Dyno_relational Dyno_sim Dyno_source Dyno_view Eval Fmt Hashtbl List Maint_query Mat_view Query Query_engine Relation Schema String Sweep Update Update_msg View_def

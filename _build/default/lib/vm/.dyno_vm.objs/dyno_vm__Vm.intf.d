@@ -1,0 +1,1 @@
+lib/vm/vm.mli: Dyno_relational Dyno_source Dyno_view Mat_view Query_engine Sweep Update Update_msg

@@ -1,0 +1,150 @@
+(** The SWEEP compensation algorithm (Agrawal et al., SIGMOD'97), adapted
+    to the Dyno framework.
+
+    Maintenance of a data update [Δ] at view alias [A] computes the view
+    delta [ΔV = R_1 ⋈ … ⋈ Δ ⋈ … ⋈ R_n] by sweeping outwards from [A]:
+    the partial result is shipped with a probe query to each remaining
+    relation's source in turn.  Because sources answer against their
+    {e current} state, a probe's answer may include the effects of data
+    updates committed after [Δ] but not yet maintained (the duplication
+    anomaly, type (1)/(2)).  SWEEP removes those effects {e locally} at the
+    view manager: for every pending unmaintained DU [δ] on the probed
+    relation, it subtracts [δ ⋈ partial] (computed with the same probe
+    query) from the answer.  No locking, no extra round trips.
+
+    A probe that fails due to a concurrent schema change surfaces as
+    [Error broken] — the in-exec detection signal consumed by the Dyno
+    scheduler; compensation cannot help there (Section 3.2). *)
+
+open Dyno_relational
+open Dyno_view
+
+type stats = {
+  probes : int;  (** maintenance queries sent *)
+  compensations : int;  (** probe answers that needed compensation *)
+  comp_tuples : int;  (** tuples removed/added by compensation *)
+}
+
+let no_stats = { probes = 0; compensations = 0; comp_tuples = 0 }
+
+(** [delta_view w ~view_query ~schemas ~pivot ~delta ~exclude] computes the
+    view delta for update [delta] against relation alias [pivot].
+
+    [schemas] are the alias schemas the view manager believes (last
+    synchronization); [exclude] is the id of the update message being
+    maintained (it must not compensate against itself).
+
+    Returns [Ok (delta_view, stats)] or [Error broken] when any probe hits
+    a schema conflict. *)
+let delta_view ?(compensate = true) (w : Query_engine.t)
+    ~(view_query : Query.t) ~(schemas : (string * Schema.t) list)
+    ~(pivot : Query.table_ref) ~(delta : Relation.t) ~(exclude : int list) :
+    (Relation.t * stats, Dyno_source.Data_source.broken) result =
+  let owner = Maint_query.owner_of_schemas schemas in
+  let partial = ref (Maint_query.initial_partial view_query owner pivot delta) in
+  let bound = ref [ pivot.Query.alias ] in
+  let stats = ref no_stats in
+  let trace = Query_engine.trace w in
+  let exception Broken of Dyno_source.Data_source.broken in
+  try
+    if Relation.is_empty !partial then
+      (* The delta is filtered out locally; nothing joins, no probes needed. *)
+      Ok
+        ( Relation.create (Maint_query.view_output_schema view_query schemas),
+          !stats )
+    else begin
+      List.iter
+        (fun (tr : Query.table_ref) ->
+          let probe =
+            Maint_query.probe_query view_query owner tr
+              ~partial_schema:(Relation.schema !partial)
+              ~bound:!bound
+          in
+          let answer =
+            match
+              Query_engine.execute w probe
+                ~bound:[ (Maint_query.partial_alias, !partial) ]
+                ~target:tr.Query.source
+            with
+            | Ok a -> a.Dyno_source.Data_source.rows
+            | Error b -> raise (Broken b)
+          in
+          stats := { !stats with probes = !stats.probes + 1 };
+          (* Compensation: remove the contribution of every pending,
+             unmaintained DU on the probed relation.  SPJ queries are
+             linear in each input over signed multisets, so all pending
+             deltas with a common schema are summed and compensated in one
+             evaluation. *)
+          let pending =
+            if not compensate then []
+            else
+              List.filter
+                (fun (m, _) -> not (List.mem (Update_msg.id m) exclude))
+                (Query_engine.pending_dus w ~source:tr.Query.source
+                   ~rel:tr.Query.rel)
+          in
+          let groups =
+            (* Partition by delta schema (pending updates straddling an
+               unmaintained schema change carry different schemas). *)
+            List.fold_left
+              (fun acc (m, u) ->
+                let s = Update.schema u in
+                let rec insert = function
+                  | [] -> [ (s, Relation.copy (Update.delta u), [ m ]) ]
+                  | (s', d, ms) :: rest when Schema.equal s s' ->
+                      (s', Relation.sum d (Update.delta u), m :: ms) :: rest
+                  | g :: rest -> g :: insert rest
+                in
+                insert acc)
+              [] pending
+          in
+          let compensated =
+            List.fold_left
+              (fun acc (_, combined, ms) ->
+                match
+                  Eval.query_assoc
+                    [
+                      (tr.Query.alias, combined);
+                      (Maint_query.partial_alias, !partial);
+                    ]
+                    probe
+                with
+                | contribution ->
+                    if Relation.is_empty contribution then acc
+                    else begin
+                      stats :=
+                        {
+                          !stats with
+                          compensations = !stats.compensations + 1;
+                          comp_tuples =
+                            !stats.comp_tuples + Relation.mass contribution;
+                        };
+                      Dyno_sim.Trace.recordf trace
+                        ~time:(Query_engine.now w) Dyno_sim.Trace.Compensate
+                        "removed %d tuple(s) of %d pending update(s) from \
+                         probe %s"
+                        (Relation.mass contribution)
+                        (List.length ms) (Query.name probe);
+                      Relation.diff acc contribution
+                    end
+                | exception Eval.Error reason ->
+                    (* The pending updates are expressed against a schema
+                       the probe cannot see — a schema conflict is in
+                       flight; treat the probe as broken (conservative,
+                       sound). *)
+                    raise
+                      (Broken
+                         {
+                           Dyno_source.Data_source.source = tr.Query.source;
+                           query_name = Query.name probe;
+                           reason =
+                             Fmt.str "compensation impossible: %s" reason;
+                         }))
+              answer groups
+          in
+          partial := compensated;
+          bound := tr.Query.alias :: !bound)
+        (Maint_query.sweep_order view_query pivot.Query.alias);
+      Ok (Maint_query.final_projection view_query owner !partial, !stats)
+    end
+  with Broken b -> Error b

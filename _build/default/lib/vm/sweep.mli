@@ -1,0 +1,34 @@
+(** The SWEEP compensation algorithm (Agrawal et al., SIGMOD'97), adapted
+    to the Dyno framework: maintenance of a delta sweeps outwards from its
+    relation, shipping the partial result with each probe; the effects of
+    pending unmaintained data updates are removed from each answer locally
+    (no locking, no extra round trips).  A probe that fails on a
+    concurrent schema change surfaces as [Error] — the in-exec detection
+    signal. *)
+
+open Dyno_relational
+open Dyno_view
+
+type stats = {
+  probes : int;  (** maintenance queries sent *)
+  compensations : int;  (** probe answers that needed compensation *)
+  comp_tuples : int;  (** tuples removed/added by compensation *)
+}
+
+val no_stats : stats
+
+val delta_view :
+  ?compensate:bool ->
+  Query_engine.t ->
+  view_query:Query.t ->
+  schemas:(string * Schema.t) list ->
+  pivot:Query.table_ref ->
+  delta:Relation.t ->
+  exclude:int list ->
+  (Relation.t * stats, Dyno_source.Data_source.broken) result
+(** [delta_view w ~view_query ~schemas ~pivot ~delta ~exclude] computes
+    the view delta for [delta] against alias [pivot].  [schemas] are the
+    view manager's believed alias schemas; [exclude] lists message ids
+    whose effects must stay in the probe answers: the message being
+    maintained (never compensated against itself) plus, in multi-view
+    mode, every queued update this view has already applied. *)

@@ -1,0 +1,204 @@
+(** View Maintenance (VM): the maintenance process of Definition 1(1).
+
+    [M(DU) = r(VD) r(DS_1) … r(DS_n) w(MV) c(MV)]: read the view
+    definition, probe each source through {!Sweep} (with compensation for
+    concurrent data updates), then refresh and commit the materialized
+    view.  A probe hitting a concurrent schema change aborts the process —
+    the broken-query anomaly the Dyno scheduler corrects. *)
+
+open Dyno_relational
+open Dyno_view
+
+type outcome =
+  | Refreshed of { delta_tuples : int; stats : Sweep.stats }
+      (** maintenance succeeded; MV refreshed and committed *)
+  | Irrelevant
+      (** the update does not touch any relation of the view; a commit
+          record is still made so consistency bookkeeping sees it *)
+  | Aborted of Dyno_source.Data_source.broken
+      (** a maintenance query broke (in-exec detection fired) *)
+
+exception Invalid_view of string
+
+(** [maintain w mv msg du] runs one full VM process for data update [du]
+    carried by message [msg]. *)
+let maintain ?(compensate = true) ?(applied = []) (w : Query_engine.t)
+    (mv : Mat_view.t) (msg : Update_msg.t) (du : Update.t) : outcome =
+  let vd = Mat_view.def mv in
+  if not (View_def.is_valid vd) then
+    raise (Invalid_view (View_def.name vd));
+  let q, _version = View_def.read vd in
+  let schemas = View_def.schemas vd in
+  let pivots =
+    List.filter
+      (fun (tr : Query.table_ref) ->
+        String.equal tr.source (Update.source du)
+        && String.equal tr.rel (Update.rel du))
+      (Query.from q)
+  in
+  match pivots with
+  | [] ->
+      (* The update's relation is not in the view (e.g. it was replaced by
+         synchronization); the view trivially reflects it. *)
+      Mat_view.record_commit mv ~at:(Query_engine.now w)
+        ~maintained:[ Update_msg.id msg ];
+      Irrelevant
+  | _ :: _ :: _ ->
+      raise
+        (Maint_query.Unsupported
+           (Fmt.str "relation %s@%s occurs more than once in view %s"
+              (Update.rel du) (Update.source du) (Query.name q)))
+  | [ pivot ] -> (
+      (* The delta must be expressed against the schema the view believes;
+         a mismatch means a schema change at that source overtook the view
+         definition — a conflict VM cannot handle (Dyno will reorder). *)
+      let believed = List.assoc_opt pivot.Query.alias schemas in
+      let actual = Relation.schema (Update.delta du) in
+      match believed with
+      | Some s when not (Schema.equal s actual) ->
+          Aborted
+            {
+              Dyno_source.Data_source.source = Update.source du;
+              query_name = Query.name q;
+              reason =
+                Fmt.str
+                  "delta schema %a of %s diverges from believed schema %a"
+                  Schema.pp actual (Update.rel du) Schema.pp s;
+            }
+      | None ->
+          Aborted
+            {
+              Dyno_source.Data_source.source = Update.source du;
+              query_name = Query.name q;
+              reason = Fmt.str "no believed schema for alias %s" pivot.Query.alias;
+            }
+      | Some _ -> (
+          match
+            Sweep.delta_view ~compensate w ~view_query:q ~schemas ~pivot
+              ~delta:(Update.delta du)
+              ~exclude:(Update_msg.id msg :: applied)
+          with
+          | Error b -> Aborted b
+          | Ok (dv, stats) ->
+              let delta_tuples = Relation.mass dv in
+              Query_engine.advance w
+                (Dyno_sim.Cost_model.refresh (Query_engine.cost w)
+                   ~delta_tuples);
+              Mat_view.refresh mv ~at:(Query_engine.now w)
+                ~maintained:[ Update_msg.id msg ] dv;
+              Dyno_sim.Trace.recordf (Query_engine.trace w)
+                ~time:(Query_engine.now w) Dyno_sim.Trace.Refresh
+                "view %s += %d tuple(s) for #%d" (Query.name q) delta_tuples
+                (Update_msg.id msg);
+              Refreshed { delta_tuples; stats }))
+
+(** [maintain_group w mv msgs] — deferred/grouped maintenance of a queue
+    prefix of data updates (no schema changes): updates are merged into
+    one delta per relation and each merged delta is swept once, with the
+    already-processed deltas excluded from compensation (so they count as
+    maintained) — the probe-level telescoping of Equation 6.  The view is
+    refreshed and committed {e once} for the whole group, so the claimed
+    source-state vector stays valid and strong consistency is preserved;
+    the view simply skips the intermediate states. *)
+let maintain_group ?(compensate = true) (w : Query_engine.t)
+    (mv : Mat_view.t) (msgs : Update_msg.t list) : outcome =
+  let vd = Mat_view.def mv in
+  if not (View_def.is_valid vd) then raise (Invalid_view (View_def.name vd));
+  let q, _ = View_def.read vd in
+  let schemas = View_def.schemas vd in
+  let all_ids = List.map Update_msg.id msgs in
+  (* Merge per (source, rel), preserving first-occurrence order. *)
+  let groups : (string * string, Relation.t * int list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let order = ref [] in
+  List.iter
+    (fun m ->
+      match Update_msg.as_du m with
+      | None -> invalid_arg "maintain_group: schema change in a DU group"
+      | Some u ->
+          let key = (Update.source u, Update.rel u) in
+          (match Hashtbl.find_opt groups key with
+          | Some (d, ids) ->
+              Hashtbl.replace groups key
+                (Relation.sum d (Update.delta u), Update_msg.id m :: ids)
+          | None ->
+              order := key :: !order;
+              Hashtbl.replace groups key
+                (Relation.copy (Update.delta u), [ Update_msg.id m ])))
+    msgs;
+  let order = List.rev !order in
+  let exception Abort of Dyno_source.Data_source.broken in
+  try
+    let total = ref None in
+    let processed = ref [] in
+    List.iter
+      (fun key ->
+        let delta, ids = Hashtbl.find groups key in
+        let source, rel = key in
+        match
+          List.find_opt
+            (fun (tr : Query.table_ref) ->
+              String.equal tr.source source && String.equal tr.rel rel)
+            (Query.from q)
+        with
+        | None -> processed := ids @ !processed (* irrelevant to the view *)
+        | Some pivot -> (
+            (match List.assoc_opt pivot.Query.alias schemas with
+            | Some s when Schema.equal s (Relation.schema delta) -> ()
+            | _ ->
+                raise
+                  (Abort
+                     {
+                       Dyno_source.Data_source.source;
+                       query_name = Query.name q;
+                       reason =
+                         Fmt.str "group delta schema diverges on %s" rel;
+                     }));
+            match
+              Sweep.delta_view ~compensate w ~view_query:q ~schemas ~pivot
+                ~delta
+                ~exclude:(ids @ !processed)
+            with
+            | Error b -> raise (Abort b)
+            | Ok (dv, _) ->
+                processed := ids @ !processed;
+                total :=
+                  Some
+                    (match !total with
+                    | None -> dv
+                    | Some acc -> Relation.sum acc dv)))
+      order;
+    (match !total with
+    | None ->
+        Mat_view.record_commit mv ~at:(Query_engine.now w) ~maintained:all_ids
+    | Some dv ->
+        Query_engine.advance w
+          (Dyno_sim.Cost_model.refresh (Query_engine.cost w)
+             ~delta_tuples:(Relation.mass dv));
+        Mat_view.refresh mv ~at:(Query_engine.now w) ~maintained:all_ids dv;
+        Dyno_sim.Trace.recordf (Query_engine.trace w)
+          ~time:(Query_engine.now w) Dyno_sim.Trace.Refresh
+          "view %s += %d tuple(s) for group of %d" (Query.name q)
+          (Relation.mass dv) (List.length msgs));
+    Refreshed { delta_tuples = 0; stats = Sweep.no_stats }
+  with Abort b -> Aborted b
+
+(** [initialize w mv] fully (re)materializes the view from the sources'
+    current states — used at system start.  Charged as one big adaptation. *)
+let initialize (w : Query_engine.t) (mv : Mat_view.t) : unit =
+  let vd = Mat_view.def mv in
+  let q = View_def.peek vd in
+  let scanned = ref 0 in
+  let env (tr : Query.table_ref) =
+    match Query_engine.source_relation w ~source:tr.source ~rel:tr.rel with
+    | Some r ->
+        scanned := !scanned + Relation.support r;
+        r
+    | None -> raise (Eval.Error (Fmt.str "missing relation %s@%s" tr.rel tr.source))
+  in
+  let extent = Eval.query env q in
+  Query_engine.advance w
+    (Dyno_sim.Cost_model.adapt (Query_engine.cost w) ~scanned:!scanned
+       ~written:(Relation.support extent));
+  Mat_view.replace mv ~at:(Query_engine.now w) ~maintained:[] extent

@@ -1,0 +1,48 @@
+(** View Maintenance (VM): the maintenance process of the paper's
+    Definition 1(1) — [M(DU) = r(VD) r(DS_1) … r(DS_n) w(MV) c(MV)] —
+    with SWEEP compensation for concurrent data updates. *)
+
+open Dyno_relational
+open Dyno_view
+
+type outcome =
+  | Refreshed of { delta_tuples : int; stats : Sweep.stats }
+      (** maintenance succeeded; MV refreshed and committed *)
+  | Irrelevant
+      (** the update does not touch any relation of the view; a commit
+          record is still made so consistency bookkeeping sees it *)
+  | Aborted of Dyno_source.Data_source.broken
+      (** a maintenance query broke (in-exec detection fired) *)
+
+exception Invalid_view of string
+
+val maintain :
+  ?compensate:bool ->
+  ?applied:int list ->
+  Query_engine.t ->
+  Mat_view.t ->
+  Update_msg.t ->
+  Update.t ->
+  outcome
+(** Run one full VM process for a data update.  [compensate:false]
+    disables SWEEP (demonstrating the duplication anomaly); [applied]
+    lists queued message ids this view has already integrated (multi-view
+    mode) so compensation leaves their effects in.
+    @raise Invalid_view when the view is undefined.
+    @raise Maint_query.Unsupported on a self-join of the target relation. *)
+
+val maintain_group :
+  ?compensate:bool ->
+  Query_engine.t ->
+  Mat_view.t ->
+  Update_msg.t list ->
+  outcome
+(** Deferred/grouped maintenance of a queue prefix of data updates: one
+    merged sweep per relation, one view commit for the whole group
+    (probe-level telescoping of Equation 6).
+    @raise Invalid_argument if a schema change is in the group.
+    @raise Invalid_view when the view is undefined. *)
+
+val initialize : Query_engine.t -> Mat_view.t -> unit
+(** Fully (re)materialize the view from the sources' current states,
+    charged as one big adaptation (system start). *)

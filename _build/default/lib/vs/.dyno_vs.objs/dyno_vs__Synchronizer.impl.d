@@ -1,0 +1,1 @@
+lib/vs/synchronizer.ml: Attr Catalog Data_source Dyno_relational Dyno_source Fmt List Meta_knowledge Predicate Query Registry Schema Schema_change String

@@ -1,0 +1,1 @@
+lib/vs/synchronizer.mli: Dyno_relational Dyno_source Format Meta_knowledge Query Registry Schema Schema_change

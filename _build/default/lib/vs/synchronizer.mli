@@ -1,0 +1,55 @@
+(** View Synchronization (VS): evolving the view definition under source
+    schema changes — an EVE-style rewriter producing possibly
+    non-equivalent rewritings (the paper's Queries (3)–(5)): renames
+    propagate, dropped attributes are replaced through registered
+    substitutes or silently removed when dispensable, dropped relations
+    are substituted (collapsing subsumed aliases and internalized joins).
+    Also maintains the view manager's believed schemas and keeps the meta
+    knowledge keyed by current names. *)
+
+open Dyno_relational
+open Dyno_source
+
+exception Failed of string
+(** No legal rewriting exists; the view becomes undefined. *)
+
+(** What the synchronizer did, for traces and tests. *)
+type action =
+  | No_effect
+  | Propagated_rename of string
+  | Schema_tracked of string
+  | Dropped_dispensable of { alias : string; attr : string }
+  | Replaced_attribute of {
+      alias : string;
+      attr : string;
+      via_alias : string;
+      new_rel : string;
+    }
+  | Replaced_relation of { alias : string; old_rel : string; new_rel : string }
+
+val pp_action : Format.formatter -> action -> unit
+
+type result = {
+  query : Query.t;
+  schemas : (string * Schema.t) list;  (** updated believed schemas *)
+  actions : action list;
+}
+
+val sync_one :
+  Meta_knowledge.t ->
+  Registry.t ->
+  query:Query.t ->
+  schemas:(string * Schema.t) list ->
+  Schema_change.t ->
+  result
+(** Rewrite for one schema change.  @raise Failed when unrewritable. *)
+
+val sync_many :
+  Meta_knowledge.t ->
+  Registry.t ->
+  query:Query.t ->
+  schemas:(string * Schema.t) list ->
+  Schema_change.t list ->
+  result
+(** Fold a whole sequence — the combined synchronization step of merged
+    batch maintenance (Section 5). *)

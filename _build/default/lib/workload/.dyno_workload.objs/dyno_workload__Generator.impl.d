@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Attr Dyno_relational Dyno_sim Float Fmt List Paper_schema Rng Schema Schema_change String Timeline Tuple Update Value

@@ -1,0 +1,1 @@
+lib/workload/paper_schema.ml: Attr Dyno_relational Dyno_source Fmt List Predicate Query Schema Value

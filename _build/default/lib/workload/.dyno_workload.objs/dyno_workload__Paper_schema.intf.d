@@ -1,0 +1,1 @@
+lib/workload/paper_schema.mli: Dyno_relational Dyno_source Query Schema Value

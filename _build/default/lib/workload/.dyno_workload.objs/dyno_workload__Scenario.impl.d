@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Dyno_core Dyno_relational Dyno_sim Dyno_source Dyno_view Eval List Mat_view Paper_schema Query Query_engine Relation Schema Umq Update_msg View_def

@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Dyno_core Dyno_relational Dyno_sim Dyno_source Dyno_view Mat_view Query_engine Relation Umq

@@ -1,0 +1,73 @@
+(** Scenario assembly and execution: glue that builds the whole simulated
+    world (sources, view, engine, workload) and runs the Dyno scheduler
+    over it.  Used by benches, examples and integration tests. *)
+
+open Dyno_relational
+open Dyno_view
+
+type t = {
+  registry : Dyno_source.Registry.t;
+  mk : Dyno_source.Meta_knowledge.t;
+  umq : Umq.t;
+  timeline : Dyno_sim.Timeline.t;
+  engine : Query_engine.t;
+  mv : Mat_view.t;
+  trace : Dyno_sim.Trace.t;
+}
+
+(** [make ~rows ~cost ?track_snapshots ?trace_enabled ~timeline ()] builds
+    the paper's 6-relation world, loads [rows] tuples per relation,
+    materializes the view (free of charge — initialization is not part of
+    any measured experiment) and wires the engine around [timeline]. *)
+let make ~rows ~cost ?(track_snapshots = false) ?(trace_enabled = false)
+    ~timeline () : t =
+  let registry = Paper_schema.build_sources ~rows in
+  let mk = Paper_schema.build_meta () in
+  let umq = Umq.create () in
+  let trace = Dyno_sim.Trace.create ~enabled:trace_enabled () in
+  let engine = Query_engine.create ~trace ~cost ~registry ~timeline ~umq () in
+  let query = Paper_schema.view_query () in
+  let schemas = Paper_schema.view_schemas () in
+  let vd = View_def.create ~schemas query in
+  let mv = Mat_view.create ~track_snapshots vd (Relation.create Schema.empty) in
+  (* Initial materialization, uncharged. *)
+  let env (tr : Query.table_ref) =
+    Dyno_source.Data_source.relation
+      (Dyno_source.Registry.find registry tr.source)
+      tr.rel
+  in
+  Mat_view.replace mv ~at:0.0 ~maintained:[] (Eval.query env query);
+  { registry; mk; umq; timeline; engine; mv; trace }
+
+(** [run t ~strategy] drives the Dyno loop to completion. *)
+let run ?(max_steps = 1_000_000) ?(compensate = true)
+    ?(vm_mode = Dyno_core.Scheduler.Incremental) ?(du_group = 1) (t : t)
+    ~strategy : Dyno_core.Stats.t =
+  Dyno_core.Scheduler.run
+    ~config:
+      { Dyno_core.Scheduler.strategy; max_steps; compensate; vm_mode; du_group }
+    t.engine t.mv t.mk
+
+(** [msg_index t] — message id → (source, source version), for the strong
+    consistency checker. *)
+let msg_index (t : t) =
+  List.map
+    (fun m ->
+      (Update_msg.id m, (Update_msg.source m, Update_msg.source_version m)))
+    (Umq.history t.umq)
+
+let check_convergent (t : t) = Dyno_core.Consistency.convergent t.engine t.mv
+
+let check_strong (t : t) =
+  Dyno_core.Consistency.check_strong t.engine t.mv ~msg_index:(msg_index t)
+
+(** [recompute_extent t] — oracle: the view evaluated over current source
+    states (raises if the definition no longer matches the sources). *)
+let recompute_extent (t : t) =
+  let query = View_def.peek (Mat_view.def t.mv) in
+  let env (tr : Query.table_ref) =
+    Dyno_source.Data_source.relation
+      (Dyno_source.Registry.find t.registry tr.source)
+      tr.rel
+  in
+  Eval.query env query

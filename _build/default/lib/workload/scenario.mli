@@ -1,0 +1,49 @@
+(** Scenario assembly and execution: build the whole simulated world
+    (sources, view, engine, workload) and run the Dyno scheduler over it.
+    Used by benches, examples and integration tests. *)
+
+open Dyno_relational
+open Dyno_view
+
+type t = {
+  registry : Dyno_source.Registry.t;
+  mk : Dyno_source.Meta_knowledge.t;
+  umq : Umq.t;
+  timeline : Dyno_sim.Timeline.t;
+  engine : Query_engine.t;
+  mv : Mat_view.t;
+  trace : Dyno_sim.Trace.t;
+}
+
+val make :
+  rows:int ->
+  cost:Dyno_sim.Cost_model.t ->
+  ?track_snapshots:bool ->
+  ?trace_enabled:bool ->
+  timeline:Dyno_sim.Timeline.t ->
+  unit ->
+  t
+(** Build the paper's 6-relation world, load [rows] tuples per relation,
+    materialize the view (uncharged — initialization is not part of any
+    measured experiment) and wire the engine around the timeline. *)
+
+val run :
+  ?max_steps:int ->
+  ?compensate:bool ->
+  ?vm_mode:Dyno_core.Scheduler.vm_mode ->
+  ?du_group:int ->
+  t ->
+  strategy:Dyno_core.Strategy.t ->
+  Dyno_core.Stats.t
+(** Drive the Dyno loop to completion. *)
+
+val msg_index : t -> (int * (string * int)) list
+(** Message id → (source, source version), for
+    {!Dyno_core.Consistency.check_strong}. *)
+
+val check_convergent : t -> (bool, string) result
+val check_strong : t -> Dyno_core.Consistency.report
+
+val recompute_extent : t -> Relation.t
+(** Oracle: the view evaluated over current source states (raises if the
+    definition no longer matches the sources). *)

@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Attr Catalog Dyno_relational Schema Schema_change Value

@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Attr Consistency Dyno_core Dyno_relational Dyno_sim Dyno_view Dyno_workload Generator List Mat_view Relation Scenario Schema Strategy Tuple Value View_def

@@ -1,0 +1,1 @@
+test/test_depgraph.ml: Alcotest Array Attr Dep_graph Dependency Dyno_core Dyno_relational Dyno_view Fmt Hashtbl List Predicate Query Relation Schema Schema_change Umq Update Update_msg Value

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Attr Dyno_relational Eval Predicate Query Relation Schema Tuple Value

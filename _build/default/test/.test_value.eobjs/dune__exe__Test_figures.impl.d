@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest Dyno_core Dyno_relational Dyno_sim Dyno_workload Float Fmt Generator List Paper_schema Scenario Scheduler Schema_change Stats Strategy Update

@@ -1,0 +1,1 @@
+test/test_predicate_query.ml: Alcotest Attr Dyno_relational List Predicate Query String Tuple Value

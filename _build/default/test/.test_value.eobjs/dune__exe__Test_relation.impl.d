@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Attr Dyno_relational Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Dyno_core Dyno_sim Dyno_workload List Report Stats Strategy Trace

@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Consistency Dyno_core Dyno_relational Dyno_sim Dyno_view Dyno_workload Generator List Paper_schema Scenario Stats Strategy

@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Attr Dyno_relational List Schema String Value

@@ -1,0 +1,1 @@
+test/test_schema_change.ml: Alcotest Attr Dyno_relational Relation Schema Schema_change Tuple Value

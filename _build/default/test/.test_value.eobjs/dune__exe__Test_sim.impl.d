@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Attr Clock Cost_model Dyno_relational Dyno_sim List Relation Rng Schema Timeline Trace Update Value

@@ -1,0 +1,1 @@
+test/test_source.ml: Alcotest Attr Catalog Data_source Dyno_relational Dyno_source List Meta_knowledge Predicate Query Registry Relation Schema Schema_change Tuple Update Value

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Attr Dyno_relational Eval List Query Relation Schema Schema_change Sql Sql_lexer Sql_parser Update Value

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Dyno_relational Fmt List Value

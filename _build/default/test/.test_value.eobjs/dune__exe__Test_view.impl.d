@@ -1,0 +1,1 @@
+test/test_view.ml: Alcotest Attr Dyno_relational Dyno_sim Dyno_source Dyno_view List Mat_view Query Query_engine Relation Schema Schema_change Umq Update Update_msg Value View_def

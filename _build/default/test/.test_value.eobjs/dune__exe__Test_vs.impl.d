@@ -1,0 +1,1 @@
+test/test_vs.ml: Alcotest Attr Data_source Dyno_relational Dyno_source Dyno_vs List Meta_knowledge Predicate Query Registry Schema Schema_change String Value

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Dyno_core Dyno_relational Dyno_sim Dyno_source Dyno_view Dyno_workload Eval Fmt Generator List Paper_schema Printexc Query Relation Scenario Schema Schema_change

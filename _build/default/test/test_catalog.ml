@@ -1,0 +1,86 @@
+(* Unit tests for Catalog: source-local metadata and DDL application. *)
+
+open Dyno_relational
+
+let schema = Schema.of_list [ Attr.int "id"; Attr.string "x" ]
+
+let cat () =
+  let c = Catalog.create () in
+  Catalog.add_relation c "R" schema;
+  Catalog.add_relation c "S" (Schema.of_list [ Attr.int "k" ]);
+  c
+
+let test_basics () =
+  let c = cat () in
+  Alcotest.(check (list string)) "relations" [ "R"; "S" ] (Catalog.relations c);
+  Alcotest.(check bool) "mem" true (Catalog.mem c "R");
+  Alcotest.(check bool) "schema_of" true (Schema.equal schema (Catalog.schema_of c "R"));
+  Alcotest.check_raises "missing" (Catalog.No_such_relation "Z") (fun () ->
+      ignore (Catalog.schema_of c "Z"));
+  Alcotest.check_raises "duplicate add" (Catalog.Relation_exists "R") (fun () ->
+      Catalog.add_relation c "R" schema)
+
+let test_apply_rename_relation () =
+  let c = cat () in
+  Catalog.apply c (Schema_change.Rename_relation { source = "ds"; old_name = "R"; new_name = "R9" });
+  Alcotest.(check bool) "old gone" false (Catalog.mem c "R");
+  Alcotest.(check bool) "new there" true (Catalog.mem c "R9");
+  Alcotest.check_raises "rename onto existing" (Catalog.Relation_exists "S")
+    (fun () ->
+      Catalog.apply c
+        (Schema_change.Rename_relation { source = "ds"; old_name = "R9"; new_name = "S" }))
+
+let test_apply_drop_add_relation () =
+  let c = cat () in
+  Catalog.apply c (Schema_change.Drop_relation { source = "ds"; name = "S" });
+  Alcotest.(check (list string)) "only R" [ "R" ] (Catalog.relations c);
+  Catalog.apply c
+    (Schema_change.Add_relation { source = "ds"; name = "T"; schema });
+  Alcotest.(check bool) "T added" true (Catalog.mem c "T")
+
+let test_apply_attribute_changes () =
+  let c = cat () in
+  Catalog.apply c
+    (Schema_change.Rename_attribute
+       { source = "ds"; rel = "R"; old_name = "x"; new_name = "y" });
+  Alcotest.(check (list string)) "renamed" [ "id"; "y" ]
+    (Schema.names (Catalog.schema_of c "R"));
+  Catalog.apply c
+    (Schema_change.Add_attribute
+       { source = "ds"; rel = "R"; attr = Attr.float "z"; default = Value.float 0.0 });
+  Alcotest.(check (list string)) "added" [ "id"; "y"; "z" ]
+    (Schema.names (Catalog.schema_of c "R"));
+  Catalog.apply c (Schema_change.Drop_attribute { source = "ds"; rel = "R"; attr = "y" });
+  Alcotest.(check (list string)) "dropped" [ "id"; "z" ]
+    (Schema.names (Catalog.schema_of c "R"))
+
+let test_validates () =
+  let c = cat () in
+  Alcotest.(check bool) "good ddl" true
+    (Catalog.validates c
+       (Schema_change.Drop_attribute { source = "ds"; rel = "R"; attr = "x" }));
+  Alcotest.(check bool) "bad ddl" false
+    (Catalog.validates c
+       (Schema_change.Drop_attribute { source = "ds"; rel = "R"; attr = "nope" }));
+  (* validates must not mutate *)
+  Alcotest.(check bool) "x still there" true (Schema.mem (Catalog.schema_of c "R") "x")
+
+let test_copy_isolation () =
+  let c = cat () in
+  let c2 = Catalog.copy c in
+  Catalog.drop_relation c2 "R";
+  Alcotest.(check bool) "original untouched" true (Catalog.mem c "R")
+
+let () =
+  Alcotest.run "catalog"
+    [
+      ( "catalog",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "rename relation" `Quick test_apply_rename_relation;
+          Alcotest.test_case "drop/add relation" `Quick test_apply_drop_add_relation;
+          Alcotest.test_case "attribute changes" `Quick test_apply_attribute_changes;
+          Alcotest.test_case "validates without mutation" `Quick test_validates;
+          Alcotest.test_case "copy isolation" `Quick test_copy_isolation;
+        ] );
+    ]

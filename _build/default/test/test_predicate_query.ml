@@ -1,0 +1,150 @@
+(* Unit tests for Predicate and Query: construction, classification of
+   atoms (local / equijoin / residual), rewriting helpers. *)
+
+open Dyno_relational
+
+let owner (r : Attr.Qualified.t) =
+  (* toy resolution: attributes starting with 'a' belong to alias A,
+     otherwise B *)
+  if String.length (Attr.Qualified.attr r) > 0 && (Attr.Qualified.attr r).[0] = 'a'
+  then "A"
+  else "B"
+
+let test_predicate_eval () =
+  let p = [ Predicate.eq_const "A.ax" (Value.int 5); Predicate.cmp "A.ay" Predicate.Gt (Value.int 1) ] in
+  let resolve (r : Attr.Qualified.t) =
+    match Attr.Qualified.attr r with "ax" -> 0 | "ay" -> 1 | _ -> raise Not_found
+  in
+  let tup = Tuple.of_list [ Value.int 5; Value.int 3 ] in
+  Alcotest.(check bool) "satisfied" true (Predicate.eval resolve p tup);
+  let tup2 = Tuple.of_list [ Value.int 5; Value.int 0 ] in
+  Alcotest.(check bool) "violated" false (Predicate.eval resolve p tup2);
+  Alcotest.(check bool) "empty = TRUE" true (Predicate.eval resolve [] tup2)
+
+let test_all_ops () =
+  let resolve _ = 0 in
+  let tup = Tuple.of_list [ Value.int 5 ] in
+  let check op v expected =
+    Alcotest.(check bool)
+      (Predicate.op_to_string op)
+      expected
+      (Predicate.eval resolve [ Predicate.cmp "x" op (Value.int v) ] tup)
+  in
+  check Predicate.Eq 5 true;
+  check Predicate.Ne 5 false;
+  check Predicate.Lt 6 true;
+  check Predicate.Le 5 true;
+  check Predicate.Gt 4 true;
+  check Predicate.Ge 6 false
+
+let test_partition_by_alias () =
+  let p =
+    [
+      Predicate.eq_const "A.ax" (Value.int 1);
+      Predicate.eq_attr "A.ay" "B.bx";
+      Predicate.eq_attr "ax" "az";
+      (* both resolve to A via owner *)
+    ]
+  in
+  let local, global = Predicate.partition_by_alias owner p in
+  Alcotest.(check int) "local atoms" 2 (List.length local);
+  Alcotest.(check int) "global atoms" 1 (List.length global)
+
+let test_equijoin_pairs () =
+  let p =
+    [
+      Predicate.eq_attr "A.ax" "B.bx";
+      Predicate.cmp "A.ay" Predicate.Lt (Value.int 9);
+      Predicate.atom
+        (Predicate.Ref (Attr.Qualified.of_string "A.ay"))
+        Predicate.Lt
+        (Predicate.Ref (Attr.Qualified.of_string "B.by"));
+    ]
+  in
+  let pairs = Predicate.equijoin_pairs owner p in
+  Alcotest.(check int) "one hash-joinable pair" 1 (List.length pairs)
+
+let test_map_refs () =
+  let p = [ Predicate.eq_attr "A.old" "B.bx" ] in
+  let p' =
+    Predicate.map_refs
+      (fun r ->
+        if String.equal (Attr.Qualified.attr r) "old" then
+          Attr.Qualified.make ?rel:(Attr.Qualified.rel r) "new"
+        else r)
+      p
+  in
+  Alcotest.(check string) "rewritten" "A.new = B.bx" (Predicate.to_string p')
+
+let q () =
+  Query.make ~name:"Q"
+    ~select:[ Query.item "S.a"; Query.item ~as_:"renamed" "T.b" ]
+    ~from:[ Query.table ~alias:"S" "ds1" "R1"; Query.table ~alias:"T" "ds2" "R2" ]
+    ~where:[ Predicate.eq_attr "S.k" "T.k2" ]
+
+let test_query_construction () =
+  Alcotest.(check (list string)) "aliases" [ "S"; "T" ] (Query.aliases (q ()));
+  Alcotest.(check (list string)) "sources in order" [ "ds1"; "ds2" ]
+    (Query.sources (q ()));
+  Alcotest.check_raises "duplicate alias"
+    (Query.Malformed "duplicate alias X")
+    (fun () ->
+      ignore
+        (Query.make ~name:"bad" ~select:[]
+           ~from:[ Query.table ~alias:"X" "a" "R"; Query.table ~alias:"X" "b" "R2" ]
+           ~where:[]));
+  Alcotest.check_raises "empty FROM" (Query.Malformed "empty FROM clause")
+    (fun () -> ignore (Query.make ~name:"bad" ~select:[] ~from:[] ~where:[]))
+
+let test_mentions () =
+  let q = q () in
+  Alcotest.(check bool) "mentions R1@ds1" true
+    (Query.mentions_relation q ~source:"ds1" ~rel:"R1");
+  Alcotest.(check bool) "no R1@ds2" false
+    (Query.mentions_relation q ~source:"ds2" ~rel:"R1");
+  let owner _ = failwith "all refs qualified" in
+  Alcotest.(check bool) "mentions attr k" true
+    (Query.mentions_attribute q ~source:"ds1" ~rel:"R1" ~attr:"k" owner);
+  Alcotest.(check bool) "no attr zz" false
+    (Query.mentions_attribute q ~source:"ds1" ~rel:"R1" ~attr:"zz" owner)
+
+let test_rename_relation () =
+  let q' = Query.rename_relation (q ()) ~source:"ds1" ~old_rel:"R1" ~new_rel:"R1x" in
+  Alcotest.(check bool) "repointed" true
+    (Query.mentions_relation q' ~source:"ds1" ~rel:"R1x");
+  Alcotest.(check bool) "alias kept" true (List.mem "S" (Query.aliases q'))
+
+let test_rename_attribute () =
+  let owner _ = failwith "qualified" in
+  let q' = Query.rename_attribute (q ()) ~alias:"T" ~old_name:"b" ~new_name:"bb" owner in
+  (* select item expr updated, as_name kept *)
+  let item = List.nth (Query.select q') 1 in
+  Alcotest.(check string) "expr renamed" "bb" (Attr.Qualified.attr item.Query.expr);
+  Alcotest.(check string) "as_name survives" "renamed" item.Query.as_name
+
+let test_refs_of_alias () =
+  let owner _ = failwith "qualified" in
+  let refs = Query.refs_of_alias (q ()) "S" owner in
+  Alcotest.(check (list string)) "S uses a and k" [ "a"; "k" ]
+    (List.sort String.compare refs)
+
+let () =
+  Alcotest.run "predicate-query"
+    [
+      ( "predicate",
+        [
+          Alcotest.test_case "conjunction eval" `Quick test_predicate_eval;
+          Alcotest.test_case "all comparison ops" `Quick test_all_ops;
+          Alcotest.test_case "partition by alias" `Quick test_partition_by_alias;
+          Alcotest.test_case "equijoin pair extraction" `Quick test_equijoin_pairs;
+          Alcotest.test_case "reference rewriting" `Quick test_map_refs;
+        ] );
+      ( "query",
+        [
+          Alcotest.test_case "construction/validation" `Quick test_query_construction;
+          Alcotest.test_case "mentions relation/attribute" `Quick test_mentions;
+          Alcotest.test_case "rename relation" `Quick test_rename_relation;
+          Alcotest.test_case "rename attribute" `Quick test_rename_attribute;
+          Alcotest.test_case "refs of alias" `Quick test_refs_of_alias;
+        ] );
+    ]

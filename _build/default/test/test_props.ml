@@ -1,0 +1,570 @@
+(* Property-based tests (qcheck, registered as alcotest cases):
+
+   - algebraic laws of signed-multiset relations, including the linearity
+     that SWEEP compensation and Equation 6 rely on;
+   - Equation 6 equals new-minus-old for arbitrary old/new states;
+   - schema-change delta composition laws;
+   - correction always produces a legal order (Theorem 2) and never loses
+     an update;
+   - the golden end-to-end property: for random mixed workloads, every
+     strategy drives the view to convergence with strong consistency. *)
+
+open Dyno_relational
+
+let schema = Schema.of_list [ Attr.int "k"; Attr.int "v" ]
+let schema_b = Schema.of_list [ Attr.int "k2"; Attr.int "w" ]
+
+(* -- generators ------------------------------------------------------ *)
+
+let gen_relation ?(sch = schema) () =
+  QCheck.Gen.(
+    let tuple =
+      map2 (fun k v -> [ Value.int k; Value.int v ]) (int_range 0 5) (int_range 0 3)
+    in
+    let entry = map2 (fun t c -> (t, c)) tuple (int_range (-3) 3) in
+    map (fun entries -> Relation.of_counted sch entries) (list_size (int_range 0 10) entry))
+
+let arb_relation = QCheck.make (gen_relation ()) ~print:(Fmt.str "%a" Relation.pp)
+
+let arb_relation_b =
+  QCheck.make (gen_relation ~sch:schema_b ()) ~print:(Fmt.str "%a" Relation.pp)
+
+let arb_pos_relation =
+  QCheck.make
+    QCheck.Gen.(map Relation.positive (gen_relation ()))
+    ~print:(Fmt.str "%a" Relation.pp)
+
+(* -- relation algebra -------------------------------------------------- *)
+
+let prop_sum_commutative =
+  QCheck.Test.make ~name:"sum is commutative" ~count:200
+    (QCheck.pair arb_relation arb_relation)
+    (fun (a, b) -> Relation.equal (Relation.sum a b) (Relation.sum b a))
+
+let prop_sum_associative =
+  QCheck.Test.make ~name:"sum is associative" ~count:200
+    (QCheck.triple arb_relation arb_relation arb_relation)
+    (fun (a, b, c) ->
+      Relation.equal
+        (Relation.sum a (Relation.sum b c))
+        (Relation.sum (Relation.sum a b) c))
+
+let prop_diff_self_empty =
+  QCheck.Test.make ~name:"a - a = 0" ~count:200 arb_relation (fun a ->
+      Relation.is_empty (Relation.diff a a))
+
+let prop_negate_distributes =
+  QCheck.Test.make ~name:"-(a+b) = (-a)+(-b)" ~count:200
+    (QCheck.pair arb_relation arb_relation)
+    (fun (a, b) ->
+      Relation.equal
+        (Relation.negate (Relation.sum a b))
+        (Relation.sum (Relation.negate a) (Relation.negate b)))
+
+let prop_pos_neg_decomposition =
+  QCheck.Test.make ~name:"a = pos(a) - neg(a)" ~count:200 arb_relation (fun a ->
+      Relation.equal a (Relation.diff (Relation.positive a) (Relation.negative a)))
+
+let prop_project_preserves_cardinality =
+  QCheck.Test.make ~name:"projection preserves signed cardinality" ~count:200
+    arb_relation (fun a ->
+      Relation.cardinality (Relation.project a [ "v" ]) = Relation.cardinality a)
+
+let join_query =
+  Query.make ~name:"J"
+    ~select:[ Query.item "A.k"; Query.item "A.v"; Query.item "B.w" ]
+    ~from:[ Query.table ~alias:"A" "x" "A"; Query.table ~alias:"B" "x" "B" ]
+    ~where:[ Predicate.eq_attr "A.k" "B.k2" ]
+
+let eval_join a b = Eval.query_assoc [ ("A", a); ("B", b) ] join_query
+
+let prop_join_linearity =
+  QCheck.Test.make ~name:"SPJ queries are linear: J(a+b,c) = J(a,c)+J(b,c)"
+    ~count:200
+    (QCheck.triple arb_relation arb_relation arb_relation_b)
+    (fun (a, b, c) ->
+      Relation.equal (eval_join (Relation.sum a b) c)
+        (Relation.sum (eval_join a c) (eval_join b c)))
+
+(* -- evaluator against a naive reference -------------------------------- *)
+
+(* reference evaluation: full cross product, then filter, then project —
+   no push-down, no hash joins, no binder cleverness *)
+let reference_eval (env : (string * Relation.t) list) (q : Query.t) =
+  let schemas = List.map (fun (a, r) -> (a, Relation.schema r)) env in
+  (* absolute position of alias.attr in the product tuple *)
+  let resolve (r : Attr.Qualified.t) =
+    let alias =
+      match Attr.Qualified.rel r with
+      | Some a -> a
+      | None ->
+          fst
+            (List.find
+               (fun (_, s) -> Schema.mem s (Attr.Qualified.attr r))
+               schemas)
+    in
+    let rec go offset = function
+      | [] -> failwith "alias not found"
+      | (a, s) :: rest ->
+          if String.equal a alias then offset + Schema.index_of s (Attr.Qualified.attr r)
+          else go (offset + Schema.arity s) rest
+    in
+    go 0 schemas
+  in
+  let product =
+    match Query.from q with
+    | [] -> failwith "empty from"
+    | first :: rest ->
+        List.fold_left
+          (fun acc (tr : Query.table_ref) ->
+            Relation.product acc (List.assoc tr.alias env))
+          (List.assoc first.Query.alias env)
+          rest
+  in
+  let filtered =
+    Relation.select (fun t -> Predicate.eval resolve (Query.where q) t) product
+  in
+  let items =
+    List.map
+      (fun (it : Query.select_item) ->
+        let pos = resolve it.Query.expr in
+        let src =
+          Schema.attr_at (Relation.schema product) pos
+        in
+        (pos, Attr.make it.Query.as_name (Attr.ty src)))
+      (Query.select q)
+  in
+  let out_schema = Schema.of_list (List.map snd items) in
+  let idxs = Array.of_list (List.map fst items) in
+  Relation.map_tuples out_schema (fun t -> Tuple.project_idx t idxs) filtered
+
+let prop_eval_matches_reference =
+  QCheck.Test.make ~name:"evaluator = naive product+filter+project" ~count:200
+    (QCheck.pair arb_relation arb_relation_b)
+    (fun (a, b) ->
+      let q =
+        Query.make ~name:"ref"
+          ~select:[ Query.item "A.v"; Query.item "B.w"; Query.item ~as_:"key" "A.k" ]
+          ~from:[ Query.table ~alias:"A" "x" "A"; Query.table ~alias:"B" "x" "B" ]
+          ~where:
+            [
+              Predicate.eq_attr "A.k" "B.k2";
+              Predicate.cmp "B.w" Predicate.Ge (Value.int 1);
+            ]
+      in
+      let env = [ ("A", a); ("B", b) ] in
+      Relation.equal (Eval.query_assoc env q) (reference_eval env q))
+
+(* -- Equation 6 -------------------------------------------------------- *)
+
+let prop_equation6 =
+  QCheck.Test.make ~name:"equation6 = V(new) - V(old)" ~count:200
+    (QCheck.pair
+       (QCheck.pair arb_pos_relation arb_pos_relation)
+       (QCheck.pair
+          (QCheck.make (gen_relation ~sch:schema_b ())
+             ~print:(Fmt.str "%a" Relation.pp))
+          (QCheck.make (gen_relation ~sch:schema_b ())
+             ~print:(Fmt.str "%a" Relation.pp))))
+    (fun ((old_a, new_a), (old_b0, new_b0)) ->
+      let old_b = Relation.positive old_b0 and new_b = Relation.positive new_b0 in
+      let dv =
+        Dyno_va.Adapt.equation6 ~query:join_query
+          ~old_env:[ ("A", old_a); ("B", old_b) ]
+          ~new_env:[ ("A", new_a); ("B", new_b) ]
+      in
+      Relation.equal dv
+        (Relation.diff
+           (eval_join new_a new_b)
+           (eval_join old_a old_b)))
+
+(* -- schema-change delta laws ------------------------------------------ *)
+
+(* derive a random APPLICABLE schema-change sequence by folding random
+   choices over the evolving schema *)
+let gen_sc_seq =
+  QCheck.Gen.(
+    let base = Schema.of_list [ Attr.int "a"; Attr.int "b"; Attr.int "c" ] in
+    map
+      (fun choices ->
+        let _, rev_scs, _ =
+          List.fold_left
+            (fun (sch, acc, fresh) choice ->
+              let names = Schema.names sch in
+              let pick i = List.nth names (i mod List.length names) in
+              match choice mod 3 with
+              | 0 when names <> [] ->
+                  (* rename *)
+                  let o = pick choice in
+                  let n = Fmt.str "n%d" fresh in
+                  ( Schema.rename sch ~old_name:o ~new_name:n,
+                    Schema_change.Rename_attribute
+                      { source = "ds"; rel = "R"; old_name = o; new_name = n }
+                    :: acc,
+                    fresh + 1 )
+              | 1 when List.length names > 1 ->
+                  let o = pick choice in
+                  ( Schema.drop sch o,
+                    Schema_change.Drop_attribute { source = "ds"; rel = "R"; attr = o } :: acc,
+                    fresh )
+              | _ ->
+                  let n = Fmt.str "x%d" fresh in
+                  ( Schema.add sch (Attr.int n),
+                    Schema_change.Add_attribute
+                      { source = "ds"; rel = "R"; attr = Attr.int n; default = Value.int 0 }
+                    :: acc,
+                    fresh + 1 ))
+            (base, [], 0) choices
+        in
+        (base, List.rev rev_scs))
+      (list_size (int_range 0 8) (int_range 0 1000)))
+
+let arb_sc_seq =
+  QCheck.make gen_sc_seq ~print:(fun (_, scs) ->
+      Fmt.str "%a" Fmt.(list ~sep:(any "; ") Schema_change.pp) scs)
+
+let prop_delta_matches_catalog =
+  QCheck.Test.make ~name:"net delta schema = stepwise catalog application"
+    ~count:200 arb_sc_seq (fun (base, scs) ->
+      let d = Schema_change.Delta.of_changes ~source:"ds" ~rel:"R" base scs in
+      let cat = Catalog.create () in
+      Catalog.add_relation cat "R" base;
+      List.iter (Catalog.apply cat) scs;
+      Schema.equal (Schema_change.Delta.apply_schema d base) (Catalog.schema_of cat "R"))
+
+let prop_delta_split_compose =
+  QCheck.Test.make ~name:"of_changes(s1@s2) = compose(of s1, of s2)" ~count:200
+    (QCheck.pair arb_sc_seq QCheck.small_nat)
+    (fun ((base, scs), cut) ->
+      QCheck.assume (scs <> []);
+      let k = cut mod (List.length scs + 1) in
+      let s1 = List.filteri (fun i _ -> i < k) scs in
+      let s2 = List.filteri (fun i _ -> i >= k) scs in
+      let d1 = Schema_change.Delta.of_changes ~source:"ds" ~rel:"R" base s1 in
+      let mid = Schema_change.Delta.apply_schema d1 base in
+      let d2 = Schema_change.Delta.of_changes ~source:"ds" ~rel:"R" mid s2 in
+      let composed = Schema_change.Delta.compose d1 d2 in
+      let folded = Schema_change.Delta.of_changes ~source:"ds" ~rel:"R" base scs in
+      Schema.equal
+        (Schema_change.Delta.apply_schema composed base)
+        (Schema_change.Delta.apply_schema folded base))
+
+let prop_project_tuple_arity =
+  QCheck.Test.make ~name:"projected tuples match the post-delta schema"
+    ~count:200 arb_sc_seq (fun (base, scs) ->
+      let d = Schema_change.Delta.of_changes ~source:"ds" ~rel:"R" base scs in
+      let tup = Tuple.of_list (List.init (Schema.arity base) (fun i -> Value.int i)) in
+      let s' = Schema_change.Delta.apply_schema d base in
+      let t' = Schema_change.Delta.project_tuple d base tup in
+      Schema.typecheck s' t')
+
+(* -- correction legality (Theorem 2) ----------------------------------- *)
+
+let view2 =
+  Query.make ~name:"V"
+    ~select:[ Query.item "A.k"; Query.item "B.k2" ]
+    ~from:[ Query.table ~alias:"A" "ds1" "A"; Query.table ~alias:"B" "ds2" "B" ]
+    ~where:[ Predicate.eq_attr "A.k" "B.k2" ]
+
+let view2_schemas = [ ("A", schema); ("B", schema_b) ]
+
+let gen_msgs =
+  QCheck.Gen.(
+    map
+      (fun choices ->
+        List.mapi
+          (fun id choice ->
+            let source = if choice mod 2 = 0 then "ds1" else "ds2" in
+            let rel = if source = "ds1" then "A" else "B" in
+            let payload =
+              if choice mod 5 = 0 then
+                Dyno_view.Update_msg.Sc
+                  (Schema_change.Rename_relation
+                     { source; old_name = rel; new_name = Fmt.str "%s%d" rel id })
+              else
+                Dyno_view.Update_msg.Du
+                  (Update.make ~source ~rel
+                     (Relation.of_list
+                        (if rel = "A" then schema else schema_b)
+                        [ [ Value.int id; Value.int 0 ] ]))
+            in
+            Dyno_view.Update_msg.make ~id ~commit_time:(float_of_int id)
+              ~source_version:id payload)
+          choices)
+      (list_size (int_range 1 14) (int_range 0 1000)))
+
+let arb_msgs =
+  QCheck.make gen_msgs ~print:(fun msgs ->
+      Fmt.str "%a" Fmt.(list ~sep:(any "; ") Dyno_view.Update_msg.pp) msgs)
+
+let prop_correction_legal =
+  QCheck.Test.make ~name:"corrected order is legal and loses nothing"
+    ~count:300 arb_msgs (fun msgs ->
+      let entries = List.map (fun m -> Dyno_view.Umq.Single m) msgs in
+      let g = Dyno_core.Dep_graph.build view2 view2_schemas entries in
+      let c = Dyno_core.Dep_graph.correct g in
+      (* 1. no update lost or duplicated *)
+      let ids_in l =
+        List.sort compare (List.concat_map Dyno_view.Umq.entry_ids l)
+      in
+      let preserved = ids_in entries = ids_in c.Dyno_core.Dep_graph.order in
+      (* 2. every dependency safe in the new order *)
+      let pos = Hashtbl.create 16 in
+      List.iteri
+        (fun i e ->
+          List.iter
+            (fun m -> Hashtbl.replace pos (Dyno_view.Update_msg.id m) i)
+            (Dyno_view.Umq.entry_messages e))
+        c.Dyno_core.Dep_graph.order;
+      let node_ids =
+        Array.of_list
+          (List.map Dyno_view.Umq.entry_ids (Dyno_core.Dep_graph.nodes g))
+      in
+      let legal =
+        List.for_all
+          (fun (e : Dyno_core.Dependency.edge) ->
+            let p = Hashtbl.find pos (List.hd node_ids.(e.prerequisite)) in
+            let d = Hashtbl.find pos (List.hd node_ids.(e.dependent)) in
+            p <= d)
+          (Dyno_core.Dep_graph.edges g)
+      in
+      (* 3. batch members stay in commit order *)
+      let batches_ordered =
+        List.for_all
+          (function
+            | Dyno_view.Umq.Single _ -> true
+            | Dyno_view.Umq.Batch ms ->
+                let ids = List.map Dyno_view.Update_msg.id ms in
+                ids = List.sort compare ids)
+          c.Dyno_core.Dep_graph.order
+      in
+      preserved && legal && batches_ordered)
+
+(* -- golden end-to-end property ----------------------------------------- *)
+
+let arb_workload =
+  QCheck.make
+    QCheck.Gen.(
+      quad (int_range 1 10000) (int_range 0 18) (int_range 0 3) (int_range 0 2))
+    ~print:(fun (seed, dus, scs, strat) ->
+      Fmt.str "seed=%d dus=%d scs=%d strategy=%d" seed dus scs strat)
+
+let prop_end_to_end =
+  QCheck.Test.make
+    ~name:"random workloads converge with strong consistency (all strategies)"
+    ~count:40 arb_workload (fun (seed, n_dus, n_scs, strat) ->
+      let strategy =
+        match strat with
+        | 0 -> Dyno_core.Strategy.Pessimistic
+        | 1 -> Dyno_core.Strategy.Optimistic
+        | _ -> Dyno_core.Strategy.Merge_all
+      in
+      let timeline =
+        Dyno_workload.Generator.mixed ~rows:10 ~seed ~n_dus ~du_interval:0.2
+          ~sc_start:0.1 ~sc_interval:1.5
+          ~sc_kinds:(Dyno_workload.Generator.drop_then_renames n_scs)
+          ()
+      in
+      let t =
+        Dyno_workload.Scenario.make ~rows:10
+          ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
+          ~track_snapshots:true ~timeline ()
+      in
+      ignore (Dyno_workload.Scenario.run t ~strategy);
+      let convergent =
+        match Dyno_workload.Scenario.check_convergent t with
+        | Ok b -> b
+        | Error _ -> false
+      in
+      let strong =
+        Dyno_core.Consistency.ok (Dyno_workload.Scenario.check_strong t)
+      in
+      convergent && strong)
+
+(* -- versioned-store reconstruction ------------------------------------- *)
+
+(* The strong-consistency checker rests on Data_source.relation_at being
+   exact.  Property: for a random commit history (data updates, attribute
+   renames/drops/adds, relation renames), the reconstruction of every past
+   version equals a forward-replayed mirror captured at commit time. *)
+let prop_snapshot_reconstruction =
+  QCheck.Test.make ~name:"relation_at reconstructs every past version"
+    ~count:60
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 0 15) (int_range 0 1000))
+       ~print:(Fmt.str "%a" Fmt.(Dump.list int)))
+    (fun choices ->
+      let src = Dyno_source.Data_source.create "ds" in
+      Dyno_source.Data_source.add_relation src "R" schema;
+      Dyno_source.Data_source.load src "R"
+        [ [ Value.int 0; Value.int 0 ]; [ Value.int 1; Value.int 1 ] ];
+      (* mirror: (version, rel name, extent copy) *)
+      let capture () =
+        let name =
+          List.hd (Catalog.relations (Dyno_source.Data_source.catalog src))
+        in
+        ( Dyno_source.Data_source.version src,
+          name,
+          Relation.copy (Dyno_source.Data_source.relation src name) )
+      in
+      let mirrors = ref [ capture () ] in
+      let fresh = ref 0 in
+      List.iter
+        (fun choice ->
+          let name =
+            List.hd (Catalog.relations (Dyno_source.Data_source.catalog src))
+          in
+          let sch =
+            Catalog.schema_of (Dyno_source.Data_source.catalog src) name
+          in
+          incr fresh;
+          (try
+             match choice mod 5 with
+             | 0 | 1 ->
+                 (* insert a row valid under the current schema *)
+                 let row =
+                   List.map
+                     (fun a ->
+                       match Attr.ty a with
+                       | Value.Vtype.TInt -> Value.int (choice mod 7)
+                       | _ -> Value.null)
+                     (Schema.attrs sch)
+                 in
+                 ignore
+                   (Dyno_source.Data_source.commit_du src ~time:0.0
+                      (Update.make ~source:"ds" ~rel:name
+                         (Relation.of_list sch [ row ])))
+             | 2 ->
+                 ignore
+                   (Dyno_source.Data_source.commit_sc src ~time:0.0
+                      (Schema_change.Rename_relation
+                         { source = "ds"; old_name = name;
+                           new_name = Fmt.str "R%d" !fresh }))
+             | 3 ->
+                 ignore
+                   (Dyno_source.Data_source.commit_sc src ~time:0.0
+                      (Schema_change.Add_attribute
+                         { source = "ds"; rel = name;
+                           attr = Attr.int (Fmt.str "n%d" !fresh);
+                           default = Value.int 0 }))
+             | _ ->
+                 (* drop the last attribute if more than one remains *)
+                 if Schema.arity sch > 1 then
+                   ignore
+                     (Dyno_source.Data_source.commit_sc src ~time:0.0
+                        (Schema_change.Drop_attribute
+                           { source = "ds"; rel = name;
+                             attr =
+                               Attr.name (Schema.attr_at sch (Schema.arity sch - 1));
+                           }))
+           with Dyno_source.Data_source.Commit_rejected _ -> ());
+          mirrors := capture () :: !mirrors)
+        choices;
+      List.for_all
+        (fun (v, name, expected) ->
+          match Dyno_source.Data_source.relation_at src ~version:v name with
+          | actual -> Relation.equal actual expected
+          | exception _ -> false)
+        !mirrors)
+
+(* -- multi-view golden property ----------------------------------------- *)
+
+let prop_multi_view_end_to_end =
+  QCheck.Test.make
+    ~name:"multi-view: random workloads keep every view consistent" ~count:15
+    (QCheck.make
+       QCheck.Gen.(triple (int_range 1 10000) (int_range 0 12) (int_range 0 2))
+       ~print:(fun (s, d, c) -> Fmt.str "seed=%d dus=%d scs=%d" s d c))
+    (fun (seed, n_dus, n_scs) ->
+      let open Dyno_view in
+      let rows = 8 in
+      let registry = Dyno_workload.Paper_schema.build_sources ~rows in
+      let mk = Dyno_workload.Paper_schema.build_meta () in
+      let umq = Umq.create () in
+      let timeline =
+        Dyno_workload.Generator.mixed ~rows ~seed ~n_dus ~du_interval:0.15
+          ~sc_start:0.1 ~sc_interval:1.0
+          ~sc_kinds:(Dyno_workload.Generator.drop_then_renames n_scs)
+          ()
+      in
+      let engine =
+        Query_engine.create
+          ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
+          ~registry ~timeline ~umq ()
+      in
+      let materialize query schemas =
+        let vd = View_def.create ~schemas query in
+        let mv =
+          Mat_view.create ~track_snapshots:true vd (Relation.create Schema.empty)
+        in
+        let env (tr : Query.table_ref) =
+          Dyno_source.Data_source.relation
+            (Dyno_source.Registry.find registry tr.source)
+            tr.rel
+        in
+        Mat_view.replace mv ~at:0.0 ~maintained:[] (Eval.query env query);
+        mv
+      in
+      let narrow =
+        Query.make ~name:"V2"
+          ~select:[ Query.item "R1.K1"; Query.item "R2.A2" ]
+          ~from:[ Query.table "DS1" "R1"; Query.table "DS1" "R2" ]
+          ~where:[ Predicate.eq_attr "R1.K1" "R2.K2" ]
+      in
+      let mv1 =
+        materialize
+          (Dyno_workload.Paper_schema.view_query ())
+          (Dyno_workload.Paper_schema.view_schemas ())
+      in
+      let mv2 =
+        materialize narrow
+          [
+            ("R1", Dyno_workload.Paper_schema.schema_of_rel 1);
+            ("R2", Dyno_workload.Paper_schema.schema_of_rel 2);
+          ]
+      in
+      let multi = Dyno_core.Multi_scheduler.create [ mv1; mv2 ] in
+      ignore (Dyno_core.Multi_scheduler.run engine multi mk);
+      let msg_index =
+        List.map
+          (fun m ->
+            ( Update_msg.id m,
+              (Update_msg.source m, Update_msg.source_version m) ))
+          (Umq.history umq)
+      in
+      List.for_all
+        (fun mv ->
+          let vd = Mat_view.def mv in
+          (not (View_def.is_valid vd))
+          || (match Dyno_core.Consistency.convergent engine mv with
+             | Ok b -> b
+             | Error _ -> false)
+             && Dyno_core.Consistency.ok
+                  (Dyno_core.Consistency.check_strong engine mv ~msg_index))
+        (Dyno_core.Multi_scheduler.views multi))
+
+let () =
+  let to_alcotest = QCheck_alcotest.to_alcotest in
+  Alcotest.run "properties"
+    [
+      ( "relation algebra",
+        List.map to_alcotest
+          [
+            prop_sum_commutative;
+            prop_sum_associative;
+            prop_diff_self_empty;
+            prop_negate_distributes;
+            prop_pos_neg_decomposition;
+            prop_project_preserves_cardinality;
+            prop_join_linearity;
+            prop_eval_matches_reference;
+          ] );
+      ("equation 6", List.map to_alcotest [ prop_equation6 ]);
+      ( "schema-change deltas",
+        List.map to_alcotest
+          [ prop_delta_matches_catalog; prop_delta_split_compose; prop_project_tuple_arity ] );
+      ("correction", List.map to_alcotest [ prop_correction_legal ]);
+      ( "versioned store",
+        List.map to_alcotest [ prop_snapshot_reconstruction ] );
+      ("end to end", List.map to_alcotest [ prop_end_to_end; prop_multi_view_end_to_end ]);
+    ]

@@ -1,0 +1,268 @@
+(* Integration tests of the full Dyno loop over the paper's 6-relation
+   world: every strategy must drain every workload, converge to the
+   recomputed extent, and keep every committed view state strongly
+   consistent. *)
+
+open Dyno_workload
+open Dyno_core
+
+let cost = Dyno_sim.Cost_model.free
+
+let strategies =
+  [ Strategy.Pessimistic; Strategy.Optimistic; Strategy.Merge_all ]
+
+let run_workload ~rows ~timeline ~strategy () =
+  let t =
+    Scenario.make ~rows ~cost ~track_snapshots:true ~trace_enabled:true
+      ~timeline ()
+  in
+  let stats = Scenario.run t ~strategy in
+  (t, stats)
+
+let assert_converged t =
+  match Scenario.check_convergent t with
+  | Ok true -> ()
+  | Ok false ->
+      Alcotest.failf "view did not converge to recomputed extent@.%a"
+        Dyno_sim.Trace.pp t.Scenario.trace
+  | Error e -> Alcotest.failf "convergence check impossible: %s" e
+
+let assert_strong t =
+  let r = Scenario.check_strong t in
+  if not (Consistency.ok r) then
+    Alcotest.failf "strong consistency violated: %a@.trace:@.%a"
+      Consistency.pp_report r Dyno_sim.Trace.pp t.Scenario.trace
+
+let test_du_only strategy () =
+  let timeline =
+    Generator.mixed ~rows:30 ~seed:42 ~n_dus:40 ~du_interval:0.0
+      ~sc_interval:0.0 ~sc_kinds:[] ()
+  in
+  let t, stats = run_workload ~rows:30 ~timeline ~strategy () in
+  Alcotest.(check int) "40 DUs maintained" 40
+    (stats.Stats.du_maintained + stats.Stats.irrelevant);
+  Alcotest.(check int) "no aborts" 0 stats.Stats.aborts;
+  assert_converged t;
+  assert_strong t
+
+let test_mixed strategy () =
+  let timeline =
+    Generator.mixed ~rows:25 ~seed:7 ~n_dus:30 ~du_interval:0.0
+      ~sc_interval:0.0
+      ~sc_kinds:(Generator.drop_then_renames 4)
+      ()
+  in
+  let t, stats = run_workload ~rows:25 ~timeline ~strategy () in
+  Alcotest.(check bool) "queue drained" true
+    (Dyno_view.Umq.is_empty t.Scenario.umq);
+  ignore stats;
+  assert_converged t;
+  assert_strong t
+
+let test_mixed_spaced strategy () =
+  (* Schema changes spread out in time (nonzero simulated costs so that
+     arrivals interleave with ongoing maintenance). *)
+  let timeline =
+    Generator.mixed ~rows:20 ~seed:11 ~n_dus:25 ~du_interval:0.1
+      ~sc_start:0.5 ~sc_interval:2.0
+      ~sc_kinds:(Generator.drop_then_renames 5)
+      ()
+  in
+  let t =
+    Scenario.make ~rows:20
+      ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
+      ~track_snapshots:true ~trace_enabled:true ~timeline ()
+  in
+  let stats = Scenario.run t ~strategy in
+  ignore stats;
+  assert_converged t;
+  assert_strong t
+
+let test_all_sc_kinds strategy () =
+  let timeline =
+    Generator.mixed ~rows:15 ~seed:3 ~n_dus:20 ~du_interval:0.05
+      ~sc_start:0.2 ~sc_interval:1.0
+      ~sc_kinds:
+        [
+          Generator.Rename_attr;
+          Generator.Add_attr;
+          Generator.Drop_attr;
+          Generator.Rename_rel;
+          Generator.Rename_rel;
+          Generator.Drop_attr;
+        ]
+      ()
+  in
+  let t =
+    Scenario.make ~rows:15
+      ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
+      ~track_snapshots:true ~trace_enabled:true ~timeline ()
+  in
+  let stats = Scenario.run t ~strategy in
+  ignore stats;
+  assert_converged t;
+  assert_strong t
+
+let test_rename_chain strategy () =
+  (* Two renames of the same relation queued together: the second one's
+     name no longer matches the view's stale reference — the case the
+     conservative CD test exists for. *)
+  let timeline =
+    Generator.build ~rows:10 ~seed:5
+      [
+        Generator.At_du 0.0;
+        Generator.At_sc (0.0, Generator.Rename_rel);
+        Generator.At_sc (0.0, Generator.Rename_rel);
+        Generator.At_sc (0.0, Generator.Rename_rel);
+        Generator.At_du 0.0;
+      ]
+  in
+  let t, _stats = run_workload ~rows:10 ~timeline ~strategy () in
+  assert_converged t;
+  assert_strong t
+
+let test_recompute_mode strategy () =
+  (* the naive-recompute baseline must deliver the same correctness *)
+  let timeline =
+    Generator.mixed ~rows:12 ~seed:17 ~n_dus:12 ~du_interval:0.1
+      ~sc_interval:1.5
+      ~sc_kinds:(Generator.drop_then_renames 2)
+      ()
+  in
+  let t =
+    Scenario.make ~rows:12
+      ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
+      ~track_snapshots:true ~trace_enabled:true ~timeline ()
+  in
+  let _stats =
+    Scenario.run ~vm_mode:Dyno_core.Scheduler.Recompute t ~strategy
+  in
+  assert_converged t;
+  assert_strong t
+
+let test_du_grouping strategy () =
+  (* grouped (deferred) DU maintenance must deliver the same final state
+     with fewer view commits *)
+  let mk () =
+    Generator.mixed ~rows:15 ~seed:13 ~n_dus:24 ~du_interval:0.05
+      ~sc_start:0.4 ~sc_interval:1.0
+      ~sc_kinds:(Generator.drop_then_renames 2)
+      ()
+  in
+  let run du_group =
+    let t =
+      Scenario.make ~rows:15
+        ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
+        ~track_snapshots:true ~trace_enabled:true ~timeline:(mk ()) ()
+    in
+    let stats = Scenario.run ~du_group t ~strategy in
+    assert_converged t;
+    assert_strong t;
+    stats
+  in
+  let single = run 1 in
+  let grouped = run 8 in
+  Alcotest.(check bool) "grouping commits less often" true
+    (grouped.Stats.view_commits < single.Stats.view_commits)
+
+(* -- strategy-independent edge cases -------------------------------- *)
+
+let test_view_undefined () =
+  (* dropping a join key (not dispensable, no replacement) leaves the view
+     undefined; later updates are acknowledged and dropped, and the run
+     still terminates cleanly *)
+  let timeline =
+    Dyno_sim.Timeline.of_list
+      [
+        ( 0.0,
+          Dyno_sim.Timeline.Sc
+            (Dyno_relational.Schema_change.Drop_attribute
+               { source = "DS1"; rel = "R1"; attr = "K1" }) );
+      ]
+  in
+  let t =
+    Scenario.make ~rows:8 ~cost ~trace_enabled:true ~timeline ()
+  in
+  (* a DU arriving after the view died *)
+  Dyno_sim.Timeline.schedule t.Scenario.timeline ~time:1.0
+    (Dyno_sim.Timeline.Du
+       (Dyno_relational.Update.insert ~source:"DS2" ~rel:"R3"
+          (Paper_schema.schema_of_rel 3)
+          (Paper_schema.tuple_for 3 0)));
+  let stats = Scenario.run t ~strategy:Strategy.Pessimistic in
+  Alcotest.(check bool) "view undefined" true stats.Stats.view_undefined;
+  Alcotest.(check bool) "queue drained anyway" true
+    (Dyno_view.Umq.is_empty t.Scenario.umq);
+  Alcotest.(check int) "later update dropped" 1 stats.Stats.irrelevant
+
+let test_step_limit () =
+  let timeline =
+    Generator.mixed ~rows:8 ~seed:1 ~n_dus:30 ~du_interval:0.0
+      ~sc_interval:0.0 ~sc_kinds:[] ()
+  in
+  let t = Scenario.make ~rows:8 ~cost ~timeline () in
+  Alcotest.(check bool) "step limit raises" true
+    (match Scenario.run ~max_steps:3 t ~strategy:Strategy.Pessimistic with
+    | _ -> false
+    | exception Dyno_core.Scheduler.Step_limit_exceeded _ -> true)
+
+let test_idle_accounting () =
+  (* spaced updates: maintenance cost excludes waiting *)
+  let timeline =
+    Generator.mixed ~rows:8 ~seed:2 ~n_dus:3 ~du_start:5.0 ~du_interval:10.0
+      ~sc_interval:0.0 ~sc_kinds:[] ()
+  in
+  let t =
+    Scenario.make ~rows:8
+      ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
+      ~timeline ()
+  in
+  let stats = Scenario.run t ~strategy:Strategy.Optimistic in
+  Alcotest.(check bool) "idle time accounted" true (stats.Stats.idle > 20.0);
+  Alcotest.(check bool) "busy excludes idle" true (stats.Stats.busy < 5.0);
+  Alcotest.(check int) "no aborts when spaced" 0 stats.Stats.aborts
+
+let test_spaced_scs_never_abort () =
+  let timeline =
+    Generator.mixed ~rows:8 ~seed:3 ~n_dus:0 ~sc_start:0.0
+      ~sc_interval:10_000.0
+      ~sc_kinds:(Generator.drop_then_renames 3)
+      ()
+  in
+  let t =
+    Scenario.make ~rows:8
+      ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
+      ~track_snapshots:true ~timeline ()
+  in
+  let stats = Scenario.run t ~strategy:Strategy.Optimistic in
+  Alcotest.(check int) "no aborts" 0 stats.Stats.aborts;
+  assert_converged t;
+  assert_strong t
+
+let suite strategy =
+  let n = Strategy.to_string strategy in
+  [
+    Alcotest.test_case (n ^ ": DU-only workload") `Quick (test_du_only strategy);
+    Alcotest.test_case (n ^ ": mixed flood") `Quick (test_mixed strategy);
+    Alcotest.test_case (n ^ ": mixed spaced") `Quick (test_mixed_spaced strategy);
+    Alcotest.test_case (n ^ ": all SC kinds") `Quick (test_all_sc_kinds strategy);
+    Alcotest.test_case (n ^ ": rename chain") `Quick (test_rename_chain strategy);
+    Alcotest.test_case (n ^ ": recompute baseline") `Quick
+      (test_recompute_mode strategy);
+    Alcotest.test_case (n ^ ": grouped DU maintenance") `Quick
+      (test_du_grouping strategy);
+  ]
+
+let () =
+  Alcotest.run "scheduler"
+    (List.map (fun s -> (Strategy.to_string s, suite s)) strategies
+    @ [
+        ( "edge cases",
+          [
+            Alcotest.test_case "view becomes undefined" `Quick test_view_undefined;
+            Alcotest.test_case "step limit" `Quick test_step_limit;
+            Alcotest.test_case "idle accounting" `Quick test_idle_accounting;
+            Alcotest.test_case "spaced SCs never abort" `Quick
+              test_spaced_scs_never_abort;
+          ] );
+      ])

@@ -1,0 +1,112 @@
+(* Unit tests for Dyno_relational.Schema and Attr: construction, lookup,
+   surgery (the primitives schema changes are built from). *)
+
+open Dyno_relational
+
+let s () =
+  Schema.of_list [ Attr.int "id"; Attr.string "name"; Attr.float "price" ]
+
+let test_of_list_rejects_dup () =
+  Alcotest.check_raises "duplicate attr" (Schema.Duplicate_attribute "id")
+    (fun () -> ignore (Schema.of_list [ Attr.int "id"; Attr.string "id" ]))
+
+let test_lookup () =
+  let s = s () in
+  Alcotest.(check int) "arity" 3 (Schema.arity s);
+  Alcotest.(check int) "index id" 0 (Schema.index_of s "id");
+  Alcotest.(check int) "index price" 2 (Schema.index_of s "price");
+  Alcotest.(check bool) "mem" true (Schema.mem s "name");
+  Alcotest.(check bool) "not mem" false (Schema.mem s "bogus");
+  Alcotest.check_raises "missing attr" (Schema.No_such_attribute "bogus")
+    (fun () -> ignore (Schema.index_of s "bogus"));
+  Alcotest.(check bool) "find_opt none" true (Schema.find_opt s "bogus" = None)
+
+let test_project () =
+  let s = s () in
+  let p = Schema.project s [ "price"; "id" ] in
+  Alcotest.(check (list string)) "order preserved as given" [ "price"; "id" ]
+    (Schema.names p)
+
+let test_drop () =
+  let s = s () in
+  let d = Schema.drop s "name" in
+  Alcotest.(check (list string)) "dropped" [ "id"; "price" ] (Schema.names d);
+  Alcotest.check_raises "drop missing" (Schema.No_such_attribute "zz")
+    (fun () -> ignore (Schema.drop s "zz"))
+
+let test_add () =
+  let s = s () in
+  let a = Schema.add s (Attr.bool "active") in
+  Alcotest.(check (list string)) "appended" [ "id"; "name"; "price"; "active" ]
+    (Schema.names a);
+  Alcotest.check_raises "add dup" (Schema.Duplicate_attribute "id") (fun () ->
+      ignore (Schema.add s (Attr.int "id")))
+
+let test_rename () =
+  let s = s () in
+  let r = Schema.rename s ~old_name:"name" ~new_name:"title" in
+  Alcotest.(check (list string)) "renamed" [ "id"; "title"; "price" ]
+    (Schema.names r);
+  (* type preserved *)
+  Alcotest.(check bool) "type kept" true
+    (Attr.ty (Schema.find r "title") = Value.Vtype.TString);
+  Alcotest.check_raises "rename to taken" (Schema.Duplicate_attribute "price")
+    (fun () -> ignore (Schema.rename s ~old_name:"name" ~new_name:"price"));
+  (* renaming to itself is fine *)
+  Alcotest.(check bool) "self rename" true
+    (Schema.equal s (Schema.rename s ~old_name:"id" ~new_name:"id"))
+
+let test_concat_disambiguates () =
+  let a = Schema.of_list [ Attr.int "k"; Attr.string "x" ] in
+  let b = Schema.of_list [ Attr.int "k"; Attr.float "y" ] in
+  let c = Schema.concat a b in
+  Alcotest.(check (list string)) "suffixed" [ "k"; "x"; "k_r"; "y" ]
+    (Schema.names c);
+  (* triple clash: suffix repeats until fresh *)
+  let d = Schema.concat c b in
+  Alcotest.(check int) "arity" 6 (Schema.arity d);
+  Alcotest.(check bool) "all distinct" true
+    (List.length (List.sort_uniq String.compare (Schema.names d)) = 6)
+
+let test_typecheck () =
+  let s = s () in
+  Alcotest.(check bool) "ok" true
+    (Schema.typecheck s [| Value.int 1; Value.string "a"; Value.float 1.0 |]);
+  Alcotest.(check bool) "null ok anywhere" true
+    (Schema.typecheck s [| Value.null; Value.null; Value.null |]);
+  Alcotest.(check bool) "wrong type" false
+    (Schema.typecheck s [| Value.string "x"; Value.string "a"; Value.float 1.0 |]);
+  Alcotest.(check bool) "wrong arity" false
+    (Schema.typecheck s [| Value.int 1 |])
+
+let test_equal_vs_equivalent () =
+  let a = Schema.of_list [ Attr.int "x"; Attr.string "y" ] in
+  let b = Schema.of_list [ Attr.string "y"; Attr.int "x" ] in
+  Alcotest.(check bool) "not equal (order)" false (Schema.equal a b);
+  Alcotest.(check bool) "equivalent (set)" true (Schema.equivalent a b)
+
+let test_qualified_refs () =
+  let q = Attr.Qualified.of_string "I.Author" in
+  Alcotest.(check bool) "rel" true (Attr.Qualified.rel q = Some "I");
+  Alcotest.(check string) "attr" "Author" (Attr.Qualified.attr q);
+  let u = Attr.Qualified.of_string "Price" in
+  Alcotest.(check bool) "unqualified" true (Attr.Qualified.rel u = None);
+  Alcotest.(check string) "roundtrip" "I.Author" (Attr.Qualified.to_string q)
+
+let () =
+  Alcotest.run "schema"
+    [
+      ( "schema",
+        [
+          Alcotest.test_case "duplicate rejection" `Quick test_of_list_rejects_dup;
+          Alcotest.test_case "lookup" `Quick test_lookup;
+          Alcotest.test_case "project" `Quick test_project;
+          Alcotest.test_case "drop" `Quick test_drop;
+          Alcotest.test_case "add" `Quick test_add;
+          Alcotest.test_case "rename" `Quick test_rename;
+          Alcotest.test_case "concat disambiguation" `Quick test_concat_disambiguates;
+          Alcotest.test_case "typecheck" `Quick test_typecheck;
+          Alcotest.test_case "equal vs equivalent" `Quick test_equal_vs_equivalent;
+          Alcotest.test_case "qualified references" `Quick test_qualified_refs;
+        ] );
+    ]

@@ -1,0 +1,176 @@
+(* Unit tests for Schema_change and its net-effect Delta algebra — the
+   Section 5 preprocessing machinery ("rename A to B" then "rename B to C"
+   combines to "rename A to C"; data updates re-projected through schema
+   changes become homogeneous). *)
+
+open Dyno_relational
+
+let schema = Schema.of_list [ Attr.int "a"; Attr.int "b"; Attr.string "c" ]
+
+let delta_of scs = Schema_change.Delta.of_changes ~source:"ds" ~rel:"R" schema scs
+
+let rename_attr o n =
+  Schema_change.Rename_attribute { source = "ds"; rel = "R"; old_name = o; new_name = n }
+
+let drop_attr a = Schema_change.Drop_attribute { source = "ds"; rel = "R"; attr = a }
+
+let add_attr name default =
+  Schema_change.Add_attribute
+    { source = "ds"; rel = "R"; attr = Attr.int name; default }
+
+let test_identity () =
+  let d = delta_of [] in
+  Alcotest.(check bool) "identity" true (Schema_change.Delta.is_identity d);
+  Alcotest.(check bool) "schema unchanged" true
+    (Schema.equal schema (Schema_change.Delta.apply_schema d schema))
+
+let test_rename_chain_collapses () =
+  let d = delta_of [ rename_attr "a" "x"; rename_attr "x" "y" ] in
+  Alcotest.(check bool) "a now named y" true
+    (Schema_change.Delta.current_name d "a" = Some "y");
+  let s' = Schema_change.Delta.apply_schema d schema in
+  Alcotest.(check (list string)) "net rename" [ "y"; "b"; "c" ] (Schema.names s')
+
+let test_rename_then_drop_absorbs () =
+  let d = delta_of [ rename_attr "a" "x"; drop_attr "x" ] in
+  Alcotest.(check bool) "a dropped" true
+    (Schema_change.Delta.current_name d "a" = None);
+  let s' = Schema_change.Delta.apply_schema d schema in
+  Alcotest.(check (list string)) "gone" [ "b"; "c" ] (Schema.names s')
+
+let test_add_then_drop_cancels () =
+  let d = delta_of [ add_attr "z" (Value.int 0); drop_attr "z" ] in
+  Alcotest.(check bool) "back to identity" true (Schema_change.Delta.is_identity d)
+
+let test_add_then_rename () =
+  let d = delta_of [ add_attr "z" (Value.int 7); rename_attr "z" "zz" ] in
+  let s' = Schema_change.Delta.apply_schema d schema in
+  Alcotest.(check (list string)) "added under final name" [ "a"; "b"; "c"; "zz" ]
+    (Schema.names s')
+
+let test_relation_rename_and_drop () =
+  let d =
+    delta_of
+      [ Schema_change.Rename_relation { source = "ds"; old_name = "R"; new_name = "R2" } ]
+  in
+  Alcotest.(check bool) "renamed" true (d.Schema_change.Delta.new_rel = Some "R2");
+  let d2 =
+    Schema_change.Delta.step d
+      (Schema_change.Drop_relation { source = "ds"; name = "R2" })
+  in
+  Alcotest.(check bool) "dropped" true (Schema_change.Delta.dropped_relation d2);
+  (* applying anything to a dropped relation fails *)
+  Alcotest.(check bool) "no further steps" true
+    (match Schema_change.Delta.step d2 (rename_attr "a" "q") with
+    | _ -> false
+    | exception Schema_change.Delta.Inapplicable _ -> true)
+
+let test_inapplicable_steps () =
+  let d = delta_of [] in
+  let trap sc =
+    match Schema_change.Delta.step d sc with
+    | _ -> false
+    | exception Schema_change.Delta.Inapplicable _ -> true
+  in
+  Alcotest.(check bool) "rename missing attr" true (trap (rename_attr "zz" "q"));
+  Alcotest.(check bool) "rename onto existing" true (trap (rename_attr "a" "b"));
+  Alcotest.(check bool) "drop missing" true (trap (drop_attr "zz"));
+  Alcotest.(check bool) "add duplicate" true (trap (add_attr "a" (Value.int 0)));
+  Alcotest.(check bool) "wrong relation name" true
+    (trap (Schema_change.Rename_relation { source = "ds"; old_name = "X"; new_name = "Y" }));
+  Alcotest.(check bool) "wrong source" true
+    (match
+       Schema_change.Delta.step d
+         (Schema_change.Drop_attribute { source = "other"; rel = "R"; attr = "a" })
+     with
+    | _ -> false
+    | exception Schema_change.Delta.Inapplicable _ -> true)
+
+let test_project_tuple_section5 () =
+  (* The paper's §5 example: "insert (3,4)", "drop first attribute",
+     "insert (5)" — the first insert is projected to "(4)". *)
+  let schema2 = Schema.of_list [ Attr.int "a"; Attr.int "b" ] in
+  let d =
+    Schema_change.Delta.of_changes ~source:"ds" ~rel:"R" schema2 [ drop_attr "a" ]
+  in
+  let projected =
+    Schema_change.Delta.project_tuple d schema2 (Tuple.of_list [ Value.int 3; Value.int 4 ])
+  in
+  Alcotest.(check bool) "(3,4) -> (4)" true
+    (Tuple.equal projected (Tuple.of_list [ Value.int 4 ]))
+
+let test_project_tuple_with_default () =
+  let d = delta_of [ drop_attr "b"; add_attr "n" (Value.int 99) ] in
+  let projected =
+    Schema_change.Delta.project_tuple d schema
+      (Tuple.of_list [ Value.int 1; Value.int 2; Value.string "x" ])
+  in
+  Alcotest.(check bool) "(1,2,'x') -> (1,'x',99)" true
+    (Tuple.equal projected (Tuple.of_list [ Value.int 1; Value.string "x"; Value.int 99 ]))
+
+let test_project_delta_reaggregates () =
+  let schema2 = Schema.of_list [ Attr.int "a"; Attr.int "b" ] in
+  let d = Schema_change.Delta.of_changes ~source:"ds" ~rel:"R" schema2 [ drop_attr "a" ] in
+  let rel =
+    Relation.of_list schema2
+      [ [ Value.int 1; Value.int 7 ]; [ Value.int 2; Value.int 7 ] ]
+  in
+  let p = Schema_change.Delta.project_delta d schema2 rel in
+  Alcotest.(check int) "merged under projection" 2
+    (Relation.count p (Tuple.of_list [ Value.int 7 ]))
+
+let test_compose_equals_folded () =
+  let s1 = [ rename_attr "a" "x"; drop_attr "b" ] in
+  (* the second leg must be expressed against the post-s1 schema *)
+  let mid_schema = Schema_change.Delta.apply_schema (delta_of s1) schema in
+  let s2 =
+    [
+      Schema_change.Rename_attribute
+        { source = "ds"; rel = "R"; old_name = "x"; new_name = "y" };
+      Schema_change.Add_attribute
+        { source = "ds"; rel = "R"; attr = Attr.int "w"; default = Value.int 0 };
+    ]
+  in
+  let d1 = delta_of s1 in
+  let d2 = Schema_change.Delta.of_changes ~source:"ds" ~rel:"R" mid_schema s2 in
+  let composed = Schema_change.Delta.compose d1 d2 in
+  let folded = delta_of (s1 @ s2) in
+  Alcotest.(check bool) "compose = fold" true
+    (Schema.equal
+       (Schema_change.Delta.apply_schema composed schema)
+       (Schema_change.Delta.apply_schema folded schema))
+
+let test_destructive_classification () =
+  Alcotest.(check bool) "drop destructive" true
+    (Schema_change.destructive (drop_attr "a"));
+  Alcotest.(check bool) "rename destructive" true
+    (Schema_change.destructive (rename_attr "a" "b2"));
+  Alcotest.(check bool) "add not destructive" false
+    (Schema_change.destructive (add_attr "n" (Value.int 0)));
+  Alcotest.(check bool) "add relation not destructive" false
+    (Schema_change.destructive
+       (Schema_change.Add_relation { source = "ds"; name = "N"; schema }))
+
+let () =
+  Alcotest.run "schema-change"
+    [
+      ( "delta algebra",
+        [
+          Alcotest.test_case "identity" `Quick test_identity;
+          Alcotest.test_case "rename chain collapses" `Quick test_rename_chain_collapses;
+          Alcotest.test_case "rename then drop absorbs" `Quick test_rename_then_drop_absorbs;
+          Alcotest.test_case "add then drop cancels" `Quick test_add_then_drop_cancels;
+          Alcotest.test_case "add then rename" `Quick test_add_then_rename;
+          Alcotest.test_case "relation rename/drop" `Quick test_relation_rename_and_drop;
+          Alcotest.test_case "inapplicable steps rejected" `Quick test_inapplicable_steps;
+          Alcotest.test_case "compose = fold" `Quick test_compose_equals_folded;
+        ] );
+      ( "DU homogenization (Section 5)",
+        [
+          Alcotest.test_case "project tuple (paper example)" `Quick test_project_tuple_section5;
+          Alcotest.test_case "project with added default" `Quick test_project_tuple_with_default;
+          Alcotest.test_case "project delta re-aggregates" `Quick test_project_delta_reaggregates;
+        ] );
+      ( "classification",
+        [ Alcotest.test_case "destructive vs add-only" `Quick test_destructive_classification ] );
+    ]

@@ -1,0 +1,223 @@
+(* Unit tests for Dyno_source.Data_source: autonomous commits, query
+   answering with broken-query detection, metadata validation, and the
+   multi-version snapshot reconstruction that the strong-consistency
+   checker and view adaptation rely on. *)
+
+open Dyno_relational
+open Dyno_source
+
+let schema = Schema.of_list [ Attr.int "k"; Attr.string "v" ]
+
+let fresh () =
+  let s = Data_source.create "ds" in
+  Data_source.add_relation s "R" schema;
+  Data_source.load s "R" [ [ Value.int 1; Value.string "a" ]; [ Value.int 2; Value.string "b" ] ];
+  s
+
+let du ?(rel = "R") rows =
+  Update.make ~source:"ds" ~rel (Relation.of_counted schema rows)
+
+let test_commit_du () =
+  let s = fresh () in
+  let v = Data_source.commit_du s ~time:1.0 (du [ ([ Value.int 3; Value.string "c" ], 1) ]) in
+  Alcotest.(check int) "version bumps" 1 v;
+  Alcotest.(check int) "extent grew" 3 (Relation.cardinality (Data_source.relation s "R"));
+  let v2 =
+    Data_source.commit_du s ~time:2.0 (du [ ([ Value.int 1; Value.string "a" ], -1) ])
+  in
+  Alcotest.(check int) "second version" 2 v2;
+  Alcotest.(check int) "delete applied" 2 (Relation.cardinality (Data_source.relation s "R"))
+
+let test_commit_rejections () =
+  let s = fresh () in
+  let trap u =
+    match Data_source.commit_du s ~time:0.0 u with
+    | _ -> false
+    | exception Data_source.Commit_rejected _ -> true
+  in
+  Alcotest.(check bool) "wrong source" true
+    (trap (Update.make ~source:"other" ~rel:"R" (Relation.create schema)));
+  Alcotest.(check bool) "missing relation" true
+    (trap (Update.make ~source:"ds" ~rel:"ZZ" (Relation.create schema)));
+  let bad_schema = Schema.of_list [ Attr.int "k" ] in
+  Alcotest.(check bool) "schema mismatch" true
+    (trap (Update.make ~source:"ds" ~rel:"R" (Relation.create bad_schema)))
+
+let test_commit_sc_extent_transforms () =
+  let s = fresh () in
+  ignore
+    (Data_source.commit_sc s ~time:1.0
+       (Schema_change.Add_attribute
+          { source = "ds"; rel = "R"; attr = Attr.int "n"; default = Value.int 7 }));
+  let r = Data_source.relation s "R" in
+  Alcotest.(check int) "arity 3" 3 (Schema.arity (Relation.schema r));
+  Relation.iter
+    (fun tup _ ->
+      Alcotest.(check bool) "default filled" true
+        (Value.equal (Tuple.get tup 2) (Value.int 7)))
+    r;
+  ignore
+    (Data_source.commit_sc s ~time:2.0
+       (Schema_change.Drop_attribute { source = "ds"; rel = "R"; attr = "v" }));
+  let r = Data_source.relation s "R" in
+  Alcotest.(check (list string)) "v gone" [ "k"; "n" ] (Schema.names (Relation.schema r));
+  ignore
+    (Data_source.commit_sc s ~time:3.0
+       (Schema_change.Rename_relation { source = "ds"; old_name = "R"; new_name = "Rx" }));
+  Alcotest.(check bool) "renamed extent follows" true
+    (Data_source.relation_opt s "R" = None
+    && Data_source.relation_opt s "Rx" <> None)
+
+let single_table_query ?(attrs = [ "k"; "v" ]) rel =
+  Query.make ~name:"probe"
+    ~select:(List.map (fun a -> Query.item (rel ^ "." ^ a)) attrs)
+    ~from:[ Query.table ~alias:rel "ds" rel ]
+    ~where:[]
+
+let test_answer_and_broken () =
+  let s = fresh () in
+  (match Data_source.answer s (single_table_query "R") ~bound:[] with
+  | Ok ans ->
+      Alcotest.(check int) "2 rows" 2 (Relation.cardinality ans.Data_source.rows);
+      Alcotest.(check int) "scanned" 2 ans.Data_source.scanned
+  | Error _ -> Alcotest.fail "query should succeed");
+  (* missing relation -> broken, not an exception *)
+  (match Data_source.answer s (single_table_query "Nope") ~bound:[] with
+  | Ok _ -> Alcotest.fail "should be broken"
+  | Error b -> Alcotest.(check string) "source" "ds" b.Data_source.source);
+  (* missing attribute -> broken *)
+  ignore
+    (Data_source.commit_sc s ~time:1.0
+       (Schema_change.Drop_attribute { source = "ds"; rel = "R"; attr = "v" }));
+  match Data_source.answer s (single_table_query "R") ~bound:[] with
+  | Ok _ -> Alcotest.fail "dropped attribute should break the query"
+  | Error _ -> ()
+
+let test_answer_with_bound () =
+  let s = fresh () in
+  let bschema = Schema.of_list [ Attr.int "bk" ] in
+  let bound_rel = Relation.of_list bschema [ [ Value.int 1 ] ] in
+  let q =
+    Query.make ~name:"semi"
+      ~select:[ Query.item "R.v" ]
+      ~from:[ Query.table ~alias:"R" "ds" "R"; Query.table ~alias:"B" "ds" "__b" ]
+      ~where:[ Predicate.eq_attr "R.k" "B.bk" ]
+  in
+  match Data_source.answer s q ~bound:[ ("B", bound_rel) ] with
+  | Ok ans -> Alcotest.(check int) "semijoin" 1 (Relation.cardinality ans.Data_source.rows)
+  | Error b -> Alcotest.failf "unexpected break: %a" Data_source.pp_broken b
+
+let test_validate () =
+  let s = fresh () in
+  Alcotest.(check bool) "valid" true
+    (Data_source.validate s (single_table_query "R") = Ok ());
+  Alcotest.(check bool) "missing rel invalid" true
+    (match Data_source.validate s (single_table_query "Zed") with
+    | Error _ -> true
+    | Ok () -> false);
+  ignore
+    (Data_source.commit_sc s ~time:1.0
+       (Schema_change.Drop_attribute { source = "ds"; rel = "R"; attr = "v" }));
+  Alcotest.(check bool) "missing attr invalid" true
+    (match Data_source.validate s (single_table_query "R") with
+    | Error _ -> true
+    | Ok () -> false);
+  Alcotest.(check bool) "narrower query fine" true
+    (Data_source.validate s (single_table_query ~attrs:[ "k" ] "R") = Ok ())
+
+let test_snapshot_reconstruction () =
+  let s = fresh () in
+  (* history: +(3,c) | rename R->R2 | -(1,a) | drop attr v *)
+  ignore (Data_source.commit_du s ~time:1.0 (du [ ([ Value.int 3; Value.string "c" ], 1) ]));
+  ignore
+    (Data_source.commit_sc s ~time:2.0
+       (Schema_change.Rename_relation { source = "ds"; old_name = "R"; new_name = "R2" }));
+  ignore
+    (Data_source.commit_du s ~time:3.0
+       (Update.make ~source:"ds" ~rel:"R2"
+          (Relation.of_counted schema [ ([ Value.int 1; Value.string "a" ], -1) ])));
+  ignore
+    (Data_source.commit_sc s ~time:4.0
+       (Schema_change.Drop_attribute { source = "ds"; rel = "R2"; attr = "v" }));
+  Alcotest.(check int) "4 versions" 4 (Data_source.version s);
+  (* v0: R = {(1,a),(2,b)} *)
+  let r0 = Data_source.relation_at s ~version:0 "R" in
+  Alcotest.(check int) "v0 card" 2 (Relation.cardinality r0);
+  Alcotest.(check int) "v0 arity" 2 (Schema.arity (Relation.schema r0));
+  (* v1: R gains (3,c) *)
+  Alcotest.(check int) "v1 card" 3
+    (Relation.cardinality (Data_source.relation_at s ~version:1 "R"));
+  (* v2: renamed; R absent, R2 present with same data *)
+  Alcotest.(check bool) "v2 R absent" true
+    (match Data_source.relation_at s ~version:2 "R" with
+    | _ -> false
+    | exception Catalog.No_such_relation _ -> true);
+  Alcotest.(check int) "v2 R2 card" 3
+    (Relation.cardinality (Data_source.relation_at s ~version:2 "R2"));
+  (* v3: (1,a) deleted *)
+  Alcotest.(check int) "v3 card" 2
+    (Relation.cardinality (Data_source.relation_at s ~version:3 "R2"));
+  (* v4 = current: narrow schema *)
+  let r4 = Data_source.relation_at s ~version:4 "R2" in
+  Alcotest.(check (list string)) "v4 names" [ "k" ] (Schema.names (Relation.schema r4));
+  (* reconstruction does not corrupt current state *)
+  Alcotest.(check int) "current card still 2" 2
+    (Relation.cardinality (Data_source.relation s "R2"))
+
+let test_registry () =
+  let reg = Registry.create () in
+  let s = fresh () in
+  Registry.register reg s;
+  Alcotest.(check bool) "find" true (Registry.find reg "ds" == s);
+  Alcotest.check_raises "unknown" (Registry.Unknown_source "nope") (fun () ->
+      ignore (Registry.find reg "nope"));
+  (* re-register replaces *)
+  let s2 = Data_source.create "ds" in
+  Registry.register reg s2;
+  Alcotest.(check bool) "replaced" true (Registry.find reg "ds" == s2);
+  Registry.unregister reg "ds";
+  Alcotest.(check bool) "gone" false (Registry.mem reg "ds")
+
+let test_meta_knowledge_rekey () =
+  let mk = Meta_knowledge.create () in
+  Meta_knowledge.mark_dispensable mk ~source:"ds" ~rel:"R" ~attr:"v";
+  Meta_knowledge.rename_relation mk ~source:"ds" ~old_rel:"R" ~new_rel:"R2";
+  Alcotest.(check bool) "old key gone" false
+    (Meta_knowledge.is_dispensable mk ~source:"ds" ~rel:"R" ~attr:"v");
+  Alcotest.(check bool) "new key found" true
+    (Meta_knowledge.is_dispensable mk ~source:"ds" ~rel:"R2" ~attr:"v");
+  Meta_knowledge.rename_attribute mk ~source:"ds" ~rel:"R2" ~old_attr:"v" ~new_attr:"w";
+  Alcotest.(check bool) "attr rekeyed" true
+    (Meta_knowledge.is_dispensable mk ~source:"ds" ~rel:"R2" ~attr:"w");
+  (* save/restore round-trips *)
+  let snap = Meta_knowledge.save mk in
+  Meta_knowledge.rename_relation mk ~source:"ds" ~old_rel:"R2" ~new_rel:"R3";
+  Meta_knowledge.restore mk snap;
+  Alcotest.(check bool) "restored" true
+    (Meta_knowledge.is_dispensable mk ~source:"ds" ~rel:"R2" ~attr:"w")
+
+let () =
+  Alcotest.run "source"
+    [
+      ( "commits",
+        [
+          Alcotest.test_case "data updates" `Quick test_commit_du;
+          Alcotest.test_case "rejections" `Quick test_commit_rejections;
+          Alcotest.test_case "schema-change extent transforms" `Quick
+            test_commit_sc_extent_transforms;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "answer + broken detection" `Quick test_answer_and_broken;
+          Alcotest.test_case "bound partial results" `Quick test_answer_with_bound;
+          Alcotest.test_case "metadata validation" `Quick test_validate;
+        ] );
+      ( "versioning",
+        [ Alcotest.test_case "snapshot reconstruction" `Quick test_snapshot_reconstruction ] );
+      ( "registry & meta knowledge",
+        [
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "meta-knowledge rekey/save/restore" `Quick
+            test_meta_knowledge_rekey;
+        ] );
+    ]

@@ -1,0 +1,202 @@
+(* Unit tests for the view-manager infrastructure: UMQ (flags, reorder
+   invariants, pending-DU index), View_def (read/write/rollback), Mat_view
+   (refresh guard, commit log), Query_engine (delivery order and in-exec
+   broken-query detection). *)
+
+open Dyno_relational
+open Dyno_view
+
+let schema = Schema.of_list [ Attr.int "k" ]
+
+let du_payload k =
+  Update_msg.Du
+    (Update.make ~source:"ds" ~rel:"R" (Relation.of_list schema [ [ Value.int k ] ]))
+
+let sc_payload () =
+  Update_msg.Sc
+    (Schema_change.Rename_relation { source = "ds"; old_name = "R"; new_name = "R2" })
+
+let test_umq_enqueue_and_flags () =
+  let q = Umq.create () in
+  Alcotest.(check bool) "starts empty" true (Umq.is_empty q);
+  let m0 = Umq.enqueue q ~commit_time:0.0 ~source_version:1 (du_payload 1) in
+  Alcotest.(check int) "id 0" 0 (Update_msg.id m0);
+  Alcotest.(check bool) "no SC flag from DU" false (Umq.peek_schema_change_flag q);
+  let _m1 = Umq.enqueue q ~commit_time:1.0 ~source_version:2 (sc_payload ()) in
+  Alcotest.(check bool) "SC sets flag" true (Umq.peek_schema_change_flag q);
+  Alcotest.(check bool) "test-and-clear returns true" true
+    (Umq.test_and_clear_schema_change_flag q);
+  Alcotest.(check bool) "then false" false (Umq.test_and_clear_schema_change_flag q);
+  Alcotest.(check int) "length" 2 (Umq.length q);
+  Alcotest.(check int) "history" 2 (List.length (Umq.history q))
+
+let test_umq_remove_head () =
+  let q = Umq.create () in
+  let m0 = Umq.enqueue q ~commit_time:0.0 ~source_version:1 (du_payload 1) in
+  let m1 = Umq.enqueue q ~commit_time:1.0 ~source_version:2 (du_payload 2) in
+  ignore m1;
+  (match Umq.head q with
+  | Some (Umq.Single m) -> Alcotest.(check int) "head is first" (Update_msg.id m0) (Update_msg.id m)
+  | _ -> Alcotest.fail "expected head");
+  Umq.remove_head q;
+  Alcotest.(check int) "one left" 1 (Umq.length q);
+  (* history survives removal *)
+  Alcotest.(check int) "history intact" 2 (List.length (Umq.history q))
+
+let test_umq_replace_invariant () =
+  let q = Umq.create () in
+  let m0 = Umq.enqueue q ~commit_time:0.0 ~source_version:1 (du_payload 1) in
+  let m1 = Umq.enqueue q ~commit_time:1.0 ~source_version:2 (du_payload 2) in
+  (* legal: reorder *)
+  Umq.replace q [ Umq.Single m1; Umq.Single m0 ];
+  (match Umq.head q with
+  | Some (Umq.Single m) -> Alcotest.(check int) "reordered" 1 (Update_msg.id m)
+  | _ -> Alcotest.fail "head");
+  (* legal: merge into a batch *)
+  Umq.replace q [ Umq.Batch [ m0; m1 ] ];
+  Alcotest.(check int) "merged" 1 (Umq.length q);
+  (* illegal: dropping an update *)
+  Alcotest.(check bool) "dropping update rejected" true
+    (match Umq.replace q [ Umq.Single m0 ] with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_umq_pending_index () =
+  let q = Umq.create () in
+  let _ = Umq.enqueue q ~commit_time:0.0 ~source_version:1 (du_payload 1) in
+  let _ = Umq.enqueue q ~commit_time:1.0 ~source_version:2 (du_payload 2) in
+  let _ = Umq.enqueue q ~commit_time:2.0 ~source_version:3 (sc_payload ()) in
+  let pend = Umq.pending_dus q ~source:"ds" ~rel:"R" in
+  Alcotest.(check int) "two pending DUs (SC not indexed)" 2 (List.length pend);
+  (* in commit order *)
+  (match pend with
+  | [ (a, _); (b, _) ] ->
+      Alcotest.(check bool) "ordered" true (Update_msg.id a < Update_msg.id b)
+  | _ -> Alcotest.fail "expected 2");
+  Umq.remove_head q;
+  Alcotest.(check int) "index follows removal" 1
+    (List.length (Umq.pending_dus q ~source:"ds" ~rel:"R"));
+  Alcotest.(check int) "other rel empty" 0
+    (List.length (Umq.pending_dus q ~source:"ds" ~rel:"Other"))
+
+let view_q () =
+  Query.make ~name:"V"
+    ~select:[ Query.item "R.k" ]
+    ~from:[ Query.table ~alias:"R" "ds" "R" ]
+    ~where:[]
+
+let test_view_def () =
+  let vd = View_def.create ~schemas:[ ("R", schema) ] (view_q ()) in
+  Alcotest.(check int) "version 0" 0 (View_def.version vd);
+  let _q, v = View_def.read vd in
+  Alcotest.(check int) "read version" 0 v;
+  Alcotest.(check int) "reads counted" 1 (View_def.reads vd);
+  let saved = View_def.save vd in
+  View_def.write vd ~schemas:[ ("R", schema) ]
+    (Query.rename_relation (view_q ()) ~source:"ds" ~old_rel:"R" ~new_rel:"R2");
+  Alcotest.(check int) "version bumped" 1 (View_def.version vd);
+  Alcotest.(check bool) "rewritten" true
+    (Query.mentions_relation (View_def.peek vd) ~source:"ds" ~rel:"R2");
+  View_def.restore vd saved;
+  Alcotest.(check bool) "rolled back" true
+    (Query.mentions_relation (View_def.peek vd) ~source:"ds" ~rel:"R");
+  View_def.invalidate vd;
+  Alcotest.(check bool) "invalid" false (View_def.is_valid vd)
+
+let test_mat_view () =
+  let vd = View_def.create ~schemas:[ ("R", schema) ] (view_q ()) in
+  let mv =
+    Mat_view.create ~track_snapshots:true vd (Relation.of_list schema [ [ Value.int 1 ] ])
+  in
+  let delta = Relation.of_counted schema [ ([ Value.int 2 ], 1) ] in
+  Mat_view.refresh mv ~at:1.0 ~maintained:[ 0 ] delta;
+  Alcotest.(check int) "extent grew" 2 (Relation.cardinality (Mat_view.extent mv));
+  Alcotest.(check int) "one commit" 1 (Mat_view.commit_count mv);
+  (match Mat_view.commits mv with
+  | [ c ] ->
+      Alcotest.(check bool) "snapshot taken" true (c.Mat_view.snapshot <> None);
+      Alcotest.(check (list int)) "maintained ids" [ 0 ] c.Mat_view.maintained
+  | _ -> Alcotest.fail "one commit expected");
+  (* deleting a non-existent tuple trips the guard *)
+  let bad = Relation.of_counted schema [ ([ Value.int 99 ], -1) ] in
+  Alcotest.(check bool) "negative refresh trapped" true
+    (match Mat_view.refresh mv ~at:2.0 ~maintained:[ 1 ] bad with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* -- Query_engine: delivery semantics ------------------------------- *)
+
+let make_world () =
+  let src = Dyno_source.Data_source.create "ds" in
+  Dyno_source.Data_source.add_relation src "R" schema;
+  Dyno_source.Data_source.load src "R" [ [ Value.int 1 ] ];
+  let registry = Dyno_source.Registry.create () in
+  Dyno_source.Registry.register registry src;
+  let umq = Umq.create () in
+  let timeline = Dyno_sim.Timeline.create () in
+  let w =
+    Query_engine.create
+      ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
+      ~registry ~timeline ~umq ()
+  in
+  (w, src, timeline, umq)
+
+let test_engine_delivery_before_answer () =
+  let w, _src, timeline, umq = make_world () in
+  (* a DU commits 10ms into the 30ms probe round trip: the answer must
+     include it (Definition 2) and the message must be queued *)
+  Dyno_sim.Timeline.schedule timeline ~time:0.01
+    (Dyno_sim.Timeline.Du
+       (Update.make ~source:"ds" ~rel:"R" (Relation.of_list schema [ [ Value.int 2 ] ])));
+  match Query_engine.execute w (view_q ()) ~bound:[] ~target:"ds" with
+  | Ok ans ->
+      Alcotest.(check int) "answer reflects concurrent commit" 2
+        (Relation.cardinality ans.Dyno_source.Data_source.rows);
+      Alcotest.(check int) "message enqueued" 1 (Umq.length umq)
+  | Error _ -> Alcotest.fail "no break expected"
+
+let test_engine_broken_flag () =
+  let w, _src, timeline, umq = make_world () in
+  Dyno_sim.Timeline.schedule timeline ~time:0.01
+    (Dyno_sim.Timeline.Sc
+       (Schema_change.Drop_relation { source = "ds"; name = "R" }));
+  (match Query_engine.execute w (view_q ()) ~bound:[] ~target:"ds" with
+  | Ok _ -> Alcotest.fail "probe should break"
+  | Error b -> Alcotest.(check string) "reason mentions relation" "ds" b.Dyno_source.Data_source.source);
+  Alcotest.(check bool) "broken flag raised" true (Umq.broken_query_flag umq)
+
+let test_engine_validate () =
+  let w, _src, timeline, _umq = make_world () in
+  Alcotest.(check bool) "valid now" true
+    (Query_engine.validate w (view_q ()) ~target:"ds" = Ok ());
+  Dyno_sim.Timeline.schedule timeline ~time:0.001
+    (Dyno_sim.Timeline.Sc
+       (Schema_change.Rename_relation { source = "ds"; old_name = "R"; new_name = "RX" }));
+  Alcotest.(check bool) "validation catches rename" true
+    (match Query_engine.validate w (view_q ()) ~target:"ds" with
+    | Error _ -> true
+    | Ok () -> false)
+
+let () =
+  Alcotest.run "view"
+    [
+      ( "umq",
+        [
+          Alcotest.test_case "enqueue & flags" `Quick test_umq_enqueue_and_flags;
+          Alcotest.test_case "remove head" `Quick test_umq_remove_head;
+          Alcotest.test_case "replace preserves updates" `Quick test_umq_replace_invariant;
+          Alcotest.test_case "pending-DU index" `Quick test_umq_pending_index;
+        ] );
+      ( "view definition & extent",
+        [
+          Alcotest.test_case "read/write/rollback" `Quick test_view_def;
+          Alcotest.test_case "materialized view" `Quick test_mat_view;
+        ] );
+      ( "query engine",
+        [
+          Alcotest.test_case "commits delivered before answer" `Quick
+            test_engine_delivery_before_answer;
+          Alcotest.test_case "in-exec broken detection" `Quick test_engine_broken_flag;
+          Alcotest.test_case "metadata validation" `Quick test_engine_validate;
+        ] );
+    ]

@@ -1,0 +1,303 @@
+(* Unit tests for view synchronization (VS): every rewriting case of the
+   EVE-style synchronizer, on the paper's BookInfo example world. *)
+
+open Dyno_relational
+open Dyno_source
+
+let retailer = "Retailer"
+let library = "Library"
+let digest = "Digest"
+
+let store_schema = Schema.of_list [ Attr.int "SID"; Attr.string "Store" ]
+
+let item_schema =
+  Schema.of_list
+    [ Attr.int "SID"; Attr.string "Book"; Attr.string "Author"; Attr.float "Price" ]
+
+let catalog_schema =
+  Schema.of_list
+    [ Attr.string "Title"; Attr.string "Publisher"; Attr.string "Review" ]
+
+let storeitems_schema =
+  Schema.of_list
+    [ Attr.string "Store"; Attr.string "Book"; Attr.string "Author"; Attr.float "Price" ]
+
+let readerdigest_schema =
+  Schema.of_list [ Attr.string "Article"; Attr.string "Comments" ]
+
+let registry () =
+  let reg = Registry.create () in
+  let mk_src id rels =
+    let s = Data_source.create id in
+    List.iter (fun (n, sc) -> Data_source.add_relation s n sc) rels;
+    Registry.register reg s
+  in
+  mk_src retailer
+    [ ("Store", store_schema); ("Item", item_schema); ("StoreItems", storeitems_schema) ];
+  mk_src library [ ("Catalog", catalog_schema) ];
+  mk_src digest [ ("ReaderDigest", readerdigest_schema) ];
+  reg
+
+let mk () =
+  let mk = Meta_knowledge.create () in
+  Meta_knowledge.add_rel_replacement mk ~source:retailer ~rel:"Store"
+    {
+      Meta_knowledge.repl_source = retailer;
+      repl_rel = "StoreItems";
+      covers =
+        [
+          ("Store", [ ("Store", "Store") ]);
+          ("Item", [ ("Book", "Book"); ("Author", "Author"); ("Price", "Price") ]);
+        ];
+    };
+  Meta_knowledge.add_attr_replacement mk ~source:library ~rel:"Catalog"
+    ~attr:"Review"
+    {
+      Meta_knowledge.new_source = digest;
+      new_rel = "ReaderDigest";
+      new_attr = "Comments";
+      join_on = [ ("Title", "Article") ];
+      via_alias = Some "R";
+    };
+  Meta_knowledge.mark_dispensable mk ~source:library ~rel:"Catalog" ~attr:"Publisher";
+  mk
+
+let view () =
+  Query.make ~name:"BookInfo"
+    ~select:
+      [
+        Query.item "Store";
+        Query.item "Book";
+        Query.item "I.Author";
+        Query.item "Price";
+        Query.item "Publisher";
+        Query.item "Review";
+      ]
+    ~from:
+      [
+        Query.table ~alias:"S" retailer "Store";
+        Query.table ~alias:"I" retailer "Item";
+        Query.table ~alias:"C" library "Catalog";
+      ]
+    ~where:[ Predicate.eq_attr "S.SID" "I.SID"; Predicate.eq_attr "I.Book" "C.Title" ]
+
+let schemas () = [ ("S", store_schema); ("I", item_schema); ("C", catalog_schema) ]
+
+let sync sc =
+  Dyno_vs.Synchronizer.sync_one (mk ()) (registry ()) ~query:(view ())
+    ~schemas:(schemas ()) sc
+
+let test_rename_relation () =
+  let r =
+    sync (Schema_change.Rename_relation
+            { source = library; old_name = "Catalog"; new_name = "Cat2" })
+  in
+  Alcotest.(check bool) "repointed" true
+    (Query.mentions_relation r.Dyno_vs.Synchronizer.query ~source:library ~rel:"Cat2");
+  Alcotest.(check bool) "select list untouched" true
+    (List.length (Query.select r.Dyno_vs.Synchronizer.query) = 6)
+
+let test_rename_relation_unrelated () =
+  let r =
+    sync (Schema_change.Rename_relation
+            { source = retailer; old_name = "StoreItems"; new_name = "SI2" })
+  in
+  Alcotest.(check bool) "no effect" true
+    (r.Dyno_vs.Synchronizer.actions = [ Dyno_vs.Synchronizer.No_effect ])
+
+let test_rename_attribute () =
+  let r =
+    sync (Schema_change.Rename_attribute
+            { source = retailer; rel = "Item"; old_name = "Price"; new_name = "Cost" })
+  in
+  let q = r.Dyno_vs.Synchronizer.query in
+  (* select item expr follows the rename, output name (as_name) survives *)
+  let item =
+    List.find
+      (fun (it : Query.select_item) -> String.equal it.Query.as_name "Price")
+      (Query.select q)
+  in
+  Alcotest.(check string) "expr renamed" "Cost" (Attr.Qualified.attr item.Query.expr);
+  (* believed schema updated *)
+  let s = List.assoc "I" r.Dyno_vs.Synchronizer.schemas in
+  Alcotest.(check bool) "schema tracked" true (Schema.mem s "Cost" && not (Schema.mem s "Price"))
+
+let test_rename_join_attribute () =
+  let r =
+    sync (Schema_change.Rename_attribute
+            { source = library; rel = "Catalog"; old_name = "Title"; new_name = "Name" })
+  in
+  let q = r.Dyno_vs.Synchronizer.query in
+  Alcotest.(check bool) "join predicate rewritten" true
+    (List.exists
+       (fun (a : Predicate.atom) ->
+         String.equal (Predicate.to_string [ a ]) "I.Book = C.Name")
+       (Query.where q))
+
+let test_add_attribute_tracked () =
+  let r =
+    sync (Schema_change.Add_attribute
+            { source = library; rel = "Catalog"; attr = Attr.int "Year";
+              default = Value.int 0 })
+  in
+  Alcotest.(check bool) "query untouched" true
+    (Query.to_string r.Dyno_vs.Synchronizer.query = Query.to_string (view ()));
+  let s = List.assoc "C" r.Dyno_vs.Synchronizer.schemas in
+  Alcotest.(check bool) "believed schema grew" true (Schema.mem s "Year")
+
+let test_drop_unused_attribute () =
+  (* Item.SID is used (join) but Catalog has no unused column in the view…
+     add one via believed schema: drop a column the view never reads *)
+  let wide = Schema.add catalog_schema (Attr.int "Extra") in
+  let r =
+    Dyno_vs.Synchronizer.sync_one (mk ()) (registry ()) ~query:(view ())
+      ~schemas:[ ("S", store_schema); ("I", item_schema); ("C", wide) ]
+      (Schema_change.Drop_attribute { source = library; rel = "Catalog"; attr = "Extra" })
+  in
+  Alcotest.(check bool) "query untouched" true
+    (Query.to_string r.Dyno_vs.Synchronizer.query = Query.to_string (view ()));
+  Alcotest.(check bool) "schema narrowed" true
+    (not (Schema.mem (List.assoc "C" r.Dyno_vs.Synchronizer.schemas) "Extra"))
+
+let test_drop_dispensable () =
+  let r =
+    sync (Schema_change.Drop_attribute
+            { source = library; rel = "Catalog"; attr = "Publisher" })
+  in
+  let q = r.Dyno_vs.Synchronizer.query in
+  Alcotest.(check int) "select list shrank" 5 (List.length (Query.select q));
+  Alcotest.(check bool) "Publisher gone" true
+    (not
+       (List.exists
+          (fun (it : Query.select_item) -> String.equal it.Query.as_name "Publisher")
+          (Query.select q)))
+
+let test_drop_with_attr_replacement () =
+  (* Query (4): Review replaced by ReaderDigest.Comments *)
+  let r =
+    sync (Schema_change.Drop_attribute
+            { source = library; rel = "Catalog"; attr = "Review" })
+  in
+  let q = r.Dyno_vs.Synchronizer.query in
+  Alcotest.(check bool) "ReaderDigest joined in" true
+    (Query.mentions_relation q ~source:digest ~rel:"ReaderDigest");
+  let item =
+    List.find
+      (fun (it : Query.select_item) -> String.equal it.Query.as_name "Review")
+      (Query.select q)
+  in
+  Alcotest.(check string) "R.Comments AS Review" "Comments"
+    (Attr.Qualified.attr item.Query.expr);
+  Alcotest.(check bool) "join condition added" true
+    (List.exists
+       (fun (a : Predicate.atom) ->
+         String.equal (Predicate.to_string [ a ]) "C.Title = R.Article")
+       (Query.where q));
+  (* believed schema for the new alias came from the replacement source *)
+  Alcotest.(check bool) "R schema bound" true
+    (List.mem_assoc "R" r.Dyno_vs.Synchronizer.schemas)
+
+let test_drop_relation_with_collapse () =
+  (* Query (3): Store & Item collapse into StoreItems; the SID join is
+     internalized and disappears *)
+  let r =
+    sync (Schema_change.Drop_relation { source = retailer; name = "Store" })
+  in
+  let q = r.Dyno_vs.Synchronizer.query in
+  Alcotest.(check int) "two relations left" 2 (List.length (Query.from q));
+  Alcotest.(check bool) "StoreItems in" true
+    (Query.mentions_relation q ~source:retailer ~rel:"StoreItems");
+  Alcotest.(check bool) "SID join dropped" true
+    (not
+       (List.exists
+          (fun (a : Predicate.atom) ->
+            List.exists
+              (fun (rf : Attr.Qualified.t) ->
+                String.equal (Attr.Qualified.attr rf) "SID")
+              (Predicate.refs [ a ]))
+          (Query.where q)));
+  Alcotest.(check bool) "book join survives" true
+    (List.exists
+       (fun (a : Predicate.atom) ->
+         String.equal (Predicate.to_string [ a ]) "S.Book = C.Title")
+       (Query.where q));
+  (* dropping Item afterwards has no further effect *)
+  let r2 =
+    Dyno_vs.Synchronizer.sync_one (mk ()) (registry ())
+      ~query:q ~schemas:r.Dyno_vs.Synchronizer.schemas
+      (Schema_change.Drop_relation { source = retailer; name = "Item" })
+  in
+  Alcotest.(check bool) "second drop no-effect" true
+    (r2.Dyno_vs.Synchronizer.actions = [ Dyno_vs.Synchronizer.No_effect ])
+
+let test_drop_without_replacement_fails () =
+  Alcotest.(check bool) "no rewriting -> Failed" true
+    (match
+       sync (Schema_change.Drop_attribute
+               { source = retailer; rel = "Item"; attr = "Author" })
+     with
+    | _ -> false
+    | exception Dyno_vs.Synchronizer.Failed _ -> true);
+  Alcotest.(check bool) "dropped relation without replacement" true
+    (match
+       sync (Schema_change.Drop_relation { source = library; name = "Catalog" })
+     with
+    | _ -> false
+    | exception Dyno_vs.Synchronizer.Failed _ -> true)
+
+let test_drop_join_attr_dispensable_fails () =
+  (* a dispensable attribute used in a join condition cannot be silently
+     dropped *)
+  let mk2 = mk () in
+  Meta_knowledge.mark_dispensable mk2 ~source:library ~rel:"Catalog" ~attr:"Title";
+  Alcotest.(check bool) "join attr drop fails" true
+    (match
+       Dyno_vs.Synchronizer.sync_one mk2 (registry ()) ~query:(view ())
+         ~schemas:(schemas ())
+         (Schema_change.Drop_attribute
+            { source = library; rel = "Catalog"; attr = "Title" })
+     with
+    | _ -> false
+    | exception Dyno_vs.Synchronizer.Failed _ -> true)
+
+let test_sync_many_cyclic_pair () =
+  (* the Section 3.5 pair: remapping + drop Review — combined rewriting
+     must produce Query (5): StoreItems ⋈ Catalog ⋈ ReaderDigest *)
+  let r =
+    Dyno_vs.Synchronizer.sync_many (mk ()) (registry ()) ~query:(view ())
+      ~schemas:(schemas ())
+      [
+        Schema_change.Drop_relation { source = retailer; name = "Store" };
+        Schema_change.Drop_relation { source = retailer; name = "Item" };
+        Schema_change.Drop_attribute { source = library; rel = "Catalog"; attr = "Review" };
+      ]
+  in
+  let q = r.Dyno_vs.Synchronizer.query in
+  Alcotest.(check int) "three relations" 3 (List.length (Query.from q));
+  Alcotest.(check bool) "StoreItems" true
+    (Query.mentions_relation q ~source:retailer ~rel:"StoreItems");
+  Alcotest.(check bool) "ReaderDigest" true
+    (Query.mentions_relation q ~source:digest ~rel:"ReaderDigest")
+
+let () =
+  Alcotest.run "vs"
+    [
+      ( "synchronizer",
+        [
+          Alcotest.test_case "rename relation" `Quick test_rename_relation;
+          Alcotest.test_case "rename of unrelated relation" `Quick test_rename_relation_unrelated;
+          Alcotest.test_case "rename attribute (select)" `Quick test_rename_attribute;
+          Alcotest.test_case "rename attribute (join)" `Quick test_rename_join_attribute;
+          Alcotest.test_case "add attribute tracked" `Quick test_add_attribute_tracked;
+          Alcotest.test_case "drop unused attribute" `Quick test_drop_unused_attribute;
+          Alcotest.test_case "drop dispensable attribute" `Quick test_drop_dispensable;
+          Alcotest.test_case "drop with replacement (Query 4)" `Quick
+            test_drop_with_attr_replacement;
+          Alcotest.test_case "drop relation with collapse (Query 3)" `Quick
+            test_drop_relation_with_collapse;
+          Alcotest.test_case "unrewritable drops fail" `Quick test_drop_without_replacement_fails;
+          Alcotest.test_case "dispensable join attribute fails" `Quick
+            test_drop_join_attr_dispensable_fails;
+          Alcotest.test_case "combined rewriting (Query 5)" `Quick test_sync_many_cyclic_pair;
+        ] );
+    ]
