@@ -118,7 +118,7 @@ let run_cmd =
             (Dyno_source.Registry.find t.Scenario.registry tr.source)
             tr.rel
         in
-        Mat_view.replace mv2 ~at:0.0 ~maintained:[] (Eval.query env narrow);
+        Mat_view.replace mv2 ~at:0.0 ~maintained:[] (Eval.run ~catalog:env narrow);
         let m = Multi_scheduler.create [ t.Scenario.mv; mv2 ] in
         let stats =
           Multi_scheduler.run
@@ -284,7 +284,7 @@ let sql_cmd =
                   tr.rel
               in
               Dyno_view.Mat_view.replace m ~at:0.0 ~maintained:[]
-                (Eval.query env q);
+                (Eval.run ~catalog:env q);
               mv := Some m
         end
         else
@@ -306,9 +306,9 @@ let sql_cmd =
                     Dyno_source.Data_source.load_counted
                       (Dyno_source.Registry.find registry source)
                       rel
-                      (List.map
-                         (fun (t, c) -> (Array.to_list t, c))
-                         (Relation.to_counted (Update.delta u)))
+                      (Relation.fold
+                         (fun t c acc -> (Array.to_list t, c) :: acc)
+                         (Update.delta u) [])
                   else begin
                     Dyno_sim.Timeline.schedule timeline ~time:!next_time
                       (Dyno_sim.Timeline.Du u);

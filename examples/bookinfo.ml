@@ -116,7 +116,10 @@ let storeitems_rows registry =
       ~where:[ Predicate.eq_attr "S.SID" "I.SID" ]
   in
   let env (tr : Query.table_ref) = Dyno_source.Data_source.relation r tr.rel in
-  Relation.to_list (Eval.query env q) |> List.map Array.to_list
+  Relation.fold
+    (fun t c acc ->
+      if c > 0 then List.init c (fun _ -> Array.to_list t) @ acc else acc)
+    (Eval.run ~catalog:env q) []
 
 (** Build the whole world: three sources loaded, meta knowledge, view
     materialized, engine wired to [timeline]. *)
@@ -175,7 +178,7 @@ let make ?(cost = Dyno_sim.Cost_model.free) ?(trace_enabled = true)
       (Dyno_source.Registry.find registry tr.source)
       tr.rel
   in
-  Mat_view.replace mv ~at:0.0 ~maintained:[] (Eval.query env (view_query ()));
+  Mat_view.replace mv ~at:0.0 ~maintained:[] (Eval.run ~catalog:env (view_query ()));
   { registry; mk; umq; timeline; engine; mv; trace }
 
 (* The schema changes of Example 1.b / Figure 2: the designer retunes the

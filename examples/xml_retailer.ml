@@ -102,7 +102,7 @@ let () =
   let env (tr : Query.table_ref) =
     Data_source.relation (Registry.find registry tr.source) tr.rel
   in
-  Mat_view.replace mv ~at:0.0 ~maintained:[] (Eval.query env view);
+  Mat_view.replace mv ~at:0.0 ~maintained:[] (Eval.run ~catalog:env view);
   Fmt.pr "%a@.%a@." Sql.pp_view view Sql.pp_relation_table (Mat_view.extent mv);
 
   Bookinfo.section "Documents change + the mapping is retuned mid-flight";

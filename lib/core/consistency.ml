@@ -57,7 +57,7 @@ let convergent (w : Query_engine.t) (mv : Mat_view.t) :
         | None ->
             raise (Eval.Error (Fmt.str "missing %s@%s" tr.rel tr.source))
       in
-      let expected = Eval.query env q in
+      let expected = Eval.run ~planner:(Query_engine.planner w) ~catalog:env q in
       Ok (Relation.equal expected (Mat_view.extent mv))
     with Eval.Error e -> Error e
 
@@ -99,7 +99,9 @@ let check_strong (w : Query_engine.t) (mv : Mat_view.t)
               in
               Dyno_source.Data_source.relation_at s ~version:v tr.rel
             in
-            let expected = Eval.query env q in
+            let expected =
+              Eval.run ~planner:(Query_engine.planner w) ~catalog:env q
+            in
             if not (Relation.equal expected extent) then
               mismatches :=
                 {

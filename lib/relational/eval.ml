@@ -1,12 +1,16 @@
 (** SPJ query evaluation over signed-multiset relations.
 
-    The evaluator binds each FROM entry to a relation supplied by an
-    environment, performs a left-deep pipeline of hash equi-joins with
-    selection push-down, applies residual predicates, and projects the
-    select list.  It is deliberately free of any source/distribution
-    concerns — the distributed decomposition lives in [Dyno_vm]; this module
-    is also what each simulated {e source server} runs locally to answer
-    maintenance queries. *)
+    The evaluator binds each FROM entry to a relation supplied by a
+    {!catalog}, performs a left-deep join pipeline with selection
+    push-down, applies residual predicates, and projects the select list.
+    {!run} is the single entry point; its [?planner] selects the physical
+    plan: [`Indexed] (default) probes persistent hash indexes on base
+    relations for equi-joins and constant-equality selections, falling
+    back to ephemeral hash joins; [`Nested_loop] forces the quadratic
+    reference plan.  The module is deliberately free of any
+    source/distribution concerns — the distributed decomposition lives in
+    [Dyno_vm]; this module is also what each simulated {e source server}
+    runs locally to answer maintenance queries. *)
 
 exception Error of string
 
@@ -118,12 +122,69 @@ let positional_join left right (pairs : (int * int) list) =
     stream;
   out
 
-(** [query env q] evaluates [q], resolving each FROM entry with
-    [env : table_ref -> Relation.t].
+(* Positional nested-loop join: every pair of tuples compared on the key
+   positions, no hashing, no index — the O(n·m) reference plan the planner
+   falls back to and the baseline the micro-benchmarks measure the indexed
+   plans against.  Materializes only matches (never the full product). *)
+let nested_loop_join left right (pairs : (int * int) list) =
+  let lpos = Array.of_list (List.map fst pairs) in
+  let rpos = Array.of_list (List.map snd pairs) in
+  let n = Array.length lpos in
+  let schema' = Schema.concat (Relation.schema left) (Relation.schema right) in
+  let out = Relation.create schema' in
+  Relation.iter
+    (fun ta ca ->
+      Relation.iter
+        (fun tb cb ->
+          let rec matches i =
+            i >= n
+            || Value.equal (Tuple.get ta lpos.(i)) (Tuple.get tb rpos.(i))
+               && matches (i + 1)
+          in
+          if matches 0 then Relation.add out (Tuple.concat ta tb) (ca * cb))
+        right)
+    left;
+  out
+
+type plan = [ `Indexed | `Nested_loop ]
+
+type catalog = Query.table_ref -> Relation.t
+
+let catalog (env : (string * Relation.t) list) : catalog =
+ fun tr ->
+  match List.assoc_opt tr.alias env with
+  | Some r -> r
+  | None -> err "no relation bound for alias %s" tr.alias
+
+(* Split positional local atoms into constant-equality conjuncts (usable
+   as an index key) and the rest. *)
+let split_const_eqs res (atoms : Predicate.atom list) =
+  List.fold_right
+    (fun (a : Predicate.atom) (eqs, rest) ->
+      match (a.op, a.lhs, a.rhs) with
+      | Predicate.Eq, Predicate.Ref r, Predicate.Const v
+      | Predicate.Eq, Predicate.Const v, Predicate.Ref r ->
+          ((res r, v) :: eqs, rest)
+      | _ -> (eqs, a :: rest))
+    atoms ([], [])
+
+(** [run ?planner ~catalog q] — the single query entry point: evaluates
+    [q], resolving each FROM entry through [catalog].
+
+    [`Indexed] (the default) performs equality-conjunct analysis on the
+    WHERE clause: equi-join steps against a base relation probe a
+    {e persistent} hash index registered on that relation
+    ({!Relation.ensure_index_pos} — built once, maintained incrementally,
+    reused across queries), constant-equality selections on a base
+    relation become index lookups, and everything else falls back to
+    ephemeral hash joins.  [`Nested_loop] forces the quadratic
+    compare-everything plan — the reference the property tests hold the
+    indexed plans to.
+
     @raise Error on binding or resolution failure. *)
-let query (env : Query.table_ref -> Relation.t) (q : Query.t) =
+let run ?(planner : plan = `Indexed) ~(catalog : catalog) (q : Query.t) =
   let tables =
-    List.map (fun (tr : Query.table_ref) -> (tr, env tr)) (Query.from q)
+    List.map (fun (tr : Query.table_ref) -> (tr, catalog tr)) (Query.from q)
   in
   let schemas =
     List.map (fun ((tr : Query.table_ref), r) -> (tr.alias, Relation.schema r)) tables
@@ -144,32 +205,92 @@ let query (env : Query.table_ref -> Relation.t) (q : Query.t) =
         | _ -> true)
       global
   in
-  (* Per-alias selection push-down. *)
-  let filter_local (tr : Query.table_ref) rel =
-    let mine =
-      List.filter
-        (fun (a : Predicate.atom) ->
-          List.exists
-            (fun (r : Attr.Qualified.t) ->
-              let al = match Attr.Qualified.rel r with Some x -> x | None -> owner r in
-              String.equal al tr.alias)
-            (Predicate.refs [ a ]))
-        local
-    in
+  (* Local (single-alias) atoms of a FROM entry, and their positional
+     evaluation within that entry's own schema. *)
+  let local_atoms (tr : Query.table_ref) =
+    List.filter
+      (fun (a : Predicate.atom) ->
+        List.exists
+          (fun (r : Attr.Qualified.t) ->
+            let al = match Attr.Qualified.rel r with Some x -> x | None -> owner r in
+            String.equal al tr.alias)
+          (Predicate.refs [ a ]))
+      local
+  in
+  let local_res (tr : Query.table_ref) r =
+    resolve_in_alias binder tr.alias (Attr.Qualified.attr r)
+  in
+  (* Per-alias selection push-down.  Under [`Indexed], constant-equality
+     conjuncts become one index lookup instead of a scan. *)
+  let materialize ((tr : Query.table_ref), rel) =
+    let mine = local_atoms tr in
     if mine = [] then rel
     else
-      let res r = resolve_in_alias binder tr.alias (Attr.Qualified.attr r) in
-      Relation.select (fun t -> Predicate.eval res mine t) rel
+      let res = local_res tr in
+      match planner with
+      | `Nested_loop -> Relation.select (fun t -> Predicate.eval res mine t) rel
+      | `Indexed -> (
+          match split_const_eqs res mine with
+          | [], _ -> Relation.select (fun t -> Predicate.eval res mine t) rel
+          | eqs, rest ->
+              let ix =
+                Relation.ensure_index_pos rel
+                  (Array.of_list (List.map fst eqs))
+              in
+              let key = Tuple.of_list (List.map snd eqs) in
+              let out = Relation.create (Relation.schema rel) in
+              Index.iter_matches ix key (fun t c ->
+                  if rest = [] || Predicate.eval res rest t then
+                    Relation.add out t c);
+              out)
+  in
+  (* Predicate closure over a FROM entry's own tuples, for filtering index
+     matches without materializing the filtered extent. *)
+  let local_pred (tr : Query.table_ref) =
+    match local_atoms tr with
+    | [] -> None
+    | mine ->
+        let res = local_res tr in
+        Some (fun t -> Predicate.eval res mine t)
+  in
+  (* One join step streaming [stream] against the persistent index of the
+     pristine base [raw]: each stream tuple's key is probed, matches are
+     filtered by the base's local predicate on the fly.  Output tuple
+     order stays (left, right) = (accumulated, new). *)
+  let index_probe ~stream ~stream_pos ~raw ~raw_pos ~raw_pred ~raw_is_left out =
+    let ix = Relation.ensure_index_pos raw raw_pos in
+    Relation.iter
+      (fun ts cs ->
+        let key = Tuple.project_idx ts stream_pos in
+        Index.iter_matches ix key (fun ti ci ->
+            if match raw_pred with None -> true | Some p -> p ti then
+              let tup =
+                if raw_is_left then Tuple.concat ti ts else Tuple.concat ts ti
+              in
+              Relation.add out tup (cs * ci)))
+      stream
   in
   let joined =
     match tables with
     | [] -> err "empty FROM"
-    | (tr0, r0) :: rest ->
-        let acc = ref (filter_local tr0 r0) in
+    | ((tr0 : Query.table_ref), r0) :: rest ->
+        (* [acc] is the materialized intermediate; until the first join
+           consumes it, the leftmost base stays pristine so its persistent
+           index remains usable. *)
+        let acc = ref None in
+        let pristine = ref (Some ((tr0 : Query.table_ref), r0)) in
+        let acc_mat () =
+          match !acc with
+          | Some m -> m
+          | None ->
+              let m = materialize (tr0, r0) in
+              pristine := None;
+              acc := Some m;
+              m
+        in
         let bound = ref [ tr0.alias ] in
         List.iter
           (fun ((tr : Query.table_ref), r) ->
-            let r = filter_local tr r in
             let pairs =
               List.filter_map
                 (fun ((ax, qx), (ay, qy)) ->
@@ -184,12 +305,59 @@ let query (env : Query.table_ref -> Relation.t) (q : Query.t) =
                   else None)
                 join_pairs
             in
-            acc :=
-              (if pairs = [] then Relation.product !acc r
-               else positional_join !acc r pairs);
+            let step =
+              match planner with
+              | `Nested_loop -> nested_loop_join (acc_mat ()) (materialize (tr, r)) pairs
+              | `Indexed when pairs = [] ->
+                  Relation.product (acc_mat ()) (materialize (tr, r))
+              | `Indexed -> (
+                  let lpos = Array.of_list (List.map fst pairs) in
+                  let rpos = Array.of_list (List.map snd pairs) in
+                  let lsize =
+                    match !pristine with
+                    | Some (_, lraw) -> Relation.support lraw
+                    | None -> Relation.support (acc_mat ())
+                  in
+                  if Relation.support r >= lsize then begin
+                    (* Probe the (large) new base's persistent index with
+                       the accumulated (small) side. *)
+                    let left = acc_mat () in
+                    let out =
+                      Relation.create
+                        (Schema.concat (Relation.schema left) (Relation.schema r))
+                    in
+                    index_probe ~stream:left ~stream_pos:lpos ~raw:r
+                      ~raw_pos:rpos ~raw_pred:(local_pred tr) ~raw_is_left:false
+                      out;
+                    out
+                  end
+                  else
+                    match !pristine with
+                    | Some (ltr, lraw) ->
+                        (* The accumulated side is still a pristine (large)
+                           base: probe ITS persistent index with the new
+                           (small) side — the maintenance-probe fast path. *)
+                        let right = materialize (tr, r) in
+                        let out =
+                          Relation.create
+                            (Schema.concat (Relation.schema lraw)
+                               (Relation.schema right))
+                        in
+                        index_probe ~stream:right ~stream_pos:rpos ~raw:lraw
+                          ~raw_pos:lpos ~raw_pred:(local_pred ltr)
+                          ~raw_is_left:true out;
+                        pristine := None;
+                        out
+                    | None ->
+                        (* Two intermediates: ephemeral hash join, smaller
+                           side hashed. *)
+                        positional_join (acc_mat ()) (materialize (tr, r)) pairs)
+            in
+            pristine := None;
+            acc := Some step;
             bound := tr.alias :: !bound)
           rest;
-        !acc
+        acc_mat ()
   in
   (* Residual predicate. *)
   let joined =
@@ -217,13 +385,3 @@ let query (env : Query.table_ref -> Relation.t) (q : Query.t) =
   let out_schema = Schema.of_list (List.map snd out_attrs) in
   let idxs = Array.of_list (List.map fst out_attrs) in
   Relation.map_tuples out_schema (fun t -> Tuple.project_idx t idxs) joined
-
-(** [query_assoc env q] convenience wrapper: environment given as an
-    association list keyed by alias. *)
-let query_assoc (env : (string * Relation.t) list) (q : Query.t) =
-  query
-    (fun tr ->
-      match List.assoc_opt tr.alias env with
-      | Some r -> r
-      | None -> err "no relation bound for alias %s" tr.alias)
-    q

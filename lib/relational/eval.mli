@@ -1,7 +1,8 @@
-(** SPJ query evaluation over signed-multiset relations: a left-deep
-    pipeline of hash equi-joins with selection push-down, residual
-    predicates and final projection.  Also what each simulated source
-    server runs locally to answer maintenance queries. *)
+(** SPJ query evaluation over signed-multiset relations: a left-deep join
+    pipeline with selection push-down, residual predicates and final
+    projection.  {!run} is the single entry point; the [?planner] argument
+    picks the physical plan.  Also what each simulated source server runs
+    locally to answer maintenance queries. *)
 
 exception Error of string
 
@@ -25,14 +26,37 @@ val resolve : binder -> Attr.Qualified.t -> int
 val resolve_in_alias : binder -> string -> string -> int
 (** Position of an attribute within a single bound relation. *)
 
-val positional_join : Relation.t -> Relation.t -> (int * int) list -> Relation.t
-(** Hash join on (left position, right position) pairs; the smaller side
-    is hashed.  Output schema is [Schema.concat left right]. *)
+(** {1 Physical operators} *)
 
-val query : (Query.table_ref -> Relation.t) -> Query.t -> Relation.t
-(** Evaluate, resolving each FROM entry through the environment.
+val positional_join : Relation.t -> Relation.t -> (int * int) list -> Relation.t
+(** Ephemeral hash join on (left position, right position) pairs; the
+    smaller side is hashed, the table is discarded afterwards.  Output
+    schema is [Schema.concat left right]. *)
+
+val nested_loop_join :
+  Relation.t -> Relation.t -> (int * int) list -> Relation.t
+(** O(n·m) compare-everything join — the reference plan.  Only matches are
+    materialized, never the full product. *)
+
+(** {1 The query entry point} *)
+
+type plan = [ `Indexed | `Nested_loop ]
+(** Physical plan choice.  [`Indexed]: equality-conjunct analysis routes
+    equi-joins against base relations through {e persistent} hash indexes
+    ({!Relation.ensure_index_pos} — built once, maintained incrementally,
+    reused across queries) and turns constant-equality selections into
+    index lookups, falling back to ephemeral hash joins between
+    intermediates.  [`Nested_loop]: the quadratic reference plan the
+    property tests hold the indexed plans to. *)
+
+type catalog = Query.table_ref -> Relation.t
+(** Resolves each FROM entry to its extent. *)
+
+val catalog : (string * Relation.t) list -> catalog
+(** Catalog backed by an association list keyed by alias.
+    @raise Error (at application time) for an unbound alias. *)
+
+val run : ?planner:plan -> catalog:catalog -> Query.t -> Relation.t
+(** Evaluate a query.  [planner] defaults to [`Indexed].
     @raise Error on binding or resolution failure — the relational-level
     face of a broken query. *)
-
-val query_assoc : (string * Relation.t) list -> Query.t -> Relation.t
-(** Environment given as an association list keyed by alias. *)

@@ -1,0 +1,79 @@
+(** Secondary hash indexes over signed multisets.
+
+    An index maps a {e key} — the projection of a tuple onto a fixed set of
+    column positions — to the bucket of tuples currently sharing that key,
+    each with its signed multiplicity.  Buckets are hash tables themselves,
+    so maintenance under multiplicity changes is O(1) per changed tuple and
+    a lookup is O(bucket).
+
+    Indexes are position-based, not name-based: a rename of an attribute
+    leaves every index valid, and {!Relation} can register indexes against
+    its own storage and keep them fresh from [Relation.add] — the
+    incremental maintenance that makes repeated maintenance probes against
+    a large, slowly-changing extent cheap (build once, probe forever). *)
+
+type t = {
+  positions : int array;  (** key columns, in key order *)
+  buckets : int Tuple.Table.t Tuple.Table.t;
+      (** key -> (tuple -> non-zero multiplicity) *)
+}
+
+let create positions = { positions = Array.copy positions; buckets = Tuple.Table.create 64 }
+
+let positions ix = ix.positions
+
+(** [same_key ix positions] — does [ix] index exactly these columns? *)
+let same_key ix ps =
+  Array.length ix.positions = Array.length ps
+  && (let ok = ref true in
+      Array.iteri (fun i p -> if p <> ps.(i) then ok := false) ix.positions;
+      !ok)
+
+let key_of ix tup = Tuple.project_idx tup ix.positions
+
+(** [update ix tup k] adjusts the indexed multiplicity of [tup] by [k],
+    dropping entries (and empty buckets) at zero — mirror of
+    [Relation.add]. *)
+let update ix tup k =
+  if k <> 0 then begin
+    let key = key_of ix tup in
+    let bucket =
+      match Tuple.Table.find_opt ix.buckets key with
+      | Some b -> b
+      | None ->
+          let b = Tuple.Table.create 4 in
+          Tuple.Table.replace ix.buckets key b;
+          b
+    in
+    let c = k + Option.value ~default:0 (Tuple.Table.find_opt bucket tup) in
+    if c = 0 then begin
+      Tuple.Table.remove bucket tup;
+      if Tuple.Table.length bucket = 0 then Tuple.Table.remove ix.buckets key
+    end
+    else Tuple.Table.replace bucket tup c
+  end
+
+(** [iter_matches ix key f] streams every (tuple, multiplicity) whose key
+    projection equals [key] — the probe side of an indexed join. *)
+let iter_matches ix key f =
+  match Tuple.Table.find_opt ix.buckets key with
+  | None -> ()
+  | Some bucket -> Tuple.Table.iter f bucket
+
+(** [lookup ix key] — snapshot of the matching bucket (unspecified order). *)
+let lookup ix key =
+  match Tuple.Table.find_opt ix.buckets key with
+  | None -> []
+  | Some bucket -> Tuple.Table.fold (fun t c acc -> (t, c) :: acc) bucket []
+
+(** Number of distinct keys currently indexed. *)
+let key_count ix = Tuple.Table.length ix.buckets
+
+(** Number of distinct tuples across all buckets. *)
+let support ix =
+  Tuple.Table.fold (fun _ b acc -> acc + Tuple.Table.length b) ix.buckets 0
+
+let pp ppf ix =
+  Fmt.pf ppf "index on columns (%a): %d key(s), %d tuple(s)"
+    Fmt.(array ~sep:(any ",") int)
+    ix.positions (key_count ix) (support ix)

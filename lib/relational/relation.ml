@@ -10,11 +10,17 @@
 type t = {
   schema : Schema.t;
   data : int Tuple.Table.t; (* tuple -> non-zero signed multiplicity *)
+  indexes : Index.t list ref;
+      (* registered secondary indexes, kept fresh by [add].  A [ref] so
+         that O(1) re-schemings ([rename_attr]) sharing [data] also share
+         the registry — an index built through either alias stays fresh
+         through both. *)
 }
 
 exception Schema_mismatch of string
 
-let create schema = { schema; data = Tuple.Table.create 64 }
+let create schema =
+  { schema; data = Tuple.Table.create 64; indexes = ref [] }
 
 let schema r = r.schema
 
@@ -46,7 +52,8 @@ let add r tup k =
               r.schema));
     let c = count r tup + k in
     if c = 0 then Tuple.Table.remove r.data tup
-    else Tuple.Table.replace r.data tup c
+    else Tuple.Table.replace r.data tup c;
+    List.iter (fun ix -> Index.update ix tup k) !(r.indexes)
   end
 
 let insert r tup = add r tup 1
@@ -75,7 +82,34 @@ let to_list r =
     (fun (t, c) -> if c > 0 then List.init c (fun _ -> t) else [])
     (to_counted r)
 
-let copy r = { schema = r.schema; data = Tuple.Table.copy r.data }
+let copy r =
+  (* Indexes are not copied: the copy starts with a fresh registry and
+     rebuilds lazily on demand. *)
+  { schema = r.schema; data = Tuple.Table.copy r.data; indexes = ref [] }
+
+(* ------------------------------------------------------------------ *)
+(* Secondary indexes                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** [ensure_index_pos r positions] returns the registered index keyed on
+    exactly [positions], building (one O(n) scan) and registering it first
+    if absent.  Once registered it is maintained incrementally by {!add}. *)
+let ensure_index_pos r (positions : int array) =
+  match List.find_opt (fun ix -> Index.same_key ix positions) !(r.indexes) with
+  | Some ix -> ix
+  | None ->
+      let ix = Index.create positions in
+      iter (fun t c -> Index.update ix t c) r;
+      r.indexes := ix :: !(r.indexes);
+      ix
+
+(** [ensure_index r names] — {!ensure_index_pos} with the key given as
+    attribute names resolved against the current schema. *)
+let ensure_index r names =
+  ensure_index_pos r
+    (Array.of_list (List.map (Schema.index_of r.schema) names))
+
+let index_count r = List.length !(r.indexes)
 
 (** Multiset equality: same schema (by attribute equality) and identical
     multiplicity for every tuple. *)
@@ -246,3 +280,23 @@ let apply_delta base delta =
       (Fmt.str "apply_delta: negative multiplicity in result (delta %a)"
          Schema.pp delta.schema);
   r
+
+(** [apply_delta_in_place base delta] — same contract as {!apply_delta},
+    but mutates [base]: O(|delta|) instead of O(|base|), and registered
+    indexes on [base] stay alive and are maintained incrementally.  The
+    non-negativity precheck runs before any mutation, so a rejected delta
+    leaves [base] untouched. *)
+let apply_delta_in_place base delta =
+  if not (Schema.equal base.schema delta.schema) then
+    raise
+      (Schema_mismatch
+         (Fmt.str "apply_delta_in_place: %a vs %a" Schema.pp base.schema
+            Schema.pp delta.schema));
+  iter
+    (fun t c ->
+      if count base t + c < 0 then
+        invalid_arg
+          (Fmt.str "apply_delta_in_place: negative multiplicity for %a"
+             Tuple.pp t))
+    delta;
+  iter (fun t c -> add base t c) delta

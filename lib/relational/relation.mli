@@ -36,16 +36,46 @@ val delete : t -> Tuple.t -> unit
 val of_list : Schema.t -> Value.t list list -> t
 val of_counted : Schema.t -> (Value.t list * int) list -> t
 
+(** {1 Traversal}
+
+    [iter]/[fold] are O(n) allocation-free streams over the live storage in
+    unspecified order — the accessors every hot path should use.
+    [to_counted]/[to_list] are O(n log n) {e sorted snapshots} that allocate
+    a fresh assoc list; keep them for tests, printing and serialization,
+    where deterministic order matters more than speed. *)
+
 val iter : (Tuple.t -> int -> unit) -> t -> unit
+(** O(n) stream, unspecified order, no allocation. *)
+
 val fold : (Tuple.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** O(n) stream, unspecified order. *)
 
 val to_counted : t -> (Tuple.t * int) list
-(** Sorted by tuple order. *)
+(** O(n log n) snapshot, sorted by tuple order — tests/printing only. *)
 
 val to_list : t -> Tuple.t list
-(** Positive part only, with duplicates expanded. *)
+(** O(n log n) snapshot of the positive part, duplicates expanded —
+    tests/printing only. *)
 
 val copy : t -> t
+(** Deep copy of the storage.  Registered indexes are {e not} copied; the
+    copy starts with an empty index registry. *)
+
+(** {1 Secondary indexes}
+
+    Hash indexes registered against this relation's storage and maintained
+    incrementally by {!add} (O(1) per multiplicity change).  See
+    {!Index}. *)
+
+val ensure_index : t -> string list -> Index.t
+(** Index keyed on the named attributes (resolved against the current
+    schema): returns the registered one or builds it with one O(n) scan. *)
+
+val ensure_index_pos : t -> int array -> Index.t
+(** As {!ensure_index}, with the key given as column positions. *)
+
+val index_count : t -> int
+(** Number of registered indexes (introspection/tests). *)
 
 val equal : t -> t -> bool
 (** Same schema and identical multiplicity for every tuple. *)
@@ -101,3 +131,10 @@ val apply_delta : t -> t -> t
     proper (non-negative) multiset.
     @raise Invalid_argument on negative residue — the tripwire that turns
     a maintenance bug into a loud failure. *)
+
+val apply_delta_in_place : t -> t -> unit
+(** Same contract as {!apply_delta}, but mutates the base in place:
+    O(|delta|) instead of O(|base|), and registered indexes stay alive and
+    are maintained incrementally.  The non-negativity precheck runs before
+    any mutation, so a rejected delta leaves the base untouched.
+    @raise Invalid_argument on negative residue (base unchanged). *)

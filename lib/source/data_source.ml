@@ -30,6 +30,11 @@ type t = {
   tables : (string, Relation.t) Hashtbl.t;
   mutable version : int;  (** bumped on every commit; 0 = initial state *)
   mutable history : (int * hist_entry) list;  (** newest first *)
+  snapshots : (int, Catalog.t * (string, Relation.t) Hashtbl.t) Hashtbl.t;
+      (** memoized past states, keyed by version.  A version's state never
+          changes retroactively, so entries stay valid forever; keeping
+          them alive means the indexes probes build on old extents survive
+          across probes at the same version. *)
 }
 
 type broken = { source : string; query_name : string; reason : string }
@@ -47,6 +52,7 @@ let create id =
     tables = Hashtbl.create 8;
     version = 0;
     history = [];
+    snapshots = Hashtbl.create 8;
   }
 
 let id s = s.id
@@ -101,8 +107,10 @@ let commit_du s ~time (u : Update.t) =
           rel_name Schema.pp schema);
   let r = relation s rel_name in
   (* Autonomous sources apply their own committed writes unconditionally;
-     a deletion of an absent tuple would be a source-side bug. *)
-  Hashtbl.replace s.tables rel_name (Relation.apply_delta r (Update.delta u));
+     a deletion of an absent tuple would be a source-side bug.  Applied in
+     place — O(|delta|), and any indexes probes have built on the extent
+     stay registered and are maintained incrementally. *)
+  Relation.apply_delta_in_place r (Update.delta u);
   s.version <- s.version + 1;
   s.history <- (s.version, H_du { update = u; time }) :: s.history;
   s.version
@@ -175,8 +183,8 @@ let commit s ~time (ev : Dyno_sim.Timeline.event) =
     (partial results shipped with the query, as SWEEP does).  Any schema
     discrepancy — missing relation, missing attribute — yields [Error]
     rather than an exception: that is the in-exec broken-query signal. *)
-let answer s (q : Query.t) ~(bound : (string * Relation.t) list) :
-    (answer, broken) result =
+let answer ?(planner : Eval.plan = `Indexed) s (q : Query.t)
+    ~(bound : (string * Relation.t) list) : (answer, broken) result =
   let broken reason = Error { source = s.id; query_name = Query.name q; reason } in
   let missing =
     List.find_map
@@ -201,7 +209,7 @@ let answer s (q : Query.t) ~(bound : (string * Relation.t) list) :
             scanned := !scanned + Relation.support r;
             r
       in
-      match Eval.query env q with
+      match Eval.run ~planner ~catalog:env q with
       | rows -> Ok { rows; scanned = !scanned }
       | exception Eval.Error reason -> broken reason
       | exception Catalog.No_such_relation r ->
@@ -267,10 +275,7 @@ let validate s (q : Query.t) : (unit, broken) result =
 (** Full state of the source at [version]: a catalog copy plus every
     relation extent.  Reconstructed by undoing history newest-first, so it
     is exact (schema changes keep pre-images). *)
-let snapshot_at s ~version =
-  if version > s.version || version < 0 then
-    invalid_arg
-      (Fmt.str "snapshot_at: version %d out of range [0..%d]" version s.version);
+let snapshot_at_uncached s ~version =
   let catalog = ref (Catalog.copy s.catalog) in
   let tables = Hashtbl.copy s.tables in
   (* Deep-copy current extents so undo does not alias live data. *)
@@ -299,6 +304,27 @@ let snapshot_at s ~version =
               saved_rels)
     s.history;
   (!catalog, tables)
+
+(** Memoizing wrapper: a past version's state never changes retroactively
+    (commits only append), so reconstructions are cached.  Repeated probes
+    at the same old version — the strong-consistency replay, concurrent
+    readers pinned to a snapshot — pay the undo walk once, and the indexes
+    they build on the cached extents persist across probes.  Callers must
+    treat the returned state as read-only. *)
+let snapshot_at s ~version =
+  if version > s.version || version < 0 then
+    invalid_arg
+      (Fmt.str "snapshot_at: version %d out of range [0..%d]" version s.version);
+  match Hashtbl.find_opt s.snapshots version with
+  | Some snap -> snap
+  | None ->
+      let snap = snapshot_at_uncached s ~version in
+      (* Bound the cache: histories are long-lived but replays cluster on
+         recent versions; dropping everything on overflow is simple and
+         keeps the common monotone replay fast. *)
+      if Hashtbl.length s.snapshots > 256 then Hashtbl.reset s.snapshots;
+      Hashtbl.replace s.snapshots version snap;
+      snap
 
 (** [relation_at s ~version name] extent of [name] at [version].
     @raise Catalog.No_such_relation if absent at that version. *)

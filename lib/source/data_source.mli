@@ -58,12 +58,16 @@ val commit : t -> time:float -> Dyno_sim.Timeline.event -> int
 (** {1 Query answering} *)
 
 val answer :
+  ?planner:Eval.plan ->
   t -> Query.t -> bound:(string * Relation.t) list ->
   (answer, broken) result
 (** Evaluate against the current state.  Aliases in [bound] resolve to the
     supplied relations (partial results shipped with the query, as SWEEP
     does); other local refs resolve in the catalog.  Any schema
-    discrepancy yields [Error] — the in-exec broken-query signal. *)
+    discrepancy yields [Error] — the in-exec broken-query signal.
+    [planner] (default [`Indexed]) picks the physical plan; under
+    [`Indexed] repeated probes reuse persistent indexes on the source's
+    extents, which commits keep maintained incrementally. *)
 
 val validate : t -> Query.t -> (unit, broken) result
 (** Metadata-only dry run: do the referenced local relations and
@@ -73,11 +77,17 @@ val validate : t -> Query.t -> (unit, broken) result
 
 val snapshot_at : t -> version:int -> Catalog.t * (string, Relation.t) Hashtbl.t
 (** Full state at a version, reconstructed by undoing history (schema
-    changes keep pre-images, so it is exact).
+    changes keep pre-images, so it is exact).  Reconstructions are
+    memoized per version — a past version never changes retroactively —
+    so repeated probes at the same version are O(1) after the first, and
+    indexes built on the cached extents persist across probes.  Treat the
+    returned state as {b read-only}: it is shared between callers.
     @raise Invalid_argument when out of range. *)
 
 val relation_at : t -> version:int -> string -> Relation.t
-(** @raise Catalog.No_such_relation if absent at that version. *)
+(** Extent at a version, from the memoized snapshot (read-only; see
+    {!snapshot_at}).
+    @raise Catalog.No_such_relation if absent at that version. *)
 
 (** Commit-log entries (oldest first from {!history}). *)
 type hist_entry =

@@ -21,14 +21,15 @@
 open Dyno_relational
 open Dyno_view
 
-(** [equation6 ~query ~old_env ~new_env] computes
+(** [equation6 ~old_env ~new_env query] computes
     [eval query new_env − eval query old_env] incrementally, term by term.
     [old_env]/[new_env] bind every alias of [query] to its old/new state;
     the delta of each alias is derived as [new − old].  Aliases whose delta
     is empty contribute no term (their join work is skipped), which is what
     makes the batch maintenance of a few changed relations cheap. *)
-let equation6 ~(query : Query.t) ~(old_env : (string * Relation.t) list)
-    ~(new_env : (string * Relation.t) list) : Relation.t =
+let equation6 ?(planner : Eval.plan = `Indexed)
+    ~(old_env : (string * Relation.t) list)
+    ~(new_env : (string * Relation.t) list) (query : Query.t) : Relation.t =
   let aliases = Query.aliases query in
   let get env alias =
     match List.assoc_opt alias env with
@@ -59,7 +60,7 @@ let equation6 ~(query : Query.t) ~(old_env : (string * Relation.t) list)
       match term with
       | None -> acc
       | Some env -> (
-          let dv = Eval.query_assoc env query in
+          let dv = Eval.run ~planner ~catalog:(Eval.catalog env) query in
           match acc with
           | None -> Some dv
           | Some a -> Some (Relation.sum a dv)))
@@ -68,9 +69,9 @@ let equation6 ~(query : Query.t) ~(old_env : (string * Relation.t) list)
   | Some dv -> dv
   | None ->
       (* No alias changed: the delta is empty with the view's schema. *)
-      Eval.query_assoc
-        (List.map (fun a -> (a, Relation.create (Relation.schema (get new_env a))))
-           aliases)
+      Eval.run ~planner
+        ~catalog:(Eval.catalog (List.map (fun a -> (a, Relation.create (Relation.schema (get new_env a))))
+           aliases))
         query
 
 (** [fetch_compensated w ~query ~schemas tr ~exclude] reads table [tr]'s
@@ -123,7 +124,9 @@ let fetch_compensated ?(extra_cost = 0.0) (w : Query_engine.t)
           (List.fold_left
              (fun acc (_, combined) ->
                let contribution =
-                 Eval.query_assoc [ (tr.Query.alias, combined) ] fq
+                 Eval.run
+                   ~planner:(Query_engine.planner w)
+                   ~catalog:(Eval.catalog [ (tr.Query.alias, combined) ]) fq
                in
                Relation.diff acc contribution)
              ans.Dyno_source.Data_source.rows groups)
@@ -197,7 +200,11 @@ let replace_extent (w : Query_engine.t) (mv : Mat_view.t)
   match fetch_all w ~query ~schemas ~exclude with
   | Error b -> Error b
   | Ok env -> (
-      let extent = Eval.query_assoc env query in
+      let extent =
+        Eval.run
+          ~planner:(Query_engine.planner w)
+          ~catalog:(Eval.catalog env) query
+      in
       let tail_cost =
         Dyno_sim.Cost_model.adapt (Query_engine.cost w) ~scanned:0
           ~written:(Relation.support extent)
@@ -245,11 +252,17 @@ let refresh_with_equation6 (w : Query_engine.t) (mv : Mat_view.t)
                     (Query.from query)
                 in
                 let fq = Dyno_vm.Maint_query.fetch_query query owner tr in
-                let d' = Eval.query_assoc [ (alias, d) ] fq in
+                let d' =
+                  Eval.run
+                    ~planner:(Query_engine.planner w)
+                    ~catalog:(Eval.catalog [ (alias, d) ]) fq
+                in
                 (alias, Relation.diff new_r d'))
           new_env
       in
-      let dv = equation6 ~query ~old_env ~new_env in
+      let dv =
+        equation6 ~planner:(Query_engine.planner w) ~old_env ~new_env query
+      in
       (* Per-fetch join work already charged in [fetch_compensated]. *)
       let tail_cost =
         Dyno_sim.Cost_model.adapt (Query_engine.cost w) ~scanned:0

@@ -9,14 +9,16 @@ open Dyno_relational
 open Dyno_view
 
 val equation6 :
-  query:Query.t ->
+  ?planner:Eval.plan ->
   old_env:(string * Relation.t) list ->
   new_env:(string * Relation.t) list ->
+  Query.t ->
   Relation.t
 (** [ΔV = ΔR₁ ⋈ R₂ ⋈ … ⋈ Rₙ + R₁ⁿᵉʷ ⋈ ΔR₂ ⋈ … + … +
     R₁ⁿᵉʷ ⋈ … ⋈ ΔRₙ] over signed multisets; equals
     [eval query new_env − eval query old_env].  Aliases whose delta is
-    empty contribute no term. *)
+    empty contribute no term.  [planner] (default [`Indexed]) picks the
+    physical plan each term is evaluated with. *)
 
 val fetch_compensated :
   ?extra_cost:float ->

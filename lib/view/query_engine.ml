@@ -24,10 +24,13 @@ type t = {
   umq : Umq.t;
   cost : Cost_model.t;
   trace : Trace.t;
+  planner : Eval.plan;
+      (** physical plan every query through this engine runs with *)
 }
 
-let create ?(trace = Trace.create ()) ~cost ~registry ~timeline ~umq () =
-  { clock = Clock.create (); timeline; registry; umq; cost; trace }
+let create ?(trace = Trace.create ()) ?(planner = `Indexed) ~cost ~registry
+    ~timeline ~umq () =
+  { clock = Clock.create (); timeline; registry; umq; cost; trace; planner }
 
 let now w = Clock.now w.clock
 let timeline w = w.timeline
@@ -36,6 +39,7 @@ let trace w = w.trace
 let umq w = w.umq
 let registry w = w.registry
 let cost w = w.cost
+let planner w = w.planner
 
 (** [deliver_due w] applies every source commit scheduled at or before the
     current simulated time, enqueuing the corresponding messages. *)
@@ -99,7 +103,7 @@ let execute w (q : Query.t) ~bound ~target :
       0 (Query.from q)
   in
   advance w (Cost_model.probe w.cost ~scanned:scan_estimate ~returned:0);
-  match Dyno_source.Data_source.answer src q ~bound with
+  match Dyno_source.Data_source.answer ~planner:w.planner src q ~bound with
   | Ok ans ->
       (* Result transfer: time passes but commits landing in this window
          are NOT delivered yet — the answer was computed before them, so

@@ -13,14 +13,22 @@ type t
 
 val create :
   ?trace:Trace.t ->
+  ?planner:Eval.plan ->
   cost:Cost_model.t ->
   registry:Dyno_source.Registry.t ->
   timeline:Timeline.t ->
   umq:Umq.t ->
   unit ->
   t
+(** [planner] (default [`Indexed]) is the physical plan every maintenance
+    query and compensation evaluation through this engine runs with; tests
+    pass [`Nested_loop] to pin the reference plan. *)
 
 val now : t -> float
+
+val planner : t -> Eval.plan
+(** The engine's physical plan choice (see {!create}). *)
+
 val timeline : t -> Timeline.t
 val clock : t -> Clock.t
 val trace : t -> Trace.t

@@ -102,11 +102,12 @@ let delta_view ?(compensate = true) (w : Query_engine.t)
             List.fold_left
               (fun acc (_, combined, ms) ->
                 match
-                  Eval.query_assoc
-                    [
+                  Eval.run
+                    ~planner:(Query_engine.planner w)
+                    ~catalog:(Eval.catalog [
                       (tr.Query.alias, combined);
                       (Maint_query.partial_alias, !partial);
-                    ]
+                    ])
                     probe
                 with
                 | contribution ->

@@ -197,7 +197,7 @@ let initialize (w : Query_engine.t) (mv : Mat_view.t) : unit =
         r
     | None -> raise (Eval.Error (Fmt.str "missing relation %s@%s" tr.rel tr.source))
   in
-  let extent = Eval.query env q in
+  let extent = Eval.run ~planner:(Query_engine.planner w) ~catalog:env q in
   Query_engine.advance w
     (Dyno_sim.Cost_model.adapt (Query_engine.cost w) ~scanned:!scanned
        ~written:(Relation.support extent));

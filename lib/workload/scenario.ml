@@ -36,7 +36,8 @@ let make ~rows ~cost ?(track_snapshots = false) ?(trace_enabled = false)
       (Dyno_source.Registry.find registry tr.source)
       tr.rel
   in
-  Mat_view.replace mv ~at:0.0 ~maintained:[] (Eval.query env query);
+  Mat_view.replace mv ~at:0.0 ~maintained:[]
+    (Eval.run ~planner:(Query_engine.planner engine) ~catalog:env query);
   { registry; mk; umq; timeline; engine; mv; trace }
 
 (** [run t ~strategy] drives the Dyno loop to completion. *)
@@ -70,4 +71,4 @@ let recompute_extent (t : t) =
       (Dyno_source.Registry.find t.registry tr.source)
       tr.rel
   in
-  Eval.query env query
+  Eval.run ~planner:(Query_engine.planner t.engine) ~catalog:env query

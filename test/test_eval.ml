@@ -36,13 +36,13 @@ let q2 ~where =
     ~where
 
 let test_equijoin () =
-  let out = Eval.query_assoc [ ("R", r); ("S", s) ] (q2 ~where:[ Predicate.eq_attr "R.k" "S.fk" ]) in
+  let out = Eval.run ~catalog:(Eval.catalog [ ("R", r); ("S", s) ]) (q2 ~where:[ Predicate.eq_attr "R.k" "S.fk" ]) in
   Alcotest.(check int) "3 joined rows" 3 (Relation.cardinality out);
   Alcotest.(check (list string)) "output names" [ "name"; "price" ]
     (Schema.names (Relation.schema out))
 
 let test_cross_product_when_no_condition () =
-  let out = Eval.query_assoc [ ("R", r); ("S", s) ] (q2 ~where:[]) in
+  let out = Eval.run ~catalog:(Eval.catalog [ ("R", r); ("S", s) ]) (q2 ~where:[]) in
   Alcotest.(check int) "3*4 rows" 12 (Relation.cardinality out)
 
 let test_selection_pushdown_equivalence () =
@@ -54,7 +54,7 @@ let test_selection_pushdown_equivalence () =
       Predicate.eq_const "R.name" (Value.string "one");
     ]
   in
-  let out = Eval.query_assoc [ ("R", r); ("S", s) ] (q2 ~where) in
+  let out = Eval.run ~catalog:(Eval.catalog [ ("R", r); ("S", s) ]) (q2 ~where) in
   (* naive: full product, then filter *)
   let naive =
     let p = Relation.product r s in
@@ -77,7 +77,7 @@ let test_residual_non_equi_join () =
         Predicate.Lt
         (Predicate.Ref (Attr.Qualified.of_string "S.fk")) ]
   in
-  let out = Eval.query_assoc [ ("R", r); ("S", s) ] (q2 ~where) in
+  let out = Eval.run ~catalog:(Eval.catalog [ ("R", r); ("S", s) ]) (q2 ~where) in
   (* pairs: k in {1,2,3} x fk in {1,1,2,9}: k<fk → (1,2),(1,9),(2,9),(3,9) = 4 *)
   Alcotest.(check int) "non-equi residual" 4 (Relation.cardinality out)
 
@@ -93,7 +93,7 @@ let test_three_way_chain () =
         ]
       ~where:[ Predicate.eq_attr "R.k" "S.fk"; Predicate.eq_attr "S.fk" "T.tk" ]
   in
-  let out = Eval.query_assoc [ ("R", r); ("S", s); ("T", t) ] q in
+  let out = Eval.run ~catalog:(Eval.catalog [ ("R", r); ("S", s); ("T", t) ]) q in
   (* k=1: 2 S rows x tag hot; k=2: 1 x cold → 3 rows *)
   Alcotest.(check int) "chain join" 3 (Relation.cardinality out)
 
@@ -104,7 +104,7 @@ let test_unqualified_resolution () =
       ~from:[ Query.table ~alias:"R" "x" "R"; Query.table ~alias:"S" "x" "S" ]
       ~where:[ Predicate.eq_attr "k" "fk" ]
   in
-  let out = Eval.query_assoc [ ("R", r); ("S", s) ] q in
+  let out = Eval.run ~catalog:(Eval.catalog [ ("R", r); ("S", s) ]) q in
   Alcotest.(check int) "resolved by uniqueness" 3 (Relation.cardinality out)
 
 let test_errors () =
@@ -114,7 +114,7 @@ let test_errors () =
       ~where:[]
   in
   Alcotest.(check bool) "unknown attribute" true
-    (match Eval.query_assoc [ ("R", r) ] bad_attr with
+    (match Eval.run ~catalog:(Eval.catalog [ ("R", r) ]) bad_attr with
     | _ -> false
     | exception Eval.Error _ -> true);
   let dup_schema = Schema.of_list [ Attr.int "k"; Attr.string "z" ] in
@@ -125,11 +125,11 @@ let test_errors () =
       ~where:[]
   in
   Alcotest.(check bool) "ambiguous attribute" true
-    (match Eval.query_assoc [ ("R", r); ("R2", r2) ] ambiguous with
+    (match Eval.run ~catalog:(Eval.catalog [ ("R", r); ("R2", r2) ]) ambiguous with
     | _ -> false
     | exception Eval.Error _ -> true);
   Alcotest.(check bool) "unbound alias" true
-    (match Eval.query_assoc [] bad_attr with
+    (match Eval.run ~catalog:(Eval.catalog []) bad_attr with
     | _ -> false
     | exception Eval.Error _ -> true)
 
@@ -139,8 +139,7 @@ let test_signed_inputs () =
     Relation.of_counted r_schema [ ([ Value.int 1; Value.string "one" ], -1) ]
   in
   let out =
-    Eval.query_assoc
-      [ ("R", delta); ("S", s) ]
+    Eval.run ~catalog:(Eval.catalog [ ("R", delta); ("S", s) ])
       (q2 ~where:[ Predicate.eq_attr "R.k" "S.fk" ])
   in
   Alcotest.(check int) "negative propagates through join" (-2)
@@ -153,7 +152,7 @@ let test_projection_duplicates () =
       ~from:[ Query.table ~alias:"S" "x" "S" ]
       ~where:[]
   in
-  let out = Eval.query_assoc [ ("S", s) ] q in
+  let out = Eval.run ~catalog:(Eval.catalog [ ("S", s) ]) q in
   Alcotest.(check int) "fk=1 count 2" 2
     (Relation.count out (Tuple.of_list [ Value.int 1 ]));
   Alcotest.(check int) "support 3" 3 (Relation.support out)
@@ -165,7 +164,7 @@ let test_alias_rename_in_select () =
       ~from:[ Query.table ~alias:"R" "x" "R" ]
       ~where:[]
   in
-  let out = Eval.query_assoc [ ("R", r) ] q in
+  let out = Eval.run ~catalog:(Eval.catalog [ ("R", r) ]) q in
   Alcotest.(check (list string)) "renamed output" [ "label" ]
     (Schema.names (Relation.schema out))
 

@@ -45,7 +45,7 @@ let make_world ~rows ~cost ~timeline () =
         (Dyno_source.Registry.find registry tr.source)
         tr.rel
     in
-    Mat_view.replace mv ~at:0.0 ~maintained:[] (Eval.query env query);
+    Mat_view.replace mv ~at:0.0 ~maintained:[] (Eval.run ~catalog:env query);
     mv
   in
   let mv1 = materialize (Paper_schema.view_query ()) (Paper_schema.view_schemas ()) in

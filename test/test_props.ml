@@ -76,7 +76,7 @@ let join_query =
     ~from:[ Query.table ~alias:"A" "x" "A"; Query.table ~alias:"B" "x" "B" ]
     ~where:[ Predicate.eq_attr "A.k" "B.k2" ]
 
-let eval_join a b = Eval.query_assoc [ ("A", a); ("B", b) ] join_query
+let eval_join a b = Eval.run ~catalog:(Eval.catalog [ ("A", a); ("B", b) ]) join_query
 
 let prop_join_linearity =
   QCheck.Test.make ~name:"SPJ queries are linear: J(a+b,c) = J(a,c)+J(b,c)"
@@ -153,7 +153,7 @@ let prop_eval_matches_reference =
             ]
       in
       let env = [ ("A", a); ("B", b) ] in
-      Relation.equal (Eval.query_assoc env q) (reference_eval env q))
+      Relation.equal (Eval.run ~catalog:(Eval.catalog env) q) (reference_eval env q))
 
 (* -- Equation 6 -------------------------------------------------------- *)
 
@@ -169,9 +169,10 @@ let prop_equation6 =
     (fun ((old_a, new_a), (old_b0, new_b0)) ->
       let old_b = Relation.positive old_b0 and new_b = Relation.positive new_b0 in
       let dv =
-        Dyno_va.Adapt.equation6 ~query:join_query
+        Dyno_va.Adapt.equation6
           ~old_env:[ ("A", old_a); ("B", old_b) ]
           ~new_env:[ ("A", new_a); ("B", new_b) ]
+          join_query
       in
       Relation.equal dv
         (Relation.diff
@@ -502,7 +503,7 @@ let prop_multi_view_end_to_end =
             (Dyno_source.Registry.find registry tr.source)
             tr.rel
         in
-        Mat_view.replace mv ~at:0.0 ~maintained:[] (Eval.query env query);
+        Mat_view.replace mv ~at:0.0 ~maintained:[] (Eval.run ~catalog:env query);
         mv
       in
       let narrow =

@@ -63,7 +63,7 @@ let test_parse_view_semantics () =
     Relation.of_list b_schema
       [ [ Value.int 1; Value.int 10 ]; [ Value.int 2; Value.int 5 ] ]
   in
-  let out = Eval.query_assoc [ ("A", a); ("B", b) ] q in
+  let out = Eval.run ~catalog:(Eval.catalog [ ("A", a); ("B", b) ]) q in
   Alcotest.(check int) "only w>=10 row" 1 (Relation.cardinality out)
 
 let test_parse_insert_delete () =

@@ -22,9 +22,9 @@ let check_equation6 ~old_a ~new_a ~old_b ~new_b =
   let q = q2 () in
   let old_env = [ ("A", old_a); ("B", old_b) ] in
   let new_env = [ ("A", new_a); ("B", new_b) ] in
-  let dv = Dyno_va.Adapt.equation6 ~query:q ~old_env ~new_env in
+  let dv = Dyno_va.Adapt.equation6 ~old_env ~new_env q in
   let expected =
-    Relation.diff (Eval.query_assoc new_env q) (Eval.query_assoc old_env q)
+    Relation.diff (Eval.run ~catalog:(Eval.catalog new_env) q) (Eval.run ~catalog:(Eval.catalog old_env) q)
   in
   Alcotest.(check bool) "ΔV = V(new) − V(old)" true (Relation.equal dv expected)
 
@@ -55,9 +55,10 @@ let test_equation6_no_change () =
   let a = rel_a [ [ Value.int 1; Value.string "a" ] ] in
   let b = rel_b [ [ Value.int 1; Value.int 10 ] ] in
   let dv =
-    Dyno_va.Adapt.equation6 ~query:(q2 ())
+    Dyno_va.Adapt.equation6
       ~old_env:[ ("A", a); ("B", b) ]
       ~new_env:[ ("A", a); ("B", b) ]
+      (q2 ())
   in
   Alcotest.(check int) "empty delta" 0 (Relation.support dv);
   Alcotest.(check (list string)) "delta has view schema" [ "k"; "x"; "w" ]
@@ -161,7 +162,7 @@ let make_world () =
   let vd = View_def.create ~schemas:[ ("A", a_schema); ("B", b_schema) ] (q2 ()) in
   let mv = Mat_view.create vd (Relation.create Schema.empty) in
   let env (tr : Query.table_ref) = Dyno_source.Data_source.relation ds1 tr.rel in
-  Mat_view.replace mv ~at:0.0 ~maintained:[] (Eval.query env (q2 ()));
+  Mat_view.replace mv ~at:0.0 ~maintained:[] (Eval.run ~catalog:env (q2 ()));
   (w, mv, ds1, umq)
 
 let test_fetch_compensated () =

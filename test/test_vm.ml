@@ -56,7 +56,7 @@ let make_world () =
   let env (tr : Query.table_ref) =
     Dyno_source.Data_source.relation (Dyno_source.Registry.find registry tr.source) tr.rel
   in
-  Mat_view.replace mv ~at:0.0 ~maintained:[] (Eval.query env (view_q ()));
+  Mat_view.replace mv ~at:0.0 ~maintained:[] (Eval.run ~catalog:env (view_q ()));
   { w; mv; timeline; umq; registry }
 
 let recompute wd =
@@ -65,7 +65,7 @@ let recompute wd =
       (Dyno_source.Registry.find wd.registry tr.source)
       tr.rel
   in
-  Eval.query env (View_def.peek (Mat_view.def wd.mv))
+  Eval.run ~catalog:env (View_def.peek (Mat_view.def wd.mv))
 
 (* Commit a DU at its source immediately and hand the message to VM. *)
 let commit_and_maintain ?compensate wd ~source ~rel delta =

@@ -32,7 +32,7 @@ let test_initial_view_is_one_to_one () =
       (Dyno_source.Registry.find registry tr.source)
       tr.rel
   in
-  let extent = Eval.query env (Paper_schema.view_query ()) in
+  let extent = Eval.run ~catalog:env (Paper_schema.view_query ()) in
   Alcotest.(check int) "one view row per key" rows (Relation.cardinality extent)
 
 (* The generator's central guarantee: every event on the timeline commits

@@ -193,7 +193,7 @@ let test_end_to_end_retuning () =
   let env (tr : Query.table_ref) =
     Data_source.relation (Registry.find registry tr.source) tr.rel
   in
-  Mat_view.replace mv ~at:0.0 ~maintained:[] (Eval.query env view);
+  Mat_view.replace mv ~at:0.0 ~maintained:[] (Eval.run ~catalog:env view);
   Alcotest.(check int) "initial extent" 3
     (Relation.cardinality (Mat_view.extent mv));
   (* A catalog insert is committed, and right after it the designer
