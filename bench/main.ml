@@ -522,6 +522,46 @@ let join_bench () =
     sizes
 
 (* ------------------------------------------------------------------ *)
+(* Transport: maintenance cost vs channel loss rate                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Not a paper figure: sweeps the lib/net fault injector.  Shape to
+   expect: busy time grows with the loss rate (timeouts + backoff are
+   charged to the view manager), while the view still converges — the
+   retry loop and the UMQ sequencer absorb every fault. *)
+let net_bench () =
+  header "Transport - maintenance cost vs message/RPC loss rate (seconds)";
+  Fmt.pr
+    "expected shape: busy grows with loss (timeout + backoff); converged      stays true@.@.";
+  Fmt.pr "%8s  %10s  %10s  %8s  %8s  %10s@." "loss" "busy" "net wait"
+    "retries" "lost" "converged";
+  let points =
+    if !fast then [ 0.0; 0.1; 0.3 ] else [ 0.0; 0.05; 0.1; 0.2; 0.3; 0.4 ]
+  in
+  let n_dus = if !fast then 100 else 300 in
+  List.iter
+    (fun loss ->
+      let timeline =
+        Generator.mixed ~rows:!rows ~seed:8 ~n_dus ~du_interval:1.0
+          ~sc_interval:0.0 ~sc_kinds:[] ()
+      in
+      let faults =
+        { Dyno_net.Channel.reliable with loss; retransmit = 0.1 }
+      in
+      let t =
+        Scenario.make ~rows:!rows ~cost:(cost ()) ~faults ~net_seed:8
+          ~timeline ()
+      in
+      let stats = Scenario.run t ~strategy:Strategy.Pessimistic in
+      let converged =
+        match Scenario.check_convergent t with Ok b -> b | Error _ -> false
+      in
+      Fmt.pr "%8.2f  %10.1f  %10.1f  %8d  %8d  %10b@." loss stats.Stats.busy
+        stats.Stats.net_wait stats.Stats.retries stats.Stats.msgs_lost
+        converged)
+    points
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -534,12 +574,13 @@ let experiments =
     ("sensitivity", sensitivity);
     ("micro", micro);
     ("join", join_bench);
+    ("net", net_bench);
   ]
 
 let () =
   let specs =
     [
-      ("--only", Arg.Set_string only, "run a single experiment (fig8..fig12, ablation, sensitivity, micro, join)");
+      ("--only", Arg.Set_string only, "run a single experiment (fig8..fig12, ablation, sensitivity, micro, join, net)");
       ("--rows", Arg.Set_int rows, "physical rows per relation (default 500; logical is always 100k via cost scaling)");
       ("--fast", Arg.Set fast, "fewer sweep points / smaller join sizes");
       ("--quota", Arg.Set_float quota, "bechamel quota per micro-bench, seconds (default 0.5)");

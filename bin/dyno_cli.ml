@@ -66,6 +66,80 @@ let report_flag =
   let doc = "Print a cost-breakdown report derived from the trace." in
   Arg.(value & flag & info [ "report" ] ~doc)
 
+(* ---- transport-fault options --------------------------------------- *)
+
+let loss =
+  let doc = "P[one update-message transmission is lost] (retransmitted)." in
+  Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"P" ~doc)
+
+let dup =
+  let doc = "P[an update message is delivered twice]." in
+  Arg.(value & opt float 0.0 & info [ "dup" ] ~docv:"P" ~doc)
+
+let reorder =
+  let doc = "P[an update message is held back past its successors]." in
+  Arg.(value & opt float 0.0 & info [ "reorder" ] ~docv:"P" ~doc)
+
+let jitter =
+  let doc = "Max extra uniform delivery delay per message, seconds." in
+  Arg.(value & opt float 0.0 & info [ "jitter" ] ~docv:"S" ~doc)
+
+let reorder_delay =
+  let doc =
+    "How long a held-back message is delayed, seconds (it overtakes      nothing unless this exceeds the update interval)."
+  in
+  Arg.(value & opt float 1.5 & info [ "reorder-delay" ] ~docv:"S" ~doc)
+
+let outages =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ src; start; dur ] -> (
+        match (float_of_string_opt start, float_of_string_opt dur) with
+        | Some st, Some d when d > 0.0 ->
+            Ok
+              {
+                Dyno_net.Channel.source = src;
+                starts = st;
+                ends = st +. d;
+              }
+        | _ -> Error (`Msg (Fmt.str "bad outage %S (want SRC:START:DUR)" s)))
+    | _ -> Error (`Msg (Fmt.str "bad outage %S (want SRC:START:DUR)" s))
+  in
+  let pp_outage ppf (o : Dyno_net.Channel.outage) =
+    Fmt.pf ppf "%s:%g:%g" o.source o.starts (o.ends -. o.starts)
+  in
+  let outage_conv = Arg.conv ~docv:"SRC:START:DUR" (parse, pp_outage) in
+  let doc =
+    "Make source $(i,SRC) unreachable from $(i,START) for $(i,DUR)      simulated seconds (repeatable)."
+  in
+  Arg.(
+    value
+    & opt_all outage_conv []
+    & info [ "outage" ] ~docv:"SRC:START:DUR" ~doc)
+
+let net_seed =
+  let doc =
+    "Transport-channel random seed (defaults to the workload seed)."
+  in
+  Arg.(value & opt (some int) None & info [ "net-seed" ] ~docv:"SEED" ~doc)
+
+let json_file =
+  let doc = "Write the run statistics as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let faults_of ~cost ~loss ~dup ~reorder ~jitter ~reorder_delay ~outages :
+    Dyno_net.Channel.faults =
+  {
+    Dyno_net.Channel.reliable with
+    loss;
+    dup;
+    reorder;
+    jitter;
+    reorder_delay = (if reorder > 0.0 then reorder_delay else 0.0);
+    retransmit = cost.Dyno_sim.Cost_model.retransmit_interval;
+    outages;
+  }
+
 let multi_flag =
   let doc =
     "Maintain a second, narrower view (R1 join R2) alongside the full \
@@ -82,14 +156,19 @@ let timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval =
 
 let run_cmd =
   let action rows dus scs du_interval sc_interval seed strategy trace
-      no_compensation report multi =
+      no_compensation report multi loss dup reorder jitter reorder_delay
+      outages net_seed json_file =
     let timeline =
       timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval
     in
+    let cost = Dyno_sim.Cost_model.scaled (100_000.0 /. float_of_int rows) in
+    let faults =
+      faults_of ~cost ~loss ~dup ~reorder ~jitter ~reorder_delay ~outages
+    in
+    let net_seed = Option.value net_seed ~default:seed in
     let t =
-      Scenario.make ~rows
-        ~cost:(Dyno_sim.Cost_model.scaled (100_000.0 /. float_of_int rows))
-        ~track_snapshots:true ~trace_enabled:(trace || report) ~timeline ()
+      Scenario.make ~rows ~cost ~track_snapshots:true
+        ~trace_enabled:(trace || report) ~faults ~net_seed ~timeline ()
     in
     let stats =
       if multi then begin
@@ -150,12 +229,22 @@ let run_cmd =
     if not multi then
       Fmt.pr "strong consistency: %a@." Consistency.pp_report
         (Scenario.check_strong t);
+    (match json_file with
+    | None -> ()
+    | Some f ->
+        let oc = open_out f in
+        output_string oc (Stats.to_json_string stats);
+        output_char oc '\n';
+        close_out oc;
+        Fmt.pr "stats written to %s@." f);
     if Stats.(stats.view_undefined) then exit 2
   in
   let term =
     Term.(
       const action $ rows $ dus $ scs $ du_interval $ sc_interval $ seed
-      $ strategy $ trace_flag $ no_compensation $ report_flag $ multi_flag)
+      $ strategy $ trace_flag $ no_compensation $ report_flag $ multi_flag
+      $ loss $ dup $ reorder $ jitter $ reorder_delay $ outages $ net_seed
+      $ json_file)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a mixed workload under a strategy")

@@ -77,7 +77,7 @@ let detect_and_correct ~(force : bool) (w : Query_engine.t) (t : t)
 (* Maintain one entry against one view, skipping already-applied msgs. *)
 let maintain_for_view ~compensate (w : Query_engine.t)
     (mk : Dyno_source.Meta_knowledge.t) (stats : Stats.t) (v : view_state)
-    (entry : Umq.entry) : (unit, Dyno_source.Data_source.broken) result =
+    (entry : Umq.entry) : (unit, Query_engine.failure) result =
   let vd = Mat_view.def v.mv in
   let todo =
     List.filter
@@ -102,7 +102,9 @@ let maintain_for_view ~compensate (w : Query_engine.t)
               | Dyno_vm.Vm.Irrelevant ->
                   stats.Stats.irrelevant <- stats.Stats.irrelevant + 1;
                   Ok ()
-              | Dyno_vm.Vm.Aborted b -> Error b)
+              | Dyno_vm.Vm.Aborted b -> Error (Query_engine.Broken b)
+              | Dyno_vm.Vm.Unreachable u ->
+                  Error (Query_engine.Unreachable u))
           | None -> Ok ())
       | msgs -> (
           match Dyno_va.Batch.maintain ~applied:v.applied w v.mv mk msgs with
@@ -116,7 +118,8 @@ let maintain_for_view ~compensate (w : Query_engine.t)
                  else stats.Stats.sc_maintained <- stats.Stats.sc_maintained + 1);
               stats.Stats.view_commits <- stats.Stats.view_commits + 1;
               Ok ()
-          | Dyno_va.Batch.Aborted b -> Error b
+          | Dyno_va.Batch.Aborted b -> Error (Query_engine.Broken b)
+          | Dyno_va.Batch.Unreachable u -> Error (Query_engine.Unreachable u)
           | Dyno_va.Batch.View_undefined _ ->
               stats.Stats.view_undefined <- true;
               Ok ())
@@ -125,7 +128,7 @@ let maintain_for_view ~compensate (w : Query_engine.t)
     | Ok () ->
         v.applied <- List.map Update_msg.id todo @ v.applied;
         Ok ()
-    | Error b -> Error b
+    | Error f -> Error f
 
 type config = {
   strategy : Strategy.t;
@@ -142,7 +145,6 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
     (mk : Dyno_source.Meta_knowledge.t) : Stats.t =
   let stats = Stats.create () in
   let umq = Query_engine.umq w in
-  let timeline = Query_engine.timeline w in
   let steps = ref 0 in
   let trace = Query_engine.trace w in
   let rec loop () =
@@ -151,7 +153,8 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
       raise (Scheduler.Step_limit_exceeded !steps);
     Query_engine.deliver_due w;
     if Umq.is_empty umq then begin
-      match Timeline.next_time timeline with
+      (* Wake for the next commit or the next in-flight message arrival. *)
+      match Query_engine.next_wakeup w with
       | None -> ()
       | Some tm ->
           let dt = tm -. Query_engine.now w in
@@ -176,7 +179,7 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
                     entry
                 with
                 | Ok () -> maintain_views rest
-                | Error b -> Error b)
+                | Error f -> Error f)
           in
           match maintain_views t.views with
           | Ok () ->
@@ -192,7 +195,23 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
                 t.views;
               Umq.remove_head umq;
               loop ()
-          | Error b ->
+          | Error (Query_engine.Unreachable u) ->
+              (* Transient transport failure: the partially-applied entry
+                 stays queued ([applied] remembers which views already
+                 integrated it); wait out the outage and retry.  No abort,
+                 no correction — the queue order is not the problem. *)
+              let dt = Query_engine.now w -. t0 in
+              stats.Stats.busy <- stats.Stats.busy +. dt;
+              stats.Stats.net_stalls <- stats.Stats.net_stalls + 1;
+              Trace.recordf trace ~time:(Query_engine.now w) Trace.Outage
+                "multi-view maintenance stalled: %a; waiting for recovery"
+                Dyno_net.Retry.pp_unreachable u;
+              let waited =
+                Query_engine.await_recovery w ~source:u.Dyno_net.Retry.source
+              in
+              stats.Stats.busy <- stats.Stats.busy +. waited;
+              loop ()
+          | Error (Query_engine.Broken b) ->
               let dt = Query_engine.now w -. t0 in
               stats.Stats.busy <- stats.Stats.busy +. dt;
               stats.Stats.abort_cost <- stats.Stats.abort_cost +. dt;
@@ -217,4 +236,5 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
   in
   loop ();
   stats.Stats.end_time <- Query_engine.now w;
+  Scheduler.record_net_stats w stats;
   stats

@@ -125,7 +125,8 @@ let all_kinds =
     Trace.Commit; Trace.Enqueue; Trace.Maint_start; Trace.Query_sent;
     Trace.Query_answered; Trace.Broken_query; Trace.Compensate; Trace.Abort;
     Trace.Refresh; Trace.Detect; Trace.Correct; Trace.Merge; Trace.Sync;
-    Trace.Adapt; Trace.Info;
+    Trace.Adapt; Trace.Msg_dropped; Trace.Msg_duplicated; Trace.Timeout;
+    Trace.Retry; Trace.Outage; Trace.Info;
   ]
 
 (** [of_trace tr] builds the full report. *)

@@ -59,6 +59,9 @@ exception Step_limit_exceeded of int
 type step_outcome =
   | Done
   | AbortedStep of Dyno_source.Data_source.broken
+  | UnreachableStep of Dyno_net.Retry.unreachable
+      (** a maintenance query exhausted its transport retry budget; the
+          entry stays at the queue head and is retried after recovery *)
 
 (* Charge a detection pass + correction on the simulated clock and update
    stats; returns true when the queue was actually reordered. *)
@@ -135,7 +138,8 @@ let maintain_entry ~(compensate : bool) ~(vm_mode : vm_mode)
                 stats.Stats.du_maintained <- stats.Stats.du_maintained + 1;
                 stats.Stats.view_commits <- stats.Stats.view_commits + 1;
                 Done
-            | Error b -> AbortedStep b)
+            | Error (Query_engine.Broken b) -> AbortedStep b
+            | Error (Query_engine.Unreachable u) -> UnreachableStep u)
         | Update_msg.Du u -> (
             match Dyno_vm.Vm.maintain ~compensate w mv m u with
             | Dyno_vm.Vm.Refreshed { stats = s; _ } ->
@@ -148,7 +152,8 @@ let maintain_entry ~(compensate : bool) ~(vm_mode : vm_mode)
             | Dyno_vm.Vm.Irrelevant ->
                 stats.Stats.irrelevant <- stats.Stats.irrelevant + 1;
                 Done
-            | Dyno_vm.Vm.Aborted b -> AbortedStep b)
+            | Dyno_vm.Vm.Aborted b -> AbortedStep b
+            | Dyno_vm.Vm.Unreachable u -> UnreachableStep u)
         | Update_msg.Sc _ -> (
             match Dyno_va.Batch.maintain w mv mk [ m ] with
             | Dyno_va.Batch.Adapted ->
@@ -156,6 +161,7 @@ let maintain_entry ~(compensate : bool) ~(vm_mode : vm_mode)
                 stats.Stats.view_commits <- stats.Stats.view_commits + 1;
                 Done
             | Dyno_va.Batch.Aborted b -> AbortedStep b
+            | Dyno_va.Batch.Unreachable u -> UnreachableStep u
             | Dyno_va.Batch.View_undefined _ ->
                 stats.Stats.view_undefined <- true;
                 Done))
@@ -168,9 +174,41 @@ let maintain_entry ~(compensate : bool) ~(vm_mode : vm_mode)
             stats.Stats.view_commits <- stats.Stats.view_commits + 1;
             Done
         | Dyno_va.Batch.Aborted b -> AbortedStep b
+        | Dyno_va.Batch.Unreachable u -> UnreachableStep u
         | Dyno_va.Batch.View_undefined _ ->
             stats.Stats.view_undefined <- true;
             Done)
+
+(* A maintenance step stalled on an unreachable source: charge the sunk
+   work as busy (it is NOT thrown away — the entry stays queued and is
+   re-run), wait for recovery, and let the loop retry.  Unlike an abort,
+   no correction runs: the queue order is not the problem. *)
+let stall_and_wait (w : Query_engine.t) (stats : Stats.t) ~(t0 : float)
+    (u : Dyno_net.Retry.unreachable) : unit =
+  let trace = Query_engine.trace w in
+  let dt = Query_engine.now w -. t0 in
+  stats.Stats.busy <- stats.Stats.busy +. dt;
+  stats.Stats.net_stalls <- stats.Stats.net_stalls + 1;
+  Trace.recordf trace ~time:(Query_engine.now w) Trace.Outage
+    "maintenance stalled: %a; waiting for recovery"
+    Dyno_net.Retry.pp_unreachable u;
+  let waited =
+    Query_engine.await_recovery w ~source:u.Dyno_net.Retry.source
+  in
+  stats.Stats.busy <- stats.Stats.busy +. waited
+
+(* Copy the engine- and queue-level transport counters into the run's
+   statistics (absolute values: one engine drives one run). *)
+let record_net_stats (w : Query_engine.t) (stats : Stats.t) : unit =
+  let ch = Query_engine.channel w in
+  let umq = Query_engine.umq w in
+  stats.Stats.retries <- Query_engine.net_retries w;
+  stats.Stats.timeouts <- Query_engine.net_timeouts w;
+  stats.Stats.net_wait <- Query_engine.net_wait w;
+  stats.Stats.msgs_lost <- Dyno_net.Channel.lost_transmissions ch;
+  stats.Stats.msgs_duplicated <- Dyno_net.Channel.duplicates_sent ch;
+  stats.Stats.dups_dropped <- Umq.dups_dropped umq;
+  stats.Stats.reorders_healed <- Umq.reorders_healed umq
 
 (** [run ?config w mv mk] drives the Dyno loop until the UMQ and the
     timeline are both drained; returns the collected statistics. *)
@@ -178,7 +216,6 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
     (mk : Dyno_source.Meta_knowledge.t) : Stats.t =
   let stats = Stats.create () in
   let umq = Query_engine.umq w in
-  let timeline = Query_engine.timeline w in
   let steps = ref 0 in
   let trace = Query_engine.trace w in
   let rec loop () =
@@ -186,7 +223,10 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
     if !steps > config.max_steps then raise (Step_limit_exceeded !steps);
     Query_engine.deliver_due w;
     if Umq.is_empty umq then begin
-      match Dyno_sim.Timeline.next_time timeline with
+      (* Wake for the next scheduled commit OR the next in-flight message
+         arrival — with transport delay the timeline can be drained while
+         messages are still on the wire. *)
+      match Query_engine.next_wakeup w with
       | None -> () (* drained: done *)
       | Some t ->
           let dt = t -. Query_engine.now w in
@@ -224,6 +264,9 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
         Umq.clear_broken_query_flag umq;
         let t0 = Query_engine.now w in
         match Dyno_vm.Vm.maintain_group ~compensate:config.compensate w mv msgs with
+        | Dyno_vm.Vm.Unreachable u ->
+            stall_and_wait w stats ~t0 u;
+            loop ()
         | Dyno_vm.Vm.Refreshed _ | Dyno_vm.Vm.Irrelevant ->
             stats.Stats.busy <- stats.Stats.busy +. (Query_engine.now w -. t0);
             stats.Stats.batches <- stats.Stats.batches + 1;
@@ -270,6 +313,9 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
               stats.Stats.busy <- stats.Stats.busy +. (Query_engine.now w -. t0);
               Umq.remove_head umq;
               loop ()
+          | UnreachableStep u ->
+              stall_and_wait w stats ~t0 u;
+              loop ()
           | AbortedStep b ->
               let dt = Query_engine.now w -. t0 in
               stats.Stats.busy <- stats.Stats.busy +. dt;
@@ -308,4 +354,5 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
   in
   loop ();
   stats.Stats.end_time <- Query_engine.now w;
+  record_net_stats w stats;
   stats

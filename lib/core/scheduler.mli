@@ -38,6 +38,11 @@ val default_config : config
 
 exception Step_limit_exceeded of int
 
+val record_net_stats : Query_engine.t -> Stats.t -> unit
+(** Copy the engine- and queue-level transport counters (retries,
+    timeouts, lost/duplicated messages, dedup/reorder healing, net wait)
+    into the run's statistics. *)
+
 val run :
   ?config:config ->
   Query_engine.t ->

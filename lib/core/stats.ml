@@ -27,6 +27,17 @@ type t = {
   mutable compensations : int;  (** probe answers compensated *)
   mutable view_commits : int;
   mutable view_undefined : bool;
+  (* Transport counters (zero on a reliable channel). *)
+  mutable retries : int;  (** probe attempts re-sent after backoff *)
+  mutable timeouts : int;  (** probe attempts that timed out *)
+  mutable msgs_lost : int;  (** transmissions dropped by the channel *)
+  mutable msgs_duplicated : int;  (** messages the channel delivered twice *)
+  mutable dups_dropped : int;  (** duplicate deliveries dropped at the UMQ *)
+  mutable reorders_healed : int;  (** held messages released in order *)
+  mutable net_stalls : int;
+      (** maintenance steps stalled on an unreachable source (retried
+          after recovery — not aborts) *)
+  mutable net_wait : float;  (** time lost to timeouts/backoff/recovery, s *)
 }
 
 let create () =
@@ -49,7 +60,21 @@ let create () =
     compensations = 0;
     view_commits = 0;
     view_undefined = false;
+    retries = 0;
+    timeouts = 0;
+    msgs_lost = 0;
+    msgs_duplicated = 0;
+    dups_dropped = 0;
+    reorders_healed = 0;
+    net_stalls = 0;
+    net_wait = 0.0;
   }
+
+let has_transport_activity s =
+  s.retries > 0 || s.timeouts > 0 || s.msgs_lost > 0
+  || s.msgs_duplicated > 0 || s.dups_dropped > 0 || s.reorders_healed > 0
+  || s.net_stalls > 0
+  || s.net_wait > 0.0
 
 let pp ppf s =
   Fmt.pf ppf
@@ -63,4 +88,55 @@ let pp ppf s =
     s.batches s.batch_updates s.irrelevant s.aborts s.broken_queries
     s.detections s.corrections s.merges s.probes s.compensations
     s.view_commits
-    (if s.view_undefined then ", VIEW UNDEFINED" else "")
+    (if s.view_undefined then ", VIEW UNDEFINED" else "");
+  (* Only when the transport actually misbehaved, so reliable-channel runs
+     print byte-identically to the historical direct-call output. *)
+  if has_transport_activity s then
+    Fmt.pf ppf
+      "@,@[<v>transport: %d retr%s, %d timeout(s), %.2f s waiting@,\
+       messages: %d transmission(s) lost, %d duplicated, %d dup(s) \
+       dropped, %d reorder(s) healed, %d stall(s)@]"
+      s.retries
+      (if s.retries = 1 then "y" else "ies")
+      s.timeouts s.net_wait s.msgs_lost s.msgs_duplicated s.dups_dropped
+      s.reorders_healed s.net_stalls
+
+(** Machine-readable JSON rendering (mirrors the bench's [--json]
+    output style; no external JSON dependency). *)
+let to_json_string s =
+  let b = Buffer.create 512 in
+  let field_sep = ref "" in
+  let add fmt =
+    Buffer.add_string b !field_sep;
+    field_sep := ",\n  ";
+    Fmt.kstr (Buffer.add_string b) fmt
+  in
+  Buffer.add_string b "{\n  ";
+  add "\"busy\": %.6f" s.busy;
+  add "\"abort_cost\": %.6f" s.abort_cost;
+  add "\"idle\": %.6f" s.idle;
+  add "\"end_time\": %.6f" s.end_time;
+  add "\"du_maintained\": %d" s.du_maintained;
+  add "\"sc_maintained\": %d" s.sc_maintained;
+  add "\"batches\": %d" s.batches;
+  add "\"batch_updates\": %d" s.batch_updates;
+  add "\"irrelevant\": %d" s.irrelevant;
+  add "\"aborts\": %d" s.aborts;
+  add "\"broken_queries\": %d" s.broken_queries;
+  add "\"detections\": %d" s.detections;
+  add "\"corrections\": %d" s.corrections;
+  add "\"merges\": %d" s.merges;
+  add "\"probes\": %d" s.probes;
+  add "\"compensations\": %d" s.compensations;
+  add "\"view_commits\": %d" s.view_commits;
+  add "\"view_undefined\": %b" s.view_undefined;
+  add "\"retries\": %d" s.retries;
+  add "\"timeouts\": %d" s.timeouts;
+  add "\"msgs_lost\": %d" s.msgs_lost;
+  add "\"msgs_duplicated\": %d" s.msgs_duplicated;
+  add "\"dups_dropped\": %d" s.dups_dropped;
+  add "\"reorders_healed\": %d" s.reorders_healed;
+  add "\"net_stalls\": %d" s.net_stalls;
+  add "\"net_wait\": %.6f" s.net_wait;
+  Buffer.add_string b "\n}";
+  Buffer.contents b

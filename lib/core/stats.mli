@@ -22,7 +22,28 @@ type t = {
   mutable compensations : int;  (** probe answers compensated *)
   mutable view_commits : int;
   mutable view_undefined : bool;
+  (* Transport counters (zero on a reliable channel). *)
+  mutable retries : int;  (** probe attempts re-sent after backoff *)
+  mutable timeouts : int;  (** probe attempts that timed out *)
+  mutable msgs_lost : int;  (** transmissions dropped by the channel *)
+  mutable msgs_duplicated : int;  (** messages the channel delivered twice *)
+  mutable dups_dropped : int;  (** duplicate deliveries dropped at the UMQ *)
+  mutable reorders_healed : int;  (** held messages released in order *)
+  mutable net_stalls : int;
+      (** maintenance steps stalled on an unreachable source (retried
+          after recovery — not aborts) *)
+  mutable net_wait : float;  (** time lost to timeouts/backoff/recovery, s *)
 }
 
 val create : unit -> t
+
+val has_transport_activity : t -> bool
+(** Any transport counter nonzero — i.e. the channel actually misbehaved. *)
+
 val pp : Format.formatter -> t -> unit
+(** Prints the transport line only when {!has_transport_activity}, so
+    reliable-channel runs render byte-identically to the historical
+    output. *)
+
+val to_json_string : t -> string
+(** Machine-readable JSON rendering of every field. *)

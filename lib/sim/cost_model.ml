@@ -33,6 +33,11 @@ type t = {
   detect_flag : float;  (** checking the schema-change flag, s *)
   detect_per_edge : float;  (** dependency-graph work per examined pair, s *)
   correct_per_node : float;  (** topo-sort/SCC work per node+edge, s *)
+  rpc_timeout : float;
+      (** how long the view manager waits for a maintenance-query answer
+          before declaring the attempt lost and retrying, s *)
+  retransmit_interval : float;
+      (** wrapper retransmission interval after a lost update message, s *)
   row_scale : float;  (** logical rows per physical row (cost scaling) *)
 }
 
@@ -50,6 +55,8 @@ let default =
     detect_flag = 1.0e-6;
     detect_per_edge = 2.0e-6;
     correct_per_node = 2.0e-6;
+    rpc_timeout = 0.250;
+    retransmit_interval = 0.100;
     row_scale = 1.0;
   }
 
@@ -72,6 +79,8 @@ let free =
     detect_flag = 0.0;
     detect_per_edge = 0.0;
     correct_per_node = 0.0;
+    rpc_timeout = 0.0;
+    retransmit_interval = 0.0;
     row_scale = 1.0;
   }
 

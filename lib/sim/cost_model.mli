@@ -23,6 +23,10 @@ type t = {
   detect_flag : float;  (** checking the schema-change flag, s *)
   detect_per_edge : float;  (** dependency-graph work per examined pair, s *)
   correct_per_node : float;  (** topo-sort/SCC work per node+edge, s *)
+  rpc_timeout : float;
+      (** wait for a maintenance-query answer before retrying, s *)
+  retransmit_interval : float;
+      (** wrapper retransmission interval after a lost update message, s *)
   row_scale : float;  (** logical rows per physical row (cost scaling) *)
 }
 

@@ -25,6 +25,14 @@ let float t bound = Random.State.float t bound
 
 let bool t = Random.State.bool t
 
+(** [bernoulli t p] is true with probability [p].  Consumes no draw when
+    the outcome is certain ([p <= 0] or [p >= 1]), so rate-zero fault
+    configurations leave the stream untouched. *)
+let bernoulli t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else Random.State.float t 1.0 < p
+
 (** [pick t xs] uniform element of a non-empty list. *)
 let pick t xs =
   match xs with

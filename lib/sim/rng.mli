@@ -15,6 +15,10 @@ val int_in : t -> int -> int -> int
 val float : t -> float -> float
 val bool : t -> bool
 
+val bernoulli : t -> float -> bool
+(** True with probability [p]; consumes no draw when [p <= 0] or
+    [p >= 1]. *)
+
 val pick : t -> 'a list -> 'a
 (** @raise Invalid_argument on an empty list. *)
 

@@ -20,6 +20,11 @@ type kind =
   | Merge  (** cyclic dependencies were merged into a batch node *)
   | Sync  (** view synchronization rewrote the view definition *)
   | Adapt  (** view adaptation brought the extent up to date *)
+  | Msg_dropped  (** the channel lost a transmission (retransmitted) *)
+  | Msg_duplicated  (** a duplicate delivery was dropped by the UMQ *)
+  | Timeout  (** a maintenance-query attempt got no answer in time *)
+  | Retry  (** a maintenance query was retried after backoff *)
+  | Outage  (** a source was found unreachable (outage window) *)
   | Info  (** anything else *)
 
 let kind_to_string = function
@@ -37,6 +42,11 @@ let kind_to_string = function
   | Merge -> "merge"
   | Sync -> "sync"
   | Adapt -> "adapt"
+  | Msg_dropped -> "msg-dropped"
+  | Msg_duplicated -> "msg-duplicated"
+  | Timeout -> "TIMEOUT"
+  | Retry -> "retry"
+  | Outage -> "OUTAGE"
   | Info -> "info"
 
 type entry = { time : float; kind : kind; detail : string }

@@ -17,6 +17,11 @@ type kind =
   | Merge  (** cyclic dependencies were merged into a batch node *)
   | Sync  (** view synchronization rewrote the view definition *)
   | Adapt  (** view adaptation brought the extent up to date *)
+  | Msg_dropped  (** the channel lost a transmission (retransmitted) *)
+  | Msg_duplicated  (** a duplicate delivery was dropped by the UMQ *)
+  | Timeout  (** a maintenance-query attempt got no answer in time *)
+  | Retry  (** a maintenance query was retried after backoff *)
+  | Outage  (** a source was found unreachable (outage window) *)
   | Info
 
 val kind_to_string : kind -> string

@@ -22,7 +22,11 @@ val id : t -> string
 val catalog : t -> Catalog.t
 
 val version : t -> int
-(** Bumped on every commit; 0 = initial state. *)
+(** Bumped on every commit; 0 = initial state.  Doubles as the
+    per-source monotone sequence number stamped on each outgoing update
+    message ([Update_msg.seq]): the UMQ's exactly-once sequencer is
+    anchored at the version of the source's first commit and expects
+    every later commit to follow in order. *)
 
 val relations : t -> string list
 

@@ -3,7 +3,18 @@
     document-level operations into the source-update events the rest of
     the system consumes — including the mapping {e retuning} of Example
     1.b, which becomes the add/populate/drop schema-change sequence that
-    breaks in-flight maintenance queries. *)
+    breaks in-flight maintenance queries.
+
+    {b Transport contract.}  Every event a wrapper emits is committed at
+    the source first ({!Dyno_source.Data_source.commit_du} /
+    [commit_sc]), which assigns it the source's next commit version —
+    and that version doubles as the message's per-source monotone
+    sequence number on the wire ([Update_msg.seq]).  Wrappers are
+    assumed to send on a FIFO stream and to retransmit lost messages
+    ({!Dyno_net.Channel}); the UMQ's sequencer relies on these numbers
+    to drop duplicates and re-order late arrivals, restoring the
+    exactly-once, commit-ordered delivery the maintenance algorithms
+    assume. *)
 
 open Dyno_relational
 

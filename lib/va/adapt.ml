@@ -82,7 +82,7 @@ let equation6 ?(planner : Eval.plan = `Indexed)
 let fetch_compensated ?(extra_cost = 0.0) (w : Query_engine.t)
     ~(query : Query.t) ~(schemas : (string * Schema.t) list)
     (tr : Query.table_ref) ~(exclude : int list) :
-    (Relation.t, Dyno_source.Data_source.broken) result =
+    (Relation.t, Query_engine.failure) result =
   let owner = Dyno_vm.Maint_query.owner_of_schemas schemas in
   let fq = Dyno_vm.Maint_query.fetch_query query owner tr in
   match Query_engine.execute w fq ~bound:[] ~target:tr.Query.source with
@@ -132,16 +132,17 @@ let fetch_compensated ?(extra_cost = 0.0) (w : Query_engine.t)
              ans.Dyno_source.Data_source.rows groups)
       with Eval.Error reason ->
         Error
-          {
-            Dyno_source.Data_source.source = tr.Query.source;
-            query_name = Query.name fq;
-            reason = Fmt.str "adaptation compensation failed: %s" reason;
-          })
+          (Query_engine.Broken
+             {
+               Dyno_source.Data_source.source = tr.Query.source;
+               query_name = Query.name fq;
+               reason = Fmt.str "adaptation compensation failed: %s" reason;
+             }))
 
 (** [fetch_all w ~query ~schemas ~exclude] fetches every view relation,
     compensated; stops at the first broken probe. *)
 let fetch_all ?(extra_per_fetch = 0.0) w ~query ~schemas ~exclude :
-    ((string * Relation.t) list, Dyno_source.Data_source.broken) result =
+    ((string * Relation.t) list, Query_engine.failure) result =
   let rec go acc = function
     | [] -> Ok (List.rev acc)
     | tr :: rest -> (
@@ -164,7 +165,7 @@ let fetch_all ?(extra_per_fetch = 0.0) w ~query ~schemas ~exclude :
     possible and expensive, as in Figures 9–11. *)
 let validated_tail (w : Query_engine.t) ~(query : Query.t)
     ~(schemas : (string * Schema.t) list) ~(tail_cost : float) :
-    (unit, Dyno_source.Data_source.broken) result =
+    (unit, Query_engine.failure) result =
   let owner = Dyno_vm.Maint_query.owner_of_schemas schemas in
   let waves = 4 in
   let chunk = tail_cost /. float_of_int waves in
@@ -193,7 +194,7 @@ let validated_tail (w : Query_engine.t) ~(query : Query.t)
     rename. *)
 let replace_extent (w : Query_engine.t) (mv : Mat_view.t)
     ~(maintained : int list) ~(exclude : int list) :
-    (unit, Dyno_source.Data_source.broken) result =
+    (unit, Query_engine.failure) result =
   let vd = Mat_view.def mv in
   let query, _ = View_def.read vd in
   let schemas = View_def.schemas vd in
@@ -230,7 +231,7 @@ let replace_extent (w : Query_engine.t) (mv : Mat_view.t)
     and pure data batches). *)
 let refresh_with_equation6 (w : Query_engine.t) (mv : Mat_view.t)
     ~(maintained : int list) ~(batch_deltas : (string * Relation.t) list)
-    ~(exclude : int list) : (unit, Dyno_source.Data_source.broken) result =
+    ~(exclude : int list) : (unit, Query_engine.failure) result =
   let vd = Mat_view.def mv in
   let query, _ = View_def.read vd in
   let schemas = View_def.schemas vd in

@@ -27,7 +27,7 @@ val fetch_compensated :
   schemas:(string * Schema.t) list ->
   Query.table_ref ->
   exclude:int list ->
-  (Relation.t, Dyno_source.Data_source.broken) result
+  (Relation.t, Query_engine.failure) result
 (** Read one table's current (filtered, projected) extent through a
     maintenance query, compensating away every pending unmaintained DU on
     it except the ids in [exclude] (being maintained right now, whose
@@ -40,7 +40,7 @@ val fetch_all :
   query:Query.t ->
   schemas:(string * Schema.t) list ->
   exclude:int list ->
-  ((string * Relation.t) list, Dyno_source.Data_source.broken) result
+  ((string * Relation.t) list, Query_engine.failure) result
 (** Fetch every view relation, compensated; stops at the first broken
     probe. *)
 
@@ -49,7 +49,7 @@ val validated_tail :
   query:Query.t ->
   schemas:(string * Schema.t) list ->
   tail_cost:float ->
-  (unit, Dyno_source.Data_source.broken) result
+  (unit, Query_engine.failure) result
 (** The back half of an adaptation: the remaining local work interleaved
     with metadata validation probes to every source, so a schema change
     landing anywhere in the maintenance window is detected before w(MV). *)
@@ -59,7 +59,7 @@ val replace_extent :
   Mat_view.t ->
   maintained:int list ->
   exclude:int list ->
-  (unit, Dyno_source.Data_source.broken) result
+  (unit, Query_engine.failure) result
 (** Rebuild the extent from compensated reads against the current
     (rewritten) definition — the shape-changing path, charged with the
     full extent rebuild. *)
@@ -70,7 +70,7 @@ val refresh_with_equation6 :
   maintained:int list ->
   batch_deltas:(string * Relation.t) list ->
   exclude:int list ->
-  (unit, Dyno_source.Data_source.broken) result
+  (unit, Query_engine.failure) result
 (** Adapt incrementally: fetch compensated new states, reconstruct old
     states by subtracting the batch's own deltas, run {!equation6}, and
     refresh in place.  Only valid when the rewriting preserved the view's

@@ -1,21 +1,36 @@
 (** The query engine and simulated world.
 
     Ties together the simulated clock, the timeline of future autonomous
-    source commits, the source registry and the UMQ.  Responsibilities:
+    source commits, the source registry, the UMQ — and, since the
+    transport layer, the message {!Dyno_net.Channel} that separates the
+    view manager from the sources.  Responsibilities:
 
     - {b UMQ manager} (Figure 7, [UMQ_Manager]): whenever simulated time
       passes a scheduled commit, the commit is applied at its source and
-      the corresponding update message is enqueued (setting the
-      schema-change flag for SCs).
+      the corresponding update message is handed to the {e wrapper's
+      channel}; when its copy arrives it runs through the UMQ's
+      exactly-once sequencer (dedup + gap-aware reordering) and is
+      enqueued (setting the schema-change flag for SCs).
     - {b Query execution with in-exec detection} (Figure 7,
       [Query_Engine]): a maintenance query is charged its latency and scan
       cost on the simulated clock; every source commit whose time precedes
       the answer is applied {e first}, so the answer reflects exactly the
       interleaving semantics of Definition 2.  A schema mismatch yields
-      [Error] and raises the broken-query flag. *)
+      [Error (Broken _)] and raises the broken-query flag.
+    - {b Retry under transport faults}: a probe that is lost or hits an
+      outage window times out and is retried with exponential backoff; an
+      exhausted budget yields [Error (Unreachable _)], which the scheduler
+      treats as a transient stall (wait and retry the maintenance step),
+      {e not} as an abort into VS/VA.
+
+    With the default {!Dyno_net.Channel.reliable} faults the channel is a
+    structural pass-through (no RNG draws, arrival = send time), so
+    zero-fault runs are bit-identical to the historical direct-call
+    path. *)
 
 open Dyno_relational
 open Dyno_sim
+open Dyno_net
 
 type t = {
   clock : Clock.t;
@@ -26,11 +41,34 @@ type t = {
   trace : Trace.t;
   planner : Eval.plan;
       (** physical plan every query through this engine runs with *)
+  channel : Update_msg.payload Channel.t;
+      (** wrapper→UMQ transport, shared by all sources *)
+  retry : Retry.policy;  (** probe retry policy *)
+  mutable timeouts : int;  (** probe attempts that got no answer in time *)
+  mutable retries : int;  (** probe attempts re-sent after backoff *)
+  mutable net_wait : float;  (** simulated seconds lost to transport, s *)
 }
 
-let create ?(trace = Trace.create ()) ?(planner = `Indexed) ~cost ~registry
+let create ?(trace = Trace.create ()) ?(planner = `Indexed)
+    ?(faults = Channel.reliable) ?(net_seed = 0) ?retry ~cost ~registry
     ~timeline ~umq () =
-  { clock = Clock.create (); timeline; registry; umq; cost; trace; planner }
+  let retry =
+    match retry with Some p -> p | None -> Retry.of_cost cost
+  in
+  {
+    clock = Clock.create ();
+    timeline;
+    registry;
+    umq;
+    cost;
+    trace;
+    planner;
+    channel = Channel.create ~faults ~seed:net_seed ();
+    retry;
+    timeouts = 0;
+    retries = 0;
+    net_wait = 0.0;
+  }
 
 let now w = Clock.now w.clock
 let timeline w = w.timeline
@@ -40,28 +78,66 @@ let umq w = w.umq
 let registry w = w.registry
 let cost w = w.cost
 let planner w = w.planner
+let channel w = w.channel
+let retry_policy w = w.retry
+let net_timeouts w = w.timeouts
+let net_retries w = w.retries
+let net_wait w = w.net_wait
+
+(* Run one arriving copy through the UMQ's exactly-once sequencer. *)
+let admit_packet w (p : Update_msg.payload Channel.packet) =
+  match
+    Umq.deliver w.umq ~source:p.source ~seq:p.seq ~commit_time:p.sent
+      ~source_version:p.seq p.payload
+  with
+  | Umq.Admitted ms ->
+      List.iter
+        (fun m ->
+          Trace.recordf w.trace ~time:(now w) Trace.Enqueue "%a" Update_msg.pp
+            m)
+        ms
+  | Umq.Duplicate ->
+      Trace.recordf w.trace ~time:(now w) Trace.Msg_duplicated
+        "dropped duplicate seq %d from %s" p.seq p.source
+  | Umq.Held ->
+      Trace.recordf w.trace ~time:(now w) Trace.Info
+        "holding out-of-order seq %d from %s" p.seq p.source
+
+(* Deliver every channel copy whose arrival time has passed. *)
+let deliver_arrived w =
+  List.iter (admit_packet w) (Channel.due w.channel ~now:(now w))
 
 (** [deliver_due w] applies every source commit scheduled at or before the
-    current simulated time, enqueuing the corresponding messages. *)
+    current simulated time, sends the corresponding message down the
+    wrapper's channel, and delivers every channel copy that has arrived. *)
 let deliver_due w =
   List.iter
     (fun (e : Timeline.entry) ->
       let src, version =
         Dyno_source.Registry.commit w.registry ~time:e.time e.event
       in
-      Trace.recordf w.trace ~time:e.time Trace.Commit "%s v%d: %a"
-        (Dyno_source.Data_source.id src)
+      let source = Dyno_source.Data_source.id src in
+      Trace.recordf w.trace ~time:e.time Trace.Commit "%s v%d: %a" source
         version Timeline.pp_event e.event;
+      (* The first commit carries the lowest seq this source will ever
+         send; registering it here (before any delivery can happen)
+         anchors the sequencer even if that first message is reordered. *)
+      Umq.ensure_source w.umq ~source ~first_seq:version;
       let payload =
         match e.event with
         | Timeline.Du u -> Update_msg.Du u
         | Timeline.Sc sc -> Update_msg.Sc sc
       in
-      let m =
-        Umq.enqueue w.umq ~commit_time:e.time ~source_version:version payload
+      let report =
+        Channel.send w.channel ~now:e.time ~source ~seq:version payload
       in
-      Trace.recordf w.trace ~time:(now w) Trace.Enqueue "%a" Update_msg.pp m)
-    (Timeline.pop_until w.timeline ~time:(now w))
+      if report.transmissions > 1 then
+        Trace.recordf w.trace ~time:e.time Trace.Msg_dropped
+          "%s seq %d: %d transmission(s) lost, retransmitted" source version
+          (report.transmissions - 1);
+      deliver_arrived w)
+    (Timeline.pop_until w.timeline ~time:(now w));
+  deliver_arrived w
 
 (** [advance w dt] spends [dt] simulated seconds of view-manager work and
     delivers any source commits that happen meanwhile. *)
@@ -77,6 +153,78 @@ let idle_until w t =
     deliver_due w
   end
 
+(** Next instant at which something is scheduled to happen without the
+    view manager doing anything: a future source commit or an in-flight
+    message arrival. *)
+let next_wakeup w =
+  match (Timeline.next_time w.timeline, Channel.next_arrival w.channel) with
+  | None, None -> None
+  | (Some _ as t), None | None, (Some _ as t) -> t
+  | Some a, Some b -> Some (Float.min a b)
+
+(* A probe answer from [source] arrived on the same FIFO stream as the
+   source's update messages, so every message it sent earlier has arrived
+   too: flush them into the UMQ before the answer is used.  This is what
+   keeps the SWEEP compensation frontier exact under transport delay. *)
+let flush_in_flight w ~source =
+  List.iter (admit_packet w) (Channel.flush_source w.channel ~source)
+
+(** How a maintenance query can fail:
+
+    - [Broken] — the genuine broken query of the paper: a schema conflict
+      detected in-exec; the maintenance process must abort into VS/VA.
+    - [Unreachable] — a transient transport failure: the retry budget was
+      exhausted without an answer; the maintenance step should be retried
+      once the source is reachable again.  No abort, no correction. *)
+type failure =
+  | Broken of Dyno_source.Data_source.broken
+  | Unreachable of Retry.unreachable
+
+let pp_failure ppf = function
+  | Broken b -> Dyno_source.Data_source.pp_broken ppf b
+  | Unreachable u -> Retry.pp_unreachable ppf u
+
+(* Retry skeleton shared by [execute] and [validate]: decide the fate of
+   each RPC attempt against the fault config, charging timeout + backoff
+   on the simulated clock (commits keep being delivered meanwhile), until
+   an attempt goes through or the budget is exhausted. *)
+let with_rpc w ~target ~what (attempt_ok : unit -> ('a, failure) result) :
+    ('a, failure) result =
+  let rec attempt ~n ~waited =
+    let outage = Channel.outage_at w.channel ~source:target ~now:(now w) in
+    let lost =
+      match outage with Some _ -> true | None -> Channel.rpc_lost w.channel
+    in
+    if not lost then attempt_ok ()
+    else begin
+      w.timeouts <- w.timeouts + 1;
+      (match outage with
+      | Some o ->
+          Trace.recordf w.trace ~time:(now w) Trace.Outage
+            "%s unreachable (outage until %.3fs)" target o.ends
+      | None -> ());
+      advance w w.retry.Retry.timeout;
+      w.net_wait <- w.net_wait +. w.retry.Retry.timeout;
+      Trace.recordf w.trace ~time:(now w) Trace.Timeout
+        "%s %s: no answer after %.3fs (attempt %d/%d)" what target
+        w.retry.Retry.timeout n w.retry.Retry.max_attempts;
+      let waited = waited +. w.retry.Retry.timeout in
+      if n >= w.retry.Retry.max_attempts then
+        Error (Unreachable { Retry.source = target; attempts = n; waited })
+      else begin
+        let backoff = Retry.backoff_delay w.retry ~attempt:n in
+        advance w backoff;
+        w.net_wait <- w.net_wait +. backoff;
+        w.retries <- w.retries + 1;
+        Trace.recordf w.trace ~time:(now w) Trace.Retry
+          "%s %s: retry %d/%d after %.3fs backoff" what target (n + 1)
+          w.retry.Retry.max_attempts backoff;
+        attempt ~n:(n + 1) ~waited:(waited +. backoff)
+      end
+    end
+  in
+  attempt ~n:1 ~waited:0.0
+
 (** [execute w q ~bound ~target] runs one maintenance-query probe against
     source [target].
 
@@ -87,7 +235,7 @@ let idle_until w t =
     makes compensation necessary and schema conflicts observable.  The
     result-transfer cost elapses after evaluation. *)
 let execute w (q : Query.t) ~bound ~target :
-    (Dyno_source.Data_source.answer, Dyno_source.Data_source.broken) result =
+    (Dyno_source.Data_source.answer, failure) result =
   Trace.recordf w.trace ~time:(now w) Trace.Query_sent "%s <- %s" target
     (Query.name q);
   let src = Dyno_source.Registry.find w.registry target in
@@ -102,43 +250,67 @@ let execute w (q : Query.t) ~bound ~target :
         else acc)
       0 (Query.from q)
   in
-  advance w (Cost_model.probe w.cost ~scanned:scan_estimate ~returned:0);
-  match Dyno_source.Data_source.answer ~planner:w.planner src q ~bound with
-  | Ok ans ->
-      (* Result transfer: time passes but commits landing in this window
-         are NOT delivered yet — the answer was computed before them, so
-         the caller's compensation frontier must not include them either.
-         They are delivered at the next source interaction. *)
-      Clock.advance w.clock
-        (Cost_model.probe w.cost ~scanned:0 ~returned:(Relation.support ans.rows)
-        -. w.cost.Cost_model.query_latency
-        |> Float.max 0.0);
-      Trace.recordf w.trace ~time:(now w) Trace.Query_answered
-        "%s -> %d rows" target
-        (Relation.support ans.rows);
-      Ok ans
-  | Error b ->
-      Umq.set_broken_query_flag w.umq;
-      Trace.recordf w.trace ~time:(now w) Trace.Broken_query "%a"
-        Dyno_source.Data_source.pp_broken b;
-      Error b
+  with_rpc w ~target ~what:"probe" (fun () ->
+      advance w (Cost_model.probe w.cost ~scanned:scan_estimate ~returned:0);
+      (* The answer travels the source's FIFO stream: its earlier update
+         messages arrive first (SWEEP's per-source ordering assumption). *)
+      flush_in_flight w ~source:target;
+      match
+        Dyno_source.Data_source.answer ~planner:w.planner src q ~bound
+      with
+      | Ok ans ->
+          (* Result transfer: time passes but commits landing in this
+             window are NOT delivered yet — the answer was computed before
+             them, so the caller's compensation frontier must not include
+             them either.  They are delivered at the next source
+             interaction. *)
+          Clock.advance w.clock
+            (Cost_model.probe w.cost ~scanned:0
+               ~returned:(Relation.support ans.rows)
+             -. w.cost.Cost_model.query_latency
+            |> Float.max 0.0);
+          Trace.recordf w.trace ~time:(now w) Trace.Query_answered
+            "%s -> %d rows" target
+            (Relation.support ans.rows);
+          Ok ans
+      | Error b ->
+          Umq.set_broken_query_flag w.umq;
+          Trace.recordf w.trace ~time:(now w) Trace.Broken_query "%a"
+            Dyno_source.Data_source.pp_broken b;
+          Error (Broken b))
 
 (** [validate w q ~target] — lightweight metadata check of [q] against
     source [target]'s current catalog: one round trip, no scan.  View
     adaptation interleaves these with its computation so that a schema
     change committed at any point of the maintenance window is detected
     (in-exec) before the view commits. *)
-let validate w (q : Query.t) ~target : (unit, Dyno_source.Data_source.broken) result
-    =
-  advance w w.cost.Cost_model.query_latency;
+let validate w (q : Query.t) ~target : (unit, failure) result =
   let src = Dyno_source.Registry.find w.registry target in
-  match Dyno_source.Data_source.validate src q with
-  | Ok () -> Ok ()
-  | Error b ->
-      Umq.set_broken_query_flag w.umq;
-      Trace.recordf w.trace ~time:(now w) Trace.Broken_query "validation: %a"
-        Dyno_source.Data_source.pp_broken b;
-      Error b
+  with_rpc w ~target ~what:"validate" (fun () ->
+      advance w w.cost.Cost_model.query_latency;
+      flush_in_flight w ~source:target;
+      match Dyno_source.Data_source.validate src q with
+      | Ok () -> Ok ()
+      | Error b ->
+          Umq.set_broken_query_flag w.umq;
+          Trace.recordf w.trace ~time:(now w) Trace.Broken_query
+            "validation: %a" Dyno_source.Data_source.pp_broken b;
+          Error (Broken b))
+
+(** [await_recovery w ~source] — called by the scheduler after an
+    [Unreachable] verdict: wait out the source's outage window if one is
+    active (otherwise one retry-timeout as a cool-down), delivering
+    commits meanwhile.  Returns the simulated seconds waited. *)
+let await_recovery w ~source =
+  let t0 = now w in
+  (match Channel.outage_at w.channel ~source ~now:t0 with
+  | Some o -> idle_until w o.ends
+  | None ->
+      advance w
+        (Float.max w.retry.Retry.timeout w.cost.Cost_model.retransmit_interval));
+  let dt = now w -. t0 in
+  w.net_wait <- w.net_wait +. dt;
+  dt
 
 (** [source_relation w ~source ~rel] direct read of a source's current
     relation — used by adaptation, which the paper models as maintenance

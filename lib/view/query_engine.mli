@@ -1,10 +1,12 @@
 (** The query engine and simulated world: ties together the clock, the
-    timeline of future autonomous commits, the source registry and the
-    UMQ.  Implements the paper's Figure 7 processes — the UMQ manager
-    (deliver commits, set the schema-change flag) and the query engine
-    with in-exec broken-query detection — with Definition 2's interleaving
-    semantics: every commit falling before a query is answered is applied
-    first. *)
+    timeline of future autonomous commits, the source registry, the UMQ
+    and the transport channel.  Implements the paper's Figure 7 processes
+    — the UMQ manager (deliver commits through the wrapper's channel and
+    the exactly-once sequencer, set the schema-change flag) and the query
+    engine with in-exec broken-query detection — with Definition 2's
+    interleaving semantics: every commit falling before a query is
+    answered is applied first.  Probes lost to the channel (or hitting an
+    outage) time out and are retried with exponential backoff. *)
 
 open Dyno_relational
 open Dyno_sim
@@ -14,6 +16,9 @@ type t
 val create :
   ?trace:Trace.t ->
   ?planner:Eval.plan ->
+  ?faults:Dyno_net.Channel.faults ->
+  ?net_seed:int ->
+  ?retry:Dyno_net.Retry.policy ->
   cost:Cost_model.t ->
   registry:Dyno_source.Registry.t ->
   timeline:Timeline.t ->
@@ -22,7 +27,11 @@ val create :
   t
 (** [planner] (default [`Indexed]) is the physical plan every maintenance
     query and compensation evaluation through this engine runs with; tests
-    pass [`Nested_loop] to pin the reference plan. *)
+    pass [`Nested_loop] to pin the reference plan.  [faults] (default
+    {!Dyno_net.Channel.reliable}) configures the transport channel —
+    reliable is a structural pass-through, bit-identical to a direct call;
+    [net_seed] seeds the channel's own RNG stream; [retry] (default
+    {!Dyno_net.Retry.of_cost}) governs probe timeout/backoff. *)
 
 val now : t -> float
 
@@ -36,9 +45,22 @@ val umq : t -> Umq.t
 val registry : t -> Dyno_source.Registry.t
 val cost : t -> Cost_model.t
 
+val channel : t -> Update_msg.payload Dyno_net.Channel.t
+val retry_policy : t -> Dyno_net.Retry.policy
+
+val net_timeouts : t -> int
+(** Probe attempts that got no answer within the timeout. *)
+
+val net_retries : t -> int
+(** Probe attempts re-sent after backoff. *)
+
+val net_wait : t -> float
+(** Simulated seconds spent on timeouts, backoff and recovery waits. *)
+
 val deliver_due : t -> unit
 (** Apply every source commit scheduled at or before the current simulated
-    time, enqueuing the corresponding messages. *)
+    time, send its message down the channel, and run every arrived copy
+    through the UMQ sequencer. *)
 
 val advance : t -> float -> unit
 (** Spend simulated seconds of view-manager work, delivering any source
@@ -47,23 +69,46 @@ val advance : t -> float -> unit
 val idle_until : t -> float -> unit
 (** Sit idle until an absolute time (the no-concurrency baselines). *)
 
+val next_wakeup : t -> float option
+(** Next instant at which something happens without the view manager
+    doing anything: a future commit or an in-flight message arrival. *)
+
+(** How a maintenance query can fail: [Broken] is the paper's broken
+    query (schema conflict, abort into VS/VA); [Unreachable] is a
+    transient transport failure (retry budget exhausted — wait and retry
+    the maintenance step, no abort). *)
+type failure =
+  | Broken of Dyno_source.Data_source.broken
+  | Unreachable of Dyno_net.Retry.unreachable
+
+val pp_failure : Format.formatter -> failure -> unit
+
 val execute :
   t ->
   Query.t ->
   bound:(string * Relation.t) list ->
   target:string ->
-  (Dyno_source.Data_source.answer, Dyno_source.Data_source.broken) result
+  (Dyno_source.Data_source.answer, failure) result
 (** Run one maintenance-query probe against a source.  Round-trip latency
     and scan cost elapse (with commit delivery) {e before} the answer is
-    computed; result-transfer time elapses after it {e without} delivery,
-    so the caller's compensation frontier matches the answer exactly.  A
-    schema conflict yields [Error] and raises the broken-query flag. *)
+    computed; the probed source's in-flight update messages are flushed
+    into the UMQ with it (FIFO-stream semantics), so the caller's
+    compensation frontier matches the answer exactly; result-transfer time
+    elapses after it {e without} delivery.  A schema conflict yields
+    [Error (Broken _)] and raises the broken-query flag; a lost probe is
+    retried per the policy and yields [Error (Unreachable _)] when the
+    budget is exhausted. *)
 
-val validate :
-  t -> Query.t -> target:string -> (unit, Dyno_source.Data_source.broken) result
+val validate : t -> Query.t -> target:string -> (unit, failure) result
 (** Lightweight metadata check against a source's current catalog: one
     round trip, no scan.  Adaptation interleaves these with its
-    computation so late-arriving schema changes are detected in-exec. *)
+    computation so late-arriving schema changes are detected in-exec.
+    Subject to the same retry policy as {!execute}. *)
+
+val await_recovery : t -> source:string -> float
+(** After an [Unreachable] verdict: wait out the source's outage window
+    (or one retry-timeout as a cool-down), delivering commits meanwhile;
+    returns the simulated seconds waited. *)
 
 val source_relation : t -> source:string -> rel:string -> Relation.t option
 (** Direct read of a source's current relation (oracles, initialization —

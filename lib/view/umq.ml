@@ -38,6 +38,13 @@ type t = {
       (** (source, rel) → queued DU messages, newest first — the hot
           lookup of SWEEP compensation, kept incremental so probing does
           not scan the whole queue *)
+  expected : (string, int) Hashtbl.t;
+      (** per-source sequencer: next sequence number to admit *)
+  held : (string, (int * (float * int * Update_msg.payload)) list) Hashtbl.t;
+      (** per-source hold buffer for messages that arrived ahead of a gap:
+          seq → (commit_time, source_version, payload), unsorted, small *)
+  mutable dups_dropped : int;
+  mutable reorders_healed : int;
 }
 
 let create () =
@@ -49,6 +56,10 @@ let create () =
     total_enqueued = 0;
     history = [];
     du_index = Hashtbl.create 16;
+    expected = Hashtbl.create 8;
+    held = Hashtbl.create 8;
+    dups_dropped = 0;
+    reorders_healed = 0;
   }
 
 let index_key m =
@@ -97,6 +108,77 @@ let enqueue q ~commit_time ~source_version payload =
   index_add q m;
   if Update_msg.is_sc m then q.new_schema_change <- true;
   m
+
+(** {2 Exactly-once sequencer}
+
+    The transport layer may deliver a wrapper's messages late, twice, or
+    out of order.  The UMQ manager restores the per-source FIFO discipline
+    that SWEEP compensation and dependency-graph construction assume:
+    every source message carries a monotone sequence number; the queue
+    admits them strictly in sequence, dropping duplicates and holding
+    early arrivals until the gap before them fills. *)
+
+let dups_dropped q = q.dups_dropped
+let reorders_healed q = q.reorders_healed
+
+(** Queued-ahead-of-a-gap message count (diagnostic). *)
+let held_count q = Hashtbl.fold (fun _ l acc -> acc + List.length l) q.held 0
+
+(** [ensure_source q ~source ~first_seq] registers the first sequence
+    number ever sent by [source], if not already known.  Called by the
+    engine at the source's first commit — which necessarily precedes any
+    delivery — so a reordered first message cannot be mistaken for being
+    in-sequence. *)
+let ensure_source q ~source ~first_seq =
+  if not (Hashtbl.mem q.expected source) then
+    Hashtbl.replace q.expected source first_seq
+
+type delivery =
+  | Admitted of Update_msg.t list
+      (** the message (and any held successors it released), enqueued in
+          sequence order *)
+  | Duplicate  (** already admitted or already held — dropped *)
+  | Held  (** arrived ahead of a gap — buffered until the gap fills *)
+
+(** [deliver q ~source ~seq ~commit_time ~source_version payload] runs one
+    arriving copy through the sequencer. *)
+let deliver q ~source ~seq ~commit_time ~source_version payload =
+  ensure_source q ~source ~first_seq:seq;
+  let expected = Hashtbl.find q.expected source in
+  if seq < expected then begin
+    q.dups_dropped <- q.dups_dropped + 1;
+    Duplicate
+  end
+  else if seq > expected then begin
+    let buf = Option.value ~default:[] (Hashtbl.find_opt q.held source) in
+    if List.mem_assoc seq buf then begin
+      q.dups_dropped <- q.dups_dropped + 1;
+      Duplicate
+    end
+    else begin
+      Hashtbl.replace q.held source
+        ((seq, (commit_time, source_version, payload)) :: buf);
+      Held
+    end
+  end
+  else begin
+    let first = enqueue q ~commit_time ~source_version payload in
+    Hashtbl.replace q.expected source (seq + 1);
+    (* Drain the hold buffer: every consecutive successor is released. *)
+    let rec drain acc =
+      let next = Hashtbl.find q.expected source in
+      let buf = Option.value ~default:[] (Hashtbl.find_opt q.held source) in
+      match List.assoc_opt next buf with
+      | None -> List.rev acc
+      | Some (ct, sv, pl) ->
+          Hashtbl.replace q.held source (List.remove_assoc next buf);
+          let m = enqueue q ~commit_time:ct ~source_version:sv pl in
+          Hashtbl.replace q.expected source (next + 1);
+          q.reorders_healed <- q.reorders_healed + 1;
+          drain (m :: acc)
+    in
+    Admitted (first :: drain [])
+  end
 
 (** [pending_dus q ~source ~rel] — queued, unmaintained data updates on
     [rel@source], in commit order. *)

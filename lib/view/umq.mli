@@ -38,6 +38,40 @@ val history : t -> Update_msg.t list
 (** Every message ever enqueued, in arrival order (audit / consistency
     checking). *)
 
+(** {1 Exactly-once sequencer}
+
+    Restores the per-source FIFO discipline that SWEEP compensation and
+    dependency-graph construction assume when the transport may deliver
+    late, twice, or out of order: messages are admitted strictly in
+    per-source sequence order, duplicates dropped, early arrivals held
+    until the gap before them fills. *)
+
+val ensure_source : t -> source:string -> first_seq:int -> unit
+(** Register the first sequence number [source] will ever send, if not
+    already known.  Must be called no later than the source's first
+    commit, which precedes any delivery. *)
+
+type delivery =
+  | Admitted of Update_msg.t list
+      (** the message (and any held successors it released), enqueued in
+          sequence order *)
+  | Duplicate  (** already admitted or already held — dropped *)
+  | Held  (** arrived ahead of a gap — buffered until the gap fills *)
+
+val deliver :
+  t ->
+  source:string ->
+  seq:int ->
+  commit_time:float ->
+  source_version:int ->
+  Update_msg.payload ->
+  delivery
+(** Run one arriving copy through the sequencer. *)
+
+val dups_dropped : t -> int
+val reorders_healed : t -> int
+val held_count : t -> int
+
 val pending_dus :
   t -> source:string -> rel:string -> (Update_msg.t * Dyno_relational.Update.t) list
 (** Queued, unmaintained data updates on [rel@source] in commit order —

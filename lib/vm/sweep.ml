@@ -13,8 +13,11 @@
     query) from the answer.  No locking, no extra round trips.
 
     A probe that fails due to a concurrent schema change surfaces as
-    [Error broken] — the in-exec detection signal consumed by the Dyno
-    scheduler; compensation cannot help there (Section 3.2). *)
+    [Error (Broken _)] — the in-exec detection signal consumed by the Dyno
+    scheduler; compensation cannot help there (Section 3.2).  A probe that
+    exhausts its transport retry budget surfaces as
+    [Error (Unreachable _)] — a transient stall, retried by the scheduler
+    without aborting. *)
 
 open Dyno_relational
 open Dyno_view
@@ -34,18 +37,18 @@ let no_stats = { probes = 0; compensations = 0; comp_tuples = 0 }
     synchronization); [exclude] is the id of the update message being
     maintained (it must not compensate against itself).
 
-    Returns [Ok (delta_view, stats)] or [Error broken] when any probe hits
-    a schema conflict. *)
+    Returns [Ok (delta_view, stats)], or [Error _] when any probe hits a
+    schema conflict or exhausts its transport retry budget. *)
 let delta_view ?(compensate = true) (w : Query_engine.t)
     ~(view_query : Query.t) ~(schemas : (string * Schema.t) list)
     ~(pivot : Query.table_ref) ~(delta : Relation.t) ~(exclude : int list) :
-    (Relation.t * stats, Dyno_source.Data_source.broken) result =
+    (Relation.t * stats, Query_engine.failure) result =
   let owner = Maint_query.owner_of_schemas schemas in
   let partial = ref (Maint_query.initial_partial view_query owner pivot delta) in
   let bound = ref [ pivot.Query.alias ] in
   let stats = ref no_stats in
   let trace = Query_engine.trace w in
-  let exception Broken of Dyno_source.Data_source.broken in
+  let exception Failed of Query_engine.failure in
   try
     if Relation.is_empty !partial then
       (* The delta is filtered out locally; nothing joins, no probes needed. *)
@@ -67,7 +70,7 @@ let delta_view ?(compensate = true) (w : Query_engine.t)
                 ~target:tr.Query.source
             with
             | Ok a -> a.Dyno_source.Data_source.rows
-            | Error b -> raise (Broken b)
+            | Error f -> raise (Failed f)
           in
           stats := { !stats with probes = !stats.probes + 1 };
           (* Compensation: remove the contribution of every pending,
@@ -134,13 +137,15 @@ let delta_view ?(compensate = true) (w : Query_engine.t)
                        flight; treat the probe as broken (conservative,
                        sound). *)
                     raise
-                      (Broken
-                         {
-                           Dyno_source.Data_source.source = tr.Query.source;
-                           query_name = Query.name probe;
-                           reason =
-                             Fmt.str "compensation impossible: %s" reason;
-                         }))
+                      (Failed
+                         (Query_engine.Broken
+                            {
+                              Dyno_source.Data_source.source =
+                                tr.Query.source;
+                              query_name = Query.name probe;
+                              reason =
+                                Fmt.str "compensation impossible: %s" reason;
+                            })))
               answer groups
           in
           partial := compensated;
@@ -148,4 +153,4 @@ let delta_view ?(compensate = true) (w : Query_engine.t)
         (Maint_query.sweep_order view_query pivot.Query.alias);
       Ok (Maint_query.final_projection view_query owner !partial, !stats)
     end
-  with Broken b -> Error b
+  with Failed f -> Error f

@@ -3,8 +3,9 @@
     relation, shipping the partial result with each probe; the effects of
     pending unmaintained data updates are removed from each answer locally
     (no locking, no extra round trips).  A probe that fails on a
-    concurrent schema change surfaces as [Error] — the in-exec detection
-    signal. *)
+    concurrent schema change surfaces as [Error (Broken _)] — the in-exec
+    detection signal; one that exhausts its transport retry budget as
+    [Error (Unreachable _)]. *)
 
 open Dyno_relational
 open Dyno_view
@@ -25,7 +26,7 @@ val delta_view :
   pivot:Query.table_ref ->
   delta:Relation.t ->
   exclude:int list ->
-  (Relation.t * stats, Dyno_source.Data_source.broken) result
+  (Relation.t * stats, Query_engine.failure) result
 (** [delta_view w ~view_query ~schemas ~pivot ~delta ~exclude] computes
     the view delta for [delta] against alias [pivot].  [schemas] are the
     view manager's believed alias schemas; [exclude] lists message ids

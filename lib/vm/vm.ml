@@ -17,6 +17,9 @@ type outcome =
           record is still made so consistency bookkeeping sees it *)
   | Aborted of Dyno_source.Data_source.broken
       (** a maintenance query broke (in-exec detection fired) *)
+  | Unreachable of Dyno_net.Retry.unreachable
+      (** a probe exhausted its transport retry budget — transient; the
+          scheduler waits for recovery and retries the step, no abort *)
 
 exception Invalid_view of string
 
@@ -78,7 +81,8 @@ let maintain ?(compensate = true) ?(applied = []) (w : Query_engine.t)
               ~delta:(Update.delta du)
               ~exclude:(Update_msg.id msg :: applied)
           with
-          | Error b -> Aborted b
+          | Error (Query_engine.Broken b) -> Aborted b
+          | Error (Query_engine.Unreachable u) -> Unreachable u
           | Ok (dv, stats) ->
               let delta_tuples = Relation.mass dv in
               Query_engine.advance w
@@ -129,6 +133,7 @@ let maintain_group ?(compensate = true) (w : Query_engine.t)
     msgs;
   let order = List.rev !order in
   let exception Abort of Dyno_source.Data_source.broken in
+  let exception Stall of Dyno_net.Retry.unreachable in
   try
     let total = ref None in
     let processed = ref [] in
@@ -160,7 +165,8 @@ let maintain_group ?(compensate = true) (w : Query_engine.t)
                 ~delta
                 ~exclude:(ids @ !processed)
             with
-            | Error b -> raise (Abort b)
+            | Error (Query_engine.Broken b) -> raise (Abort b)
+            | Error (Query_engine.Unreachable u) -> raise (Stall u)
             | Ok (dv, _) ->
                 processed := ids @ !processed;
                 total :=
@@ -182,7 +188,9 @@ let maintain_group ?(compensate = true) (w : Query_engine.t)
           "view %s += %d tuple(s) for group of %d" (Query.name q)
           (Relation.mass dv) (List.length msgs));
     Refreshed { delta_tuples = 0; stats = Sweep.no_stats }
-  with Abort b -> Aborted b
+  with
+  | Abort b -> Aborted b
+  | Stall u -> Unreachable u
 
 (** [initialize w mv] fully (re)materializes the view from the sources'
     current states — used at system start.  Charged as one big adaptation. *)

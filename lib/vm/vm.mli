@@ -13,6 +13,9 @@ type outcome =
           record is still made so consistency bookkeeping sees it *)
   | Aborted of Dyno_source.Data_source.broken
       (** a maintenance query broke (in-exec detection fired) *)
+  | Unreachable of Dyno_net.Retry.unreachable
+      (** a probe exhausted its transport retry budget — transient; the
+          scheduler waits for recovery and retries the step, no abort *)
 
 exception Invalid_view of string
 

@@ -20,12 +20,17 @@ val make :
   cost:Dyno_sim.Cost_model.t ->
   ?track_snapshots:bool ->
   ?trace_enabled:bool ->
+  ?faults:Dyno_net.Channel.faults ->
+  ?retry:Dyno_net.Retry.policy ->
+  ?net_seed:int ->
   timeline:Dyno_sim.Timeline.t ->
   unit ->
   t
 (** Build the paper's 6-relation world, load [rows] tuples per relation,
     materialize the view (uncharged — initialization is not part of any
-    measured experiment) and wire the engine around the timeline. *)
+    measured experiment) and wire the engine around the timeline.
+    [faults]/[retry]/[net_seed] configure the transport channel between
+    the view manager and the sources (reliable by default). *)
 
 val run :
   ?max_steps:int ->

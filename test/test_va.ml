@@ -179,14 +179,14 @@ let test_fetch_compensated () =
    with
   | Ok r ->
       Alcotest.(check int) "pending insert hidden" 1 (Relation.cardinality r)
-  | Error b -> Alcotest.failf "broken: %a" Dyno_source.Data_source.pp_broken b);
+  | Error f -> Alcotest.failf "broken: %a" Query_engine.pp_failure f);
   (* with the message excluded (being maintained), the insert stays *)
   match
     Dyno_va.Adapt.fetch_compensated w ~query:(View_def.peek vd)
       ~schemas:(View_def.schemas vd) tr ~exclude:[ 0 ]
   with
   | Ok r -> Alcotest.(check int) "excluded id stays" 2 (Relation.cardinality r)
-  | Error b -> Alcotest.failf "broken: %a" Dyno_source.Data_source.pp_broken b
+  | Error f -> Alcotest.failf "broken: %a" Query_engine.pp_failure f
 
 let test_replace_extent_after_sync () =
   let w, mv, ds1, _umq = make_world () in
@@ -205,7 +205,7 @@ let test_replace_extent_after_sync () =
   View_def.write vd ~schemas:[ ("A", Schema.of_list [ Attr.int "k" ]); ("B", b_schema) ] new_q;
   (match Dyno_va.Adapt.replace_extent w mv ~maintained:[ 42 ] ~exclude:[ 42 ] with
   | Ok () -> ()
-  | Error b -> Alcotest.failf "broken: %a" Dyno_source.Data_source.pp_broken b);
+  | Error f -> Alcotest.failf "broken: %a" Query_engine.pp_failure f);
   Alcotest.(check (list string)) "new extent schema" [ "k"; "w" ]
     (Schema.names (Relation.schema (Mat_view.extent mv)));
   Alcotest.(check int) "one row" 1 (Relation.cardinality (Mat_view.extent mv))

@@ -162,7 +162,10 @@ let test_engine_broken_flag () =
        (Schema_change.Drop_relation { source = "ds"; name = "R" }));
   (match Query_engine.execute w (view_q ()) ~bound:[] ~target:"ds" with
   | Ok _ -> Alcotest.fail "probe should break"
-  | Error b -> Alcotest.(check string) "reason mentions relation" "ds" b.Dyno_source.Data_source.source);
+  | Error (Query_engine.Broken b) ->
+      Alcotest.(check string) "reason mentions relation" "ds"
+        b.Dyno_source.Data_source.source
+  | Error (Query_engine.Unreachable _) -> Alcotest.fail "not a net failure");
   Alcotest.(check bool) "broken flag raised" true (Umq.broken_query_flag umq)
 
 let test_engine_validate () =

@@ -140,7 +140,9 @@ let test_compensation_prevents_duplication () =
     | Dyno_vm.Vm.Refreshed _ -> ()
     | Dyno_vm.Vm.Irrelevant -> Alcotest.fail "not irrelevant"
     | Dyno_vm.Vm.Aborted b ->
-        Alcotest.failf "unexpected abort: %a" Dyno_source.Data_source.pp_broken b);
+        Alcotest.failf "unexpected abort: %a" Dyno_source.Data_source.pp_broken b
+    | Dyno_vm.Vm.Unreachable u ->
+        Alcotest.failf "unexpected stall: %a" Dyno_net.Retry.pp_unreachable u);
     (* now maintain the pending B insert *)
     (match Umq.head wd.umq with
     | Some (Umq.Single m) -> (
