@@ -127,6 +127,27 @@ let json_file =
   let doc = "Write the run statistics as JSON to $(docv)." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
+let trace_out =
+  let doc =
+    "Record spans and write them as Chrome trace-event JSON to $(docv) \
+     (load in ui.perfetto.dev or chrome://tracing)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let metrics_out =
+  let doc =
+    "Record metrics (counters, gauges, latency histograms) and write them \
+     as JSON to $(docv)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  output_char oc '\n';
+  close_out oc
+
 let faults_of ~cost ~loss ~dup ~reorder ~jitter ~reorder_delay ~outages :
     Dyno_net.Channel.faults =
   {
@@ -157,7 +178,7 @@ let timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval =
 let run_cmd =
   let action rows dus scs du_interval sc_interval seed strategy trace
       no_compensation report multi loss dup reorder jitter reorder_delay
-      outages net_seed json_file =
+      outages net_seed json_file trace_out metrics_out =
     let timeline =
       timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval
     in
@@ -166,9 +187,14 @@ let run_cmd =
       faults_of ~cost ~loss ~dup ~reorder ~jitter ~reorder_delay ~outages
     in
     let net_seed = Option.value net_seed ~default:seed in
+    let obs =
+      if trace_out <> None || metrics_out <> None then
+        Dyno_obs.Obs.create ()
+      else Dyno_obs.Obs.disabled
+    in
     let t =
       Scenario.make ~rows ~cost ~track_snapshots:true
-        ~trace_enabled:(trace || report) ~faults ~net_seed ~timeline ()
+        ~trace_enabled:(trace || report) ~faults ~net_seed ~obs ~timeline ()
     in
     let stats =
       if multi then begin
@@ -232,11 +258,20 @@ let run_cmd =
     (match json_file with
     | None -> ()
     | Some f ->
-        let oc = open_out f in
-        output_string oc (Stats.to_json_string stats);
-        output_char oc '\n';
-        close_out oc;
+        write_file f (Stats.to_json_string stats);
         Fmt.pr "stats written to %s@." f);
+    (match trace_out with
+    | None -> ()
+    | Some f ->
+        write_file f
+          (Dyno_obs.Export.chrome_trace (Dyno_obs.Obs.spans obs));
+        Fmt.pr "chrome trace written to %s (open in ui.perfetto.dev)@." f);
+    (match metrics_out with
+    | None -> ()
+    | Some f ->
+        write_file f
+          (Dyno_obs.Metrics.to_json_string (Dyno_obs.Obs.metrics obs));
+        Fmt.pr "metrics written to %s@." f);
     if Stats.(stats.view_undefined) then exit 2
   in
   let term =
@@ -244,10 +279,62 @@ let run_cmd =
       const action $ rows $ dus $ scs $ du_interval $ sc_interval $ seed
       $ strategy $ trace_flag $ no_compensation $ report_flag $ multi_flag
       $ loss $ dup $ reorder $ jitter $ reorder_delay $ outages $ net_seed
-      $ json_file)
+      $ json_file $ trace_out $ metrics_out)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a mixed workload under a strategy")
+    term
+
+(* ---- report: span-derived cost breakdown ---------------------------- *)
+
+let report_cmd =
+  let action rows dus scs du_interval sc_interval seed strategy
+      no_compensation loss dup reorder jitter reorder_delay outages net_seed
+      trace_out metrics_out =
+    let timeline =
+      timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval
+    in
+    let cost = Dyno_sim.Cost_model.scaled (100_000.0 /. float_of_int rows) in
+    let faults =
+      faults_of ~cost ~loss ~dup ~reorder ~jitter ~reorder_delay ~outages
+    in
+    let net_seed = Option.value net_seed ~default:seed in
+    let obs = Dyno_obs.Obs.create () in
+    let t =
+      Scenario.make ~rows ~cost ~track_snapshots:true ~faults ~net_seed ~obs
+        ~timeline ()
+    in
+    let stats = Scenario.run ~compensate:(not no_compensation) t ~strategy in
+    let spans = Dyno_obs.Obs.spans obs in
+    Fmt.pr "strategy: %a@.@." Strategy.pp strategy;
+    Fmt.pr "%a@." Dyno_obs.Export.pp_breakdown
+      (Dyno_obs.Export.breakdown spans);
+    Fmt.pr "@.%a@." Dyno_obs.Metrics.pp (Dyno_obs.Obs.metrics obs);
+    (match trace_out with
+    | None -> ()
+    | Some f ->
+        write_file f (Dyno_obs.Export.chrome_trace spans);
+        Fmt.pr "@.chrome trace written to %s (open in ui.perfetto.dev)@." f);
+    (match metrics_out with
+    | None -> ()
+    | Some f ->
+        write_file f
+          (Dyno_obs.Metrics.to_json_string (Dyno_obs.Obs.metrics obs));
+        Fmt.pr "metrics written to %s@." f);
+    if Stats.(stats.view_undefined) then exit 2
+  in
+  let term =
+    Term.(
+      const action $ rows $ dus $ scs $ du_interval $ sc_interval $ seed
+      $ strategy $ no_compensation $ loss $ dup $ reorder $ jitter
+      $ reorder_delay $ outages $ net_seed $ trace_out $ metrics_out)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run a workload with span recording on and print the \
+          busy/abort/idle/net-wait cost breakdown derived from spans alone, \
+          plus the metrics registry")
     term
 
 (* ---- inspect ------------------------------------------------------- *)
@@ -450,4 +537,6 @@ let () =
         "Detection and correction of conflicting source updates for view \
          maintenance (ICDE 2004 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; inspect_cmd; sql_cmd; demo_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; report_cmd; inspect_cmd; sql_cmd; demo_cmd ]))

@@ -33,14 +33,17 @@ let () =
   Fmt.pr "@.%12s  %9s  %9s  %7s  %7s  %8s  %7s  %11s  %7s@." "strategy"
     "cost(s)" "abort(s)" "aborts" "merges" "batches" "commits" "convergent"
     "strong";
+  let observed = ref None in
   List.iter
     (fun strategy ->
+      let obs = Dyno_obs.Obs.create () in
       let t =
         Scenario.make ~rows
           ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1000.0 }
-          ~track_snapshots:true ~timeline:(workload ()) ()
+          ~track_snapshots:true ~obs ~timeline:(workload ()) ()
       in
       let s = Scenario.run t ~strategy in
+      if strategy = Strategy.Pessimistic then observed := Some obs;
       let convergent =
         match Scenario.check_convergent t with
         | Ok b -> string_of_bool b
@@ -57,4 +60,15 @@ let () =
   Fmt.pr
     "@.Notes: merge-all trades intermediate view states (fewer commits) for \
      simplicity;@.Dyno's cycle-granular merging keeps the view as fresh as \
-     the dependencies allow.@."
+     the dependencies allow.@.";
+  (* Where did the pessimistic run's time go?  The span recorder knows,
+     independently of the Stats accounting. *)
+  match !observed with
+  | None -> ()
+  | Some obs ->
+      Fmt.pr "@.Per-phase cost split of the pessimistic run (from spans):@.";
+      Fmt.pr "%a@."
+        Dyno_obs.Export.pp_breakdown
+        (Dyno_obs.Export.breakdown (Dyno_obs.Obs.spans obs));
+      Fmt.pr "@.Latency metrics:@.%a@." Dyno_obs.Metrics.pp
+        (Dyno_obs.Obs.metrics obs)

@@ -49,6 +49,10 @@ let detect_and_correct ~(force : bool) (w : Query_engine.t) (t : t)
   in
   if not fired then Query_engine.advance w cost.Cost_model.detect_flag
   else begin
+    let obs = Query_engine.obs w in
+    let sp = Dyno_obs.Obs.spans obs
+    and mx = Dyno_obs.Obs.metrics obs in
+    let now () = Query_engine.now w in
     let view_specs =
       List.filter_map
         (fun v ->
@@ -58,19 +62,34 @@ let detect_and_correct ~(force : bool) (w : Query_engine.t) (t : t)
           else None)
         t.views
     in
-    let g = Dep_graph.build_many view_specs (Umq.entries umq) in
-    stats.Stats.detections <- stats.Stats.detections + 1;
-    let n = Dep_graph.size g in
-    let m = List.length (List.filter Update_msg.is_sc (Umq.messages umq)) in
-    Query_engine.advance w
-      (Cost_model.detect cost ~n:(n * max 1 (List.length view_specs)) ~m);
-    let r = Correct.apply umq g in
-    Query_engine.advance w
-      (Cost_model.correct cost ~nodes:r.Correct.nodes ~edges:r.Correct.edges);
-    if r.Correct.reordered then
-      stats.Stats.corrections <- stats.Stats.corrections + 1;
-    if r.Correct.merged_cycles > 0 then
-      stats.Stats.merges <- stats.Stats.merges + r.Correct.merged_cycles
+    let g =
+      Dyno_obs.Span.with_span sp ~now Dyno_obs.Span.Detect
+        (Fmt.str "detect over %d view(s)" (List.length view_specs))
+        (fun _ ->
+          let td = now () in
+          let g = Dep_graph.build_many view_specs (Umq.entries umq) in
+          stats.Stats.detections <- stats.Stats.detections + 1;
+          let n = Dep_graph.size g in
+          let m =
+            List.length (List.filter Update_msg.is_sc (Umq.messages umq))
+          in
+          Query_engine.advance w
+            (Cost_model.detect cost ~n:(n * max 1 (List.length view_specs)) ~m);
+          Dyno_obs.Metrics.observe mx "detect.pass_s" (now () -. td);
+          g)
+    in
+    Dyno_obs.Span.with_span sp ~now Dyno_obs.Span.Correct "correct"
+      (fun _ ->
+        let tc = now () in
+        let r = Correct.apply umq g in
+        Query_engine.advance w
+          (Cost_model.correct cost ~nodes:r.Correct.nodes
+             ~edges:r.Correct.edges);
+        Dyno_obs.Metrics.observe mx "correct.pass_s" (now () -. tc);
+        if r.Correct.reordered then
+          stats.Stats.corrections <- stats.Stats.corrections + 1;
+        if r.Correct.merged_cycles > 0 then
+          stats.Stats.merges <- stats.Stats.merges + r.Correct.merged_cycles)
   end;
   stats.Stats.busy <- stats.Stats.busy +. (Query_engine.now w -. t0)
 
@@ -147,6 +166,90 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
   let umq = Query_engine.umq w in
   let steps = ref 0 in
   let trace = Query_engine.trace w in
+  let obs = Query_engine.obs w in
+  let sp = Dyno_obs.Obs.spans obs in
+  let now () = Query_engine.now w in
+  (* Iteration body inside a [Maintain] span; as in {!Scheduler.run},
+     every clock advance here is charged to [Stats.busy], so Σ maintain
+     span durations = busy. *)
+  let iteration mid =
+    (match config.strategy with
+    | Strategy.Pessimistic -> detect_and_correct ~force:false w t stats
+    | Strategy.Optimistic | Strategy.Merge_all -> ());
+    match Umq.head umq with
+    | None -> ()
+    | Some entry -> (
+        Dyno_obs.Span.set_name sp mid (Fmt.str "%a" Umq.pp_entry entry);
+        Umq.clear_broken_query_flag umq;
+        let t0 = Query_engine.now w in
+        let rec maintain_views = function
+          | [] -> Ok ()
+          | v :: rest -> (
+              match
+                maintain_for_view ~compensate:config.compensate w mk stats v
+                  entry
+              with
+              | Ok () -> maintain_views rest
+              | Error f -> Error f)
+        in
+        match maintain_views t.views with
+        | Ok () ->
+            Dyno_obs.Span.set_attr sp mid "outcome" "done";
+            stats.Stats.busy <-
+              stats.Stats.busy +. (Query_engine.now w -. t0);
+            (* Entry fully integrated everywhere: dequeue and drop its
+               ids from the applied sets (they can never reappear). *)
+            let ids = Umq.entry_ids entry in
+            List.iter
+              (fun v ->
+                v.applied <-
+                  List.filter (fun id -> not (List.mem id ids)) v.applied)
+              t.views;
+            Umq.remove_head umq
+        | Error (Query_engine.Unreachable u) ->
+            (* Transient transport failure: the partially-applied entry
+               stays queued ([applied] remembers which views already
+               integrated it); wait out the outage and retry.  No abort,
+               no correction — the queue order is not the problem. *)
+            Dyno_obs.Span.set_attr sp mid "outcome" "stalled";
+            let dt = Query_engine.now w -. t0 in
+            stats.Stats.busy <- stats.Stats.busy +. dt;
+            stats.Stats.net_stalls <- stats.Stats.net_stalls + 1;
+            Dyno_obs.Metrics.incr (Dyno_obs.Obs.metrics obs) "net.stalls";
+            Trace.recordf trace ~time:(Query_engine.now w) Trace.Outage
+              "multi-view maintenance stalled: %a; waiting for recovery"
+              Dyno_net.Retry.pp_unreachable u;
+            let waited =
+              Dyno_obs.Span.with_span sp ~now Dyno_obs.Span.Stall
+                (Fmt.str "stall on %s" u.Dyno_net.Retry.source)
+                (fun _ ->
+                  Query_engine.await_recovery w
+                    ~source:u.Dyno_net.Retry.source)
+            in
+            stats.Stats.busy <- stats.Stats.busy +. waited
+        | Error (Query_engine.Broken b) ->
+            let dt = Query_engine.now w -. t0 in
+            stats.Stats.busy <- stats.Stats.busy +. dt;
+            stats.Stats.abort_cost <- stats.Stats.abort_cost +. dt;
+            stats.Stats.aborts <- stats.Stats.aborts + 1;
+            stats.Stats.broken_queries <- stats.Stats.broken_queries + 1;
+            Dyno_obs.Span.set_attr sp mid "outcome" "aborted";
+            Dyno_obs.Span.set_attr sp mid "abort_s" (Fmt.str "%.17g" dt);
+            Trace.recordf trace ~time:(Query_engine.now w) Trace.Abort
+              "multi-view maintenance aborted: %a"
+              Dyno_source.Data_source.pp_broken b;
+            (match config.strategy with
+            | Strategy.Pessimistic ->
+                if not (Umq.peek_schema_change_flag umq) then
+                  detect_and_correct ~force:true w t stats
+            | Strategy.Optimistic -> detect_and_correct ~force:true w t stats
+            | Strategy.Merge_all ->
+                let r = Correct.merge_all umq in
+                if r.Correct.reordered then begin
+                  stats.Stats.corrections <- stats.Stats.corrections + 1;
+                  stats.Stats.merges <- stats.Stats.merges + 1
+                end))
+  in
   let rec loop () =
     incr steps;
     if !steps > config.max_steps then
@@ -163,78 +266,14 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
           loop ()
     end
     else begin
-      (match config.strategy with
-      | Strategy.Pessimistic -> detect_and_correct ~force:false w t stats
-      | Strategy.Optimistic | Strategy.Merge_all -> ());
-      match Umq.head umq with
-      | None -> loop ()
-      | Some entry -> (
-          Umq.clear_broken_query_flag umq;
-          let t0 = Query_engine.now w in
-          let rec maintain_views = function
-            | [] -> Ok ()
-            | v :: rest -> (
-                match
-                  maintain_for_view ~compensate:config.compensate w mk stats v
-                    entry
-                with
-                | Ok () -> maintain_views rest
-                | Error f -> Error f)
-          in
-          match maintain_views t.views with
-          | Ok () ->
-              stats.Stats.busy <-
-                stats.Stats.busy +. (Query_engine.now w -. t0);
-              (* Entry fully integrated everywhere: dequeue and drop its
-                 ids from the applied sets (they can never reappear). *)
-              let ids = Umq.entry_ids entry in
-              List.iter
-                (fun v ->
-                  v.applied <-
-                    List.filter (fun id -> not (List.mem id ids)) v.applied)
-                t.views;
-              Umq.remove_head umq;
-              loop ()
-          | Error (Query_engine.Unreachable u) ->
-              (* Transient transport failure: the partially-applied entry
-                 stays queued ([applied] remembers which views already
-                 integrated it); wait out the outage and retry.  No abort,
-                 no correction — the queue order is not the problem. *)
-              let dt = Query_engine.now w -. t0 in
-              stats.Stats.busy <- stats.Stats.busy +. dt;
-              stats.Stats.net_stalls <- stats.Stats.net_stalls + 1;
-              Trace.recordf trace ~time:(Query_engine.now w) Trace.Outage
-                "multi-view maintenance stalled: %a; waiting for recovery"
-                Dyno_net.Retry.pp_unreachable u;
-              let waited =
-                Query_engine.await_recovery w ~source:u.Dyno_net.Retry.source
-              in
-              stats.Stats.busy <- stats.Stats.busy +. waited;
-              loop ()
-          | Error (Query_engine.Broken b) ->
-              let dt = Query_engine.now w -. t0 in
-              stats.Stats.busy <- stats.Stats.busy +. dt;
-              stats.Stats.abort_cost <- stats.Stats.abort_cost +. dt;
-              stats.Stats.aborts <- stats.Stats.aborts + 1;
-              stats.Stats.broken_queries <- stats.Stats.broken_queries + 1;
-              Trace.recordf trace ~time:(Query_engine.now w) Trace.Abort
-                "multi-view maintenance aborted: %a"
-                Dyno_source.Data_source.pp_broken b;
-              (match config.strategy with
-              | Strategy.Pessimistic ->
-                  if not (Umq.peek_schema_change_flag umq) then
-                    detect_and_correct ~force:true w t stats
-              | Strategy.Optimistic -> detect_and_correct ~force:true w t stats
-              | Strategy.Merge_all ->
-                  let r = Correct.merge_all umq in
-                  if r.Correct.reordered then begin
-                    stats.Stats.corrections <- stats.Stats.corrections + 1;
-                    stats.Stats.merges <- stats.Stats.merges + 1
-                  end);
-              loop ())
+      Dyno_obs.Span.with_span sp ~now Dyno_obs.Span.Maintain
+        (Fmt.str "step %d" !steps)
+        iteration;
+      loop ()
     end
   in
   loop ();
   stats.Stats.end_time <- Query_engine.now w;
   Scheduler.record_net_stats w stats;
+  Scheduler.mirror_stats obs stats;
   stats

@@ -74,9 +74,14 @@ let detect_and_correct ~(force : bool) (w : Query_engine.t) (mv : Mat_view.t)
   let outcome =
     if force then Detect.force vd umq else Detect.pre_exec vd umq
   in
+  let obs = Query_engine.obs w in
+  let sp = Dyno_obs.Obs.spans obs
+  and mx = Dyno_obs.Obs.metrics obs in
+  let now () = Query_engine.now w in
   (match outcome.Detect.graph with
   | None ->
-      (* Flag fast path: O(1). *)
+      (* Flag fast path: O(1); no span — it would swamp the trace with one
+         flag check per iteration. *)
       Query_engine.advance w cost.Cost_model.detect_flag
   | Some g ->
       stats.Stats.detections <- stats.Stats.detections + 1;
@@ -85,25 +90,37 @@ let detect_and_correct ~(force : bool) (w : Query_engine.t) (mv : Mat_view.t)
         List.length
           (List.filter Update_msg.is_sc (Umq.messages umq))
       in
-      Query_engine.advance w (Cost_model.detect cost ~n ~m);
+      Dyno_obs.Span.with_span sp ~now Dyno_obs.Span.Detect
+        (Fmt.str "detect %d node(s)" n)
+        (fun _ ->
+          let td = now () in
+          Query_engine.advance w (Cost_model.detect cost ~n ~m);
+          Dyno_obs.Metrics.observe mx "detect.pass_s" (now () -. td));
       Trace.recordf (Query_engine.trace w) ~time:(Query_engine.now w)
         Trace.Detect "graph: %d node(s), %d edge(s), %d unsafe" n
         (List.length (Dep_graph.edges g))
         outcome.Detect.unsafe;
-      let r = Correct.apply umq g in
-      Query_engine.advance w
-        (Cost_model.correct cost ~nodes:r.Correct.nodes ~edges:r.Correct.edges);
-      if r.Correct.reordered then begin
-        stats.Stats.corrections <- stats.Stats.corrections + 1;
-        Trace.recordf (Query_engine.trace w) ~time:(Query_engine.now w)
-          Trace.Correct "queue reordered into a legal order"
-      end;
-      if r.Correct.merged_cycles > 0 then begin
-        stats.Stats.merges <- stats.Stats.merges + r.Correct.merged_cycles;
-        Trace.recordf (Query_engine.trace w) ~time:(Query_engine.now w)
-          Trace.Merge "%d cycle(s) merged (%d update(s))"
-          r.Correct.merged_cycles r.Correct.merged_updates
-      end);
+      Dyno_obs.Span.with_span sp ~now Dyno_obs.Span.Correct "correct"
+        (fun cid ->
+          let tc = now () in
+          let r = Correct.apply umq g in
+          Query_engine.advance w
+            (Cost_model.correct cost ~nodes:r.Correct.nodes
+               ~edges:r.Correct.edges);
+          Dyno_obs.Metrics.observe mx "correct.pass_s" (now () -. tc);
+          Dyno_obs.Span.set_attr sp cid "reordered"
+            (string_of_bool r.Correct.reordered);
+          if r.Correct.reordered then begin
+            stats.Stats.corrections <- stats.Stats.corrections + 1;
+            Trace.recordf (Query_engine.trace w) ~time:(Query_engine.now w)
+              Trace.Correct "queue reordered into a legal order"
+          end;
+          if r.Correct.merged_cycles > 0 then begin
+            stats.Stats.merges <- stats.Stats.merges + r.Correct.merged_cycles;
+            Trace.recordf (Query_engine.trace w) ~time:(Query_engine.now w)
+              Trace.Merge "%d cycle(s) merged (%d update(s))"
+              r.Correct.merged_cycles r.Correct.merged_updates
+          end));
   stats.Stats.busy <- stats.Stats.busy +. (Query_engine.now w -. t0)
 
 (* Maintain one queue entry.  Updates counters on success. *)
@@ -192,8 +209,16 @@ let stall_and_wait (w : Query_engine.t) (stats : Stats.t) ~(t0 : float)
   Trace.recordf trace ~time:(Query_engine.now w) Trace.Outage
     "maintenance stalled: %a; waiting for recovery"
     Dyno_net.Retry.pp_unreachable u;
+  Dyno_obs.Metrics.incr
+    (Dyno_obs.Obs.metrics (Query_engine.obs w))
+    "net.stalls";
   let waited =
-    Query_engine.await_recovery w ~source:u.Dyno_net.Retry.source
+    Dyno_obs.Span.with_span
+      (Dyno_obs.Obs.spans (Query_engine.obs w))
+      ~now:(fun () -> Query_engine.now w)
+      Dyno_obs.Span.Stall
+      (Fmt.str "stall on %s" u.Dyno_net.Retry.source)
+      (fun _ -> Query_engine.await_recovery w ~source:u.Dyno_net.Retry.source)
   in
   stats.Stats.busy <- stats.Stats.busy +. waited
 
@@ -210,6 +235,38 @@ let record_net_stats (w : Query_engine.t) (stats : Stats.t) : unit =
   stats.Stats.dups_dropped <- Umq.dups_dropped umq;
   stats.Stats.reorders_healed <- Umq.reorders_healed umq
 
+(* Mirror the run's final statistics into the metrics registry, so the
+   exported metrics JSON is self-contained.  Live counters ([net.*],
+   [umq.*], [vm.*]) are incremented where they happen; this adds the
+   scheduler-level totals under [sched.*]. *)
+let mirror_stats (obs : Dyno_obs.Obs.t) (stats : Stats.t) : unit =
+  let mx = Dyno_obs.Obs.metrics obs in
+  if Dyno_obs.Metrics.enabled mx then begin
+    Dyno_obs.Metrics.set_gauge mx "sched.busy_s" stats.Stats.busy;
+    Dyno_obs.Metrics.set_gauge mx "sched.abort_cost_s" stats.Stats.abort_cost;
+    Dyno_obs.Metrics.set_gauge mx "sched.idle_s" stats.Stats.idle;
+    Dyno_obs.Metrics.set_gauge mx "sched.end_time_s" stats.Stats.end_time;
+    Dyno_obs.Metrics.set_gauge mx "sched.net_wait_s" stats.Stats.net_wait;
+    Dyno_obs.Metrics.set_counter mx "sched.du_maintained"
+      stats.Stats.du_maintained;
+    Dyno_obs.Metrics.set_counter mx "sched.sc_maintained"
+      stats.Stats.sc_maintained;
+    Dyno_obs.Metrics.set_counter mx "sched.batches" stats.Stats.batches;
+    Dyno_obs.Metrics.set_counter mx "sched.irrelevant" stats.Stats.irrelevant;
+    Dyno_obs.Metrics.set_counter mx "sched.aborts" stats.Stats.aborts;
+    Dyno_obs.Metrics.set_counter mx "sched.broken_queries"
+      stats.Stats.broken_queries;
+    Dyno_obs.Metrics.set_counter mx "sched.detections" stats.Stats.detections;
+    Dyno_obs.Metrics.set_counter mx "sched.corrections"
+      stats.Stats.corrections;
+    Dyno_obs.Metrics.set_counter mx "sched.merges" stats.Stats.merges;
+    Dyno_obs.Metrics.set_counter mx "sched.probes" stats.Stats.probes;
+    Dyno_obs.Metrics.set_counter mx "sched.compensations"
+      stats.Stats.compensations;
+    Dyno_obs.Metrics.set_counter mx "sched.view_commits"
+      stats.Stats.view_commits
+  end
+
 (** [run ?config w mv mk] drives the Dyno loop until the UMQ and the
     timeline are both drained; returns the collected statistics. *)
 let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
@@ -218,6 +275,135 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
   let umq = Query_engine.umq w in
   let steps = ref 0 in
   let trace = Query_engine.trace w in
+  let obs = Query_engine.obs w in
+  let sp = Dyno_obs.Obs.spans obs in
+  let now () = Query_engine.now w in
+  (* One iteration over a non-empty queue, run inside a [Maintain] span.
+     Every clock advance below is charged to [Stats.busy] (detection,
+     maintenance, post-abort correction, stall recovery), so the span's
+     duration equals exactly the busy time this iteration contributes —
+     the invariant Σ maintain-span durations = Stats.busy rests on it. *)
+  let iteration mid =
+    (match config.strategy with
+    | Strategy.Pessimistic -> detect_and_correct ~force:false w mv stats
+    | Strategy.Optimistic | Strategy.Merge_all ->
+        (* No pre-exec pass; the flag is left set and ignored. *)
+        ());
+    (* Deferred/grouped maintenance: collapse a prefix of single DUs
+       into one transient batch entry.  Taking a queue prefix preserves
+       the legal order. *)
+    let group_size =
+      if config.du_group <= 1 || not (View_def.is_valid (Mat_view.def mv))
+      then 0
+      else begin
+        let rec count n = function
+          | Umq.Single m :: rest
+            when Update_msg.is_du m && n < config.du_group ->
+              count (n + 1) rest
+          | _ -> n
+        in
+        count 0 (Umq.entries umq)
+      end
+    in
+    if group_size > 1 then begin
+      Dyno_obs.Span.set_name sp mid (Fmt.str "group of %d" group_size);
+      let msgs =
+        List.filteri (fun i _ -> i < group_size) (Umq.entries umq)
+        |> List.concat_map Umq.entry_messages
+      in
+      Umq.clear_broken_query_flag umq;
+      let t0 = Query_engine.now w in
+      match Dyno_vm.Vm.maintain_group ~compensate:config.compensate w mv msgs with
+      | Dyno_vm.Vm.Unreachable u ->
+          Dyno_obs.Span.set_attr sp mid "outcome" "stalled";
+          stall_and_wait w stats ~t0 u
+      | Dyno_vm.Vm.Refreshed _ | Dyno_vm.Vm.Irrelevant ->
+          Dyno_obs.Span.set_attr sp mid "outcome" "done";
+          stats.Stats.busy <- stats.Stats.busy +. (Query_engine.now w -. t0);
+          stats.Stats.batches <- stats.Stats.batches + 1;
+          stats.Stats.batch_updates <-
+            stats.Stats.batch_updates + List.length msgs;
+          stats.Stats.view_commits <- stats.Stats.view_commits + 1;
+          for _ = 1 to group_size do
+            Umq.remove_head umq
+          done
+      | Dyno_vm.Vm.Aborted b ->
+          let dt = Query_engine.now w -. t0 in
+          stats.Stats.busy <- stats.Stats.busy +. dt;
+          stats.Stats.abort_cost <- stats.Stats.abort_cost +. dt;
+          stats.Stats.aborts <- stats.Stats.aborts + 1;
+          stats.Stats.broken_queries <- stats.Stats.broken_queries + 1;
+          Dyno_obs.Span.set_attr sp mid "outcome" "aborted";
+          Dyno_obs.Span.set_attr sp mid "abort_s" (Fmt.str "%.17g" dt);
+          Trace.recordf trace ~time:(Query_engine.now w) Trace.Abort
+            "grouped maintenance aborted after %.3f s: %a" dt
+            Dyno_source.Data_source.pp_broken b;
+          (match config.strategy with
+          | Strategy.Pessimistic ->
+              if not (Umq.peek_schema_change_flag umq) then
+                detect_and_correct ~force:true w mv stats
+          | Strategy.Optimistic -> detect_and_correct ~force:true w mv stats
+          | Strategy.Merge_all ->
+              let r = Correct.merge_all umq in
+              if r.Correct.reordered then begin
+                stats.Stats.corrections <- stats.Stats.corrections + 1;
+                stats.Stats.merges <- stats.Stats.merges + 1
+              end)
+    end
+    else
+    match Umq.head umq with
+    | None -> ()
+    | Some entry -> (
+        Dyno_obs.Span.set_name sp mid (Fmt.str "%a" Umq.pp_entry entry);
+        Umq.clear_broken_query_flag umq;
+        let t0 = Query_engine.now w in
+        match
+          maintain_entry ~compensate:config.compensate
+            ~vm_mode:config.vm_mode w mv mk stats entry
+        with
+        | Done ->
+            Dyno_obs.Span.set_attr sp mid "outcome" "done";
+            stats.Stats.busy <- stats.Stats.busy +. (Query_engine.now w -. t0);
+            Umq.remove_head umq
+        | UnreachableStep u ->
+            Dyno_obs.Span.set_attr sp mid "outcome" "stalled";
+            stall_and_wait w stats ~t0 u
+        | AbortedStep b ->
+            let dt = Query_engine.now w -. t0 in
+            stats.Stats.busy <- stats.Stats.busy +. dt;
+            stats.Stats.abort_cost <- stats.Stats.abort_cost +. dt;
+            stats.Stats.aborts <- stats.Stats.aborts + 1;
+            stats.Stats.broken_queries <- stats.Stats.broken_queries + 1;
+            Dyno_obs.Span.set_attr sp mid "outcome" "aborted";
+            Dyno_obs.Span.set_attr sp mid "abort_s" (Fmt.str "%.17g" dt);
+            Trace.recordf trace ~time:(Query_engine.now w) Trace.Abort
+              "maintenance aborted after %.3f s: %a" dt
+              Dyno_source.Data_source.pp_broken b;
+            (match config.strategy with
+            | Strategy.Pessimistic ->
+                (* The SC that broke us set the schema-change flag when it
+                   was enqueued; the next iteration's pre-exec pass will
+                   correct the queue (Figure 6: "corrected in the next
+                   loop").  Defensive: if the flag is somehow already
+                   consumed, force a correction now rather than retry the
+                   same doomed head forever. *)
+                if not (Umq.peek_schema_change_flag umq) then
+                  detect_and_correct ~force:true w mv stats
+            | Strategy.Optimistic ->
+                (* In-exec detection is the only mechanism: correct now. *)
+                detect_and_correct ~force:true w mv stats
+            | Strategy.Merge_all ->
+                let t1 = Query_engine.now w in
+                let r = Correct.merge_all umq in
+                if r.Correct.reordered then begin
+                  stats.Stats.corrections <- stats.Stats.corrections + 1;
+                  stats.Stats.merges <- stats.Stats.merges + 1;
+                  Trace.recordf trace ~time:(Query_engine.now w) Trace.Merge
+                    "merge-all: %d update(s) collapsed" r.Correct.merged_updates
+                end;
+                stats.Stats.busy <-
+                  stats.Stats.busy +. (Query_engine.now w -. t1)))
+  in
   let rec loop () =
     incr steps;
     if !steps > config.max_steps then raise (Step_limit_exceeded !steps);
@@ -235,124 +421,14 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
           loop ()
     end
     else begin
-      (match config.strategy with
-      | Strategy.Pessimistic -> detect_and_correct ~force:false w mv stats
-      | Strategy.Optimistic | Strategy.Merge_all ->
-          (* No pre-exec pass; the flag is left set and ignored. *)
-          ());
-      (* Deferred/grouped maintenance: collapse a prefix of single DUs
-         into one transient batch entry.  Taking a queue prefix preserves
-         the legal order. *)
-      let group_size =
-        if config.du_group <= 1 || not (View_def.is_valid (Mat_view.def mv))
-        then 0
-        else begin
-          let rec count n = function
-            | Umq.Single m :: rest
-              when Update_msg.is_du m && n < config.du_group ->
-                count (n + 1) rest
-            | _ -> n
-          in
-          count 0 (Umq.entries umq)
-        end
-      in
-      if group_size > 1 then begin
-        let msgs =
-          List.filteri (fun i _ -> i < group_size) (Umq.entries umq)
-          |> List.concat_map Umq.entry_messages
-        in
-        Umq.clear_broken_query_flag umq;
-        let t0 = Query_engine.now w in
-        match Dyno_vm.Vm.maintain_group ~compensate:config.compensate w mv msgs with
-        | Dyno_vm.Vm.Unreachable u ->
-            stall_and_wait w stats ~t0 u;
-            loop ()
-        | Dyno_vm.Vm.Refreshed _ | Dyno_vm.Vm.Irrelevant ->
-            stats.Stats.busy <- stats.Stats.busy +. (Query_engine.now w -. t0);
-            stats.Stats.batches <- stats.Stats.batches + 1;
-            stats.Stats.batch_updates <-
-              stats.Stats.batch_updates + List.length msgs;
-            stats.Stats.view_commits <- stats.Stats.view_commits + 1;
-            for _ = 1 to group_size do
-              Umq.remove_head umq
-            done;
-            loop ()
-        | Dyno_vm.Vm.Aborted b ->
-            let dt = Query_engine.now w -. t0 in
-            stats.Stats.busy <- stats.Stats.busy +. dt;
-            stats.Stats.abort_cost <- stats.Stats.abort_cost +. dt;
-            stats.Stats.aborts <- stats.Stats.aborts + 1;
-            stats.Stats.broken_queries <- stats.Stats.broken_queries + 1;
-            Trace.recordf trace ~time:(Query_engine.now w) Trace.Abort
-              "grouped maintenance aborted after %.3f s: %a" dt
-              Dyno_source.Data_source.pp_broken b;
-            (match config.strategy with
-            | Strategy.Pessimistic ->
-                if not (Umq.peek_schema_change_flag umq) then
-                  detect_and_correct ~force:true w mv stats
-            | Strategy.Optimistic -> detect_and_correct ~force:true w mv stats
-            | Strategy.Merge_all ->
-                let r = Correct.merge_all umq in
-                if r.Correct.reordered then begin
-                  stats.Stats.corrections <- stats.Stats.corrections + 1;
-                  stats.Stats.merges <- stats.Stats.merges + 1
-                end);
-            loop ()
-      end
-      else
-      match Umq.head umq with
-      | None -> loop ()
-      | Some entry -> (
-          Umq.clear_broken_query_flag umq;
-          let t0 = Query_engine.now w in
-          match
-            maintain_entry ~compensate:config.compensate
-              ~vm_mode:config.vm_mode w mv mk stats entry
-          with
-          | Done ->
-              stats.Stats.busy <- stats.Stats.busy +. (Query_engine.now w -. t0);
-              Umq.remove_head umq;
-              loop ()
-          | UnreachableStep u ->
-              stall_and_wait w stats ~t0 u;
-              loop ()
-          | AbortedStep b ->
-              let dt = Query_engine.now w -. t0 in
-              stats.Stats.busy <- stats.Stats.busy +. dt;
-              stats.Stats.abort_cost <- stats.Stats.abort_cost +. dt;
-              stats.Stats.aborts <- stats.Stats.aborts + 1;
-              stats.Stats.broken_queries <- stats.Stats.broken_queries + 1;
-              Trace.recordf trace ~time:(Query_engine.now w) Trace.Abort
-                "maintenance aborted after %.3f s: %a" dt
-                Dyno_source.Data_source.pp_broken b;
-              (match config.strategy with
-              | Strategy.Pessimistic ->
-                  (* The SC that broke us set the schema-change flag when it
-                     was enqueued; the next iteration's pre-exec pass will
-                     correct the queue (Figure 6: "corrected in the next
-                     loop").  Defensive: if the flag is somehow already
-                     consumed, force a correction now rather than retry the
-                     same doomed head forever. *)
-                  if not (Umq.peek_schema_change_flag umq) then
-                    detect_and_correct ~force:true w mv stats
-              | Strategy.Optimistic ->
-                  (* In-exec detection is the only mechanism: correct now. *)
-                  detect_and_correct ~force:true w mv stats
-              | Strategy.Merge_all ->
-                  let t1 = Query_engine.now w in
-                  let r = Correct.merge_all umq in
-                  if r.Correct.reordered then begin
-                    stats.Stats.corrections <- stats.Stats.corrections + 1;
-                    stats.Stats.merges <- stats.Stats.merges + 1;
-                    Trace.recordf trace ~time:(Query_engine.now w) Trace.Merge
-                      "merge-all: %d update(s) collapsed" r.Correct.merged_updates
-                  end;
-                  stats.Stats.busy <-
-                    stats.Stats.busy +. (Query_engine.now w -. t1));
-              loop ())
+      Dyno_obs.Span.with_span sp ~now Dyno_obs.Span.Maintain
+        (Fmt.str "step %d" !steps)
+        iteration;
+      loop ()
     end
   in
   loop ();
   stats.Stats.end_time <- Query_engine.now w;
   record_net_stats w stats;
+  mirror_stats obs stats;
   stats

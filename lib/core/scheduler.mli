@@ -43,6 +43,10 @@ val record_net_stats : Query_engine.t -> Stats.t -> unit
     timeouts, lost/duplicated messages, dedup/reorder healing, net wait)
     into the run's statistics. *)
 
+val mirror_stats : Dyno_obs.Obs.t -> Stats.t -> unit
+(** Mirror the run's final statistics into the metrics registry under
+    [sched.*] names (no-op on a disabled registry). *)
+
 val run :
   ?config:config ->
   Query_engine.t ->

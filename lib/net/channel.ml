@@ -83,16 +83,18 @@ type 'a packet = {
 type 'a t = {
   faults : faults;
   rng : Rng.t;
+  obs : Dyno_obs.Obs.t;
   mutable emitted : int;  (** tie-break for equal arrival times *)
   mutable order : ('a packet * int) list;  (** in flight: packet, emit idx *)
   mutable lost_transmissions : int;
   mutable duplicates_sent : int;
 }
 
-let create ?(faults = reliable) ~seed () =
+let create ?(faults = reliable) ?(obs = Dyno_obs.Obs.disabled) ~seed () =
   {
     faults;
     rng = Rng.make seed;
+    obs;
     emitted = 0;
     order = [];
     lost_transmissions = 0;
@@ -156,6 +158,18 @@ let send t ~now ~source ~seq payload : send_report =
   let transmissions = surviving 1 in
   let jitter = if f.jitter > 0.0 then Rng.float t.rng f.jitter else 0.0 in
   let held = Rng.bernoulli t.rng f.reorder in
+  let sp = Dyno_obs.Obs.spans t.obs
+  and mx = Dyno_obs.Obs.metrics t.obs in
+  if transmissions > 1 then begin
+    Dyno_obs.Metrics.incr mx ~by:(transmissions - 1) "net.lost_transmissions";
+    Dyno_obs.Span.instant sp ~time:now ~thread:source "msg-lost"
+      (Fmt.str "seq=%d lost=%d" seq (transmissions - 1))
+  end;
+  if held then begin
+    Dyno_obs.Metrics.incr mx "net.reorder_held";
+    Dyno_obs.Span.instant sp ~time:now ~thread:source "msg-held"
+      (Fmt.str "seq=%d delay=%.3fs" seq f.reorder_delay)
+  end;
   let arrival =
     now +. f.latency
     +. (float_of_int (transmissions - 1) *. f.retransmit)
@@ -167,6 +181,9 @@ let send t ~now ~source ~seq payload : send_report =
   let duplicated = Rng.bernoulli t.rng f.dup in
   if duplicated then begin
     t.duplicates_sent <- t.duplicates_sent + 1;
+    Dyno_obs.Metrics.incr mx "net.duplicates_sent";
+    Dyno_obs.Span.instant sp ~time:now ~thread:source "msg-dup"
+      (Fmt.str "seq=%d" seq);
     let echo_lag = Float.max f.retransmit f.latency in
     let arrival2 = past_outages t ~source (arrival +. echo_lag) in
     push t { source; seq; sent = now; arrival = arrival2; payload }

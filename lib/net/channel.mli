@@ -42,7 +42,12 @@ type 'a packet = {
 
 type 'a t
 
-val create : ?faults:faults -> seed:int -> unit -> 'a t
+(** [create ?faults ?obs ~seed ()] — [obs] (default
+    {!Dyno_obs.Obs.disabled}) receives instant events ([msg-lost],
+    [msg-dup], [msg-held], on the source's logical thread) and the
+    [net.*] fault counters. *)
+val create :
+  ?faults:faults -> ?obs:Dyno_obs.Obs.t -> seed:int -> unit -> 'a t
 val faults : 'a t -> faults
 val in_flight : 'a t -> int
 

@@ -1,0 +1,192 @@
+(** Exporters for recorded spans and events.
+
+    Two formats:
+
+    - {!chrome_trace} — the Chrome trace-event format (a JSON object with
+      a [traceEvents] array of [ph]/[ts]/[dur]/[pid]/[tid] objects),
+      loadable directly in Perfetto ({{:https://ui.perfetto.dev}ui.perfetto.dev})
+      or [chrome://tracing].  Timestamps are microseconds of simulated
+      time; pid 1 is the view manager, tid 0 the scheduler, one tid per
+      source (named via [thread_name] metadata events).
+    - {!spans_jsonl} — one JSON object per line per span/event, trivially
+      greppable and stream-parsable.
+
+    {!breakdown} reproduces the paper's Figure-style cost split
+    (busy / abort / idle / net-wait) {e from spans alone} — no access to
+    {!Dyno_core.Stats} — which is what makes it an independent check of
+    the accounting. *)
+
+let us t = t *. 1e6 (* simulated seconds → trace µs *)
+
+let attrs_json attrs =
+  match attrs with
+  | [] -> "{}"
+  | attrs ->
+      "{"
+      ^ String.concat ", "
+          (List.rev_map
+             (fun (k, v) -> Fmt.str "%s: %s" (Json.quote k) (Json.quote v))
+             attrs)
+      ^ "}"
+
+(** [chrome_trace r] — the complete trace as one JSON document. *)
+let chrome_trace (r : Span.recorder) : string =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  let sep = ref "" in
+  let add line =
+    Buffer.add_string b !sep;
+    sep := ",\n";
+    Buffer.add_string b line
+  in
+  add
+    (Fmt.str
+       "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \
+        \"args\": {\"name\": \"view manager\"}}");
+  List.iter
+    (fun (name, tid) ->
+      add
+        (Fmt.str
+           "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": \
+            %d, \"args\": {\"name\": %s}}"
+           tid (Json.quote name)))
+    (Span.threads r);
+  List.iter
+    (fun (sp : Span.t) ->
+      add
+        (Fmt.str
+           "{\"name\": %s, \"cat\": %s, \"ph\": \"X\", \"ts\": %.3f, \
+            \"dur\": %.3f, \"pid\": 1, \"tid\": %d, \"args\": %s}"
+           (Json.quote sp.name)
+           (Json.quote (Span.kind_to_string sp.kind))
+           (us sp.start)
+           (us (sp.finish -. sp.start))
+           sp.tid (attrs_json sp.attrs)))
+    (Span.spans r);
+  List.iter
+    (fun (e : Span.event) ->
+      add
+        (Fmt.str
+           "{\"name\": %s, \"ph\": \"i\", \"ts\": %.3f, \"pid\": 1, \
+            \"tid\": %d, \"s\": \"t\", \"args\": {\"detail\": %s}}"
+           (Json.quote e.ename) (us e.time) e.etid (Json.quote e.detail)))
+    (Span.events r);
+  Buffer.add_string b "\n]}";
+  Buffer.contents b
+
+(** [spans_jsonl r] — one JSON object per line: spans then events. *)
+let spans_jsonl (r : Span.recorder) : string =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (sp : Span.t) ->
+      Buffer.add_string b
+        (Fmt.str
+           "{\"type\": \"span\", \"id\": %d, \"parent\": %d, \"tid\": %d, \
+            \"kind\": %s, \"name\": %s, \"start\": %.9f, \"end\": %.9f, \
+            \"attrs\": %s}\n"
+           sp.id sp.parent sp.tid
+           (Json.quote (Span.kind_to_string sp.kind))
+           (Json.quote sp.name) sp.start sp.finish (attrs_json sp.attrs)))
+    (Span.spans r);
+  List.iter
+    (fun (e : Span.event) ->
+      Buffer.add_string b
+        (Fmt.str
+           "{\"type\": \"event\", \"tid\": %d, \"name\": %s, \"time\": \
+            %.9f, \"detail\": %s}\n"
+           e.etid (Json.quote e.ename) e.time (Json.quote e.detail)))
+    (Span.events r);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Cost breakdown from spans alone                                     *)
+(* ------------------------------------------------------------------ *)
+
+type phase = {
+  kind : Span.kind;
+  count : int;
+  total : float;  (** summed span duration, simulated s *)
+  max : float;
+}
+
+type breakdown = {
+  horizon : float;  (** last span/event timestamp — the run's end time *)
+  busy : float;  (** Σ [Maintain] span durations (= maintenance cost) *)
+  abort_cost : float;
+      (** Σ of the [abort_s] attribute over aborted [Maintain] spans:
+          work sunk into maintenance steps that aborted *)
+  idle : float;  (** [horizon − busy]: waiting for source commits *)
+  net_wait : float;  (** Σ [Timeout] + [Retry] + [Stall] span durations *)
+  phases : phase list;  (** per-kind totals, non-empty kinds only *)
+}
+
+(** [breakdown r] — the busy/abort/idle/net-wait split plus per-phase
+    totals, derived exclusively from the recorded spans. *)
+let breakdown (r : Span.recorder) : breakdown =
+  let spans = Span.spans r in
+  let horizon =
+    List.fold_left
+      (fun acc (sp : Span.t) -> Float.max acc sp.finish)
+      (List.fold_left
+         (fun acc (e : Span.event) -> Float.max acc e.time)
+         0.0 (Span.events r))
+      spans
+  in
+  let sum_kind k =
+    List.fold_left
+      (fun (n, tot, mx) (sp : Span.t) ->
+        if sp.kind = k then
+          let d = sp.finish -. sp.start in
+          (n + 1, tot +. d, Float.max mx d)
+        else (n, tot, mx))
+      (0, 0.0, 0.0) spans
+  in
+  let phases =
+    List.filter_map
+      (fun k ->
+        let count, total, max = sum_kind k in
+        if count = 0 then None else Some { kind = k; count; total; max })
+      Span.all_kinds
+  in
+  let total_of k =
+    match List.find_opt (fun p -> p.kind = k) phases with
+    | Some p -> p.total
+    | None -> 0.0
+  in
+  let busy = total_of Span.Maintain in
+  let abort_cost =
+    List.fold_left
+      (fun acc (sp : Span.t) ->
+        if sp.kind = Span.Maintain then
+          match List.assoc_opt "abort_s" sp.attrs with
+          | Some s -> acc +. (try float_of_string s with _ -> 0.0)
+          | None -> acc
+        else acc)
+      0.0 spans
+  in
+  {
+    horizon;
+    busy;
+    abort_cost;
+    idle = Float.max 0.0 (horizon -. busy);
+    net_wait =
+      total_of Span.Timeout +. total_of Span.Retry +. total_of Span.Stall;
+    phases;
+  }
+
+let pp_breakdown ppf (b : breakdown) =
+  Fmt.pf ppf
+    "@[<v>cost split (from spans): busy %.2f s | abort %.2f s | idle %.2f \
+     s | net-wait %.2f s | end %.2f s@,"
+    b.busy b.abort_cost b.idle b.net_wait b.horizon;
+  Fmt.pf ppf "  %-12s %6s %12s %12s %12s@," "phase" "count" "total(s)"
+    "mean(s)" "max(s)";
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "  %-12s %6d %12.3f %12.5f %12.5f@,"
+        (Span.kind_to_string p.kind)
+        p.count p.total
+        (p.total /. float_of_int p.count)
+        p.max)
+    b.phases;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,27 @@
+(** Minimal JSON string escaping — the only JSON primitive the exporters
+    need that is easy to get wrong.  No external JSON dependency: the
+    repo's machine-readable outputs are hand-rendered (as in
+    {!Dyno_core.Stats.to_json_string}) and validated by the tiny checker
+    in [test/json_check.ml]. *)
+
+(** [escape s] — the body of a JSON string literal for [s] (quotes not
+    included): escapes double quotes, backslashes and all control
+    characters. *)
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(** [quote s] — a complete JSON string literal for [s]. *)
+let quote s = "\"" ^ escape s ^ "\""

@@ -1,0 +1,26 @@
+(** The observability handle threaded through the maintenance pipeline:
+    one span recorder plus one metrics registry.
+
+    The handle rides inside {!Dyno_view.Query_engine} (like the event
+    {!Dyno_sim.Trace}), so every subsystem that already receives the
+    engine — schedulers, SWEEP, VS/VA, the Equation 6 batch path, the
+    transport channel — can record spans and observe metrics without new
+    plumbing.  The default is {!disabled}: a structural no-op whose calls
+    never touch the simulated clock, so obs-off runs are bit-identical to
+    a build without observability. *)
+
+type t = { spans : Span.recorder; metrics : Metrics.t }
+
+let create ?(enabled = true) () =
+  { spans = Span.create ~enabled (); metrics = Metrics.create ~enabled () }
+
+(** The shared no-op handle (the engine's default). *)
+let disabled = { spans = Span.disabled; metrics = Metrics.disabled }
+
+let enabled t = Span.enabled t.spans
+let spans t = t.spans
+let metrics t = t.metrics
+
+let clear t =
+  Span.clear t.spans;
+  Metrics.clear t.metrics

@@ -1,0 +1,16 @@
+(** The observability handle: one {!Span} recorder + one {!Metrics}
+    registry, threaded through the pipeline inside
+    {!Dyno_view.Query_engine}.  {!disabled} (the default) is a structural
+    no-op. *)
+
+type t = { spans : Span.recorder; metrics : Metrics.t }
+
+val create : ?enabled:bool -> unit -> t
+
+val disabled : t
+(** The shared no-op handle (the engine's default). *)
+
+val enabled : t -> bool
+val spans : t -> Span.recorder
+val metrics : t -> Metrics.t
+val clear : t -> unit

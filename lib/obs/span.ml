@@ -1,0 +1,230 @@
+(** Hierarchical spans over the simulated clock.
+
+    A span is one timed phase of the maintenance pipeline — a whole
+    maintenance step, a detection pass, one probe round trip, a backoff
+    wait — with a parent link, a logical thread, and free-form key/value
+    attributes.  Spans are recorded against the {e simulated} clock, so a
+    trace of a run is exactly reproducible and the per-phase durations sum
+    to the same quantities {!Dyno_core.Stats} reports.
+
+    The recorder keeps an explicit stack of open spans (the simulation is
+    single-threaded): [begin_span] parents the new span under the current
+    top of the stack, [end_span] closes it.  A {e disabled} recorder is a
+    structural no-op: nothing is allocated per call, no clock interaction
+    happens, and ids are constant — so obs-off runs behave bit-identically
+    to a build without the recorder. *)
+
+(** The span vocabulary of the maintenance pipeline.  [Maintain] is the
+    top-level unit (one scheduler iteration over a queue head, detection
+    and correction included); everything else nests under it. *)
+type kind =
+  | Maintain  (** one scheduler iteration's busy work over a queue head *)
+  | Detect  (** a pre-exec detection pass (dependency graph built) *)
+  | Correct  (** a correction (reorder/merge) pass *)
+  | Probe  (** one maintenance-query round trip (retries included) *)
+  | Compensate  (** SWEEP compensation of a probe answer *)
+  | Refresh  (** the view-extent refresh + commit *)
+  | Vs  (** view synchronization (definition rewrite) *)
+  | Va  (** view adaptation (Equation 6 or re-materialization) *)
+  | Batch  (** a merged/grouped batch maintained atomically *)
+  | Retry  (** backoff wait before a probe retry *)
+  | Timeout  (** one probe attempt that got no answer in time *)
+  | Stall  (** waiting out an unreachable source (no abort) *)
+
+let kind_to_string = function
+  | Maintain -> "maintain"
+  | Detect -> "detect"
+  | Correct -> "correct"
+  | Probe -> "probe"
+  | Compensate -> "compensate"
+  | Refresh -> "refresh"
+  | Vs -> "vs"
+  | Va -> "va"
+  | Batch -> "batch"
+  | Retry -> "retry"
+  | Timeout -> "timeout"
+  | Stall -> "stall"
+
+let all_kinds =
+  [
+    Maintain; Detect; Correct; Probe; Compensate; Refresh; Vs; Va; Batch;
+    Retry; Timeout; Stall;
+  ]
+
+type t = {
+  id : int;  (** unique per recorder, > 0 *)
+  parent : int;  (** enclosing span id, or 0 for a root span *)
+  tid : int;  (** logical thread (see {!thread_id}) *)
+  kind : kind;
+  mutable name : string;
+  start : float;  (** simulated seconds *)
+  mutable finish : float;  (** simulated seconds; = [start] while open *)
+  mutable attrs : (string * string) list;  (** newest first *)
+}
+
+(** A point-in-time event (message lost, commit applied, …). *)
+type event = { time : float; etid : int; ename : string; detail : string }
+
+type recorder = {
+  on : bool;
+  mutable next_id : int;
+  mutable stack : t list;  (** open spans, innermost first *)
+  mutable closed : t list;  (** newest first *)
+  mutable evs : event list;  (** newest first *)
+  mutable threads : (string * int) list;  (** name → tid, reverse order *)
+  mutable next_tid : int;
+  by_id : (int, t) Hashtbl.t;
+}
+
+let scheduler_thread = "scheduler"
+
+let create ?(enabled = true) () =
+  {
+    on = enabled;
+    next_id = 1;
+    stack = [];
+    closed = [];
+    evs = [];
+    threads = (if enabled then [ (scheduler_thread, 0) ] else []);
+    next_tid = 1;
+    by_id = Hashtbl.create (if enabled then 64 else 1);
+  }
+
+(** A shared no-op recorder: every operation returns immediately. *)
+let disabled = create ~enabled:false ()
+
+let enabled r = r.on
+
+(** [thread_id r name] — stable small integer for logical thread [name]
+    (get-or-create).  Thread 0 is the scheduler; sources register as they
+    first appear. *)
+let thread_id r name =
+  if not r.on then 0
+  else
+    match List.assoc_opt name r.threads with
+    | Some tid -> tid
+    | None ->
+        let tid = r.next_tid in
+        r.next_tid <- tid + 1;
+        r.threads <- (name, tid) :: r.threads;
+        tid
+
+(** Registered threads, in registration order. *)
+let threads r = List.rev r.threads
+
+let begin_span r ~time ?thread kind name =
+  if not r.on then 0
+  else begin
+    let tid =
+      match thread with None -> 0 | Some n -> thread_id r n
+    in
+    let parent = match r.stack with [] -> 0 | s :: _ -> s.id in
+    let sp =
+      {
+        id = r.next_id;
+        parent;
+        tid;
+        kind;
+        name;
+        start = time;
+        finish = time;
+        attrs = [];
+      }
+    in
+    r.next_id <- r.next_id + 1;
+    r.stack <- sp :: r.stack;
+    Hashtbl.replace r.by_id sp.id sp;
+    sp.id
+  end
+
+(* Close one open span.  Out-of-order ends (an exception unwound past an
+   open child) close the orphans at the same time — defensive; disciplined
+   callers always end in LIFO order. *)
+let end_span r ~time id =
+  if r.on && id > 0 then begin
+    let rec pop = function
+      | [] -> []
+      | sp :: rest ->
+          sp.finish <- time;
+          r.closed <- sp :: r.closed;
+          if sp.id = id then rest else pop rest
+    in
+    if List.exists (fun sp -> sp.id = id) r.stack then
+      r.stack <- pop r.stack
+  end
+
+let set_attr r id key value =
+  if r.on && id > 0 then
+    match Hashtbl.find_opt r.by_id id with
+    | None -> ()
+    | Some sp -> sp.attrs <- (key, value) :: sp.attrs
+
+let set_name r id name =
+  if r.on && id > 0 then
+    match Hashtbl.find_opt r.by_id id with
+    | None -> ()
+    | Some sp -> sp.name <- name
+
+(** [with_span r ~now kind name f] — exception-safe bracket: begins a
+    span, runs [f id], ends the span at the current simulated time even if
+    [f] raises.  [now] is read again at the end so the span covers exactly
+    the simulated time [f] consumed. *)
+let with_span r ~(now : unit -> float) ?thread kind name f =
+  if not r.on then f 0
+  else begin
+    let id = begin_span r ~time:(now ()) ?thread kind name in
+    match f id with
+    | v ->
+        end_span r ~time:(now ()) id;
+        v
+    | exception e ->
+        end_span r ~time:(now ()) id;
+        raise e
+  end
+
+(** [instant r ~time name detail] — a point event on a logical thread. *)
+let instant r ~time ?thread name detail =
+  if r.on then begin
+    let tid = match thread with None -> 0 | Some n -> thread_id r n in
+    r.evs <- { time; etid = tid; ename = name; detail } :: r.evs
+  end
+
+(** Closed spans in start-time order (ties: creation order). *)
+let spans r =
+  List.sort
+    (fun a b ->
+      match Float.compare a.start b.start with
+      | 0 -> Int.compare a.id b.id
+      | c -> c)
+    r.closed
+
+let open_spans r = r.stack
+let events r = List.rev r.evs
+let span_count r = List.length r.closed
+
+(** Span by id ([None] for the disabled recorder's id 0). *)
+let find r id = if id = 0 then None else Hashtbl.find_opt r.by_id id
+
+(** Total duration of all closed spans of [kind]. *)
+let total_duration r kind =
+  List.fold_left
+    (fun acc sp -> if sp.kind = kind then acc +. (sp.finish -. sp.start) else acc)
+    0.0 r.closed
+
+let count_kind r kind =
+  List.fold_left
+    (fun acc sp -> if sp.kind = kind then acc + 1 else acc)
+    0 r.closed
+
+let clear r =
+  r.stack <- [];
+  r.closed <- [];
+  r.evs <- [];
+  Hashtbl.reset r.by_id
+
+let pp_span ppf sp =
+  Fmt.pf ppf "[%8.3fs +%7.3fs] %-10s %s" sp.start (sp.finish -. sp.start)
+    (kind_to_string sp.kind) sp.name
+
+let pp ppf r =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_span) (spans r)

@@ -1,0 +1,98 @@
+(** Hierarchical, simulated-clock-timestamped spans.
+
+    The span vocabulary mirrors the maintenance pipeline: a top-level
+    [Maintain] span per scheduler iteration, with [Detect], [Correct],
+    [Probe] (and its [Timeout]/[Retry] children), [Compensate], [Refresh],
+    [Vs], [Va], [Batch] and [Stall] nested under it.  A disabled recorder
+    is a structural no-op. *)
+
+type kind =
+  | Maintain  (** one scheduler iteration's busy work over a queue head *)
+  | Detect  (** a pre-exec detection pass (dependency graph built) *)
+  | Correct  (** a correction (reorder/merge) pass *)
+  | Probe  (** one maintenance-query round trip (retries included) *)
+  | Compensate  (** SWEEP compensation of a probe answer *)
+  | Refresh  (** the view-extent refresh + commit *)
+  | Vs  (** view synchronization (definition rewrite) *)
+  | Va  (** view adaptation (Equation 6 or re-materialization) *)
+  | Batch  (** a merged/grouped batch maintained atomically *)
+  | Retry  (** backoff wait before a probe retry *)
+  | Timeout  (** one probe attempt that got no answer in time *)
+  | Stall  (** waiting out an unreachable source (no abort) *)
+
+val kind_to_string : kind -> string
+val all_kinds : kind list
+
+type t = {
+  id : int;  (** unique per recorder, > 0 *)
+  parent : int;  (** enclosing span id, or 0 for a root span *)
+  tid : int;  (** logical thread (see {!thread_id}) *)
+  kind : kind;
+  mutable name : string;
+  start : float;  (** simulated seconds *)
+  mutable finish : float;  (** simulated seconds; = [start] while open *)
+  mutable attrs : (string * string) list;  (** newest first *)
+}
+
+type event = { time : float; etid : int; ename : string; detail : string }
+
+type recorder
+
+val create : ?enabled:bool -> unit -> recorder
+
+val disabled : recorder
+(** A shared no-op recorder: every operation returns immediately, ids are
+    constantly [0], nothing is allocated per call. *)
+
+val enabled : recorder -> bool
+val scheduler_thread : string
+
+val thread_id : recorder -> string -> int
+(** Stable small integer for a logical thread name (get-or-create).
+    Thread 0 is the scheduler; sources register as they first appear. *)
+
+val threads : recorder -> (string * int) list
+(** Registered threads, in registration order. *)
+
+val begin_span :
+  recorder -> time:float -> ?thread:string -> kind -> string -> int
+(** Open a span parented under the current innermost open span; returns
+    its id (0 when disabled). *)
+
+val end_span : recorder -> time:float -> int -> unit
+(** Close an open span.  Open children are closed at the same time
+    (defensive; disciplined callers end in LIFO order). *)
+
+val set_attr : recorder -> int -> string -> string -> unit
+val set_name : recorder -> int -> string -> unit
+
+val with_span :
+  recorder ->
+  now:(unit -> float) ->
+  ?thread:string ->
+  kind ->
+  string ->
+  (int -> 'a) ->
+  'a
+(** Exception-safe bracket: begins a span, runs the body with its id, ends
+    the span at the then-current simulated time even on exceptions. *)
+
+val instant :
+  recorder -> time:float -> ?thread:string -> string -> string -> unit
+(** A point event on a logical thread (message lost, outage hit, …). *)
+
+val spans : recorder -> t list
+(** Closed spans in start-time order (ties: creation order). *)
+
+val open_spans : recorder -> t list
+val events : recorder -> event list
+val span_count : recorder -> int
+val find : recorder -> int -> t option
+
+val total_duration : recorder -> kind -> float
+(** Summed duration of all closed spans of a kind. *)
+
+val count_kind : recorder -> kind -> int
+val clear : recorder -> unit
+val pp_span : Format.formatter -> t -> unit
+val pp : Format.formatter -> recorder -> unit

@@ -146,7 +146,25 @@ let same_shape ~old_query ~old_schemas ~new_query ~new_schemas =
     On a broken adaptation query the in-memory view definition rewrite is
     rolled back (the paper's footnote 1: the physical rewrite only happens
     at w(MV)) so the process can be cleanly re-run after correction. *)
-let maintain ?(applied = []) (w : Query_engine.t) (mv : Mat_view.t)
+let rec maintain ?(applied = []) (w : Query_engine.t) (mv : Mat_view.t)
+    (mk : Dyno_source.Meta_knowledge.t) (msgs : Update_msg.t list) : outcome =
+  let sp = Dyno_obs.Obs.spans (Query_engine.obs w) in
+  let now () = Query_engine.now w in
+  Dyno_obs.Span.with_span sp ~now Dyno_obs.Span.Batch
+    (Fmt.str "batch of %d" (List.length msgs))
+    (fun batch_id ->
+      let outcome = maintain_unspanned ~applied w mv mk msgs in
+      Dyno_obs.Span.set_attr sp batch_id "msgs"
+        (string_of_int (List.length msgs));
+      Dyno_obs.Span.set_attr sp batch_id "outcome"
+        (match outcome with
+        | Adapted -> "adapted"
+        | Aborted _ -> "aborted"
+        | Unreachable _ -> "unreachable"
+        | View_undefined _ -> "view-undefined");
+      outcome)
+
+and maintain_unspanned ~applied (w : Query_engine.t) (mv : Mat_view.t)
     (mk : Dyno_source.Meta_knowledge.t) (msgs : Update_msg.t list) : outcome =
   let vd = Mat_view.def mv in
   let saved = View_def.save vd in
@@ -168,26 +186,36 @@ let maintain ?(applied = []) (w : Query_engine.t) (mv : Mat_view.t)
       ~query:old_query ~schemas:old_schemas prep.scs
   with
   | exception Dyno_vs.Synchronizer.Failed reason ->
-      Query_engine.advance w
-        (Dyno_sim.Cost_model.synchronize (Query_engine.cost w));
+      Dyno_obs.Span.with_span
+        (Dyno_obs.Obs.spans (Query_engine.obs w))
+        ~now:(fun () -> Query_engine.now w)
+        Dyno_obs.Span.Vs "sync (failed)"
+        (fun _ ->
+          Query_engine.advance w
+            (Dyno_sim.Cost_model.synchronize (Query_engine.cost w)));
       View_def.invalidate vd;
       Dyno_sim.Trace.recordf trace ~time:(Query_engine.now w)
         Dyno_sim.Trace.Sync "view %s is now UNDEFINED: %s"
         (Query.name old_query) reason;
       View_undefined reason
   | sync ->
-      if prep.scs <> [] then begin
-        Query_engine.advance w
-          (float_of_int (List.length prep.scs)
-          *. Dyno_sim.Cost_model.synchronize (Query_engine.cost w));
-        View_def.write vd ~schemas:sync.Dyno_vs.Synchronizer.schemas
-          sync.Dyno_vs.Synchronizer.query;
-        List.iter
-          (fun a ->
-            Dyno_sim.Trace.recordf trace ~time:(Query_engine.now w)
-              Dyno_sim.Trace.Sync "%a" Dyno_vs.Synchronizer.pp_action a)
-          sync.Dyno_vs.Synchronizer.actions
-      end;
+      if prep.scs <> [] then
+        Dyno_obs.Span.with_span
+          (Dyno_obs.Obs.spans (Query_engine.obs w))
+          ~now:(fun () -> Query_engine.now w)
+          Dyno_obs.Span.Vs
+          (Fmt.str "sync %d SC(s)" (List.length prep.scs))
+          (fun _ ->
+            Query_engine.advance w
+              (float_of_int (List.length prep.scs)
+              *. Dyno_sim.Cost_model.synchronize (Query_engine.cost w));
+            View_def.write vd ~schemas:sync.Dyno_vs.Synchronizer.schemas
+              sync.Dyno_vs.Synchronizer.query;
+            List.iter
+              (fun a ->
+                Dyno_sim.Trace.recordf trace ~time:(Query_engine.now w)
+                  Dyno_sim.Trace.Sync "%a" Dyno_vs.Synchronizer.pp_action a)
+              sync.Dyno_vs.Synchronizer.actions);
       let new_query = View_def.peek vd in
       let new_schemas = View_def.schemas vd in
       (* Fast path: the batch leaves the view definition untouched and
@@ -203,26 +231,45 @@ let maintain ?(applied = []) (w : Query_engine.t) (mv : Mat_view.t)
       else
       (* Step 3: adapt. *)
       let result =
-        if
-          same_shape ~old_query ~old_schemas ~new_query ~new_schemas
-        then begin
-          let batch_deltas =
-            List.filter_map
-              (fun (tr : Query.table_ref) ->
-                List.find_map
-                  (fun (src, rel, d) ->
-                    if
-                      String.equal src tr.source && String.equal rel tr.rel
-                      && not (Relation.is_empty d)
-                    then Some (tr.alias, d)
-                    else None)
-                  prep.du_deltas)
-              (Query.from new_query)
-          in
-          Adapt.refresh_with_equation6 w mv ~maintained:ids ~batch_deltas
-            ~exclude:exclude_ids
-        end
-        else Adapt.replace_extent w mv ~maintained:ids ~exclude:exclude_ids
+        let sp = Dyno_obs.Obs.spans (Query_engine.obs w) in
+        let t0 = Query_engine.now w in
+        let r =
+          if
+            same_shape ~old_query ~old_schemas ~new_query ~new_schemas
+          then
+            Dyno_obs.Span.with_span sp
+              ~now:(fun () -> Query_engine.now w)
+              Dyno_obs.Span.Va "adapt (equation 6)"
+              (fun _ ->
+                let batch_deltas =
+                  List.filter_map
+                    (fun (tr : Query.table_ref) ->
+                      List.find_map
+                        (fun (src, rel, d) ->
+                          if
+                            String.equal src tr.source
+                            && String.equal rel tr.rel
+                            && not (Relation.is_empty d)
+                          then Some (tr.alias, d)
+                          else None)
+                        prep.du_deltas)
+                    (Query.from new_query)
+                in
+                Adapt.refresh_with_equation6 w mv ~maintained:ids
+                  ~batch_deltas ~exclude:exclude_ids)
+          else
+            Dyno_obs.Span.with_span sp
+              ~now:(fun () -> Query_engine.now w)
+              Dyno_obs.Span.Va "adapt (re-materialize)"
+              (fun _ ->
+                Adapt.replace_extent w mv ~maintained:ids
+                  ~exclude:exclude_ids)
+        in
+        Dyno_obs.Metrics.observe
+          (Dyno_obs.Obs.metrics (Query_engine.obs w))
+          "batch.adapt_s"
+          (Query_engine.now w -. t0);
+        r
       in
       (match result with
       | Ok () -> Adapted

@@ -44,14 +44,18 @@ type t = {
   channel : Update_msg.payload Channel.t;
       (** wrapper→UMQ transport, shared by all sources *)
   retry : Retry.policy;  (** probe retry policy *)
+  obs : Dyno_obs.Obs.t;  (** span recorder + metrics registry *)
+  held_since : (string * int, float) Hashtbl.t;
+      (** arrival time of copies the UMQ is holding for reordering,
+          keyed (source, seq) — feeds the [umq.hold_s] histogram *)
   mutable timeouts : int;  (** probe attempts that got no answer in time *)
   mutable retries : int;  (** probe attempts re-sent after backoff *)
   mutable net_wait : float;  (** simulated seconds lost to transport, s *)
 }
 
 let create ?(trace = Trace.create ()) ?(planner = `Indexed)
-    ?(faults = Channel.reliable) ?(net_seed = 0) ?retry ~cost ~registry
-    ~timeline ~umq () =
+    ?(faults = Channel.reliable) ?(net_seed = 0) ?retry
+    ?(obs = Dyno_obs.Obs.disabled) ~cost ~registry ~timeline ~umq () =
   let retry =
     match retry with Some p -> p | None -> Retry.of_cost cost
   in
@@ -63,8 +67,10 @@ let create ?(trace = Trace.create ()) ?(planner = `Indexed)
     cost;
     trace;
     planner;
-    channel = Channel.create ~faults ~seed:net_seed ();
+    channel = Channel.create ~faults ~obs ~seed:net_seed ();
     retry;
+    obs;
+    held_since = Hashtbl.create 16;
     timeouts = 0;
     retries = 0;
     net_wait = 0.0;
@@ -80,6 +86,7 @@ let cost w = w.cost
 let planner w = w.planner
 let channel w = w.channel
 let retry_policy w = w.retry
+let obs w = w.obs
 let net_timeouts w = w.timeouts
 let net_retries w = w.retries
 let net_wait w = w.net_wait
@@ -93,13 +100,29 @@ let admit_packet w (p : Update_msg.payload Channel.packet) =
   | Umq.Admitted ms ->
       List.iter
         (fun m ->
+          (* A message the sequencer had been holding for reordering is
+             released now: charge its hold time to the UMQ histogram. *)
+          (match Hashtbl.find_opt w.held_since (p.source, Update_msg.seq m) with
+          | Some since ->
+              Hashtbl.remove w.held_since (p.source, Update_msg.seq m);
+              Dyno_obs.Metrics.observe
+                (Dyno_obs.Obs.metrics w.obs)
+                "umq.hold_s" (now w -. since)
+          | None -> ());
           Trace.recordf w.trace ~time:(now w) Trace.Enqueue "%a" Update_msg.pp
             m)
         ms
   | Umq.Duplicate ->
+      Dyno_obs.Metrics.incr (Dyno_obs.Obs.metrics w.obs) "umq.duplicates";
       Trace.recordf w.trace ~time:(now w) Trace.Msg_duplicated
         "dropped duplicate seq %d from %s" p.seq p.source
   | Umq.Held ->
+      Hashtbl.replace w.held_since (p.source, p.seq) (now w);
+      Dyno_obs.Metrics.incr (Dyno_obs.Obs.metrics w.obs) "umq.held";
+      Dyno_obs.Span.instant
+        (Dyno_obs.Obs.spans w.obs)
+        ~time:(now w) ~thread:p.source "umq-held"
+        (Fmt.str "seq=%d" p.seq);
       Trace.recordf w.trace ~time:(now w) Trace.Info
         "holding out-of-order seq %d from %s" p.seq p.source
 
@@ -197,13 +220,20 @@ let with_rpc w ~target ~what (attempt_ok : unit -> ('a, failure) result) :
     in
     if not lost then attempt_ok ()
     else begin
+      let sp = Dyno_obs.Obs.spans w.obs
+      and mx = Dyno_obs.Obs.metrics w.obs in
       w.timeouts <- w.timeouts + 1;
+      Dyno_obs.Metrics.incr mx "net.timeouts";
       (match outage with
       | Some o ->
           Trace.recordf w.trace ~time:(now w) Trace.Outage
             "%s unreachable (outage until %.3fs)" target o.ends
       | None -> ());
-      advance w w.retry.Retry.timeout;
+      Dyno_obs.Span.with_span sp
+        ~now:(fun () -> now w)
+        Dyno_obs.Span.Timeout
+        (Fmt.str "%s %s attempt %d" what target n)
+        (fun _ -> advance w w.retry.Retry.timeout);
       w.net_wait <- w.net_wait +. w.retry.Retry.timeout;
       Trace.recordf w.trace ~time:(now w) Trace.Timeout
         "%s %s: no answer after %.3fs (attempt %d/%d)" what target
@@ -213,9 +243,14 @@ let with_rpc w ~target ~what (attempt_ok : unit -> ('a, failure) result) :
         Error (Unreachable { Retry.source = target; attempts = n; waited })
       else begin
         let backoff = Retry.backoff_delay w.retry ~attempt:n in
-        advance w backoff;
+        Dyno_obs.Span.with_span sp
+          ~now:(fun () -> now w)
+          Dyno_obs.Span.Retry
+          (Fmt.str "%s %s backoff %d" what target n)
+          (fun _ -> advance w backoff);
         w.net_wait <- w.net_wait +. backoff;
         w.retries <- w.retries + 1;
+        Dyno_obs.Metrics.incr mx "net.retries";
         Trace.recordf w.trace ~time:(now w) Trace.Retry
           "%s %s: retry %d/%d after %.3fs backoff" what target (n + 1)
           w.retry.Retry.max_attempts backoff;
@@ -234,8 +269,31 @@ let with_rpc w ~target ~what (attempt_ok : unit -> ('a, failure) result) :
     "committed before the query is answered" (Definition 2), which is what
     makes compensation necessary and schema conflicts observable.  The
     result-transfer cost elapses after evaluation. *)
+(* Wrap one probe (or validate) round trip in a [Probe] span, tagging its
+   outcome and feeding the [probe.rtt_s] histogram. *)
+let probe_span w ~target ~name (body : unit -> ('a, failure) result) :
+    ('a, failure) result =
+  let sp = Dyno_obs.Obs.spans w.obs in
+  Dyno_obs.Span.with_span sp
+    ~now:(fun () -> now w)
+    Dyno_obs.Span.Probe name
+    (fun span_id ->
+      let t0 = now w in
+      let result = body () in
+      Dyno_obs.Span.set_attr sp span_id "target" target;
+      Dyno_obs.Span.set_attr sp span_id "outcome"
+        (match result with
+        | Ok _ -> "ok"
+        | Error (Broken _) -> "broken"
+        | Error (Unreachable _) -> "unreachable");
+      Dyno_obs.Metrics.observe
+        (Dyno_obs.Obs.metrics w.obs)
+        "probe.rtt_s" (now w -. t0);
+      result)
+
 let execute w (q : Query.t) ~bound ~target :
     (Dyno_source.Data_source.answer, failure) result =
+  probe_span w ~target ~name:(Fmt.str "probe %s" target) @@ fun () ->
   Trace.recordf w.trace ~time:(now w) Trace.Query_sent "%s <- %s" target
     (Query.name q);
   let src = Dyno_source.Registry.find w.registry target in
@@ -285,6 +343,7 @@ let execute w (q : Query.t) ~bound ~target :
     change committed at any point of the maintenance window is detected
     (in-exec) before the view commits. *)
 let validate w (q : Query.t) ~target : (unit, failure) result =
+  probe_span w ~target ~name:(Fmt.str "validate %s" target) @@ fun () ->
   let src = Dyno_source.Registry.find w.registry target in
   with_rpc w ~target ~what:"validate" (fun () ->
       advance w w.cost.Cost_model.query_latency;

@@ -19,6 +19,7 @@ val create :
   ?faults:Dyno_net.Channel.faults ->
   ?net_seed:int ->
   ?retry:Dyno_net.Retry.policy ->
+  ?obs:Dyno_obs.Obs.t ->
   cost:Cost_model.t ->
   registry:Dyno_source.Registry.t ->
   timeline:Timeline.t ->
@@ -31,7 +32,11 @@ val create :
     {!Dyno_net.Channel.reliable}) configures the transport channel —
     reliable is a structural pass-through, bit-identical to a direct call;
     [net_seed] seeds the channel's own RNG stream; [retry] (default
-    {!Dyno_net.Retry.of_cost}) governs probe timeout/backoff. *)
+    {!Dyno_net.Retry.of_cost}) governs probe timeout/backoff.  [obs]
+    (default {!Dyno_obs.Obs.disabled} — a structural no-op) records
+    [Probe]/[Timeout]/[Retry] spans, the [probe.rtt_s] and [umq.hold_s]
+    histograms and the [net.*]/[umq.*] counters, and is shared with the
+    channel and with every subsystem holding this engine. *)
 
 val now : t -> float
 
@@ -47,6 +52,9 @@ val cost : t -> Cost_model.t
 
 val channel : t -> Update_msg.payload Dyno_net.Channel.t
 val retry_policy : t -> Dyno_net.Retry.policy
+
+val obs : t -> Dyno_obs.Obs.t
+(** The observability handle (see {!create}). *)
 
 val net_timeouts : t -> int
 (** Probe attempts that got no answer within the timeout. *)

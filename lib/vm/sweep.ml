@@ -129,6 +129,23 @@ let delta_view ?(compensate = true) (w : Query_engine.t)
                          probe %s"
                         (Relation.mass contribution)
                         (List.length ms) (Query.name probe);
+                      (* Compensation is local view-manager work, not
+                         charged on the clock: a zero-duration span marks
+                         where it happened inside the enclosing probe. *)
+                      let sp = Dyno_obs.Obs.spans (Query_engine.obs w) in
+                      let sid =
+                        Dyno_obs.Span.begin_span sp
+                          ~time:(Query_engine.now w)
+                          Dyno_obs.Span.Compensate (Query.name probe)
+                      in
+                      Dyno_obs.Span.set_attr sp sid "tuples"
+                        (string_of_int (Relation.mass contribution));
+                      Dyno_obs.Span.end_span sp ~time:(Query_engine.now w)
+                        sid;
+                      Dyno_obs.Metrics.incr
+                        (Dyno_obs.Obs.metrics (Query_engine.obs w))
+                        ~by:(Relation.mass contribution)
+                        "sweep.comp_tuples";
                       Relation.diff acc contribution
                     end
                 | exception Eval.Error reason ->

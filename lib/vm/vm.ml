@@ -85,11 +85,19 @@ let maintain ?(compensate = true) ?(applied = []) (w : Query_engine.t)
           | Error (Query_engine.Unreachable u) -> Unreachable u
           | Ok (dv, stats) ->
               let delta_tuples = Relation.mass dv in
-              Query_engine.advance w
-                (Dyno_sim.Cost_model.refresh (Query_engine.cost w)
-                   ~delta_tuples);
-              Mat_view.refresh mv ~at:(Query_engine.now w)
-                ~maintained:[ Update_msg.id msg ] dv;
+              Dyno_obs.Span.with_span
+                (Dyno_obs.Obs.spans (Query_engine.obs w))
+                ~now:(fun () -> Query_engine.now w)
+                Dyno_obs.Span.Refresh (Query.name q)
+                (fun _ ->
+                  Query_engine.advance w
+                    (Dyno_sim.Cost_model.refresh (Query_engine.cost w)
+                       ~delta_tuples);
+                  Mat_view.refresh mv ~at:(Query_engine.now w)
+                    ~maintained:[ Update_msg.id msg ] dv);
+              Dyno_obs.Metrics.incr
+                (Dyno_obs.Obs.metrics (Query_engine.obs w))
+                "vm.refreshes";
               Dyno_sim.Trace.recordf (Query_engine.trace w)
                 ~time:(Query_engine.now w) Dyno_sim.Trace.Refresh
                 "view %s += %d tuple(s) for #%d" (Query.name q) delta_tuples
@@ -179,10 +187,19 @@ let maintain_group ?(compensate = true) (w : Query_engine.t)
     | None ->
         Mat_view.record_commit mv ~at:(Query_engine.now w) ~maintained:all_ids
     | Some dv ->
-        Query_engine.advance w
-          (Dyno_sim.Cost_model.refresh (Query_engine.cost w)
-             ~delta_tuples:(Relation.mass dv));
-        Mat_view.refresh mv ~at:(Query_engine.now w) ~maintained:all_ids dv;
+        Dyno_obs.Span.with_span
+          (Dyno_obs.Obs.spans (Query_engine.obs w))
+          ~now:(fun () -> Query_engine.now w)
+          Dyno_obs.Span.Refresh (Query.name q)
+          (fun _ ->
+            Query_engine.advance w
+              (Dyno_sim.Cost_model.refresh (Query_engine.cost w)
+                 ~delta_tuples:(Relation.mass dv));
+            Mat_view.refresh mv ~at:(Query_engine.now w) ~maintained:all_ids
+              dv);
+        Dyno_obs.Metrics.incr
+          (Dyno_obs.Obs.metrics (Query_engine.obs w))
+          "vm.refreshes";
         Dyno_sim.Trace.recordf (Query_engine.trace w)
           ~time:(Query_engine.now w) Dyno_sim.Trace.Refresh
           "view %s += %d tuple(s) for group of %d" (Query.name q)

@@ -20,13 +20,13 @@ type t = {
     materializes the view (free of charge — initialization is not part of
     any measured experiment) and wires the engine around [timeline]. *)
 let make ~rows ~cost ?(track_snapshots = false) ?(trace_enabled = false)
-    ?faults ?retry ?net_seed ~timeline () : t =
+    ?faults ?retry ?net_seed ?obs ~timeline () : t =
   let registry = Paper_schema.build_sources ~rows in
   let mk = Paper_schema.build_meta () in
   let umq = Umq.create () in
   let trace = Dyno_sim.Trace.create ~enabled:trace_enabled () in
   let engine =
-    Query_engine.create ~trace ?faults ?net_seed ?retry ~cost ~registry
+    Query_engine.create ~trace ?faults ?net_seed ?retry ?obs ~cost ~registry
       ~timeline ~umq ()
   in
   let query = Paper_schema.view_query () in

@@ -23,6 +23,7 @@ val make :
   ?faults:Dyno_net.Channel.faults ->
   ?retry:Dyno_net.Retry.policy ->
   ?net_seed:int ->
+  ?obs:Dyno_obs.Obs.t ->
   timeline:Dyno_sim.Timeline.t ->
   unit ->
   t
@@ -30,7 +31,9 @@ val make :
     materialize the view (uncharged — initialization is not part of any
     measured experiment) and wire the engine around the timeline.
     [faults]/[retry]/[net_seed] configure the transport channel between
-    the view manager and the sources (reliable by default). *)
+    the view manager and the sources (reliable by default); [obs]
+    (default disabled) is the observability handle passed to the
+    engine. *)
 
 val run :
   ?max_steps:int ->

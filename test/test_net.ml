@@ -156,7 +156,8 @@ let test_sequencer_exactly_once () =
 
 (* -- end-to-end: zero-fault identity ----------------------------------- *)
 
-let scenario ?faults ?net_seed ~seed ~n_dus ~n_scs () =
+let scenario ?(trace_enabled = false) ?faults ?net_seed ~seed ~n_dus ~n_scs ()
+    =
   let timeline =
     Dyno_workload.Generator.mixed ~rows:10 ~seed ~n_dus ~du_interval:0.2
       ~sc_start:0.1 ~sc_interval:1.5
@@ -165,20 +166,35 @@ let scenario ?faults ?net_seed ~seed ~n_dus ~n_scs () =
   in
   Dyno_workload.Scenario.make ~rows:10
     ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
-    ~track_snapshots:true ?faults ?net_seed ~timeline ()
+    ~track_snapshots:true ~trace_enabled ?faults ?net_seed ~timeline ()
 
 let test_zero_fault_identity () =
   let run ?faults ?net_seed () =
-    let t = scenario ?faults ?net_seed ~seed:11 ~n_dus:12 ~n_scs:2 () in
+    let t =
+      scenario ~trace_enabled:true ?faults ?net_seed ~seed:11 ~n_dus:12
+        ~n_scs:2 ()
+    in
     let stats =
       Dyno_workload.Scenario.run t ~strategy:Dyno_core.Strategy.Pessimistic
     in
-    (Fmt.str "%a" Dyno_core.Stats.pp stats, Dyno_view.Mat_view.extent t.mv)
+    ( Fmt.str "%a" Dyno_core.Stats.pp stats,
+      Dyno_view.Mat_view.extent t.mv,
+      Dyno_sim.Trace.entries t.trace )
   in
-  let s0, e0 = run () in
-  let s1, e1 = run ~faults:Channel.reliable ~net_seed:987654 () in
+  let s0, e0, t0 = run () in
+  let s1, e1, t1 = run ~faults:Channel.reliable ~net_seed:987654 () in
   Alcotest.(check string) "stats byte-identical" s0 s1;
-  Alcotest.(check bool) "extent identical" true (Relation.equal e0 e1)
+  Alcotest.(check bool) "extent identical" true (Relation.equal e0 e1);
+  (* the recorded event sequences must match entry for entry, not just in
+     aggregate: a reliable channel leaves no footprint in the trace *)
+  Alcotest.(check int) "same trace length" (List.length t0) (List.length t1);
+  List.iteri
+    (fun i ((a : Dyno_sim.Trace.entry), (b : Dyno_sim.Trace.entry)) ->
+      Alcotest.(check string)
+        (Fmt.str "trace entry %d identical" i)
+        (Fmt.str "%a" Dyno_sim.Trace.pp_entry a)
+        (Fmt.str "%a" Dyno_sim.Trace.pp_entry b))
+    (List.combine t0 t1)
 
 (* -- the golden property ----------------------------------------------- *)
 

@@ -1,0 +1,335 @@
+(* Tests for the observability layer (lib/obs) and its integration:
+
+   - span recorder mechanics: nesting, attrs, disabled no-op;
+   - metrics registry: counters, gauges, histogram quantiles;
+   - trace ring buffer: bounded eviction, O(1) counts across eviction;
+   - chrome-trace structural checks: every child span lies within its
+     parent's [ts, ts + dur] window;
+   - cross-accounting: Σ Maintain span durations = Stats.busy, and the
+     span-derived breakdown agrees with Stats on busy/abort/idle/net-wait;
+   - the obs-off guarantee: enabling recording changes no Stats byte and
+     no view tuple;
+   - JSON round-trips: stats, metrics, trace, chrome trace and the span
+     JSONL all parse under the tiny checker in Json_check. *)
+
+open Dyno_obs
+
+(* -- a small faulty workload that exercises every span kind ------------- *)
+
+let scenario ?(obs = Obs.disabled) ?(loss = 0.0) ~seed ~n_dus ~n_scs () =
+  let timeline =
+    Dyno_workload.Generator.mixed ~rows:10 ~seed ~n_dus ~du_interval:0.2
+      ~sc_start:0.1 ~sc_interval:1.5
+      ~sc_kinds:(Dyno_workload.Generator.drop_then_renames n_scs)
+      ()
+  in
+  let faults =
+    { Dyno_net.Channel.reliable with loss; retransmit = 0.05 }
+  in
+  Dyno_workload.Scenario.make ~rows:10
+    ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
+    ~track_snapshots:true ~trace_enabled:true ~faults ~net_seed:99 ~obs
+    ~timeline ()
+
+let run_observed ?loss ?(strategy = Dyno_core.Strategy.Pessimistic) () =
+  let obs = Obs.create () in
+  let t = scenario ~obs ?loss ~seed:11 ~n_dus:12 ~n_scs:2 () in
+  let stats = Dyno_workload.Scenario.run t ~strategy in
+  (obs, t, stats)
+
+(* -- span recorder ------------------------------------------------------ *)
+
+let test_span_nesting_ids () =
+  let r = Span.create () in
+  let clock = ref 0.0 in
+  let now () = !clock in
+  let inner_id = ref 0 in
+  let outer =
+    Span.with_span r ~now Span.Maintain "outer" (fun outer ->
+        clock := 1.0;
+        Span.with_span r ~now Span.Probe "inner" (fun inner ->
+            inner_id := inner;
+            clock := 2.0);
+        clock := 3.0;
+        outer)
+  in
+  match Span.(find r !inner_id, find r outer) with
+  | Some inner, Some outer_span ->
+      Alcotest.(check int) "child parented" outer inner.Span.parent;
+      Alcotest.(check int) "root has no parent" 0 outer_span.Span.parent;
+      Alcotest.(check (float 0.0)) "inner start" 1.0 inner.Span.start;
+      Alcotest.(check (float 0.0)) "inner finish" 2.0 inner.Span.finish;
+      Alcotest.(check (float 0.0)) "outer finish" 3.0 outer_span.Span.finish
+  | _ -> Alcotest.fail "both spans should be recorded"
+
+let test_span_disabled_noop () =
+  let r = Span.disabled in
+  let id =
+    Span.with_span r
+      ~now:(fun () -> 0.0)
+      Span.Maintain "x"
+      (fun id ->
+        Span.set_attr r id "k" "v";
+        Span.instant r ~time:0.0 "ev" "d";
+        id)
+  in
+  Alcotest.(check int) "id is 0" 0 id;
+  Alcotest.(check int) "no spans" 0 (Span.span_count r);
+  Alcotest.(check int) "no events" 0 (List.length (Span.events r))
+
+let test_span_exception_safety () =
+  let r = Span.create () in
+  let clock = ref 5.0 in
+  (try
+     Span.with_span r
+       ~now:(fun () -> !clock)
+       Span.Vs "boom"
+       (fun _ ->
+         clock := 7.0;
+         failwith "boom")
+   with Failure _ -> ());
+  match Span.spans r with
+  | [ s ] ->
+      Alcotest.(check (float 0.0)) "closed at raise time" 7.0 s.Span.finish;
+      Alcotest.(check int) "nothing left open" 0 (List.length (Span.open_spans r))
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
+
+(* -- metrics ------------------------------------------------------------ *)
+
+let test_metrics_counters_gauges () =
+  let m = Metrics.create () in
+  Metrics.incr m "a";
+  Metrics.incr m ~by:4 "a";
+  Metrics.set_gauge m "g" 2.5;
+  Alcotest.(check int) "counter" 5 (Metrics.counter_value m "a");
+  Alcotest.(check (float 0.0)) "gauge" 2.5 (Metrics.gauge_value m "g");
+  Alcotest.(check int) "absent counter is 0" 0 (Metrics.counter_value m "zz")
+
+let test_metrics_quantiles () =
+  let m = Metrics.create () in
+  (* 100 observations 0.01 .. 1.00: p50 ≈ 0.5, p99 ≈ 1.0 up to one log₂
+     bucket of slack (quantile returns the bucket's upper bound clamped to
+     the observed max). *)
+  for i = 1 to 100 do
+    Metrics.observe m "lat_s" (float_of_int i /. 100.0)
+  done;
+  let p50 = Metrics.quantile m "lat_s" 0.5 in
+  let p99 = Metrics.quantile m "lat_s" 0.99 in
+  Alcotest.(check bool) "p50 in [0.5, 1.0]" true (p50 >= 0.5 && p50 <= 1.0);
+  Alcotest.(check bool) "p99 in [0.99, 1.0]" true (p99 >= 0.99 && p99 <= 1.0);
+  match Metrics.histogram_summary m "lat_s" with
+  | Some s ->
+      Alcotest.(check int) "count" 100 s.Metrics.count;
+      Alcotest.(check (float 1e-9)) "sum" 50.5 s.Metrics.sum;
+      Alcotest.(check (float 1e-9)) "min" 0.01 s.Metrics.min;
+      Alcotest.(check (float 1e-9)) "max" 1.0 s.Metrics.max
+  | None -> Alcotest.fail "summary expected"
+
+let test_metrics_disabled_noop () =
+  let m = Metrics.disabled in
+  Metrics.incr m "a";
+  Metrics.observe m "h" 1.0;
+  Alcotest.(check int) "no counter" 0 (Metrics.counter_value m "a");
+  Alcotest.(check (list string)) "no names" [] (Metrics.names m)
+
+(* -- trace ring buffer -------------------------------------------------- *)
+
+let test_trace_ring_eviction () =
+  let open Dyno_sim in
+  let t = Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Trace.record t ~time:(float_of_int i) Trace.Info (string_of_int i)
+  done;
+  let kept =
+    List.map (fun (e : Trace.entry) -> e.Trace.detail) (Trace.entries t)
+  in
+  Alcotest.(check (list string)) "last 3 kept, in order" [ "3"; "4"; "5" ] kept;
+  Alcotest.(check int) "dropped" 2 (Trace.dropped t);
+  Alcotest.(check int) "count survives eviction" 5 (Trace.count t Trace.Info);
+  Alcotest.(check (option int)) "capacity" (Some 3) (Trace.capacity t)
+
+let test_trace_unbounded_growth () =
+  let open Dyno_sim in
+  let t = Trace.create () in
+  for i = 1 to 1000 do
+    Trace.record t ~time:(float_of_int i) Trace.Commit "c"
+  done;
+  Alcotest.(check int) "all retained" 1000 (List.length (Trace.entries t));
+  Alcotest.(check int) "none dropped" 0 (Trace.dropped t);
+  Alcotest.(check int) "count" 1000 (Trace.count t Trace.Commit);
+  Alcotest.check_raises "capacity < 1 rejected"
+    (Invalid_argument "Trace.create: capacity must be >= 1") (fun () ->
+      ignore (Trace.create ~capacity:0 ()))
+
+(* -- chrome-trace structure: children nest within parents --------------- *)
+
+let test_span_nesting_in_run () =
+  let obs, _, _ = run_observed ~loss:0.3 () in
+  let spans = Span.spans (Obs.spans obs) in
+  Alcotest.(check bool) "spans recorded" true (List.length spans > 0);
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun (s : Span.t) -> Hashtbl.replace by_id s.Span.id s) spans;
+  List.iter
+    (fun (s : Span.t) ->
+      if s.Span.parent <> 0 then
+        match Hashtbl.find_opt by_id s.Span.parent with
+        | None -> Alcotest.failf "span %d: dangling parent %d" s.Span.id s.Span.parent
+        | Some p ->
+            let within =
+              s.Span.start >= p.Span.start -. 1e-9
+              && s.Span.finish <= p.Span.finish +. 1e-9
+            in
+            if not within then
+              Alcotest.failf
+                "span %d [%g, %g] escapes parent %d [%g, %g]" s.Span.id
+                s.Span.start s.Span.finish p.Span.id p.Span.start p.Span.finish)
+    spans;
+  (* the run under faults exercises the whole vocabulary we care about *)
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Fmt.str "kind %s present" (Span.kind_to_string k))
+        true
+        (Span.count_kind (Obs.spans obs) k > 0))
+    Span.[ Maintain; Detect; Correct; Probe; Refresh; Vs; Va; Batch; Retry; Timeout ]
+
+(* -- cross-accounting against Stats ------------------------------------- *)
+
+let sum_kind r k = Span.total_duration r k
+
+let test_maintain_sum_equals_busy () =
+  let obs, _, stats = run_observed ~loss:0.3 () in
+  let r = Obs.spans obs in
+  Alcotest.(check (float 1e-6))
+    "Σ maintain = Stats.busy" stats.Dyno_core.Stats.busy
+    (sum_kind r Span.Maintain)
+
+let test_breakdown_matches_stats () =
+  let obs, _, stats = run_observed ~loss:0.3 () in
+  let b = Export.breakdown (Obs.spans obs) in
+  let open Dyno_core in
+  Alcotest.(check (float 1e-6)) "busy" stats.Stats.busy b.Export.busy;
+  Alcotest.(check (float 1e-6))
+    "abort cost" stats.Stats.abort_cost b.Export.abort_cost;
+  Alcotest.(check (float 1e-6))
+    "net wait" stats.Stats.net_wait b.Export.net_wait;
+  Alcotest.(check (float 1e-6))
+    "idle = horizon - busy" (b.Export.horizon -. b.Export.busy) b.Export.idle
+
+let test_metrics_mirror_stats () =
+  let obs, _, stats = run_observed ~loss:0.3 () in
+  let m = Obs.metrics obs in
+  let open Dyno_core in
+  Alcotest.(check int)
+    "du_maintained mirrored" stats.Stats.du_maintained
+    (Metrics.counter_value m "sched.du_maintained");
+  Alcotest.(check int)
+    "probes mirrored" stats.Stats.probes
+    (Metrics.counter_value m "sched.probes");
+  Alcotest.(check int)
+    "live retries = stats retries" stats.Stats.retries
+    (Metrics.counter_value m "net.retries");
+  Alcotest.(check (float 1e-9))
+    "busy gauge" stats.Stats.busy
+    (Metrics.gauge_value m "sched.busy_s")
+
+(* -- obs off changes nothing -------------------------------------------- *)
+
+let test_obs_off_identical () =
+  let run obs =
+    let t = scenario ~obs ~loss:0.3 ~seed:11 ~n_dus:12 ~n_scs:2 () in
+    let stats =
+      Dyno_workload.Scenario.run t ~strategy:Dyno_core.Strategy.Pessimistic
+    in
+    ( Fmt.str "%a" Dyno_core.Stats.pp stats,
+      Dyno_view.Mat_view.extent t.Dyno_workload.Scenario.mv )
+  in
+  let s_off, e_off = run Obs.disabled in
+  let s_on, e_on = run (Obs.create ()) in
+  Alcotest.(check string) "stats byte-identical" s_off s_on;
+  Alcotest.(check bool) "extent identical" true
+    (Dyno_relational.Relation.equal e_off e_on)
+
+(* -- JSON round-trips --------------------------------------------------- *)
+
+let test_json_round_trips () =
+  let obs, t, stats = run_observed ~loss:0.3 () in
+  Json_check.check_exn ~what:"stats JSON"
+    (Dyno_core.Stats.to_json_string stats);
+  Json_check.check_exn ~what:"metrics JSON"
+    (Metrics.to_json_string (Obs.metrics obs));
+  Json_check.check_exn ~what:"trace JSON"
+    (Dyno_sim.Trace.to_json_string t.Dyno_workload.Scenario.trace);
+  Json_check.check_exn ~what:"chrome trace"
+    (Export.chrome_trace (Obs.spans obs));
+  Json_check.check_jsonl_exn ~what:"span JSONL"
+    (Export.spans_jsonl (Obs.spans obs))
+
+let test_json_escaping () =
+  (* attr/name values with quotes, backslashes and control chars must
+     still render as valid JSON *)
+  let r = Span.create () in
+  Span.with_span r
+    ~now:(fun () -> 0.0)
+    Span.Probe "na\"me\\with\ttabs"
+    (fun id -> Span.set_attr r id "k\"ey" "v\nal");
+  Span.instant r ~time:0.0 "ev\"ent" "de\ttail";
+  Json_check.check_exn ~what:"escaped chrome trace" (Export.chrome_trace r);
+  Json_check.check_jsonl_exn ~what:"escaped span JSONL" (Export.spans_jsonl r);
+  let m = Metrics.create () in
+  Metrics.incr m "weird\"name\\";
+  Json_check.check_exn ~what:"escaped metrics" (Metrics.to_json_string m);
+  let tr = Dyno_sim.Trace.create ~enabled:true () in
+  Dyno_sim.Trace.record tr ~time:0.0 Dyno_sim.Trace.Info "de\"tail\\";
+  Json_check.check_exn ~what:"escaped trace" (Dyno_sim.Trace.to_json_string tr);
+  Json_check.check_exn ~what:"checker rejects garbage is tested inline"
+    "{\"a\": [1, 2.5e-3, true, null, \"x\\u00e9\"]}";
+  match Json_check.check "{\"a\": }" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "checker should reject malformed JSON"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "span",
+        [
+          Alcotest.test_case "nesting + ids" `Quick test_span_nesting_ids;
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_span_disabled_noop;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_exception_safety;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters + gauges" `Quick
+            test_metrics_counters_gauges;
+          Alcotest.test_case "histogram quantiles" `Quick
+            test_metrics_quantiles;
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_metrics_disabled_noop;
+        ] );
+      ( "trace-ring",
+        [
+          Alcotest.test_case "bounded eviction" `Quick test_trace_ring_eviction;
+          Alcotest.test_case "unbounded growth" `Quick
+            test_trace_unbounded_growth;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "children nest within parents" `Quick
+            test_span_nesting_in_run;
+          Alcotest.test_case "Σ maintain = Stats.busy" `Quick
+            test_maintain_sum_equals_busy;
+          Alcotest.test_case "breakdown matches Stats" `Quick
+            test_breakdown_matches_stats;
+          Alcotest.test_case "metrics mirror Stats" `Quick
+            test_metrics_mirror_stats;
+          Alcotest.test_case "obs off changes nothing" `Quick
+            test_obs_off_identical;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round-trips parse" `Quick test_json_round_trips;
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+        ] );
+    ]
