@@ -414,7 +414,9 @@ let json_entries : (string * int * float) list ref = ref []
 let record_json ~op ~n ns = json_entries := (op, n, ns) :: !json_entries
 
 let write_json () =
-  if !json_path <> "" then begin
+  (* Skipped when no join entries were recorded — the overlap experiment
+     writes its own JSON shape to [json_path] directly. *)
+  if !json_path <> "" && !json_entries <> [] then begin
     let entries = List.rev !json_entries in
     let last = List.length entries - 1 in
     match open_out !json_path with
@@ -562,6 +564,168 @@ let net_bench () =
     points
 
 (* ------------------------------------------------------------------ *)
+(* Overlap: serial vs dependency-parallel maintenance (simulated time)  *)
+(* ------------------------------------------------------------------ *)
+
+(* Four relations, each alone at its own source, view = chain join of all
+   four.  Every DU therefore needs 3 probe round-trips to the OTHER
+   sources, and DUs from distinct sources are mutually independent — the
+   ideal antichain workload.  The cost model is latency-dominated (1 s
+   query RTT, microsecond scans), so serial busy time is ~3 RTTs per DU
+   back-to-back while [--parallel 4] overlaps whole antichains of four. *)
+let overlap_bench () =
+  header
+    "Overlap - dependency-parallel maintenance, 4 independent sources \
+     (SIMULATED seconds)";
+  Fmt.pr
+    "four single-relation sources, chain-join view, 1 s probe RTT: serial \
+     pays@.every round-trip back-to-back; parallel dispatches antichains \
+     of 4.@.@.";
+  let n_sources = 4 in
+  let src i = Fmt.str "S%d" i in
+  let rel i = Fmt.str "T%d" i in
+  let key i = Fmt.str "K%d" i in
+  let schema i =
+    Schema.of_list [ Attr.int (key i); Attr.int (Fmt.str "A%d" i) ]
+  in
+  let base_rows = 50 in
+  let query =
+    Query.make ~name:"OV"
+      ~select:
+        (List.concat_map
+           (fun i ->
+             [
+               Query.item (Fmt.str "%s.%s" (rel i) (key i));
+               Query.item (Fmt.str "%s.A%d" (rel i) i);
+             ])
+           (List.init n_sources (fun i -> i + 1)))
+      ~from:
+        (List.init n_sources (fun i ->
+             let i = i + 1 in
+             Query.table (src i) (rel i)))
+      ~where:
+        (List.init (n_sources - 1) (fun i ->
+             let i = i + 1 in
+             Predicate.eq_attr
+               (Fmt.str "%s.%s" (rel i) (key i))
+               (Fmt.str "%s.%s" (rel (i + 1)) (key (i + 1)))))
+  in
+  let build_registry () =
+    let reg = Dyno_source.Registry.create () in
+    for i = 1 to n_sources do
+      Dyno_source.Registry.register reg
+        (Dyno_source.Data_source.create (src i));
+      let s = Dyno_source.Registry.find reg (src i) in
+      Dyno_source.Data_source.add_relation s (rel i) (schema i);
+      Dyno_source.Data_source.load s (rel i)
+        (List.init base_rows (fun k ->
+             [ Value.int k; Value.int ((k * 3) + i) ]))
+    done;
+    reg
+  in
+  (* [n_rounds] waves of one insert per source, all committed within the
+     first half-second so the UMQ always holds a full-width antichain. *)
+  let n_rounds = if !fast then 6 else 12 in
+  let build_timeline () =
+    let tl = Dyno_sim.Timeline.create () in
+    for j = 0 to n_rounds - 1 do
+      for i = 1 to n_sources do
+        Dyno_sim.Timeline.schedule tl
+          ~time:(0.01 *. float_of_int ((j * n_sources) + i))
+          (Dyno_sim.Timeline.Du
+             (Update.insert ~source:(src i) ~rel:(rel i) (schema i)
+                [ Value.int (j mod base_rows); Value.int (1000 + (j * 10) + i) ]))
+      done
+    done;
+    tl
+  in
+  let cost =
+    {
+      Dyno_sim.Cost_model.default with
+      query_latency = 1.0;
+      row_scale = 1.0;
+    }
+  in
+  let run ~parallel =
+    let reg = build_registry () in
+    let umq = Dyno_view.Umq.create () in
+    let trace = Dyno_sim.Trace.create ~enabled:false () in
+    let engine =
+      Dyno_view.Query_engine.create ~trace ~cost ~registry:reg
+        ~timeline:(build_timeline ()) ~umq ()
+    in
+    let vd =
+      Dyno_view.View_def.create
+        ~schemas:
+          (List.init n_sources (fun i ->
+               let i = i + 1 in
+               (rel i, schema i)))
+        query
+    in
+    let mv =
+      Dyno_view.Mat_view.create vd (Relation.create Schema.empty)
+    in
+    let env (tr : Query.table_ref) =
+      Dyno_source.Data_source.relation
+        (Dyno_source.Registry.find reg tr.source)
+        tr.rel
+    in
+    Dyno_view.Mat_view.replace mv ~at:0.0 ~maintained:[]
+      (Eval.run
+         ~planner:(Dyno_view.Query_engine.planner engine)
+         ~catalog:env query);
+    let mk = Dyno_source.Meta_knowledge.create () in
+    let stats =
+      Scheduler.run
+        ~config:
+          {
+            Scheduler.strategy = Strategy.Pessimistic;
+            max_steps = 1_000_000;
+            compensate = true;
+            vm_mode = Scheduler.Incremental;
+            du_group = 1;
+            parallel;
+          }
+        engine mv mk
+    in
+    (stats, Dyno_view.Mat_view.extent mv)
+  in
+  let stats_s, extent_s = run ~parallel:1 in
+  let stats_p, extent_p = run ~parallel:n_sources in
+  if not (Relation.equal extent_s extent_p) then begin
+    Fmt.epr "overlap bench: parallel extent diverged from serial@.";
+    exit 1
+  end;
+  let speedup = stats_s.Stats.busy /. stats_p.Stats.busy in
+  Fmt.pr "%12s  %10s  %10s  %8s@." "mode" "busy (s)" "commits" "probes";
+  Fmt.pr "%12s  %10.1f  %10d  %8d@." "serial" stats_s.Stats.busy
+    stats_s.Stats.view_commits stats_s.Stats.probes;
+  Fmt.pr "%12s  %10.1f  %10d  %8d@."
+    (Fmt.str "parallel=%d" n_sources)
+    stats_p.Stats.busy stats_p.Stats.view_commits stats_p.Stats.probes;
+  Fmt.pr "@.speedup: %.2fx (extents identical)@." speedup;
+  if !json_path <> "" then begin
+    match open_out !json_path with
+    | exception Sys_error e ->
+        Fmt.epr "cannot write %s: %s@." !json_path e;
+        exit 1
+    | oc ->
+        Printf.fprintf oc
+          "[\n\
+          \  {\"mode\": \"serial\", \"parallel\": 1, \"busy_s\": %.3f, \
+           \"commits\": %d, \"probes\": %d},\n\
+          \  {\"mode\": \"parallel\", \"parallel\": %d, \"busy_s\": %.3f, \
+           \"commits\": %d, \"probes\": %d},\n\
+          \  {\"speedup\": %.3f}\n\
+           ]\n"
+          stats_s.Stats.busy stats_s.Stats.view_commits stats_s.Stats.probes
+          n_sources stats_p.Stats.busy stats_p.Stats.view_commits
+          stats_p.Stats.probes speedup;
+        close_out oc;
+        Fmt.pr "wrote overlap results to %s@." !json_path
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -575,12 +739,13 @@ let experiments =
     ("micro", micro);
     ("join", join_bench);
     ("net", net_bench);
+    ("overlap", overlap_bench);
   ]
 
 let () =
   let specs =
     [
-      ("--only", Arg.Set_string only, "run a single experiment (fig8..fig12, ablation, sensitivity, micro, join, net)");
+      ("--only", Arg.Set_string only, "run a single experiment (fig8..fig12, ablation, sensitivity, micro, join, net, overlap)");
       ("--rows", Arg.Set_int rows, "physical rows per relation (default 500; logical is always 100k via cost scaling)");
       ("--fast", Arg.Set fast, "fewer sweep points / smaller join sizes");
       ("--quota", Arg.Set_float quota, "bechamel quota per micro-bench, seconds (default 0.5)");

@@ -168,6 +168,15 @@ let multi_flag =
   in
   Arg.(value & flag & info [ "multi" ] ~doc)
 
+let parallel_arg =
+  let doc =
+    "Dependency-parallel maintenance: overlap the probe round trips of up \
+     to $(docv) mutually independent queued updates (with --multi: of the \
+     per-view sweeps of the head update).  1 is the strictly serial \
+     scheduler, bit-identical to the classic loop."
+  in
+  Arg.(value & opt int 1 & info [ "parallel" ] ~docv:"N" ~doc)
+
 let timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval =
   Generator.mixed ~rows ~seed ~n_dus:dus ~du_interval ~sc_interval
     ~sc_kinds:(Generator.drop_then_renames scs)
@@ -177,8 +186,8 @@ let timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval =
 
 let run_cmd =
   let action rows dus scs du_interval sc_interval seed strategy trace
-      no_compensation report multi loss dup reorder jitter reorder_delay
-      outages net_seed json_file trace_out metrics_out =
+      no_compensation report multi parallel loss dup reorder jitter
+      reorder_delay outages net_seed json_file trace_out metrics_out =
     let timeline =
       timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval
     in
@@ -232,6 +241,7 @@ let run_cmd =
                 Multi_scheduler.strategy;
                 max_steps = 1_000_000;
                 compensate = not no_compensation;
+                parallel;
               }
             t.Scenario.engine m t.Scenario.mk
         in
@@ -243,7 +253,7 @@ let run_cmd =
           (Multi_scheduler.views m);
         stats
       end
-      else Scenario.run ~compensate:(not no_compensation) t ~strategy
+      else Scenario.run ~compensate:(not no_compensation) ~parallel t ~strategy
     in
     if trace then Fmt.pr "%a@.@." Dyno_sim.Trace.pp t.Scenario.trace;
     if report then Fmt.pr "%a@.@." Report.pp (Report.of_trace t.Scenario.trace);
@@ -278,8 +288,8 @@ let run_cmd =
     Term.(
       const action $ rows $ dus $ scs $ du_interval $ sc_interval $ seed
       $ strategy $ trace_flag $ no_compensation $ report_flag $ multi_flag
-      $ loss $ dup $ reorder $ jitter $ reorder_delay $ outages $ net_seed
-      $ json_file $ trace_out $ metrics_out)
+      $ parallel_arg $ loss $ dup $ reorder $ jitter $ reorder_delay
+      $ outages $ net_seed $ json_file $ trace_out $ metrics_out)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a mixed workload under a strategy")
@@ -289,8 +299,8 @@ let run_cmd =
 
 let report_cmd =
   let action rows dus scs du_interval sc_interval seed strategy
-      no_compensation loss dup reorder jitter reorder_delay outages net_seed
-      trace_out metrics_out =
+      no_compensation parallel loss dup reorder jitter reorder_delay outages
+      net_seed trace_out metrics_out =
     let timeline =
       timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval
     in
@@ -304,7 +314,9 @@ let report_cmd =
       Scenario.make ~rows ~cost ~track_snapshots:true ~faults ~net_seed ~obs
         ~timeline ()
     in
-    let stats = Scenario.run ~compensate:(not no_compensation) t ~strategy in
+    let stats =
+      Scenario.run ~compensate:(not no_compensation) ~parallel t ~strategy
+    in
     let spans = Dyno_obs.Obs.spans obs in
     Fmt.pr "strategy: %a@.@." Strategy.pp strategy;
     Fmt.pr "%a@." Dyno_obs.Export.pp_breakdown
@@ -326,8 +338,8 @@ let report_cmd =
   let term =
     Term.(
       const action $ rows $ dus $ scs $ du_interval $ sc_interval $ seed
-      $ strategy $ no_compensation $ loss $ dup $ reorder $ jitter
-      $ reorder_delay $ outages $ net_seed $ trace_out $ metrics_out)
+      $ strategy $ no_compensation $ parallel_arg $ loss $ dup $ reorder
+      $ jitter $ reorder_delay $ outages $ net_seed $ trace_out $ metrics_out)
   in
   Cmd.v
     (Cmd.info "report"
@@ -360,7 +372,7 @@ let inspect_cmd =
         (Dyno_view.Umq.entries t.Scenario.umq)
     in
     Fmt.pr "%a@.@.unsafe dependencies: %d@.@." Dep_graph.pp g
-      (List.length (Dep_graph.unsafe g));
+      (Dep_graph.unsafe_count g);
     let c = Dep_graph.correct g in
     Fmt.pr "correction: %d cycle(s) merged (%d update(s))@.legal order:@."
       c.Dep_graph.merged_cycles c.Dep_graph.merged_updates;

@@ -221,6 +221,7 @@ let run ?(strategy = Dyno_core.Strategy.Pessimistic) ?(compensate = true) w =
         compensate;
         vm_mode = Dyno_core.Scheduler.Incremental;
         du_group = 1;
+        parallel = 1;
       }
     w.engine w.mv w.mk
 

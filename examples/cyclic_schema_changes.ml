@@ -39,7 +39,7 @@ let () =
   in
   Fmt.pr "%a@." Dyno_core.Dep_graph.pp g;
   Fmt.pr "unsafe dependencies: %d@."
-    (List.length (Dyno_core.Dep_graph.unsafe g));
+    (Dyno_core.Dep_graph.unsafe_count g);
   let c = Dyno_core.Dep_graph.correct g in
   Fmt.pr "correction merges %d cycle(s) spanning %d update(s)@."
     c.Dyno_core.Dep_graph.merged_cycles c.Dyno_core.Dep_graph.merged_updates;

@@ -22,15 +22,26 @@ open Dyno_view
 type t = {
   nodes : Umq.entry array;
   edges : Dependency.edge list;
+  unsafe_edges : Dependency.edge list;
+      (* edges violating the current queue order (Definition 6), computed
+         once at construction — every consumer (detection outcome, has_unsafe
+         gate, correction trigger) asks the same question of an immutable
+         graph, so answer it once instead of re-filtering per caller. *)
 }
 
 let nodes g = Array.to_list g.nodes
 let edges g = g.edges
 let size g = Array.length g.nodes
 
+(* Node indices ARE queue positions, so an edge is safe iff prerequisite
+   precedes dependent numerically. *)
+let compute_unsafe edges =
+  List.filter (fun e -> not (Dependency.is_safe (fun i -> i) e)) edges
+
 (** [make ~nodes ~edges] builds a graph directly — used by tests and by
     tools that want to analyse hand-crafted dependency structures. *)
-let make ~nodes ~edges = { nodes = Array.of_list nodes; edges }
+let make ~nodes ~edges =
+  { nodes = Array.of_list nodes; edges; unsafe_edges = compute_unsafe edges }
 
 (** [build_many views entries] constructs the graph for the current queue
     contents against a {e set} of views (multi-view mode): a schema change
@@ -98,7 +109,8 @@ let build_many (views : (Query.t * (string * Schema.t) list) list)
       in
       chain sorted)
     per_source;
-  { nodes; edges = List.rev !edges }
+  let edges = List.rev !edges in
+  { nodes; edges; unsafe_edges = compute_unsafe edges }
 
 (** [build query schemas entries] — the single-view case.  Complexity
     O(m·n) for concurrent dependencies plus O(n) for semantic ones, as
@@ -107,11 +119,12 @@ let build (query : Query.t) (schemas : (string * Schema.t) list)
     (entries : Umq.entry list) : t =
   build_many [ (query, schemas) ] entries
 
-(** Unsafe dependencies under the current queue order (Definition 6). *)
-let unsafe g =
-  List.filter (fun e -> not (Dependency.is_safe (fun i -> i) e)) g.edges
+(** Unsafe dependencies under the current queue order (Definition 6) —
+    cached at construction, O(1) per call. *)
+let unsafe g = g.unsafe_edges
 
-let has_unsafe g = unsafe g <> []
+let unsafe_count g = List.length g.unsafe_edges
+let has_unsafe g = g.unsafe_edges <> []
 
 (* ------------------------------------------------------------------ *)
 (* Tarjan's strongly connected components                              *)

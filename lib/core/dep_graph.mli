@@ -26,7 +26,12 @@ val edges : t -> Dependency.edge list
 val size : t -> int
 
 val unsafe : t -> Dependency.edge list
-(** Unsafe dependencies under the current queue order (Definition 6). *)
+(** Unsafe dependencies under the current queue order (Definition 6).
+    Cached at construction (node indices are queue positions, and the graph
+    is immutable), so this is O(1) per call. *)
+
+val unsafe_count : t -> int
+(** [List.length (unsafe g)], without materializing anything new. *)
 
 val has_unsafe : t -> bool
 

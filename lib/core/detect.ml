@@ -31,7 +31,7 @@ let pre_exec (vd : View_def.t) (umq : Umq.t) : outcome =
     let query = View_def.peek vd in
     let schemas = View_def.schemas vd in
     let g = Dep_graph.build query schemas (Umq.entries umq) in
-    { graph = Some g; unsafe = List.length (Dep_graph.unsafe g) }
+    { graph = Some g; unsafe = Dep_graph.unsafe_count g }
   end
 
 (** [force vd umq] — unconditional graph construction (used by the
@@ -42,4 +42,4 @@ let force (vd : View_def.t) (umq : Umq.t) : outcome =
   let query = View_def.peek vd in
   let schemas = View_def.schemas vd in
   let g = Dep_graph.build query schemas (Umq.entries umq) in
-  { graph = Some g; unsafe = List.length (Dep_graph.unsafe g) }
+  { graph = Some g; unsafe = Dep_graph.unsafe_count g }

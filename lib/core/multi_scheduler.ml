@@ -153,10 +153,88 @@ type config = {
   strategy : Strategy.t;
   max_steps : int;
   compensate : bool;
+  parallel : int;
+      (** when > 1, the per-view sweeps of a single-DU head entry run as
+          concurrent executor tasks (up to this many at once) so their
+          probe round trips overlap; refreshes still commit serially at
+          the barrier, in view order.  [1] (the default) is the strictly
+          serial view-by-view loop. *)
 }
 
 let default_config =
-  { strategy = Strategy.Pessimistic; max_steps = 1_000_000; compensate = true }
+  {
+    strategy = Strategy.Pessimistic;
+    max_steps = 1_000_000;
+    compensate = true;
+    parallel = 1;
+  }
+
+(* Per-view concurrent maintenance of one single-DU entry: the sweeps for
+   distinct views are independent (each view has its own extent and
+   commit log), so their probe round trips overlap on executor tasks;
+   the refreshes commit serially at the barrier, in view order, stopping
+   at the first failure.  Earlier views keep their commits — [applied]
+   remembers them for the retry, exactly as in the serial loop. *)
+let parallel_views ~compensate (w : Query_engine.t) (stats : Stats.t)
+    (vs : view_state list) (m : Update_msg.t) (u : Dyno_relational.Update.t) :
+    (unit, Query_engine.failure) result =
+  let obs = Query_engine.obs w in
+  let sp = Dyno_obs.Obs.spans obs
+  and mx = Dyno_obs.Obs.metrics obs in
+  let exec = Query_engine.executor w in
+  let k = List.length vs in
+  Dyno_obs.Metrics.set_gauge mx "sched.inflight" (float_of_int k);
+  Dyno_obs.Metrics.observe mx "sched.antichain_size" (float_of_int k);
+  let t0 = Query_engine.now w in
+  let results = Array.make k None in
+  let spent = Array.make k 0.0 in
+  let thunks =
+    List.mapi
+      (fun i v () ->
+        Dyno_obs.Span.with_span sp
+          ~now:(fun () -> Query_engine.now w)
+          ~thread:(Fmt.str "view-%d" i) Dyno_obs.Span.Task
+          (Fmt.str "maintain #%d" (Update_msg.id m))
+          (fun _ ->
+            let ts = Query_engine.now w in
+            results.(i) <-
+              Some
+                (Dyno_vm.Vm.maintain_sweep ~compensate ~applied:v.applied w
+                   v.mv m u);
+            spent.(i) <- Query_engine.now w -. ts))
+      vs
+  in
+  Executor.run_all exec thunks;
+  let failure = ref None in
+  List.iteri
+    (fun i v ->
+      if !failure = None then
+        match results.(i) with
+        | Some (Dyno_vm.Vm.Swept (dv, s)) -> (
+            match Dyno_vm.Vm.commit_swept w v.mv m dv s with
+            | Dyno_vm.Vm.Refreshed { stats = s; _ } ->
+                stats.Stats.du_maintained <- stats.Stats.du_maintained + 1;
+                stats.Stats.probes <-
+                  stats.Stats.probes + s.Dyno_vm.Sweep.probes;
+                stats.Stats.view_commits <- stats.Stats.view_commits + 1;
+                v.applied <- Update_msg.id m :: v.applied
+            | _ -> assert false)
+        | Some Dyno_vm.Vm.Swept_irrelevant ->
+            Mat_view.record_commit v.mv ~at:(Query_engine.now w)
+              ~maintained:[ Update_msg.id m ];
+            stats.Stats.irrelevant <- stats.Stats.irrelevant + 1;
+            v.applied <- Update_msg.id m :: v.applied
+        | Some (Dyno_vm.Vm.Swept_aborted b) ->
+            failure := Some (Query_engine.Broken b)
+        | Some (Dyno_vm.Vm.Swept_unreachable u) ->
+            failure := Some (Query_engine.Unreachable u)
+        | None -> assert false)
+    vs;
+  let elapsed = Query_engine.now w -. t0 in
+  Dyno_obs.Metrics.add_gauge mx "net.overlap_saved_s"
+    (Float.max 0.0 (Array.fold_left ( +. ) 0.0 spent -. elapsed));
+  Dyno_obs.Metrics.set_gauge mx "sched.inflight" 0.0;
+  match !failure with None -> Ok () | Some f -> Error f
 
 (** [run ?config w t mk] — the multi-view Dyno loop: drains the UMQ and
     the timeline, maintaining every entry against every view. *)
@@ -192,7 +270,37 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
               | Ok () -> maintain_views rest
               | Error f -> Error f)
         in
-        match maintain_views t.views with
+        (* With [parallel > 1] a single-DU entry's sweeps run for all
+           eligible views concurrently (capped at [parallel]; any
+           remainder — and every other entry shape — takes the serial
+           view-by-view path, which skips already-applied views). *)
+        let outcome =
+          match entry with
+          | Umq.Single m when config.parallel > 1 && Update_msg.is_du m -> (
+              match Update_msg.as_du m with
+              | Some u -> (
+                  let eligible =
+                    List.filter
+                      (fun v ->
+                        View_def.is_valid (Mat_view.def v.mv)
+                        && not (List.mem (Update_msg.id m) v.applied))
+                      t.views
+                  in
+                  if List.length eligible < 2 then maintain_views t.views
+                  else
+                    let chunk =
+                      List.filteri (fun i _ -> i < config.parallel) eligible
+                    in
+                    match
+                      parallel_views ~compensate:config.compensate w stats
+                        chunk m u
+                    with
+                    | Ok () -> maintain_views t.views
+                    | Error f -> Error f)
+              | None -> maintain_views t.views)
+          | _ -> maintain_views t.views
+        in
+        match outcome with
         | Ok () ->
             Dyno_obs.Span.set_attr sp mid "outcome" "done";
             stats.Stats.busy <-

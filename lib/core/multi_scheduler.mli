@@ -22,6 +22,12 @@ type config = {
   strategy : Strategy.t;
   max_steps : int;
   compensate : bool;
+  parallel : int;
+      (** when > 1, the per-view sweeps of a single-DU head entry run as
+          concurrent executor tasks (up to this many at once) so their
+          probe round trips overlap; refreshes still commit serially at
+          the barrier, in view order.  [1] (the default) is the strictly
+          serial view-by-view loop. *)
 }
 
 val default_config : config

@@ -43,6 +43,16 @@ type config = {
           preserved, so every dependency stays safe — the view just skips
           some intermediate states, trading freshness for throughput (the
           deferred-maintenance idea of Colby et al., the paper's [5]). *)
+  parallel : int;
+      (** dependency-parallel maintenance: up to this many mutually
+          independent queued entries — an antichain of the corrected
+          topological order — are maintained concurrently, overlapping
+          their probe round trips on cooperative executor tasks.
+          Same-source commit order and every CD/SD edge still serialize
+          (Theorems 1–2): only single data updates from distinct sources
+          with no queued schema change ahead of them are dispatched
+          together.  [1] (the default) is the strictly serial scheduler,
+          bit-identical to the historical loop. *)
 }
 
 let default_config =
@@ -52,6 +62,7 @@ let default_config =
     compensate = true;
     vm_mode = Incremental;
     du_group = 1;
+    parallel = 1;
   }
 
 exception Step_limit_exceeded of int
@@ -222,6 +233,152 @@ let stall_and_wait (w : Query_engine.t) (stats : Stats.t) ~(t0 : float)
   in
   stats.Stats.busy <- stats.Stats.busy +. waited
 
+(* One concurrent maintenance round over an antichain of single data
+   updates from distinct sources (no queued schema change ahead of them).
+   The sweeps — probe round trips included — run as cooperative executor
+   tasks and overlap on the wire; refreshes and dequeues then commit
+   serially at the barrier, in queue order, stopping at the first failed
+   member.  Later members' results are discarded: their entries stay
+   queued (exclusion sets were fixed at dispatch, so a re-sweep on the
+   next round compensates correctly). *)
+let parallel_round ~(config : config) (w : Query_engine.t) (mv : Mat_view.t)
+    (stats : Stats.t) (mid : int)
+    (members : (Update_msg.t * Dyno_relational.Update.t) list) : unit =
+  let trace = Query_engine.trace w in
+  let obs = Query_engine.obs w in
+  let sp = Dyno_obs.Obs.spans obs
+  and mx = Dyno_obs.Obs.metrics obs in
+  let umq = Query_engine.umq w in
+  let exec = Query_engine.executor w in
+  let k = List.length members in
+  Dyno_obs.Span.set_name sp mid (Fmt.str "round of %d" k);
+  Dyno_obs.Metrics.set_gauge mx "sched.inflight" (float_of_int k);
+  Dyno_obs.Metrics.observe mx "sched.antichain_size" (float_of_int k);
+  Umq.clear_broken_query_flag umq;
+  let t0 = Query_engine.now w in
+  List.iter
+    (fun (m, _) ->
+      Trace.recordf trace ~time:t0 Trace.Maint_start "%a" Umq.pp_entry
+        (Umq.Single m))
+    members;
+  let results = Array.make k None in
+  let spent = Array.make k 0.0 in
+  let thunks =
+    (* Exclusion sets are fixed at dispatch: member [i] must not
+       compensate against members earlier in queue order — they are being
+       maintained concurrently, exactly as if the serial pass had already
+       processed them. *)
+    let earlier = ref [] in
+    List.mapi
+      (fun i (m, u) ->
+        let exclude_extra = !earlier in
+        earlier := Update_msg.id m :: !earlier;
+        fun () ->
+          Dyno_obs.Span.with_span sp
+            ~now:(fun () -> Query_engine.now w)
+            ~thread:(Update_msg.source m) Dyno_obs.Span.Task
+            (Fmt.str "maintain #%d" (Update_msg.id m))
+            (fun _ ->
+              let ts = Query_engine.now w in
+              results.(i) <-
+                Some
+                  (Dyno_vm.Vm.maintain_sweep ~compensate:config.compensate
+                     ~exclude_extra w mv m u);
+              spent.(i) <- Query_engine.now w -. ts))
+      members
+  in
+  Executor.run_all exec thunks;
+  let failure = ref None in
+  List.iteri
+    (fun i (m, _) ->
+      if !failure = None then
+        match results.(i) with
+        | Some (Dyno_vm.Vm.Swept (dv, s)) -> (
+            match Dyno_vm.Vm.commit_swept w mv m dv s with
+            | Dyno_vm.Vm.Refreshed { stats = s; _ } ->
+                stats.Stats.du_maintained <- stats.Stats.du_maintained + 1;
+                stats.Stats.probes <-
+                  stats.Stats.probes + s.Dyno_vm.Sweep.probes;
+                stats.Stats.compensations <-
+                  stats.Stats.compensations + s.Dyno_vm.Sweep.compensations;
+                stats.Stats.view_commits <- stats.Stats.view_commits + 1;
+                Umq.remove_entry umq (Umq.Single m)
+            | _ -> assert false)
+        | Some Dyno_vm.Vm.Swept_irrelevant ->
+            Mat_view.record_commit mv ~at:(Query_engine.now w)
+              ~maintained:[ Update_msg.id m ];
+            stats.Stats.irrelevant <- stats.Stats.irrelevant + 1;
+            Umq.remove_entry umq (Umq.Single m)
+        | Some (Dyno_vm.Vm.Swept_aborted b) -> failure := Some (`Aborted b)
+        | Some (Dyno_vm.Vm.Swept_unreachable u) ->
+            failure := Some (`Unreachable u)
+        | None -> assert false)
+    members;
+  let elapsed = Query_engine.now w -. t0 in
+  (* Overlap saved: the spread between the members' summed task lifetimes
+     and the round's wall time — what back-to-back execution of the same
+     intervals would have cost extra. *)
+  Dyno_obs.Metrics.add_gauge mx "net.overlap_saved_s"
+    (Float.max 0.0 (Array.fold_left ( +. ) 0.0 spent -. elapsed));
+  Dyno_obs.Metrics.set_gauge mx "sched.inflight" 0.0;
+  match !failure with
+  | None ->
+      Dyno_obs.Span.set_attr sp mid "outcome" "done";
+      stats.Stats.busy <- stats.Stats.busy +. elapsed
+  | Some (`Unreachable u) ->
+      Dyno_obs.Span.set_attr sp mid "outcome" "stalled";
+      stall_and_wait w stats ~t0 u
+  | Some (`Aborted b) ->
+      let dt = Query_engine.now w -. t0 in
+      stats.Stats.busy <- stats.Stats.busy +. dt;
+      stats.Stats.abort_cost <- stats.Stats.abort_cost +. dt;
+      stats.Stats.aborts <- stats.Stats.aborts + 1;
+      stats.Stats.broken_queries <- stats.Stats.broken_queries + 1;
+      Dyno_obs.Span.set_attr sp mid "outcome" "aborted";
+      Dyno_obs.Span.set_attr sp mid "abort_s" (Fmt.str "%.17g" dt);
+      Trace.recordf trace ~time:(Query_engine.now w) Trace.Abort
+        "parallel round aborted after %.3f s: %a" dt
+        Dyno_source.Data_source.pp_broken b;
+      (match config.strategy with
+      | Strategy.Pessimistic ->
+          if not (Umq.peek_schema_change_flag umq) then
+            detect_and_correct ~force:true w mv stats
+      | Strategy.Optimistic -> detect_and_correct ~force:true w mv stats
+      | Strategy.Merge_all ->
+          let r = Correct.merge_all umq in
+          if r.Correct.reordered then begin
+            stats.Stats.corrections <- stats.Stats.corrections + 1;
+            stats.Stats.merges <- stats.Stats.merges + 1
+          end)
+
+(* The frontier of concurrently-maintainable entries: single data updates
+   from distinct sources, scanned from the queue head, stopping at the
+   first schema change or merged batch (those carry Concurrent edges to
+   every other entry) and serializing same-source chains (Semantic edges
+   keep per-source commit order) by deferring their later links to a
+   later round. *)
+let antichain ~(config : config) (umq : Umq.t) (mv : Mat_view.t) :
+    (Update_msg.t * Dyno_relational.Update.t) list =
+  if
+    config.parallel <= 1
+    || config.vm_mode <> Incremental
+    || not (View_def.is_valid (Mat_view.def mv))
+  then []
+  else
+    let rec scan acc seen = function
+      | Umq.Single m :: rest when Update_msg.is_du m ->
+          if List.length acc >= config.parallel then List.rev acc
+          else
+            let src = Update_msg.source m in
+            if List.exists (String.equal src) seen then scan acc seen rest
+            else (
+              match Update_msg.as_du m with
+              | Some u -> scan ((m, u) :: acc) (src :: seen) rest
+              | None -> List.rev acc)
+      | _ -> List.rev acc
+    in
+    scan [] [] (Umq.entries umq)
+
 (* Copy the engine- and queue-level transport counters into the run's
    statistics (absolute values: one engine drives one run). *)
 let record_net_stats (w : Query_engine.t) (stats : Stats.t) : unit =
@@ -351,9 +508,17 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
               end)
     end
     else
-    match Umq.head umq with
-    | None -> ()
-    | Some entry -> (
+      (* Dependency-parallel dispatch: maintain a whole antichain of the
+         corrected topological order concurrently.  Falls through to the
+         historical serial path when fewer than two entries qualify, so
+         [parallel = 1] is bit-identical to the serial scheduler. *)
+      match antichain ~config umq mv with
+      | _ :: _ :: _ as members ->
+          parallel_round ~config w mv stats mid members
+      | _ -> (
+          match Umq.head umq with
+          | None -> ()
+          | Some entry -> (
         Dyno_obs.Span.set_name sp mid (Fmt.str "%a" Umq.pp_entry entry);
         Umq.clear_broken_query_flag umq;
         let t0 = Query_engine.now w in
@@ -402,7 +567,7 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
                     "merge-all: %d update(s) collapsed" r.Correct.merged_updates
                 end;
                 stats.Stats.busy <-
-                  stats.Stats.busy +. (Query_engine.now w -. t1)))
+                  stats.Stats.busy +. (Query_engine.now w -. t1))))
   in
   let rec loop () =
     incr steps;

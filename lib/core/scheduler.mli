@@ -30,11 +30,22 @@ type config = {
           merged batches and preserve queue order, so dependencies stay
           safe; the view skips intermediate states (freshness for
           throughput). *)
+  parallel : int;
+      (** dependency-parallel maintenance: up to this many mutually
+          independent queued entries — an antichain of the corrected
+          topological order — are maintained concurrently, overlapping
+          their probe round trips on cooperative executor tasks.
+          Same-source commit order and every CD/SD edge still serialize
+          (Theorems 1–2): only single data updates from distinct sources
+          with no queued schema change ahead of them are dispatched
+          together, with SWEEP exclusion sets fixed at dispatch.  [1]
+          (the default) is the strictly serial scheduler, bit-identical
+          to the historical loop. *)
 }
 
 val default_config : config
-(** Pessimistic, compensated, incremental, no grouping, one million
-    steps. *)
+(** Pessimistic, compensated, incremental, no grouping, serial, one
+    million steps. *)
 
 exception Step_limit_exceeded of int
 

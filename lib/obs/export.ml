@@ -111,7 +111,12 @@ type phase = {
 
 type breakdown = {
   horizon : float;  (** last span/event timestamp — the run's end time *)
-  busy : float;  (** Σ [Maintain] span durations (= maintenance cost) *)
+  busy : float;
+      (** union of the [Maintain] span intervals (= maintenance cost).
+          Serial runs have disjoint [Maintain] spans, so this equals the
+          plain sum; under parallel rounds overlapping spans are counted
+          once, which is exactly what "simulated busy time" means when
+          probe round-trips overlap. *)
   abort_cost : float;
       (** Σ of the [abort_s] attribute over aborted [Maintain] spans:
           work sunk into maintenance steps that aborted *)
@@ -153,7 +158,24 @@ let breakdown (r : Span.recorder) : breakdown =
     | Some p -> p.total
     | None -> 0.0
   in
-  let busy = total_of Span.Maintain in
+  (* Busy = measure of the union of Maintain intervals.  Spans arrive
+     sorted by start time, so one sweep with a current merged interval
+     suffices. *)
+  let busy =
+    let rec sweep acc cur = function
+      | [] -> ( match cur with None -> acc | Some (s, e) -> acc +. (e -. s))
+      | (sp : Span.t) :: rest when sp.kind <> Span.Maintain ->
+          sweep acc cur rest
+      | (sp : Span.t) :: rest -> (
+          match cur with
+          | None -> sweep acc (Some (sp.start, sp.finish)) rest
+          | Some (s, e) ->
+              if sp.start <= e then
+                sweep acc (Some (s, Float.max e sp.finish)) rest
+              else sweep (acc +. (e -. s)) (Some (sp.start, sp.finish)) rest)
+    in
+    sweep 0.0 None spans
+  in
   let abort_cost =
     List.fold_left
       (fun acc (sp : Span.t) ->

@@ -83,6 +83,12 @@ let set_gauge t name v =
     | Gauge r -> r := v
     | _ -> invalid_arg (name ^ " is not a gauge")
 
+let add_gauge t name v =
+  if t.on then
+    match get t name (fun () -> Gauge (ref 0.0)) with
+    | Gauge r -> r := !r +. v
+    | _ -> invalid_arg (name ^ " is not a gauge")
+
 let observe t name v =
   if t.on then
     match

@@ -19,6 +19,10 @@ val incr : t -> ?by:int -> string -> unit
 val set_counter : t -> string -> int -> unit
 val set_gauge : t -> string -> float -> unit
 
+val add_gauge : t -> string -> float -> unit
+(** Accumulate into a gauge (get-or-create) — for float-valued totals
+    such as [net.overlap_saved_s]. *)
+
 val observe : t -> string -> float -> unit
 (** Record one duration (seconds) into a histogram (get-or-create). *)
 

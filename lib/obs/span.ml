@@ -7,12 +7,15 @@
     trace of a run is exactly reproducible and the per-phase durations sum
     to the same quantities {!Dyno_core.Stats} reports.
 
-    The recorder keeps an explicit stack of open spans (the simulation is
-    single-threaded): [begin_span] parents the new span under the current
-    top of the stack, [end_span] closes it.  A {e disabled} recorder is a
-    structural no-op: nothing is allocated per call, no clock interaction
-    happens, and ids are constant — so obs-off runs behave bit-identically
-    to a build without the recorder. *)
+    The recorder keeps one explicit stack of open spans per {e context}
+    — context 0 is the ordinary serial driver; the cooperative executor
+    switches the ambient context at every task switch so interleaved
+    tasks each see their own open-span stack.  [begin_span] parents the
+    new span under the top of the ambient context's stack, [end_span]
+    closes it.  A {e disabled} recorder is a structural no-op: nothing
+    is allocated per call, no clock interaction happens, and ids are
+    constant — so obs-off runs behave bit-identically to a build without
+    the recorder. *)
 
 (** The span vocabulary of the maintenance pipeline.  [Maintain] is the
     top-level unit (one scheduler iteration over a queue head, detection
@@ -30,6 +33,7 @@ type kind =
   | Retry  (** backoff wait before a probe retry *)
   | Timeout  (** one probe attempt that got no answer in time *)
   | Stall  (** waiting out an unreachable source (no abort) *)
+  | Task  (** one cooperative maintenance task inside a parallel round *)
 
 let kind_to_string = function
   | Maintain -> "maintain"
@@ -44,11 +48,12 @@ let kind_to_string = function
   | Retry -> "retry"
   | Timeout -> "timeout"
   | Stall -> "stall"
+  | Task -> "task"
 
 let all_kinds =
   [
     Maintain; Detect; Correct; Probe; Compensate; Refresh; Vs; Va; Batch;
-    Retry; Timeout; Stall;
+    Retry; Timeout; Stall; Task;
   ]
 
 type t = {
@@ -68,7 +73,11 @@ type event = { time : float; etid : int; ename : string; detail : string }
 type recorder = {
   on : bool;
   mutable next_id : int;
-  mutable stack : t list;  (** open spans, innermost first *)
+  stacks : (int, t list) Hashtbl.t;
+      (** context → open spans, innermost first.  Context 0 is the serial
+          driver; the executor's switch hook selects a per-task context. *)
+  mutable ambient : int;  (** context new spans open under *)
+  ctx_of : (int, int) Hashtbl.t;  (** span id → context it opened in *)
   mutable closed : t list;  (** newest first *)
   mutable evs : event list;  (** newest first *)
   mutable threads : (string * int) list;  (** name → tid, reverse order *)
@@ -82,7 +91,9 @@ let create ?(enabled = true) () =
   {
     on = enabled;
     next_id = 1;
-    stack = [];
+    stacks = Hashtbl.create (if enabled then 8 else 1);
+    ambient = 0;
+    ctx_of = Hashtbl.create (if enabled then 64 else 1);
     closed = [];
     evs = [];
     threads = (if enabled then [ (scheduler_thread, 0) ] else []);
@@ -112,13 +123,22 @@ let thread_id r name =
 (** Registered threads, in registration order. *)
 let threads r = List.rev r.threads
 
+(** [set_context r ctx] — switch the ambient open-span context.  The
+    executor's switch hook calls this so spans opened by interleaved
+    tasks nest under their own task's spans, not each other's. *)
+let set_context r ctx = if r.on then r.ambient <- ctx
+
+let context r = r.ambient
+let stack_of r ctx = Option.value ~default:[] (Hashtbl.find_opt r.stacks ctx)
+
 let begin_span r ~time ?thread kind name =
   if not r.on then 0
   else begin
     let tid =
       match thread with None -> 0 | Some n -> thread_id r n
     in
-    let parent = match r.stack with [] -> 0 | s :: _ -> s.id in
+    let stack = stack_of r r.ambient in
+    let parent = match stack with [] -> 0 | s :: _ -> s.id in
     let sp =
       {
         id = r.next_id;
@@ -132,7 +152,8 @@ let begin_span r ~time ?thread kind name =
       }
     in
     r.next_id <- r.next_id + 1;
-    r.stack <- sp :: r.stack;
+    Hashtbl.replace r.stacks r.ambient (sp :: stack);
+    Hashtbl.replace r.ctx_of sp.id r.ambient;
     Hashtbl.replace r.by_id sp.id sp;
     sp.id
   end
@@ -142,6 +163,8 @@ let begin_span r ~time ?thread kind name =
    callers always end in LIFO order. *)
 let end_span r ~time id =
   if r.on && id > 0 then begin
+    let ctx = Option.value ~default:0 (Hashtbl.find_opt r.ctx_of id) in
+    let stack = stack_of r ctx in
     let rec pop = function
       | [] -> []
       | sp :: rest ->
@@ -149,8 +172,8 @@ let end_span r ~time id =
           r.closed <- sp :: r.closed;
           if sp.id = id then rest else pop rest
     in
-    if List.exists (fun sp -> sp.id = id) r.stack then
-      r.stack <- pop r.stack
+    if List.exists (fun sp -> sp.id = id) stack then
+      Hashtbl.replace r.stacks ctx (pop stack)
   end
 
 let set_attr r id key value =
@@ -198,7 +221,10 @@ let spans r =
       | c -> c)
     r.closed
 
-let open_spans r = r.stack
+(* All open spans across every context, innermost/newest first. *)
+let open_spans r =
+  Hashtbl.fold (fun _ stack acc -> stack @ acc) r.stacks []
+  |> List.sort (fun a b -> Int.compare b.id a.id)
 let events r = List.rev r.evs
 let span_count r = List.length r.closed
 
@@ -217,7 +243,9 @@ let count_kind r kind =
     0 r.closed
 
 let clear r =
-  r.stack <- [];
+  Hashtbl.reset r.stacks;
+  r.ambient <- 0;
+  Hashtbl.reset r.ctx_of;
   r.closed <- [];
   r.evs <- [];
   Hashtbl.reset r.by_id

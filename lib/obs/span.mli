@@ -19,6 +19,7 @@ type kind =
   | Retry  (** backoff wait before a probe retry *)
   | Timeout  (** one probe attempt that got no answer in time *)
   | Stall  (** waiting out an unreachable source (no abort) *)
+  | Task  (** one cooperative maintenance task inside a parallel round *)
 
 val kind_to_string : kind -> string
 val all_kinds : kind list
@@ -53,6 +54,16 @@ val thread_id : recorder -> string -> int
 
 val threads : recorder -> (string * int) list
 (** Registered threads, in registration order. *)
+
+val set_context : recorder -> int -> unit
+(** Switch the ambient open-span context.  Context 0 is the ordinary
+    serial driver; the cooperative executor's switch hook selects a
+    distinct context per task so that spans opened by interleaved tasks
+    nest under their own task's open spans, not each other's.  No-op on
+    a disabled recorder. *)
+
+val context : recorder -> int
+(** The current ambient context (0 unless inside an executor task). *)
 
 val begin_span :
   recorder -> time:float -> ?thread:string -> kind -> string -> int

@@ -89,10 +89,16 @@ let resolve_in_alias binder alias attr =
    hashed and the larger streamed — maintenance probes typically join a
    partial result of a handful of tuples against a large base relation, so
    this keeps the per-probe cost at one pass with cheap lookups. *)
-let positional_join left right (pairs : (int * int) list) =
+let positional_join ?project left right (pairs : (int * int) list) =
   let lpos = Array.of_list (List.map fst pairs) in
   let rpos = Array.of_list (List.map snd pairs) in
-  let schema' = Schema.concat (Relation.schema left) (Relation.schema right) in
+  let schema', emit =
+    match project with
+    | None ->
+        ( Schema.concat (Relation.schema left) (Relation.schema right),
+          fun t -> t )
+    | Some (sch, f) -> (sch, f)
+  in
   let out = Relation.create schema' in
   let hash_left = Relation.support left <= Relation.support right in
   let build, build_pos, stream, stream_pos =
@@ -117,7 +123,7 @@ let positional_join left right (pairs : (int * int) list) =
               let tup =
                 if hash_left then Tuple.concat t' t else Tuple.concat t t'
               in
-              Relation.add out tup (c * c'))
+              Relation.add_unchecked out (emit tup) (c * c'))
             matches)
     stream;
   out
@@ -141,7 +147,7 @@ let nested_loop_join left right (pairs : (int * int) list) =
             || Value.equal (Tuple.get ta lpos.(i)) (Tuple.get tb rpos.(i))
                && matches (i + 1)
           in
-          if matches 0 then Relation.add out (Tuple.concat ta tb) (ca * cb))
+          if matches 0 then Relation.add_unchecked out (Tuple.concat ta tb) (ca * cb))
         right)
     left;
   out
@@ -241,7 +247,7 @@ let run ?(planner : plan = `Indexed) ~(catalog : catalog) (q : Query.t) =
               let out = Relation.create (Relation.schema rel) in
               Index.iter_matches ix key (fun t c ->
                   if rest = [] || Predicate.eval res rest t then
-                    Relation.add out t c);
+                    Relation.add_unchecked out t c);
               out)
   in
   (* Predicate closure over a FROM entry's own tuples, for filtering index
@@ -257,7 +263,8 @@ let run ?(planner : plan = `Indexed) ~(catalog : catalog) (q : Query.t) =
      pristine base [raw]: each stream tuple's key is probed, matches are
      filtered by the base's local predicate on the fly.  Output tuple
      order stays (left, right) = (accumulated, new). *)
-  let index_probe ~stream ~stream_pos ~raw ~raw_pos ~raw_pred ~raw_is_left out =
+  let index_probe ~emit ~stream ~stream_pos ~raw ~raw_pos ~raw_pred
+      ~raw_is_left out =
     let ix = Relation.ensure_index_pos raw raw_pos in
     Relation.iter
       (fun ts cs ->
@@ -267,9 +274,32 @@ let run ?(planner : plan = `Indexed) ~(catalog : catalog) (q : Query.t) =
               let tup =
                 if raw_is_left then Tuple.concat ti ts else Tuple.concat ts ti
               in
-              Relation.add out tup (cs * ci)))
+              Relation.add_unchecked out (emit tup) (cs * ci)))
       stream
   in
+  (* Final projection, resolved up front so the last join step can emit
+     projected tuples directly (see [sink] below). *)
+  let out_attrs =
+    List.map
+      (fun (it : Query.select_item) ->
+        let pos = resolve binder it.expr in
+        let alias =
+          match Attr.Qualified.rel it.expr with
+          | Some a -> a
+          | None -> owner it.expr
+        in
+        let b = List.find (fun b -> String.equal b.alias alias) binder.bindings in
+        let src_attr = Schema.find b.schema (Attr.Qualified.attr it.expr) in
+        (pos, Attr.make it.as_name (Attr.ty src_attr)))
+      (Query.select q)
+  in
+  let out_schema = Schema.of_list (List.map snd out_attrs) in
+  let idxs = Array.of_list (List.map fst out_attrs) in
+  (* Projection fused into the final join step: when no residual predicate
+     needs the full join product, the last hash join emits projected
+     tuples directly, saving one whole materialize-and-rehash pass over
+     the wide intermediate. *)
+  let fused = ref false in
   let joined =
     match tables with
     | [] -> err "empty FROM"
@@ -289,8 +319,19 @@ let run ?(planner : plan = `Indexed) ~(catalog : catalog) (q : Query.t) =
               m
         in
         let bound = ref [ tr0.alias ] in
-        List.iter
-          (fun ((tr : Query.table_ref), r) ->
+        let last = List.length rest - 1 in
+        List.iteri
+          (fun i ((tr : Query.table_ref), r) ->
+            (* The fused-projection sink, available only on the final
+               step (positions in [idxs] refer to the full product) and
+               only when no residual predicate needs the wide tuple. *)
+            let sink () =
+              if i = last && residual = [] then begin
+                fused := true;
+                Some (out_schema, fun t -> Tuple.project_idx t idxs)
+              end
+              else None
+            in
             let pairs =
               List.filter_map
                 (fun ((ax, qx), (ay, qy)) ->
@@ -318,40 +359,68 @@ let run ?(planner : plan = `Indexed) ~(catalog : catalog) (q : Query.t) =
                     | Some (_, lraw) -> Relation.support lraw
                     | None -> Relation.support (acc_mat ())
                   in
+                  (* A persistent index wins when it is already built and
+                     maintained, or when the probing side is much smaller
+                     than the base it would index — the maintenance-probe
+                     shape (build once, probe forever).  Otherwise fall
+                     back to an ephemeral hash join: building, then
+                     forever maintaining, an index the query streams past
+                     about once is pure overhead. *)
+                  let index_wins ~raw ~probes pos =
+                    Option.is_some (Relation.find_index_pos raw pos)
+                    || probes * 4 <= Relation.support raw
+                  in
                   if Relation.support r >= lsize then begin
-                    (* Probe the (large) new base's persistent index with
-                       the accumulated (small) side. *)
-                    let left = acc_mat () in
-                    let out =
-                      Relation.create
-                        (Schema.concat (Relation.schema left) (Relation.schema r))
-                    in
-                    index_probe ~stream:left ~stream_pos:lpos ~raw:r
-                      ~raw_pos:rpos ~raw_pred:(local_pred tr) ~raw_is_left:false
-                      out;
-                    out
+                    if not (index_wins ~raw:r ~probes:lsize rpos) then
+                      positional_join ?project:(sink ()) (acc_mat ())
+                        (materialize (tr, r)) pairs
+                    else begin
+                      (* Probe the (large) new base's persistent index with
+                         the accumulated (small) side. *)
+                      let left = acc_mat () in
+                      let sch, emit =
+                        match sink () with
+                        | Some (sch, f) -> (sch, f)
+                        | None ->
+                            ( Schema.concat (Relation.schema left)
+                                (Relation.schema r),
+                              fun t -> t )
+                      in
+                      let out = Relation.create sch in
+                      index_probe ~emit ~stream:left ~stream_pos:lpos ~raw:r
+                        ~raw_pos:rpos ~raw_pred:(local_pred tr)
+                        ~raw_is_left:false out;
+                      out
+                    end
                   end
                   else
                     match !pristine with
-                    | Some (ltr, lraw) ->
+                    | Some (ltr, lraw)
+                      when index_wins ~raw:lraw ~probes:(Relation.support r)
+                             lpos ->
                         (* The accumulated side is still a pristine (large)
                            base: probe ITS persistent index with the new
                            (small) side — the maintenance-probe fast path. *)
                         let right = materialize (tr, r) in
-                        let out =
-                          Relation.create
-                            (Schema.concat (Relation.schema lraw)
-                               (Relation.schema right))
+                        let sch, emit =
+                          match sink () with
+                          | Some (sch, f) -> (sch, f)
+                          | None ->
+                              ( Schema.concat (Relation.schema lraw)
+                                  (Relation.schema right),
+                                fun t -> t )
                         in
-                        index_probe ~stream:right ~stream_pos:rpos ~raw:lraw
-                          ~raw_pos:lpos ~raw_pred:(local_pred ltr)
+                        let out = Relation.create sch in
+                        index_probe ~emit ~stream:right ~stream_pos:rpos
+                          ~raw:lraw ~raw_pos:lpos ~raw_pred:(local_pred ltr)
                           ~raw_is_left:true out;
                         pristine := None;
                         out
-                    | None ->
-                        (* Two intermediates: ephemeral hash join, smaller
-                           side hashed. *)
-                        positional_join (acc_mat ()) (materialize (tr, r)) pairs)
+                    | Some _ | None ->
+                        (* Two intermediates, or no index worth building:
+                           ephemeral hash join, smaller side hashed. *)
+                        positional_join ?project:(sink ()) (acc_mat ())
+                          (materialize (tr, r)) pairs)
             in
             pristine := None;
             acc := Some step;
@@ -367,21 +436,6 @@ let run ?(planner : plan = `Indexed) ~(catalog : catalog) (q : Query.t) =
         (fun t -> Predicate.eval (resolve binder) residual t)
         joined
   in
-  (* Final projection with output names and types. *)
-  let out_attrs =
-    List.map
-      (fun (it : Query.select_item) ->
-        let pos = resolve binder it.expr in
-        let alias =
-          match Attr.Qualified.rel it.expr with
-          | Some a -> a
-          | None -> owner it.expr
-        in
-        let b = List.find (fun b -> String.equal b.alias alias) binder.bindings in
-        let src_attr = Schema.find b.schema (Attr.Qualified.attr it.expr) in
-        (pos, Attr.make it.as_name (Attr.ty src_attr)))
-      (Query.select q)
-  in
-  let out_schema = Schema.of_list (List.map snd out_attrs) in
-  let idxs = Array.of_list (List.map fst out_attrs) in
-  Relation.map_tuples out_schema (fun t -> Tuple.project_idx t idxs) joined
+  (* Final projection (already emitted by the last join step when fused). *)
+  if !fused then joined
+  else Relation.map_tuples out_schema (fun t -> Tuple.project_idx t idxs) joined

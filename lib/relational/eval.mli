@@ -28,10 +28,17 @@ val resolve_in_alias : binder -> string -> string -> int
 
 (** {1 Physical operators} *)
 
-val positional_join : Relation.t -> Relation.t -> (int * int) list -> Relation.t
+val positional_join :
+  ?project:Schema.t * (Tuple.t -> Tuple.t) ->
+  Relation.t ->
+  Relation.t ->
+  (int * int) list ->
+  Relation.t
 (** Ephemeral hash join on (left position, right position) pairs; the
     smaller side is hashed, the table is discarded afterwards.  Output
-    schema is [Schema.concat left right]. *)
+    schema is [Schema.concat left right], unless [?project] supplies a
+    (schema, transform) pair applied to each output tuple as it is
+    emitted — the fused final projection of the query pipeline. *)
 
 val nested_loop_join :
   Relation.t -> Relation.t -> (int * int) list -> Relation.t

@@ -1,7 +1,9 @@
 (** Secondary hash indexes over signed multisets: key (a projection onto
     fixed column positions) -> bucket of (tuple, signed multiplicity).
-    Maintained incrementally — O(1) per multiplicity change — so a large
-    extent is scanned once at build time and probed thereafter.
+    Buckets are compact association lists (small in practice), so a probe
+    streams a few cons cells; maintenance is O(bucket) per multiplicity
+    change, and a large extent is scanned once at build time and probed
+    thereafter.
 
     Indexes are position-based: attribute renames never invalidate them.
     {!Relation.ensure_index} builds and registers one against a relation's

@@ -41,6 +41,19 @@ let count r tup = match Tuple.Table.find_opt r.data tup with
 
 let mem r tup = count r tup <> 0
 
+(** [add_unchecked r tup k] — {!add} minus the schema typecheck, for
+    output tuples that are type-correct by construction (projections and
+    concatenations of tuples already in a relation).  The hot loops of
+    every physical join and of the algebra operators below run through
+    it; external writers go through the checked {!add}. *)
+let add_unchecked r tup k =
+  if k <> 0 then begin
+    let c = count r tup + k in
+    if c = 0 then Tuple.Table.remove r.data tup
+    else Tuple.Table.replace r.data tup c;
+    List.iter (fun ix -> Index.update ix tup k) !(r.indexes)
+  end
+
 (** [add r tup k] adjusts the multiplicity of [tup] by [k], dropping the
     entry when it reaches zero.  Typechecks against the schema. *)
 let add r tup k =
@@ -50,10 +63,7 @@ let add r tup k =
         (Schema_mismatch
            (Fmt.str "tuple %a does not match schema %a" Tuple.pp tup Schema.pp
               r.schema));
-    let c = count r tup + k in
-    if c = 0 then Tuple.Table.remove r.data tup
-    else Tuple.Table.replace r.data tup c;
-    List.iter (fun ix -> Index.update ix tup k) !(r.indexes)
+    add_unchecked r tup k
   end
 
 let insert r tup = add r tup 1
@@ -103,6 +113,13 @@ let ensure_index_pos r (positions : int array) =
       r.indexes := ix :: !(r.indexes);
       ix
 
+(** [find_index_pos r positions] — the registered index keyed on exactly
+    [positions], if one has already been built: {!ensure_index_pos}
+    without the build side effect, so a planner can ask "is there a
+    maintained index?" without committing to one. *)
+let find_index_pos r (positions : int array) =
+  List.find_opt (fun ix -> Index.same_key ix positions) !(r.indexes)
+
 (** [ensure_index r names] — {!ensure_index_pos} with the key given as
     attribute names resolved against the current schema. *)
 let ensure_index r names =
@@ -146,14 +163,14 @@ let pp ppf r =
 (** [select p r] keeps tuples satisfying [p] (multiplicities preserved). *)
 let select p r =
   let out = create r.schema in
-  iter (fun t c -> if p t then add out t c) r;
+  iter (fun t c -> if p t then add_unchecked out t c) r;
   out
 
 (** [map_tuples schema' f r] applies a tuple transformation, re-aggregating
     multiplicities under the image (projection semantics on multisets). *)
 let map_tuples schema' f r =
   let out = create schema' in
-  iter (fun t c -> add out (f t) c) r;
+  iter (fun t c -> add_unchecked out (f t) c) r;
   out
 
 (** [project r names] multiset projection onto [names] (in order). *)
@@ -174,13 +191,13 @@ let sum a b =
       (Schema_mismatch
          (Fmt.str "sum: %a vs %a" Schema.pp a.schema Schema.pp b.schema));
   let out = copy a in
-  iter (fun t c -> add out t c) b;
+  iter (fun t c -> add_unchecked out t c) b;
   out
 
 (** [negate r] flips every multiplicity (turns insertions into deletions). *)
 let negate r =
   let out = create r.schema in
-  iter (fun t c -> add out t (-c)) r;
+  iter (fun t c -> add_unchecked out t (-c)) r;
   out
 
 (** [diff a b] is [sum a (negate b)]. *)
@@ -190,12 +207,12 @@ let diff a b = sum a (negate b)
     [negative] returns the deletions with positive counts. *)
 let positive r =
   let out = create r.schema in
-  iter (fun t c -> if c > 0 then add out t c) r;
+  iter (fun t c -> if c > 0 then add_unchecked out t c) r;
   out
 
 let negative r =
   let out = create r.schema in
-  iter (fun t c -> if c < 0 then add out t (-c)) r;
+  iter (fun t c -> if c < 0 then add_unchecked out t (-c)) r;
   out
 
 (** [product a b] Cartesian product; output schema is [Schema.concat].
@@ -204,7 +221,8 @@ let product a b =
   let schema' = Schema.concat a.schema b.schema in
   let out = create schema' in
   iter
-    (fun ta ca -> iter (fun tb cb -> add out (Tuple.concat ta tb) (ca * cb)) b)
+    (fun ta ca ->
+      iter (fun tb cb -> add_unchecked out (Tuple.concat ta tb) (ca * cb)) b)
     a;
   out
 
@@ -233,7 +251,7 @@ let equijoin a b pairs =
       | None -> ()
       | Some matches ->
           List.iter
-            (fun (tb, cb) -> add out (Tuple.concat ta tb) (ca * cb))
+            (fun (tb, cb) -> add_unchecked out (Tuple.concat ta tb) (ca * cb))
             matches)
     a;
   out
@@ -242,13 +260,13 @@ let equijoin a b pairs =
     ones (SQL [SELECT DISTINCT] over the positive support). *)
 let distinct r =
   let out = create r.schema in
-  iter (fun t c -> if c > 0 then add out t 1) r;
+  iter (fun t c -> if c > 0 then add_unchecked out t 1) r;
   out
 
 (** [scale k r] multiplies every multiplicity by [k]. *)
 let scale k r =
   let out = create r.schema in
-  if k <> 0 then iter (fun t c -> add out t (k * c)) r;
+  if k <> 0 then iter (fun t c -> add_unchecked out t (k * c)) r;
   out
 
 (** [is_subset a b]: every positive tuple of [a] occurs in [b] with at least
@@ -299,4 +317,4 @@ let apply_delta_in_place base delta =
           (Fmt.str "apply_delta_in_place: negative multiplicity for %a"
              Tuple.pp t))
     delta;
-  iter (fun t c -> add base t c) delta
+  iter (fun t c -> add_unchecked base t c) delta

@@ -30,6 +30,12 @@ val add : t -> Tuple.t -> int -> unit
 (** Adjust a tuple's multiplicity; entries reaching zero are dropped.
     @raise Schema_mismatch when the tuple does not typecheck. *)
 
+val add_unchecked : t -> Tuple.t -> int -> unit
+(** {!add} minus the per-tuple schema typecheck — for evaluator hot loops
+    whose output tuples are type-correct by construction (projections and
+    concatenations of tuples already in a relation).  Never feed it
+    external input. *)
+
 val insert : t -> Tuple.t -> unit
 val delete : t -> Tuple.t -> unit
 
@@ -73,6 +79,11 @@ val ensure_index : t -> string list -> Index.t
 
 val ensure_index_pos : t -> int array -> Index.t
 (** As {!ensure_index}, with the key given as column positions. *)
+
+val find_index_pos : t -> int array -> Index.t option
+(** The registered index keyed on exactly these positions, if one has
+    already been built — {!ensure_index_pos} without the build side
+    effect (planner's "is there a maintained index?" question). *)
 
 val index_count : t -> int
 (** Number of registered indexes (introspection/tests). *)

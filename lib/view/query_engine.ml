@@ -34,6 +34,10 @@ open Dyno_net
 
 type t = {
   clock : Clock.t;
+  exec : Executor.t;
+      (** cooperative task executor over [clock]; outside any task its
+          sleeps degenerate to plain clock advances, so serial runs are
+          untouched *)
   timeline : Timeline.t;
   registry : Dyno_source.Registry.t;
   umq : Umq.t;
@@ -59,8 +63,17 @@ let create ?(trace = Trace.create ()) ?(planner = `Indexed)
   let retry =
     match retry with Some p -> p | None -> Retry.of_cost cost
   in
+  let clock = Clock.create () in
+  let exec = Executor.create clock in
+  (* Keep span nesting honest under task interleaving: every context
+     switch retargets the recorder's ambient open-span stack (context 0
+     is the serial driver; task [i] gets context [i + 1]). *)
+  Executor.on_switch exec (fun task ->
+      Dyno_obs.Span.set_context (Dyno_obs.Obs.spans obs)
+        (match task with None -> 0 | Some i -> i + 1));
   {
-    clock = Clock.create ();
+    clock;
+    exec;
     timeline;
     registry;
     umq;
@@ -79,6 +92,7 @@ let create ?(trace = Trace.create ()) ?(planner = `Indexed)
 let now w = Clock.now w.clock
 let timeline w = w.timeline
 let clock w = w.clock
+let executor w = w.exec
 let trace w = w.trace
 let umq w = w.umq
 let registry w = w.registry
@@ -163,16 +177,20 @@ let deliver_due w =
   deliver_arrived w
 
 (** [advance w dt] spends [dt] simulated seconds of view-manager work and
-    delivers any source commits that happen meanwhile. *)
+    delivers any source commits that happen meanwhile.  Inside an
+    executor task the wait parks the task (other tasks run and the clock
+    moves under them); outside any task it is a plain clock advance —
+    either way commits due by the wake-up time are delivered before
+    control returns. *)
 let advance w dt =
-  Clock.advance w.clock dt;
+  Executor.sleep_for w.exec dt;
   deliver_due w
 
 (** [idle_until w t] lets the view manager sit idle until absolute time [t]
     (used by no-concurrency baselines that space updates apart). *)
 let idle_until w t =
   if t > now w then begin
-    Clock.advance_to w.clock t;
+    Executor.sleep_until w.exec t;
     deliver_due w
   end
 
@@ -291,8 +309,14 @@ let probe_span w ~target ~name (body : unit -> ('a, failure) result) :
         "probe.rtt_s" (now w -. t0);
       result)
 
-let execute w (q : Query.t) ~bound ~target :
-    (Dyno_source.Data_source.answer, failure) result =
+(** [execute_timed w q ~bound ~target] — like {!execute}, but also
+    returns the simulated time at which the source computed the answer
+    (before the result transfer).  Under concurrent maintenance other
+    tasks may deliver commits while this task parks on the result
+    transfer; the caller's compensation frontier must only include
+    pending updates committed at or before that instant. *)
+let execute_timed w (q : Query.t) ~bound ~target :
+    (Dyno_source.Data_source.answer * float, failure) result =
   probe_span w ~target ~name:(Fmt.str "probe %s" target) @@ fun () ->
   Trace.recordf w.trace ~time:(now w) Trace.Query_sent "%s <- %s" target
     (Query.name q);
@@ -309,10 +333,20 @@ let execute w (q : Query.t) ~bound ~target :
       0 (Query.from q)
   in
   with_rpc w ~target ~what:"probe" (fun () ->
-      advance w (Cost_model.probe w.cost ~scanned:scan_estimate ~returned:0);
+      (* Issue half: the request goes on the wire; this task parks for
+         the round trip + source scan while other tasks' probes overlap. *)
+      let rtt = Cost_model.probe w.cost ~scanned:scan_estimate ~returned:0 in
+      let rpc =
+        Channel.issue_rpc w.channel ~now:(now w) ~source:target
+          ~ready:(now w +. rtt)
+      in
+      advance w rtt;
+      (* Complete half: take the round trip off the wire. *)
+      Channel.complete_rpc w.channel rpc;
       (* The answer travels the source's FIFO stream: its earlier update
          messages arrive first (SWEEP's per-source ordering assumption). *)
       flush_in_flight w ~source:target;
+      let answered_at = now w in
       match
         Dyno_source.Data_source.answer ~planner:w.planner src q ~bound
       with
@@ -321,8 +355,9 @@ let execute w (q : Query.t) ~bound ~target :
              window are NOT delivered yet — the answer was computed before
              them, so the caller's compensation frontier must not include
              them either.  They are delivered at the next source
-             interaction. *)
-          Clock.advance w.clock
+             interaction.  (In a task, other tasks run meanwhile and may
+             deliver their own commits — hence [answered_at].) *)
+          Executor.sleep_for w.exec
             (Cost_model.probe w.cost ~scanned:0
                ~returned:(Relation.support ans.rows)
              -. w.cost.Cost_model.query_latency
@@ -330,12 +365,16 @@ let execute w (q : Query.t) ~bound ~target :
           Trace.recordf w.trace ~time:(now w) Trace.Query_answered
             "%s -> %d rows" target
             (Relation.support ans.rows);
-          Ok ans
+          Ok (ans, answered_at)
       | Error b ->
           Umq.set_broken_query_flag w.umq;
           Trace.recordf w.trace ~time:(now w) Trace.Broken_query "%a"
             Dyno_source.Data_source.pp_broken b;
           Error (Broken b))
+
+let execute w (q : Query.t) ~bound ~target :
+    (Dyno_source.Data_source.answer, failure) result =
+  Result.map fst (execute_timed w q ~bound ~target)
 
 (** [validate w q ~target] — lightweight metadata check of [q] against
     source [target]'s current catalog: one round trip, no scan.  View

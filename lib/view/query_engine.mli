@@ -45,6 +45,13 @@ val planner : t -> Eval.plan
 
 val timeline : t -> Timeline.t
 val clock : t -> Clock.t
+
+val executor : t -> Executor.t
+(** The engine's cooperative task executor over its clock.  Outside any
+    task its sleeps are plain clock advances, so purely serial callers
+    can ignore it; the parallel schedulers spawn maintenance tasks on it
+    so independent probe round trips overlap. *)
+
 val trace : t -> Trace.t
 val umq : t -> Umq.t
 val registry : t -> Dyno_source.Registry.t
@@ -106,6 +113,19 @@ val execute :
     [Error (Broken _)] and raises the broken-query flag; a lost probe is
     retried per the policy and yields [Error (Unreachable _)] when the
     budget is exhausted. *)
+
+val execute_timed :
+  t ->
+  Query.t ->
+  bound:(string * Relation.t) list ->
+  target:string ->
+  (Dyno_source.Data_source.answer * float, failure) result
+(** Like {!execute}, but also returns the simulated time at which the
+    source computed the answer (before the result transfer).  Under
+    concurrent maintenance, other tasks may deliver further commits
+    while this task parks on the result transfer; a compensation
+    frontier must only include pending updates committed at or before
+    the returned instant. *)
 
 val validate : t -> Query.t -> target:string -> (unit, failure) result
 (** Lightweight metadata check against a source's current catalog: one

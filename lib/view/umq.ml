@@ -205,6 +205,23 @@ let remove_head q =
       List.iter (index_remove q) (entry_messages e);
       q.entries <- rest
 
+(** [remove_entry q e] removes the first queued entry carrying exactly
+    [e]'s message-id set, wherever it sits — a parallel round maintains
+    an antichain of entries that need not be a queue prefix.  No-op when
+    absent. *)
+let remove_entry q e =
+  let target = List.sort compare (entry_ids e) in
+  let rec go = function
+    | [] -> []
+    | e' :: rest ->
+        if List.sort compare (entry_ids e') = target then begin
+          List.iter (index_remove q) (entry_messages e');
+          rest
+        end
+        else e' :: go rest
+  in
+  q.entries <- go q.entries
+
 (** [replace q entries] installs a corrected (reordered / merged) queue.
     The multiset of message ids must be preserved — correction may neither
     drop nor invent updates (sources cannot abort).

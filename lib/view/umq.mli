@@ -80,6 +80,12 @@ val pending_dus :
 val head : t -> entry option
 val remove_head : t -> unit
 
+val remove_entry : t -> entry -> unit
+(** Remove the first queued entry carrying exactly the given entry's
+    message-id set, wherever it sits — a parallel round maintains an
+    antichain of entries that need not be a queue prefix.  No-op when
+    absent. *)
+
 val replace : t -> entry list -> unit
 (** Install a corrected (reordered / merged) queue.  The multiset of
     message ids must be preserved — correction may neither drop nor invent

@@ -63,13 +63,13 @@ let delta_view ?(compensate = true) (w : Query_engine.t)
               ~partial_schema:(Relation.schema !partial)
               ~bound:!bound
           in
-          let answer =
+          let answer, answered_at =
             match
-              Query_engine.execute w probe
+              Query_engine.execute_timed w probe
                 ~bound:[ (Maint_query.partial_alias, !partial) ]
                 ~target:tr.Query.source
             with
-            | Ok a -> a.Dyno_source.Data_source.rows
+            | Ok (a, at) -> (a.Dyno_source.Data_source.rows, at)
             | Error f -> raise (Failed f)
           in
           stats := { !stats with probes = !stats.probes + 1 };
@@ -77,12 +77,20 @@ let delta_view ?(compensate = true) (w : Query_engine.t)
              unmaintained DU on the probed relation.  SPJ queries are
              linear in each input over signed multisets, so all pending
              deltas with a common schema are summed and compensated in one
-             evaluation. *)
+             evaluation.  The frontier is the instant the source computed
+             the answer: under concurrent maintenance other tasks may have
+             delivered commits while this task parked on the result
+             transfer, and those later updates are not in the answer, so
+             they must not be compensated away.  (Serially the filter is
+             a no-op: every pending update arrived — hence committed —
+             before the answer.) *)
           let pending =
             if not compensate then []
             else
               List.filter
-                (fun (m, _) -> not (List.mem (Update_msg.id m) exclude))
+                (fun (m, _) ->
+                  (not (List.mem (Update_msg.id m) exclude))
+                  && Update_msg.commit_time m <= answered_at +. 1e-12)
                 (Query_engine.pending_dus w ~source:tr.Query.source
                    ~rel:tr.Query.rel)
           in

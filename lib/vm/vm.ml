@@ -104,6 +104,100 @@ let maintain ?(compensate = true) ?(applied = []) (w : Query_engine.t)
                 (Update_msg.id msg);
               Refreshed { delta_tuples; stats }))
 
+(** The sweep half of {!maintain}, without the refresh/commit: what a
+    concurrent maintenance task runs.  The refresh must mutate the view
+    and charge the clock serially, so the parallel scheduler calls
+    {!commit_swept} for each successful sweep at the round barrier, in
+    corrected queue order. *)
+type swept =
+  | Swept of Relation.t * Sweep.stats  (** view delta, refresh pending *)
+  | Swept_irrelevant  (** commit record pending *)
+  | Swept_aborted of Dyno_source.Data_source.broken
+  | Swept_unreachable of Dyno_net.Retry.unreachable
+
+(** [maintain_sweep w mv msg du ~exclude_extra] — probe + compensate for
+    [du] without touching the view.  [exclude_extra] carries the message
+    ids of antichain members dispatched earlier in the same round: their
+    deltas are being maintained concurrently, so compensation must not
+    subtract them (their exclusion set is fixed at dispatch). *)
+let maintain_sweep ?(compensate = true) ?(applied = []) ?(exclude_extra = [])
+    (w : Query_engine.t) (mv : Mat_view.t) (msg : Update_msg.t)
+    (du : Update.t) : swept =
+  let vd = Mat_view.def mv in
+  if not (View_def.is_valid vd) then raise (Invalid_view (View_def.name vd));
+  let q, _version = View_def.read vd in
+  let schemas = View_def.schemas vd in
+  let pivots =
+    List.filter
+      (fun (tr : Query.table_ref) ->
+        String.equal tr.source (Update.source du)
+        && String.equal tr.rel (Update.rel du))
+      (Query.from q)
+  in
+  match pivots with
+  | [] -> Swept_irrelevant
+  | _ :: _ :: _ ->
+      raise
+        (Maint_query.Unsupported
+           (Fmt.str "relation %s@%s occurs more than once in view %s"
+              (Update.rel du) (Update.source du) (Query.name q)))
+  | [ pivot ] -> (
+      let believed = List.assoc_opt pivot.Query.alias schemas in
+      let actual = Relation.schema (Update.delta du) in
+      match believed with
+      | Some s when not (Schema.equal s actual) ->
+          Swept_aborted
+            {
+              Dyno_source.Data_source.source = Update.source du;
+              query_name = Query.name q;
+              reason =
+                Fmt.str
+                  "delta schema %a of %s diverges from believed schema %a"
+                  Schema.pp actual (Update.rel du) Schema.pp s;
+            }
+      | None ->
+          Swept_aborted
+            {
+              Dyno_source.Data_source.source = Update.source du;
+              query_name = Query.name q;
+              reason =
+                Fmt.str "no believed schema for alias %s" pivot.Query.alias;
+            }
+      | Some _ -> (
+          match
+            Sweep.delta_view ~compensate w ~view_query:q ~schemas ~pivot
+              ~delta:(Update.delta du)
+              ~exclude:((Update_msg.id msg :: applied) @ exclude_extra)
+          with
+          | Error (Query_engine.Broken b) -> Swept_aborted b
+          | Error (Query_engine.Unreachable u) -> Swept_unreachable u
+          | Ok (dv, stats) -> Swept (dv, stats)))
+
+(** [commit_swept w mv msg dv stats] — the refresh half of {!maintain}
+    for a delta computed by {!maintain_sweep}: charge the refresh cost,
+    refresh and commit the view.  Serial code — called at the round
+    barrier, never inside a task. *)
+let commit_swept (w : Query_engine.t) (mv : Mat_view.t)
+    (msg : Update_msg.t) (dv : Relation.t) (stats : Sweep.stats) : outcome =
+  let q = View_def.peek (Mat_view.def mv) in
+  let delta_tuples = Relation.mass dv in
+  Dyno_obs.Span.with_span
+    (Dyno_obs.Obs.spans (Query_engine.obs w))
+    ~now:(fun () -> Query_engine.now w)
+    Dyno_obs.Span.Refresh (Query.name q)
+    (fun _ ->
+      Query_engine.advance w
+        (Dyno_sim.Cost_model.refresh (Query_engine.cost w) ~delta_tuples);
+      Mat_view.refresh mv ~at:(Query_engine.now w)
+        ~maintained:[ Update_msg.id msg ] dv);
+  Dyno_obs.Metrics.incr
+    (Dyno_obs.Obs.metrics (Query_engine.obs w))
+    "vm.refreshes";
+  Dyno_sim.Trace.recordf (Query_engine.trace w) ~time:(Query_engine.now w)
+    Dyno_sim.Trace.Refresh "view %s += %d tuple(s) for #%d" (Query.name q)
+    delta_tuples (Update_msg.id msg);
+  Refreshed { delta_tuples; stats }
+
 (** [maintain_group w mv msgs] — deferred/grouped maintenance of a queue
     prefix of data updates (no schema changes): updates are merged into
     one delta per relation and each merged delta is swept once, with the
@@ -111,9 +205,16 @@ let maintain ?(compensate = true) ?(applied = []) (w : Query_engine.t)
     maintained) — the probe-level telescoping of Equation 6.  The view is
     refreshed and committed {e once} for the whole group, so the claimed
     source-state vector stays valid and strong consistency is preserved;
-    the view simply skips the intermediate states. *)
-let maintain_group ?(compensate = true) (w : Query_engine.t)
-    (mv : Mat_view.t) (msgs : Update_msg.t list) : outcome =
+    the view simply skips the intermediate states.
+
+    With [overlap] (and outside any executor task), the per-(source,rel)
+    sweeps — independent by construction until the final delta sum — run
+    as concurrent tasks whose probe round trips overlap; each sweep's
+    compensation exclusion set is fixed at dispatch to exactly what the
+    serial left-to-right pass would use, so the frontiers stay exact. *)
+let maintain_group ?(compensate = true) ?(overlap = false)
+    (w : Query_engine.t) (mv : Mat_view.t) (msgs : Update_msg.t list) :
+    outcome =
   let vd = Mat_view.def mv in
   if not (View_def.is_valid vd) then raise (Invalid_view (View_def.name vd));
   let q, _ = View_def.read vd in
@@ -145,44 +246,104 @@ let maintain_group ?(compensate = true) (w : Query_engine.t)
   try
     let total = ref None in
     let processed = ref [] in
-    List.iter
-      (fun key ->
-        let delta, ids = Hashtbl.find groups key in
-        let source, rel = key in
-        match
-          List.find_opt
-            (fun (tr : Query.table_ref) ->
-              String.equal tr.source source && String.equal tr.rel rel)
-            (Query.from q)
-        with
-        | None -> processed := ids @ !processed (* irrelevant to the view *)
-        | Some pivot -> (
-            (match List.assoc_opt pivot.Query.alias schemas with
-            | Some s when Schema.equal s (Relation.schema delta) -> ()
-            | _ ->
-                raise
-                  (Abort
-                     {
-                       Dyno_source.Data_source.source;
-                       query_name = Query.name q;
-                       reason =
-                         Fmt.str "group delta schema diverges on %s" rel;
-                     }));
-            match
-              Sweep.delta_view ~compensate w ~view_query:q ~schemas ~pivot
-                ~delta
-                ~exclude:(ids @ !processed)
-            with
-            | Error (Query_engine.Broken b) -> raise (Abort b)
-            | Error (Query_engine.Unreachable u) -> raise (Stall u)
-            | Ok (dv, _) ->
+    let add_delta dv =
+      total :=
+        Some (match !total with None -> dv | Some acc -> Relation.sum acc dv)
+    in
+    let pivot_of (source, rel) =
+      List.find_opt
+        (fun (tr : Query.table_ref) ->
+          String.equal tr.source source && String.equal tr.rel rel)
+        (Query.from q)
+    in
+    let check_schema (pivot : Query.table_ref) delta rel =
+      match List.assoc_opt pivot.Query.alias schemas with
+      | Some s when Schema.equal s (Relation.schema delta) -> ()
+      | _ ->
+          raise
+            (Abort
+               {
+                 Dyno_source.Data_source.source = pivot.Query.source;
+                 query_name = Query.name q;
+                 reason = Fmt.str "group delta schema diverges on %s" rel;
+               })
+    in
+    let exec = Query_engine.executor w in
+    let use_tasks =
+      overlap
+      && (not (Dyno_sim.Executor.in_task exec))
+      && List.length order > 1
+    in
+    if use_tasks then begin
+      (* Concurrent sweeps.  Irrelevant keys are settled first (their ids
+         never occur in any probed relation's pending set, so excluding
+         them is a no-op either way); schema checks are free of clock
+         cost, so running them all up front preserves the serial
+         outcome.  Each sweep's exclusion set — its own ids plus those of
+         groups the serial pass would have processed before it — is
+         frozen at dispatch.  Failures resolve in group order: the first
+         failing group wins, later sweeps are discarded (their updates
+         stay queued and are re-swept on retry). *)
+      let relevant =
+        List.filter_map
+          (fun key ->
+            let delta, ids = Hashtbl.find groups key in
+            match pivot_of key with
+            | None ->
                 processed := ids @ !processed;
-                total :=
-                  Some
-                    (match !total with
-                    | None -> dv
-                    | Some acc -> Relation.sum acc dv)))
-      order;
+                None
+            | Some pivot -> Some (key, pivot, delta, ids))
+          order
+      in
+      List.iter
+        (fun ((_, rel), pivot, delta, _) -> check_schema pivot delta rel)
+        relevant;
+      let results = Array.make (List.length relevant) None in
+      let thunks =
+        let before = ref !processed in
+        List.mapi
+          (fun i (_, pivot, delta, ids) ->
+            let exclude = ids @ !before in
+            before := ids @ !before;
+            fun () ->
+              results.(i) <-
+                Some
+                  (Sweep.delta_view ~compensate w ~view_query:q ~schemas
+                     ~pivot ~delta ~exclude))
+          relevant
+      in
+      Dyno_sim.Executor.run_all exec thunks;
+      List.iteri
+        (fun i (_, _, _, ids) ->
+          match results.(i) with
+          | Some (Ok (dv, _)) ->
+              processed := ids @ !processed;
+              add_delta dv
+          | Some (Error (Query_engine.Broken b)) -> raise (Abort b)
+          | Some (Error (Query_engine.Unreachable u)) -> raise (Stall u)
+          | None -> assert false)
+        relevant
+    end
+    else
+      List.iter
+        (fun key ->
+          let delta, ids = Hashtbl.find groups key in
+          let _, rel = key in
+          match pivot_of key with
+          | None -> processed := ids @ !processed (* irrelevant to the view *)
+          | Some pivot -> (
+              check_schema pivot delta rel;
+              match
+                Sweep.delta_view ~compensate w ~view_query:q ~schemas ~pivot
+                  ~delta
+                  ~exclude:(ids @ !processed)
+              with
+              | Error (Query_engine.Broken b) -> raise (Abort b)
+              | Error (Query_engine.Unreachable u) -> raise (Stall u)
+              | Ok (dv, _) ->
+                  processed := ids @ !processed;
+                  add_delta dv))
+        order;
     (match !total with
     | None ->
         Mat_view.record_commit mv ~at:(Query_engine.now w) ~maintained:all_ids

@@ -34,15 +34,59 @@ val maintain :
     @raise Invalid_view when the view is undefined.
     @raise Maint_query.Unsupported on a self-join of the target relation. *)
 
+(** The sweep half of {!maintain}, without the refresh/commit — what one
+    concurrent maintenance task computes.  The refresh mutates the view
+    and charges the clock serially, so the parallel scheduler applies
+    {!commit_swept} per successful sweep at the round barrier, in
+    corrected queue order. *)
+type swept =
+  | Swept of Relation.t * Sweep.stats  (** view delta, refresh pending *)
+  | Swept_irrelevant  (** commit record pending *)
+  | Swept_aborted of Dyno_source.Data_source.broken
+  | Swept_unreachable of Dyno_net.Retry.unreachable
+
+val maintain_sweep :
+  ?compensate:bool ->
+  ?applied:int list ->
+  ?exclude_extra:int list ->
+  Query_engine.t ->
+  Mat_view.t ->
+  Update_msg.t ->
+  Update.t ->
+  swept
+(** Probe + compensate for one data update without touching the view.
+    [exclude_extra] lists message ids of antichain members dispatched
+    earlier in the same parallel round — maintained concurrently, so
+    compensation must not subtract their deltas (exclusion sets are
+    fixed at dispatch).
+    @raise Invalid_view when the view is undefined.
+    @raise Maint_query.Unsupported on a self-join of the target relation. *)
+
+val commit_swept :
+  Query_engine.t ->
+  Mat_view.t ->
+  Update_msg.t ->
+  Relation.t ->
+  Sweep.stats ->
+  outcome
+(** The refresh half of {!maintain} for a delta computed by
+    {!maintain_sweep}: charge the refresh cost, refresh and commit the
+    view.  Serial code — call at the round barrier, never inside a
+    task. *)
+
 val maintain_group :
   ?compensate:bool ->
+  ?overlap:bool ->
   Query_engine.t ->
   Mat_view.t ->
   Update_msg.t list ->
   outcome
 (** Deferred/grouped maintenance of a queue prefix of data updates: one
     merged sweep per relation, one view commit for the whole group
-    (probe-level telescoping of Equation 6).
+    (probe-level telescoping of Equation 6).  With [overlap] (default
+    false), the per-relation sweeps run as concurrent tasks whose probe
+    round trips overlap; exclusion sets are fixed at dispatch to match
+    the serial left-to-right pass exactly.
     @raise Invalid_argument if a schema change is in the group.
     @raise Invalid_view when the view is undefined. *)
 

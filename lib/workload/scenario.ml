@@ -45,11 +45,18 @@ let make ~rows ~cost ?(track_snapshots = false) ?(trace_enabled = false)
 
 (** [run t ~strategy] drives the Dyno loop to completion. *)
 let run ?(max_steps = 1_000_000) ?(compensate = true)
-    ?(vm_mode = Dyno_core.Scheduler.Incremental) ?(du_group = 1) (t : t)
-    ~strategy : Dyno_core.Stats.t =
+    ?(vm_mode = Dyno_core.Scheduler.Incremental) ?(du_group = 1)
+    ?(parallel = 1) (t : t) ~strategy : Dyno_core.Stats.t =
   Dyno_core.Scheduler.run
     ~config:
-      { Dyno_core.Scheduler.strategy; max_steps; compensate; vm_mode; du_group }
+      {
+        Dyno_core.Scheduler.strategy;
+        max_steps;
+        compensate;
+        vm_mode;
+        du_group;
+        parallel;
+      }
     t.engine t.mv t.mk
 
 (** [msg_index t] — message id → (source, source version), for the strong

@@ -40,6 +40,7 @@ val run :
   ?compensate:bool ->
   ?vm_mode:Dyno_core.Scheduler.vm_mode ->
   ?du_group:int ->
+  ?parallel:int ->
   t ->
   strategy:Dyno_core.Strategy.t ->
   Dyno_core.Stats.t

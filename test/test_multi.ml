@@ -74,7 +74,13 @@ let run_and_check ~rows ~cost ~timeline ~strategy () =
   let w = make_world ~rows ~cost ~timeline () in
   let stats =
     Multi_scheduler.run
-      ~config:{ Multi_scheduler.strategy; max_steps = 200_000; compensate = true }
+      ~config:
+        {
+          Multi_scheduler.strategy;
+          max_steps = 200_000;
+          compensate = true;
+          parallel = 1;
+        }
       w.engine w.multi w.mk
   in
   Alcotest.(check bool) "queue drained" true (Umq.is_empty w.umq);

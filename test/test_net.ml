@@ -169,32 +169,44 @@ let scenario ?(trace_enabled = false) ?faults ?net_seed ~seed ~n_dus ~n_scs ()
     ~track_snapshots:true ~trace_enabled ?faults ?net_seed ~timeline ()
 
 let test_zero_fault_identity () =
-  let run ?faults ?net_seed () =
+  let run ?faults ?net_seed ?parallel () =
     let t =
       scenario ~trace_enabled:true ?faults ?net_seed ~seed:11 ~n_dus:12
         ~n_scs:2 ()
     in
     let stats =
-      Dyno_workload.Scenario.run t ~strategy:Dyno_core.Strategy.Pessimistic
+      Dyno_workload.Scenario.run ?parallel t
+        ~strategy:Dyno_core.Strategy.Pessimistic
     in
     ( Fmt.str "%a" Dyno_core.Stats.pp stats,
       Dyno_view.Mat_view.extent t.mv,
       Dyno_sim.Trace.entries t.trace )
   in
-  let s0, e0, t0 = run () in
-  let s1, e1, t1 = run ~faults:Channel.reliable ~net_seed:987654 () in
-  Alcotest.(check string) "stats byte-identical" s0 s1;
-  Alcotest.(check bool) "extent identical" true (Relation.equal e0 e1);
-  (* the recorded event sequences must match entry for entry, not just in
-     aggregate: a reliable channel leaves no footprint in the trace *)
-  Alcotest.(check int) "same trace length" (List.length t0) (List.length t1);
-  List.iteri
-    (fun i ((a : Dyno_sim.Trace.entry), (b : Dyno_sim.Trace.entry)) ->
-      Alcotest.(check string)
-        (Fmt.str "trace entry %d identical" i)
-        (Fmt.str "%a" Dyno_sim.Trace.pp_entry a)
-        (Fmt.str "%a" Dyno_sim.Trace.pp_entry b))
-    (List.combine t0 t1)
+  let check_identical what (s0, e0, t0) (s1, e1, t1) =
+    Alcotest.(check string) (what ^ ": stats byte-identical") s0 s1;
+    Alcotest.(check bool)
+      (what ^ ": extent identical")
+      true (Relation.equal e0 e1);
+    (* the recorded event sequences must match entry for entry, not just in
+       aggregate: neither a reliable channel nor a degenerate parallel
+       degree leaves any footprint in the trace *)
+    Alcotest.(check int)
+      (what ^ ": same trace length")
+      (List.length t0) (List.length t1);
+    List.iteri
+      (fun i ((a : Dyno_sim.Trace.entry), (b : Dyno_sim.Trace.entry)) ->
+        Alcotest.(check string)
+          (Fmt.str "%s: trace entry %d identical" what i)
+          (Fmt.str "%a" Dyno_sim.Trace.pp_entry a)
+          (Fmt.str "%a" Dyno_sim.Trace.pp_entry b))
+      (List.combine t0 t1)
+  in
+  let base = run () in
+  check_identical "reliable channel" base
+    (run ~faults:Channel.reliable ~net_seed:987654 ());
+  (* --parallel 1 must take the serial path bit for bit: same stats, same
+     extent, byte-identical trace. *)
+  check_identical "parallel=1" base (run ~parallel:1 ())
 
 (* -- the golden property ----------------------------------------------- *)
 

@@ -1,0 +1,130 @@
+(* Property tests for dependency-parallel maintenance: running the
+   scheduler with [parallel > 1] must be observationally equivalent to the
+   serial scheduler.  Antichain members carry exclusion sets fixed at
+   dispatch and commit serially at the barrier in queue order, so the only
+   thing parallelism may change is the simulated clock — never the view.
+
+   The property is checked under fault injection: loss, duplication and
+   reordering on the probe channel exercise retries, aborts and
+   compensations inside parallel rounds. *)
+
+open Dyno_relational
+open Dyno_net
+
+let scenario ?faults ?net_seed ~seed ~n_dus ~n_scs () =
+  let timeline =
+    Dyno_workload.Generator.mixed ~rows:10 ~seed ~n_dus ~du_interval:0.2
+      ~sc_start:0.1 ~sc_interval:1.5
+      ~sc_kinds:(Dyno_workload.Generator.drop_then_renames n_scs)
+      ()
+  in
+  Dyno_workload.Scenario.make ~rows:10
+    ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
+    ~track_snapshots:true ?faults ?net_seed ~timeline ()
+
+(* Per-source sets of update messages integrated into the view: commit-log
+   [maintained] ids resolved through the scenario's id -> (source, version)
+   index, deduplicated and sorted.  The serial and parallel runs may order
+   commits differently on the clock, but must apply the same updates of
+   every source. *)
+let applied_per_source (t : Dyno_workload.Scenario.t) =
+  let index = Dyno_workload.Scenario.msg_index t in
+  let tbl : (string, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (c : Dyno_view.Mat_view.commit) ->
+      List.iter
+        (fun id ->
+          match List.assoc_opt id index with
+          | None -> ()
+          | Some (src, version) -> (
+              match Hashtbl.find_opt tbl src with
+              | Some l -> l := version :: !l
+              | None -> Hashtbl.add tbl src (ref [ version ])))
+        c.maintained)
+    (Dyno_view.Mat_view.commits t.mv);
+  Hashtbl.fold
+    (fun src l acc -> (src, List.sort_uniq Int.compare !l) :: acc)
+    tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let arb_parallel_workload =
+  QCheck.make
+    QCheck.Gen.(
+      let f01 lo hi = map (fun x -> float_of_int x /. 100.0) (int_range lo hi) in
+      pair
+        (quad (int_range 1 10000) (int_range 1 12) (int_range 0 2) (int_range 0 2))
+        (quad (f01 0 25) (f01 0 25) (pair (f01 0 25) (int_range 2 6))
+           (int_range 0 1000)))
+    ~print:(fun ((seed, dus, scs, strat), (loss, dup, (reorder, par), net_seed)) ->
+      Fmt.str
+        "seed=%d dus=%d scs=%d strategy=%d loss=%.2f dup=%.2f reorder=%.2f \
+         parallel=%d net_seed=%d"
+        seed dus scs strat loss dup reorder par net_seed)
+
+(* The golden property of the parallel engine: for every workload, fault
+   mix and strategy, [parallel = k] reaches the same final extent, the
+   same strong-consistency verdict and the same per-source applied-update
+   sets as the serial scheduler. *)
+let prop_parallel_equals_serial =
+  QCheck.Test.make
+    ~name:"parallel maintenance is observationally serial (faults included)"
+    ~count:300 arb_parallel_workload
+    (fun ((seed, n_dus, n_scs, strat), (loss, dup, (reorder, par), net_seed)) ->
+      let strategy =
+        match strat with
+        | 0 -> Dyno_core.Strategy.Pessimistic
+        | 1 -> Dyno_core.Strategy.Optimistic
+        | _ -> Dyno_core.Strategy.Merge_all
+      in
+      let faults =
+        {
+          Channel.reliable with
+          loss;
+          dup;
+          reorder;
+          reorder_delay = 0.5;
+          retransmit = 0.05;
+        }
+      in
+      let run ~parallel =
+        let t = scenario ~faults ~net_seed ~seed ~n_dus ~n_scs () in
+        let stats = Dyno_workload.Scenario.run ~parallel t ~strategy in
+        (t, stats)
+      in
+      let ts, stats_s = run ~parallel:1 in
+      let tp, stats_p = run ~parallel:par in
+      let same_extent =
+        Relation.equal
+          (Dyno_view.Mat_view.extent ts.Dyno_workload.Scenario.mv)
+          (Dyno_view.Mat_view.extent tp.Dyno_workload.Scenario.mv)
+      in
+      let strong_s =
+        Dyno_core.Consistency.ok (Dyno_workload.Scenario.check_strong ts)
+      in
+      let strong_p =
+        Dyno_core.Consistency.ok (Dyno_workload.Scenario.check_strong tp)
+      in
+      let convergent =
+        match Dyno_workload.Scenario.check_convergent tp with
+        | Ok b -> b
+        | Error _ -> false
+      in
+      let same_applied =
+        applied_per_source ts = applied_per_source tp
+      in
+      let no_undefined =
+        stats_s.Dyno_core.Stats.view_undefined
+        = stats_p.Dyno_core.Stats.view_undefined
+      in
+      same_extent && convergent
+      && Bool.equal strong_s strong_p
+      && same_applied && no_undefined)
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "equivalence",
+        List.map to_alcotest [ prop_parallel_equals_serial ] );
+    ]
