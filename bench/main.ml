@@ -409,34 +409,29 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 let json_path = ref ""
+let check_path = ref ""
+let tolerance = ref 25.0
 let json_entries : (string * int * float) list ref = ref []
 
 let record_json ~op ~n ns = json_entries := (op, n, ns) :: !json_entries
 
-let write_json () =
-  (* Skipped when no join entries were recorded — the overlap experiment
-     writes its own JSON shape to [json_path] directly. *)
-  if !json_path <> "" && !json_entries <> [] then begin
-    let entries = List.rev !json_entries in
-    let last = List.length entries - 1 in
+(* Shared JSON emission for the three result-writing experiments (join,
+   net, overlap): every document is kept in memory for [--check] and
+   written to [--json] through one code path. *)
+let bench_docs : (string, Dyno_jsonv.Jsonv.t) Hashtbl.t = Hashtbl.create 4
+
+let emit_json ~experiment (doc : Dyno_jsonv.Jsonv.t) =
+  Hashtbl.replace bench_docs experiment doc;
+  if !json_path <> "" then begin
     match open_out !json_path with
     | exception Sys_error e ->
         Fmt.epr "cannot write %s: %s@." !json_path e;
         exit 1
     | oc ->
-    output_string oc "[\n";
-    List.iteri
-      (fun i (op, rows, ns) ->
-        Printf.fprintf oc
-          "  {\"op\": \"%s\", \"rows\": %d, \"ns_per_op\": %.1f}%s\n" op rows
-          ns
-          (if i = last then "" else ","))
-      entries;
-    output_string oc "]\n";
-    close_out oc;
-    Fmt.pr "@.wrote %d benchmark entr%s to %s@." (List.length entries)
-      (if last = 0 then "y" else "ies")
-      !json_path
+        output_string oc (Dyno_jsonv.Jsonv.to_string doc);
+        output_char oc '\n';
+        close_out oc;
+        Fmt.pr "@.wrote %s results to %s@." experiment !json_path
   end
 
 (* One Bechamel measurement -> ns/op estimate. *)
@@ -521,7 +516,19 @@ let join_bench () =
           Fmt.pr "%8d  %12.0f ns  %12.0f ns  %12.0f ns  %8.1fx@." n i e nl
             (nl /. i)
       | _ -> Fmt.pr "%8d  (no estimate)@." n)
-    sizes
+    sizes;
+  let open Dyno_jsonv.Jsonv in
+  emit_json ~experiment:"join"
+    (Arr
+       (List.rev_map
+          (fun (op, rows, ns) ->
+            Obj
+              [
+                ("op", Str op);
+                ("rows", Num (float_of_int rows));
+                ("ns_per_op", Num ns);
+              ])
+          !json_entries))
 
 (* ------------------------------------------------------------------ *)
 (* Transport: maintenance cost vs channel loss rate                    *)
@@ -541,27 +548,40 @@ let net_bench () =
     if !fast then [ 0.0; 0.1; 0.3 ] else [ 0.0; 0.05; 0.1; 0.2; 0.3; 0.4 ]
   in
   let n_dus = if !fast then 100 else 300 in
-  List.iter
-    (fun loss ->
-      let timeline =
-        Generator.mixed ~rows:!rows ~seed:8 ~n_dus ~du_interval:1.0
-          ~sc_interval:0.0 ~sc_kinds:[] ()
-      in
-      let faults =
-        { Dyno_net.Channel.reliable with loss; retransmit = 0.1 }
-      in
-      let t =
-        Scenario.make ~rows:!rows ~cost:(cost ()) ~faults ~net_seed:8
-          ~timeline ()
-      in
-      let stats = Scenario.run t ~strategy:Strategy.Pessimistic in
-      let converged =
-        match Scenario.check_convergent t with Ok b -> b | Error _ -> false
-      in
-      Fmt.pr "%8.2f  %10.1f  %10.1f  %8d  %8d  %10b@." loss stats.Stats.busy
-        stats.Stats.net_wait stats.Stats.retries stats.Stats.msgs_lost
-        converged)
-    points
+  let entries =
+    List.map
+      (fun loss ->
+        let timeline =
+          Generator.mixed ~rows:!rows ~seed:8 ~n_dus ~du_interval:1.0
+            ~sc_interval:0.0 ~sc_kinds:[] ()
+        in
+        let faults =
+          { Dyno_net.Channel.reliable with loss; retransmit = 0.1 }
+        in
+        let t =
+          Scenario.make ~rows:!rows ~cost:(cost ()) ~faults ~net_seed:8
+            ~timeline ()
+        in
+        let stats = Scenario.run t ~strategy:Strategy.Pessimistic in
+        let converged =
+          match Scenario.check_convergent t with Ok b -> b | Error _ -> false
+        in
+        Fmt.pr "%8.2f  %10.1f  %10.1f  %8d  %8d  %10b@." loss stats.Stats.busy
+          stats.Stats.net_wait stats.Stats.retries stats.Stats.msgs_lost
+          converged;
+        let open Dyno_jsonv.Jsonv in
+        Obj
+          [
+            ("loss", Num loss);
+            ("busy_s", Num stats.Stats.busy);
+            ("net_wait_s", Num stats.Stats.net_wait);
+            ("retries", Num (float_of_int stats.Stats.retries));
+            ("lost", Num (float_of_int stats.Stats.msgs_lost));
+            ("converged", Bool converged);
+          ])
+      points
+  in
+  emit_json ~experiment:"net" (Dyno_jsonv.Jsonv.Arr entries)
 
 (* ------------------------------------------------------------------ *)
 (* Overlap: serial vs dependency-parallel maintenance (simulated time)  *)
@@ -704,26 +724,183 @@ let overlap_bench () =
     (Fmt.str "parallel=%d" n_sources)
     stats_p.Stats.busy stats_p.Stats.view_commits stats_p.Stats.probes;
   Fmt.pr "@.speedup: %.2fx (extents identical)@." speedup;
-  if !json_path <> "" then begin
-    match open_out !json_path with
-    | exception Sys_error e ->
-        Fmt.epr "cannot write %s: %s@." !json_path e;
-        exit 1
-    | oc ->
-        Printf.fprintf oc
-          "[\n\
-          \  {\"mode\": \"serial\", \"parallel\": 1, \"busy_s\": %.3f, \
-           \"commits\": %d, \"probes\": %d},\n\
-          \  {\"mode\": \"parallel\", \"parallel\": %d, \"busy_s\": %.3f, \
-           \"commits\": %d, \"probes\": %d},\n\
-          \  {\"speedup\": %.3f}\n\
-           ]\n"
-          stats_s.Stats.busy stats_s.Stats.view_commits stats_s.Stats.probes
-          n_sources stats_p.Stats.busy stats_p.Stats.view_commits
-          stats_p.Stats.probes speedup;
-        close_out oc;
-        Fmt.pr "wrote overlap results to %s@." !json_path
-  end
+  let open Dyno_jsonv.Jsonv in
+  let mode name parallel (s : Stats.t) =
+    Obj
+      [
+        ("mode", Str name);
+        ("parallel", Num (float_of_int parallel));
+        ("busy_s", Num s.Stats.busy);
+        ("commits", Num (float_of_int s.Stats.view_commits));
+        ("probes", Num (float_of_int s.Stats.probes));
+      ]
+  in
+  emit_json ~experiment:"overlap"
+    (Arr
+       [
+         mode "serial" 1 stats_s;
+         mode "parallel" n_sources stats_p;
+         Obj [ ("speedup", Num speedup) ];
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate: compare this run's results against a baseline file  *)
+(* ------------------------------------------------------------------ *)
+
+(* [--check BASELINE.json] compares the experiment run in this invocation
+   against a committed baseline of the same shape (join / overlap / net,
+   detected from the baseline's fields).  Only entries present in BOTH
+   documents are compared — a [--fast] run covers a subset of the
+   baseline's points — and only a change beyond [--tolerance] percent in
+   the harmful direction (slower, or smaller speedup) fails.  Exit 1 on
+   any regression. *)
+let check_regressions () =
+  let open Dyno_jsonv.Jsonv in
+  let get_num k o = Option.bind (member k o) num in
+  let get_str k o = Option.bind (member k o) str in
+  match parse_file !check_path with
+  | Error e ->
+      Fmt.epr "--check: cannot read %s: %s@." !check_path e;
+      exit 1
+  | Ok base -> (
+      let base_entries = Option.value (arr base) ~default:[] in
+      let experiment =
+        if List.exists (fun o -> get_num "ns_per_op" o <> None) base_entries
+        then Some "join"
+        else if List.exists (fun o -> get_str "mode" o <> None) base_entries
+        then Some "overlap"
+        else if List.exists (fun o -> get_num "loss" o <> None) base_entries
+        then Some "net"
+        else None
+      in
+      match experiment with
+      | None ->
+          Fmt.epr "--check: %s has no recognizable benchmark shape@."
+            !check_path;
+          exit 1
+      | Some exp -> (
+          match Hashtbl.find_opt bench_docs exp with
+          | None ->
+              Fmt.epr
+                "--check: baseline %s is a %s document but the %s experiment \
+                 did not run (use --only %s)@."
+                !check_path exp exp exp;
+              exit 1
+          | Some cur ->
+              let cur_entries = Option.value (arr cur) ~default:[] in
+              let failures = ref 0 and compared = ref 0 in
+              Fmt.pr "@.regression check vs %s (tolerance %.0f%%):@."
+                !check_path !tolerance;
+              let cmp ~label ~base_v ~cur_v ~higher_better =
+                incr compared;
+                let regressed =
+                  base_v <> 0.0
+                  &&
+                  if higher_better then
+                    cur_v < base_v *. (1.0 -. (!tolerance /. 100.0))
+                  else cur_v > base_v *. (1.0 +. (!tolerance /. 100.0))
+                in
+                let delta =
+                  if base_v = 0.0 then 0.0
+                  else (cur_v -. base_v) /. base_v *. 100.0
+                in
+                Fmt.pr "  %-36s base %12.4g  now %12.4g  %+7.1f%%  %s@." label
+                  base_v cur_v delta
+                  (if regressed then "REGRESSION" else "ok");
+                if regressed then incr failures
+              in
+              (* find the current entry matching a baseline entry under
+                 the experiment's natural key *)
+              let find keyed o = List.find_opt (keyed o) cur_entries in
+              List.iter
+                (fun b ->
+                  match exp with
+                  | "join" -> (
+                      match (get_str "op" b, get_num "rows" b) with
+                      | Some op, Some rows -> (
+                          let same c =
+                            get_str "op" c = Some op
+                            && get_num "rows" c = Some rows
+                          in
+                          match find (fun _ -> same) b with
+                          | Some c -> (
+                              match
+                                (get_num "ns_per_op" b, get_num "ns_per_op" c)
+                              with
+                              | Some bv, Some cv ->
+                                  cmp
+                                    ~label:(Fmt.str "%s (%.0f rows)" op rows)
+                                    ~base_v:bv ~cur_v:cv ~higher_better:false
+                              | _ -> ())
+                          | None ->
+                              Fmt.pr "  %-36s (not in this run; skipped)@."
+                                (Fmt.str "%s (%.0f rows)" op rows))
+                      | _ -> ())
+                  | "overlap" -> (
+                      match (get_str "mode" b, get_num "speedup" b) with
+                      | Some m, _ -> (
+                          let same c = get_str "mode" c = Some m in
+                          match find (fun _ -> same) b with
+                          | Some c -> (
+                              match (get_num "busy_s" b, get_num "busy_s" c)
+                              with
+                              | Some bv, Some cv ->
+                                  cmp
+                                    ~label:(Fmt.str "busy_s (%s)" m)
+                                    ~base_v:bv ~cur_v:cv ~higher_better:false
+                              | _ -> ())
+                          | None ->
+                              Fmt.pr "  %-36s (not in this run; skipped)@." m)
+                      | None, Some sp -> (
+                          let speedup_of c = get_num "speedup" c in
+                          match List.find_map speedup_of cur_entries with
+                          | Some cv ->
+                              cmp ~label:"speedup" ~base_v:sp ~cur_v:cv
+                                ~higher_better:true
+                          | None -> ())
+                      | None, None -> ())
+                  | _ -> (
+                      (* net: busy per loss point; a convergence flip is
+                         always a failure, tolerance notwithstanding *)
+                      match get_num "loss" b with
+                      | Some loss -> (
+                          let same c = get_num "loss" c = Some loss in
+                          match find (fun _ -> same) b with
+                          | Some c ->
+                              (match (get_num "busy_s" b, get_num "busy_s" c)
+                               with
+                              | Some bv, Some cv ->
+                                  cmp
+                                    ~label:(Fmt.str "busy_s (loss %.2f)" loss)
+                                    ~base_v:bv ~cur_v:cv ~higher_better:false
+                              | _ -> ());
+                              if
+                                member "converged" b = Some (Bool true)
+                                && member "converged" c = Some (Bool false)
+                              then begin
+                                Fmt.pr
+                                  "  %-36s no longer converges  REGRESSION@."
+                                  (Fmt.str "loss %.2f" loss);
+                                incr failures
+                              end
+                          | None ->
+                              Fmt.pr "  %-36s (not in this run; skipped)@."
+                                (Fmt.str "loss %.2f" loss))
+                      | None -> ()))
+                base_entries;
+              if !compared = 0 then begin
+                Fmt.epr
+                  "--check: no comparable entries between %s and this run@."
+                  !check_path;
+                exit 1
+              end;
+              if !failures > 0 then begin
+                Fmt.epr "@.%d regression(s) beyond %.0f%% tolerance@."
+                  !failures !tolerance;
+                exit 1
+              end
+              else Fmt.pr "@.all %d comparison(s) within tolerance@." !compared
+          ))
 
 (* ------------------------------------------------------------------ *)
 
@@ -749,7 +926,9 @@ let () =
       ("--rows", Arg.Set_int rows, "physical rows per relation (default 500; logical is always 100k via cost scaling)");
       ("--fast", Arg.Set fast, "fewer sweep points / smaller join sizes");
       ("--quota", Arg.Set_float quota, "bechamel quota per micro-bench, seconds (default 0.5)");
-      ("--json", Arg.Set_string json_path, "write join micro-bench results (op, rows, ns/op) to this JSON file");
+      ("--json", Arg.Set_string json_path, "write the join/net/overlap results to this JSON file");
+      ("--check", Arg.Set_string check_path, "compare this run's join/net/overlap results against a baseline JSON file; exit 1 on regression");
+      ("--tolerance", Arg.Set_float tolerance, "allowed regression for --check, percent (default 25)");
     ]
   in
   Arg.parse specs (fun _ -> ()) "dyno benchmarks";
@@ -768,4 +947,4 @@ let () =
      benches are real time.@."
     !rows;
   List.iter (fun (_, f) -> f ()) todo;
-  write_json ()
+  if !check_path <> "" then check_regressions ()

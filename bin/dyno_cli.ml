@@ -148,6 +148,180 @@ let write_file path contents =
   output_char oc '\n';
   close_out oc
 
+(* ---- telemetry options ---------------------------------------------- *)
+
+let sample_interval =
+  let doc =
+    "Telemetry sampling interval in simulated seconds: snapshot queue \
+     depth, in-flight work, commit/apply frontiers and view staleness \
+     into a ring-buffered time series at most once per $(docv)."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "sample-interval" ] ~docv:"S" ~doc)
+
+let series_out =
+  let doc = "Write the sampled time series as JSON-lines to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "series-out" ] ~docv:"FILE" ~doc)
+
+let openmetrics_out =
+  let doc =
+    "Write the metrics registry in OpenMetrics/Prometheus text exposition \
+     to $(docv)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "openmetrics-out" ] ~docv:"FILE" ~doc)
+
+let slo_specs =
+  let parse s =
+    match Dyno_obs.Slo.parse s with
+    | Ok o -> Ok o
+    | Error e -> Error (`Msg e)
+  in
+  let slo_conv = Arg.conv ~docv:"SPEC" (parse, Dyno_obs.Slo.pp_objective) in
+  let doc =
+    "Service-level objective over the end-of-run metrics, e.g. \
+     'staleness.p99 <= 30' or 'stall_ratio <= 0.2' (repeatable)."
+  in
+  Arg.(value & opt_all slo_conv [] & info [ "slo" ] ~docv:"SPEC" ~doc)
+
+let slo_exit =
+  let doc = "Exit with status 3 when any $(b,--slo) objective fails." in
+  Arg.(value & flag & info [ "slo-exit" ] ~doc)
+
+let watch_flag =
+  let doc =
+    "Live telemetry: redraw an ANSI table of every sampled series at each \
+     sampling instant (implies sampling; default interval 1 s)."
+  in
+  Arg.(value & flag & info [ "watch" ] ~doc)
+
+(* Sampling is on iff requested explicitly or implied by an output that
+   needs it. *)
+let effective_interval ~sample_interval ~series_out ~watch =
+  match sample_interval with
+  | Some _ -> sample_interval
+  | None -> if series_out <> None || watch then Some 1.0 else None
+
+let install_watch series =
+  if Dyno_obs.Timeseries.enabled series then
+    Dyno_obs.Timeseries.on_sample series (fun s ->
+        Fmt.pr "\027[2J\027[H";
+        Fmt.pr "dyno telemetry — t = %.3f s (simulated)@."
+          s.Dyno_obs.Timeseries.at;
+        Fmt.pr "%-40s %14s@." "series" "value";
+        Fmt.pr "%s@." (String.make 55 '-');
+        List.iter
+          (fun (n, v) -> Fmt.pr "%-40s %14.6g@." n v)
+          s.Dyno_obs.Timeseries.values;
+        Fmt.pr "@?")
+
+let write_series series = function
+  | None -> ()
+  | Some f ->
+      write_file f (String.trim (Dyno_obs.Timeseries.to_jsonl series));
+      Fmt.pr "time series written to %s (%d samples, %d dropped)@." f
+        (Dyno_obs.Timeseries.length series)
+        (Dyno_obs.Timeseries.dropped series)
+
+let write_openmetrics mx = function
+  | None -> ()
+  | Some f ->
+      write_file f (String.trim (Dyno_obs.Export.openmetrics mx));
+      Fmt.pr "openmetrics written to %s@." f
+
+(* Per-view staleness summary derived from the [view.<v>.staleness_*]
+   histograms the freshness tracker records at every apply. *)
+let staleness_section mx =
+  let open Dyno_obs in
+  let views =
+    Metrics.fold mx
+      (fun acc name m ->
+        match m with
+        | Metrics.Histogram _
+          when String.length name > 17
+               && String.sub name 0 5 = "view."
+               && Filename.check_suffix name ".staleness_s" ->
+            String.sub name 5 (String.length name - 17) :: acc
+        | _ -> acc)
+      []
+    |> List.rev
+  in
+  if views <> [] then begin
+    Fmt.pr "@.staleness (view lag behind the sources' commit frontier):@.";
+    Fmt.pr "  %-12s %-9s %9s %9s %9s %9s %7s@." "view" "" "p50" "p90" "p99"
+      "max" "n";
+    List.iter
+      (fun v ->
+        (match
+           Metrics.histogram_summary mx (Fmt.str "view.%s.staleness_s" v)
+         with
+        | Some s ->
+            Fmt.pr "  %-12s %-9s %9.3f %9.3f %9.3f %9.3f %7d@." v "seconds"
+              s.Metrics.p50 s.Metrics.p90 s.Metrics.p99 s.Metrics.max
+              s.Metrics.count
+        | None -> ());
+        match
+          Metrics.histogram_summary mx (Fmt.str "view.%s.staleness_versions" v)
+        with
+        | Some s ->
+            Fmt.pr "  %-12s %-9s %9.0f %9.0f %9.0f %9.0f %7d@." "" "versions"
+              s.Metrics.p50 s.Metrics.p90 s.Metrics.p99 s.Metrics.max
+              s.Metrics.count
+        | None -> ())
+      views
+  end
+
+let sparkline values =
+  let glyphs = [| "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |] in
+  let hi = List.fold_left Float.max 0.0 values in
+  values
+  |> List.map (fun v ->
+         if hi <= 0.0 || v <= 0.0 then " "
+         else glyphs.(min 7 (int_of_float (v /. hi *. 7.99))))
+  |> String.concat ""
+
+(* Sampled-series sparklines: the run's staleness and queue depth over
+   simulated time, compressed to one terminal row each. *)
+let timeline_section series =
+  let open Dyno_obs in
+  let samples = Timeseries.samples series in
+  if samples <> [] then begin
+    let last_at = (List.nth samples (List.length samples - 1)).Timeseries.at in
+    Fmt.pr "@.timeline (%d samples over %.3g s, ≥ %.3g s apart):@."
+      (List.length samples) last_at (Timeseries.interval series);
+    List.iter
+      (fun name ->
+        let vs =
+          List.filter_map
+            (fun s -> List.assoc_opt name s.Timeseries.values)
+            samples
+        in
+        if vs <> [] then begin
+          (* keep the last 72 points — one glyph per sample *)
+          let n = List.length vs in
+          let vs =
+            if n <= 72 then vs else List.filteri (fun i _ -> i >= n - 72) vs
+          in
+          Fmt.pr "  %-22s |%s| max %.4g@." name (sparkline vs)
+            (List.fold_left Float.max 0.0 vs)
+        end)
+      [ "staleness_s"; "staleness_versions"; "umq.depth"; "sched.busy_ratio" ]
+  end
+
+(* Evaluate the [--slo] objectives; returns whether all pass. *)
+let slo_section mx slos =
+  if slos = [] then true
+  else begin
+    let verdicts = Dyno_obs.Slo.eval_all mx slos in
+    Fmt.pr "@.SLOs:@.";
+    List.iter (fun v -> Fmt.pr "  %a@." Dyno_obs.Slo.pp_verdict v) verdicts;
+    Dyno_obs.Slo.all_pass verdicts
+  end
+
 let faults_of ~cost ~loss ~dup ~reorder ~jitter ~reorder_delay ~outages :
     Dyno_net.Channel.faults =
   {
@@ -187,7 +361,8 @@ let timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval =
 let run_cmd =
   let action rows dus scs du_interval sc_interval seed strategy trace
       no_compensation report multi parallel loss dup reorder jitter
-      reorder_delay outages net_seed json_file trace_out metrics_out =
+      reorder_delay outages net_seed json_file trace_out metrics_out
+      sample_interval series_out openmetrics_out slos slo_exit watch =
     let timeline =
       timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval
     in
@@ -196,11 +371,15 @@ let run_cmd =
       faults_of ~cost ~loss ~dup ~reorder ~jitter ~reorder_delay ~outages
     in
     let net_seed = Option.value net_seed ~default:seed in
+    let interval = effective_interval ~sample_interval ~series_out ~watch in
     let obs =
-      if trace_out <> None || metrics_out <> None then
-        Dyno_obs.Obs.create ()
+      if
+        trace_out <> None || metrics_out <> None || openmetrics_out <> None
+        || slos <> [] || interval <> None
+      then Dyno_obs.Obs.create ?sample_interval:interval ()
       else Dyno_obs.Obs.disabled
     in
+    if watch then install_watch (Dyno_obs.Obs.series obs);
     let t =
       Scenario.make ~rows ~cost ~track_snapshots:true
         ~trace_enabled:(trace || report) ~faults ~net_seed ~obs ~timeline ()
@@ -282,14 +461,21 @@ let run_cmd =
         write_file f
           (Dyno_obs.Metrics.to_json_string (Dyno_obs.Obs.metrics obs));
         Fmt.pr "metrics written to %s@." f);
-    if Stats.(stats.view_undefined) then exit 2
+    write_series (Dyno_obs.Obs.series obs) series_out;
+    write_openmetrics (Dyno_obs.Obs.metrics obs) openmetrics_out;
+    staleness_section (Dyno_obs.Obs.metrics obs);
+    let slo_ok = slo_section (Dyno_obs.Obs.metrics obs) slos in
+    if Stats.(stats.view_undefined) then exit 2;
+    if slo_exit && not slo_ok then exit 3
   in
   let term =
     Term.(
       const action $ rows $ dus $ scs $ du_interval $ sc_interval $ seed
       $ strategy $ trace_flag $ no_compensation $ report_flag $ multi_flag
       $ parallel_arg $ loss $ dup $ reorder $ jitter $ reorder_delay
-      $ outages $ net_seed $ json_file $ trace_out $ metrics_out)
+      $ outages $ net_seed $ json_file $ trace_out $ metrics_out
+      $ sample_interval $ series_out $ openmetrics_out $ slo_specs
+      $ slo_exit $ watch_flag)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a mixed workload under a strategy")
@@ -300,7 +486,8 @@ let run_cmd =
 let report_cmd =
   let action rows dus scs du_interval sc_interval seed strategy
       no_compensation parallel loss dup reorder jitter reorder_delay outages
-      net_seed trace_out metrics_out =
+      net_seed trace_out metrics_out sample_interval series_out
+      openmetrics_out slos slo_exit =
     let timeline =
       timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval
     in
@@ -309,7 +496,9 @@ let report_cmd =
       faults_of ~cost ~loss ~dup ~reorder ~jitter ~reorder_delay ~outages
     in
     let net_seed = Option.value net_seed ~default:seed in
-    let obs = Dyno_obs.Obs.create () in
+    (* [report] always samples: the timeline section needs a series. *)
+    let interval = Option.value sample_interval ~default:1.0 in
+    let obs = Dyno_obs.Obs.create ~sample_interval:interval () in
     let t =
       Scenario.make ~rows ~cost ~track_snapshots:true ~faults ~net_seed ~obs
         ~timeline ()
@@ -333,13 +522,21 @@ let report_cmd =
         write_file f
           (Dyno_obs.Metrics.to_json_string (Dyno_obs.Obs.metrics obs));
         Fmt.pr "metrics written to %s@." f);
-    if Stats.(stats.view_undefined) then exit 2
+    write_series (Dyno_obs.Obs.series obs) series_out;
+    write_openmetrics (Dyno_obs.Obs.metrics obs) openmetrics_out;
+    staleness_section (Dyno_obs.Obs.metrics obs);
+    timeline_section (Dyno_obs.Obs.series obs);
+    let slo_ok = slo_section (Dyno_obs.Obs.metrics obs) slos in
+    if Stats.(stats.view_undefined) then exit 2;
+    if slo_exit && not slo_ok then exit 3
   in
   let term =
     Term.(
       const action $ rows $ dus $ scs $ du_interval $ sc_interval $ seed
       $ strategy $ no_compensation $ parallel_arg $ loss $ dup $ reorder
-      $ jitter $ reorder_delay $ outages $ net_seed $ trace_out $ metrics_out)
+      $ jitter $ reorder_delay $ outages $ net_seed $ trace_out $ metrics_out
+      $ sample_interval $ series_out $ openmetrics_out $ slo_specs
+      $ slo_exit)
   in
   Cmd.v
     (Cmd.info "report"

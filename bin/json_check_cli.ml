@@ -1,0 +1,56 @@
+(* json_check — validate that a file is well-formed JSON (or JSONL).
+
+     json_check FILE...          every file must be one JSON document
+     json_check --jsonl FILE...  every non-empty line must be one
+
+   Exit 0 when everything parses, 1 otherwise.  Used by CI to gate the
+   benchmark/exporter JSON artifacts without a JSON library in the
+   dependency cone. *)
+
+let () =
+  let jsonl = ref false in
+  let files = ref [] in
+  let specs =
+    [ ("--jsonl", Arg.Set jsonl, "treat each non-empty line as one JSON document") ]
+  in
+  Arg.parse specs (fun f -> files := f :: !files) "json_check [--jsonl] FILE...";
+  let files = List.rev !files in
+  if files = [] then begin
+    prerr_endline "json_check: no files given";
+    exit 1
+  end;
+  let read path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let bad = ref 0 in
+  List.iter
+    (fun path ->
+      match read path with
+      | exception Sys_error e ->
+          Printf.eprintf "json_check: %s\n" e;
+          incr bad
+      | contents ->
+          if !jsonl then
+            String.split_on_char '\n' contents
+            |> List.iteri (fun i line ->
+                   if line <> "" then
+                     match Dyno_jsonv.Jsonv.check line with
+                     | Ok () -> ()
+                     | Error e ->
+                         Printf.eprintf "%s:%d: invalid JSON: %s\n" path
+                           (i + 1) e;
+                         incr bad)
+          else begin
+            match Dyno_jsonv.Jsonv.check contents with
+            | Ok () -> ()
+            | Error e ->
+                Printf.eprintf "%s: invalid JSON: %s\n" path e;
+                incr bad
+          end)
+    files;
+  if !bad > 0 then exit 1;
+  Printf.printf "json_check: %d file(s) OK\n" (List.length files)

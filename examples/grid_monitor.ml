@@ -71,4 +71,49 @@ let () =
         Dyno_obs.Export.pp_breakdown
         (Dyno_obs.Export.breakdown (Dyno_obs.Obs.spans obs));
       Fmt.pr "@.Latency metrics:@.%a@." Dyno_obs.Metrics.pp
-        (Dyno_obs.Obs.metrics obs)
+        (Dyno_obs.Obs.metrics obs);
+      (* How stale did the view run during maintenance?  The freshness
+         tracker fed per-view histograms (in simulated seconds and in
+         source versions outstanding); read them back as a table and
+         check a couple of SLOs against them. *)
+      let mx = Dyno_obs.Obs.metrics obs in
+      Fmt.pr "@.Per-view staleness (pessimistic run):@.";
+      Fmt.pr "  %-8s %-9s %9s %9s %9s %9s %6s@." "view" "unit" "p50" "p90"
+        "p99" "max" "n";
+      Dyno_obs.Metrics.fold mx
+        (fun () name m ->
+          match m with
+          | Dyno_obs.Metrics.Histogram _
+            when String.length name > 17
+                 && String.sub name 0 5 = "view."
+                 && Filename.check_suffix name ".staleness_s" -> (
+              let v = String.sub name 5 (String.length name - 17) in
+              let row unit s =
+                Fmt.pr "  %-8s %-9s %9.3f %9.3f %9.3f %9.3f %6d@." v unit
+                  s.Dyno_obs.Metrics.p50 s.Dyno_obs.Metrics.p90
+                  s.Dyno_obs.Metrics.p99 s.Dyno_obs.Metrics.max
+                  s.Dyno_obs.Metrics.count
+              in
+              (match Dyno_obs.Metrics.histogram_summary mx name with
+              | Some s -> row "seconds" s
+              | None -> ());
+              match
+                Dyno_obs.Metrics.histogram_summary mx
+                  (Fmt.str "view.%s.staleness_versions" v)
+              with
+              | Some s -> row "versions" s
+              | None -> ())
+          | _ -> ())
+        ();
+      Fmt.pr "@.SLO verdicts:@.";
+      let slos =
+        List.map Dyno_obs.Slo.parse_exn
+          [
+            "staleness.p50 <= 60";
+            "staleness_versions.max <= 100";
+            "stall_ratio <= 0.5";
+          ]
+      in
+      List.iter
+        (fun v -> Fmt.pr "  %a@." Dyno_obs.Slo.pp_verdict v)
+        (Dyno_obs.Slo.eval_all mx slos)

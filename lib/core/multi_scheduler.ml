@@ -247,6 +247,47 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
   let obs = Query_engine.obs w in
   let sp = Dyno_obs.Obs.spans obs in
   let now () = Query_engine.now w in
+  (* One freshness tracker per view.  Frontiers are advanced only when an
+     entry has been integrated by {e every} view (the Ok branch below) —
+     a partially-applied entry still counts as unapplied lag for the
+     views that already committed it, which is the conservative reading. *)
+  let trackers =
+    List.map
+      (fun v ->
+        ( v,
+          Freshness.create
+            ~metrics:(Dyno_obs.Obs.metrics obs)
+            ~mv:v.mv
+            ~registry:(Query_engine.registry w)
+            ~queued:(Umq.messages umq) () ))
+      t.views
+  in
+  let series = Dyno_obs.Obs.series obs in
+  if Dyno_obs.Timeseries.enabled series then begin
+    let mx = Dyno_obs.Obs.metrics obs in
+    Dyno_obs.Timeseries.probe series "umq.depth" (fun _ ->
+        float_of_int (List.length (Umq.entries umq)));
+    Dyno_obs.Timeseries.probe series "sched.inflight" (fun _ ->
+        Dyno_obs.Metrics.gauge_value mx "sched.inflight");
+    Dyno_obs.Timeseries.probe series ~kind:`Counter "sched.view_commits"
+      (fun _ -> float_of_int stats.Stats.view_commits);
+    Dyno_obs.Timeseries.probe series ~kind:`Counter "sched.aborts" (fun _ ->
+        float_of_int stats.Stats.aborts);
+    Dyno_obs.Timeseries.probe series ~kind:`Counter "net.retries" (fun _ ->
+        float_of_int (Query_engine.net_retries w));
+    (* Aggregate = the worst (most stale) view. *)
+    Dyno_obs.Timeseries.probe series "staleness_s" (fun now ->
+        List.fold_left
+          (fun acc (_, f) ->
+            Float.max acc (Freshness.staleness_seconds f ~now))
+          0.0 trackers);
+    Dyno_obs.Timeseries.probe series "staleness_versions" (fun _ ->
+        float_of_int
+          (List.fold_left
+             (fun acc (_, f) -> max acc (Freshness.lag_versions f))
+             0 trackers));
+    List.iter (fun (_, f) -> Freshness.register_probes f series) trackers
+  end;
   (* Iteration body inside a [Maintain] span; as in {!Scheduler.run},
      every clock advance here is charged to [Stats.busy], so Σ maintain
      span durations = busy. *)
@@ -307,6 +348,11 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
               stats.Stats.busy +. (Query_engine.now w -. t0);
             (* Entry fully integrated everywhere: dequeue and drop its
                ids from the applied sets (they can never reappear). *)
+            let msgs = Umq.entry_messages entry in
+            List.iter
+              (fun (_, f) ->
+                Freshness.note_entry f ~now:(Query_engine.now w) msgs)
+              trackers;
             let ids = Umq.entry_ids entry in
             List.iter
               (fun v ->
@@ -363,6 +409,9 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
     if !steps > config.max_steps then
       raise (Scheduler.Step_limit_exceeded !steps);
     Query_engine.deliver_due w;
+    ignore
+      (Dyno_obs.Timeseries.maybe_sample series ~now:(Query_engine.now w)
+        : bool);
     if Umq.is_empty umq then begin
       (* Wake for the next commit or the next in-flight message arrival. *)
       match Query_engine.next_wakeup w with
@@ -381,6 +430,7 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
     end
   in
   loop ();
+  Dyno_obs.Timeseries.sample series ~now:(Query_engine.now w);
   stats.Stats.end_time <- Query_engine.now w;
   Scheduler.record_net_stats w stats;
   Scheduler.mirror_stats obs stats;

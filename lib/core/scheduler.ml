@@ -241,8 +241,8 @@ let stall_and_wait (w : Query_engine.t) (stats : Stats.t) ~(t0 : float)
    member.  Later members' results are discarded: their entries stay
    queued (exclusion sets were fixed at dispatch, so a re-sweep on the
    next round compensates correctly). *)
-let parallel_round ~(config : config) (w : Query_engine.t) (mv : Mat_view.t)
-    (stats : Stats.t) (mid : int)
+let parallel_round ~(config : config) ~(fresh : Freshness.t)
+    (w : Query_engine.t) (mv : Mat_view.t) (stats : Stats.t) (mid : int)
     (members : (Update_msg.t * Dyno_relational.Update.t) list) : unit =
   let trace = Query_engine.trace w in
   let obs = Query_engine.obs w in
@@ -302,12 +302,14 @@ let parallel_round ~(config : config) (w : Query_engine.t) (mv : Mat_view.t)
                 stats.Stats.compensations <-
                   stats.Stats.compensations + s.Dyno_vm.Sweep.compensations;
                 stats.Stats.view_commits <- stats.Stats.view_commits + 1;
+                Freshness.note_entry fresh ~now:(Query_engine.now w) [ m ];
                 Umq.remove_entry umq (Umq.Single m)
             | _ -> assert false)
         | Some Dyno_vm.Vm.Swept_irrelevant ->
             Mat_view.record_commit mv ~at:(Query_engine.now w)
               ~maintained:[ Update_msg.id m ];
             stats.Stats.irrelevant <- stats.Stats.irrelevant + 1;
+            Freshness.note_entry fresh ~now:(Query_engine.now w) [ m ];
             Umq.remove_entry umq (Umq.Single m)
         | Some (Dyno_vm.Vm.Swept_aborted b) -> failure := Some (`Aborted b)
         | Some (Dyno_vm.Vm.Swept_unreachable u) ->
@@ -404,6 +406,10 @@ let mirror_stats (obs : Dyno_obs.Obs.t) (stats : Stats.t) : unit =
     Dyno_obs.Metrics.set_gauge mx "sched.idle_s" stats.Stats.idle;
     Dyno_obs.Metrics.set_gauge mx "sched.end_time_s" stats.Stats.end_time;
     Dyno_obs.Metrics.set_gauge mx "sched.net_wait_s" stats.Stats.net_wait;
+    Dyno_obs.Metrics.set_gauge mx "sched.stall_ratio"
+      (if stats.Stats.end_time > 0.0 then
+         stats.Stats.net_wait /. stats.Stats.end_time
+       else 0.0);
     Dyno_obs.Metrics.set_counter mx "sched.du_maintained"
       stats.Stats.du_maintained;
     Dyno_obs.Metrics.set_counter mx "sched.sc_maintained"
@@ -435,6 +441,39 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
   let obs = Query_engine.obs w in
   let sp = Dyno_obs.Obs.spans obs in
   let now () = Query_engine.now w in
+  let fresh =
+    Freshness.create
+      ~metrics:(Dyno_obs.Obs.metrics obs)
+      ~mv
+      ~registry:(Query_engine.registry w)
+      ~queued:(Umq.messages umq) ()
+  in
+  let series = Dyno_obs.Obs.series obs in
+  if Dyno_obs.Timeseries.enabled series then begin
+    let mx = Dyno_obs.Obs.metrics obs in
+    Dyno_obs.Timeseries.probe series "umq.depth" (fun _ ->
+        float_of_int (List.length (Umq.entries umq)));
+    Dyno_obs.Timeseries.probe series "sched.inflight" (fun _ ->
+        Dyno_obs.Metrics.gauge_value mx "sched.inflight");
+    Dyno_obs.Timeseries.probe series ~kind:`Counter "sched.view_commits"
+      (fun _ -> float_of_int stats.Stats.view_commits);
+    Dyno_obs.Timeseries.probe series ~kind:`Counter "sched.probes" (fun _ ->
+        float_of_int stats.Stats.probes);
+    Dyno_obs.Timeseries.probe series ~kind:`Counter "sched.aborts" (fun _ ->
+        float_of_int stats.Stats.aborts);
+    Dyno_obs.Timeseries.probe series ~kind:`Counter "net.retries" (fun _ ->
+        float_of_int (Query_engine.net_retries w));
+    Dyno_obs.Timeseries.probe series "sched.busy_ratio" (fun now ->
+        if now > 0.0 then stats.Stats.busy /. now else 0.0);
+    Dyno_obs.Timeseries.probe series "sched.abort_ratio" (fun _ ->
+        if stats.Stats.busy > 0.0 then stats.Stats.abort_cost /. stats.Stats.busy
+        else 0.0);
+    Dyno_obs.Timeseries.probe series "staleness_s" (fun now ->
+        Freshness.staleness_seconds fresh ~now);
+    Dyno_obs.Timeseries.probe series "staleness_versions" (fun _ ->
+        float_of_int (Freshness.lag_versions fresh));
+    Freshness.register_probes fresh series
+  end;
   (* One iteration over a non-empty queue, run inside a [Maintain] span.
      Every clock advance below is charged to [Stats.busy] (detection,
      maintenance, post-abort correction, stall recovery), so the span's
@@ -481,6 +520,7 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
           stats.Stats.batch_updates <-
             stats.Stats.batch_updates + List.length msgs;
           stats.Stats.view_commits <- stats.Stats.view_commits + 1;
+          Freshness.note_entry fresh ~now:(Query_engine.now w) msgs;
           for _ = 1 to group_size do
             Umq.remove_head umq
           done
@@ -514,7 +554,7 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
          [parallel = 1] is bit-identical to the serial scheduler. *)
       match antichain ~config umq mv with
       | _ :: _ :: _ as members ->
-          parallel_round ~config w mv stats mid members
+          parallel_round ~config ~fresh w mv stats mid members
       | _ -> (
           match Umq.head umq with
           | None -> ()
@@ -529,6 +569,8 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
         | Done ->
             Dyno_obs.Span.set_attr sp mid "outcome" "done";
             stats.Stats.busy <- stats.Stats.busy +. (Query_engine.now w -. t0);
+            Freshness.note_entry fresh ~now:(Query_engine.now w)
+              (Umq.entry_messages entry);
             Umq.remove_head umq
         | UnreachableStep u ->
             Dyno_obs.Span.set_attr sp mid "outcome" "stalled";
@@ -573,6 +615,12 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
     incr steps;
     if !steps > config.max_steps then raise (Step_limit_exceeded !steps);
     Query_engine.deliver_due w;
+    (* Sampling at scheduler wakeups: every state change in the simulation
+       happens at a wakeup, so sampling here (rate-limited to the series
+       interval) captures every change-point without touching the clock. *)
+    ignore
+      (Dyno_obs.Timeseries.maybe_sample series ~now:(Query_engine.now w)
+        : bool);
     if Umq.is_empty umq then begin
       (* Wake for the next scheduled commit OR the next in-flight message
          arrival — with transport delay the timeline can be drained while
@@ -593,6 +641,9 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
     end
   in
   loop ();
+  (* Force a final sample at quiescence so the series always ends with the
+     caught-up state (staleness exactly 0). *)
+  Dyno_obs.Timeseries.sample series ~now:(Query_engine.now w);
   stats.Stats.end_time <- Query_engine.now w;
   record_net_stats w stats;
   mirror_stats obs stats;

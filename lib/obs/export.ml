@@ -212,3 +212,52 @@ let pp_breakdown ppf (b : breakdown) =
         p.max)
     b.phases;
   Fmt.pf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics / Prometheus text exposition                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Metric names are restricted to [a-zA-Z0-9_:]; the registry's dotted
+   names map onto it with dots (and anything else exotic) as
+   underscores, under a [dyno_] namespace prefix. *)
+let openmetrics_name name =
+  let b = Buffer.create (String.length name + 8) in
+  Buffer.add_string b "dyno_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+(** [openmetrics mx] — the registry in OpenMetrics text exposition:
+    counters as [counter] (with the mandated [_total] sample suffix),
+    gauges as [gauge], histograms as [summary] (p50/p90/p99 quantile
+    series plus [_sum]/[_count]), terminated by [# EOF]. *)
+let openmetrics (mx : Metrics.t) : string =
+  let b = Buffer.create 2048 in
+  let line fmt = Fmt.kstr (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  Metrics.fold mx
+    (fun () name m ->
+      let om = openmetrics_name name in
+      match m with
+      | Metrics.Counter r ->
+          line "# TYPE %s counter" om;
+          line "%s_total %d" om !r
+      | Metrics.Gauge r ->
+          line "# TYPE %s gauge" om;
+          line "%s %.9g" om !r
+      | Metrics.Histogram _ -> (
+          match Metrics.histogram_summary mx name with
+          | None -> ()
+          | Some s ->
+              line "# TYPE %s summary" om;
+              line "%s{quantile=\"0.5\"} %.9g" om s.Metrics.p50;
+              line "%s{quantile=\"0.9\"} %.9g" om s.Metrics.p90;
+              line "%s{quantile=\"0.99\"} %.9g" om s.Metrics.p99;
+              line "%s_sum %.9g" om s.Metrics.sum;
+              line "%s_count %d" om s.Metrics.count))
+    ();
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b

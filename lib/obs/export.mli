@@ -35,3 +35,10 @@ val breakdown : Span.recorder -> breakdown
     accounting). *)
 
 val pp_breakdown : Format.formatter -> breakdown -> unit
+
+val openmetrics : Metrics.t -> string
+(** The registry in OpenMetrics / Prometheus text exposition: counters
+    with the mandated [_total] suffix, gauges, histograms as summaries
+    (p50/p90/p99 quantile series + [_sum]/[_count]); terminated by
+    [# EOF].  Names are sanitized to [a-zA-Z0-9_:] under a [dyno_]
+    prefix ([probe.rtt_s] → [dyno_probe_rtt_s]). *)

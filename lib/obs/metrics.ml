@@ -171,6 +171,14 @@ let histogram_summary t name =
   | Some (Histogram h) -> Some (summarize h)
   | _ -> None
 
+(** [kind_of t name] — what (if anything) is registered under [name]. *)
+let kind_of t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Counter _) -> Some `Counter
+  | Some (Gauge _) -> Some `Gauge
+  | Some (Histogram _) -> Some `Histogram
+  | None -> None
+
 (** Every metric, in registration order. *)
 let fold t f acc =
   List.fold_left

@@ -48,6 +48,9 @@ type histogram_summary = {
 
 val histogram_summary : t -> string -> histogram_summary option
 
+val kind_of : t -> string -> [ `Counter | `Gauge | `Histogram ] option
+(** What (if anything) is registered under a name. *)
+
 type metric =
   | Counter of int ref
   | Gauge of float ref

@@ -1,26 +1,44 @@
 (** The observability handle threaded through the maintenance pipeline:
-    one span recorder plus one metrics registry.
+    one span recorder, one metrics registry, one time-series sampler.
 
     The handle rides inside {!Dyno_view.Query_engine} (like the event
     {!Dyno_sim.Trace}), so every subsystem that already receives the
     engine — schedulers, SWEEP, VS/VA, the Equation 6 batch path, the
-    transport channel — can record spans and observe metrics without new
-    plumbing.  The default is {!disabled}: a structural no-op whose calls
-    never touch the simulated clock, so obs-off runs are bit-identical to
-    a build without observability. *)
+    transport channel — can record spans, observe metrics and register
+    sampler probes without new plumbing.  The default is {!disabled}: a
+    structural no-op whose calls never touch the simulated clock, so
+    obs-off runs are bit-identical to a build without observability. *)
 
-type t = { spans : Span.recorder; metrics : Metrics.t }
+type t = {
+  spans : Span.recorder;
+  metrics : Metrics.t;
+  series : Timeseries.t;
+}
 
-let create ?(enabled = true) () =
-  { spans = Span.create ~enabled (); metrics = Metrics.create ~enabled () }
+(** [create ?enabled ?sample_interval ()] — [sample_interval] (simulated
+    seconds) turns on the time-series sampler; without it the sampler is
+    the no-op {!Timeseries.disabled} (spans and metrics still record). *)
+let create ?(enabled = true) ?sample_interval () =
+  {
+    spans = Span.create ~enabled ();
+    metrics = Metrics.create ~enabled ();
+    series =
+      (match sample_interval with
+      | Some interval when enabled -> Timeseries.create ~interval ()
+      | _ -> Timeseries.disabled);
+  }
 
 (** The shared no-op handle (the engine's default). *)
-let disabled = { spans = Span.disabled; metrics = Metrics.disabled }
+let disabled =
+  { spans = Span.disabled; metrics = Metrics.disabled;
+    series = Timeseries.disabled }
 
 let enabled t = Span.enabled t.spans
 let spans t = t.spans
 let metrics t = t.metrics
+let series t = t.series
 
 let clear t =
   Span.clear t.spans;
-  Metrics.clear t.metrics
+  Metrics.clear t.metrics;
+  Timeseries.clear t.series

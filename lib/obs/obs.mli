@@ -1,11 +1,18 @@
 (** The observability handle: one {!Span} recorder + one {!Metrics}
-    registry, threaded through the pipeline inside
-    {!Dyno_view.Query_engine}.  {!disabled} (the default) is a structural
-    no-op. *)
+    registry + one {!Timeseries} sampler, threaded through the pipeline
+    inside {!Dyno_view.Query_engine}.  {!disabled} (the default) is a
+    structural no-op. *)
 
-type t = { spans : Span.recorder; metrics : Metrics.t }
+type t = {
+  spans : Span.recorder;
+  metrics : Metrics.t;
+  series : Timeseries.t;
+}
 
-val create : ?enabled:bool -> unit -> t
+val create : ?enabled:bool -> ?sample_interval:float -> unit -> t
+(** [sample_interval] (simulated seconds) turns on the time-series
+    sampler; without it the sampler is {!Timeseries.disabled} while spans
+    and metrics still record. *)
 
 val disabled : t
 (** The shared no-op handle (the engine's default). *)
@@ -13,4 +20,5 @@ val disabled : t
 val enabled : t -> bool
 val spans : t -> Span.recorder
 val metrics : t -> Metrics.t
+val series : t -> Timeseries.t
 val clear : t -> unit

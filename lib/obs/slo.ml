@@ -1,0 +1,175 @@
+(** Declarative service-level objectives over the metrics registry.
+
+    An objective is a one-line spec such as
+
+    {v staleness.p99 <= 30      stall_ratio <= 0.2      sched.aborts < 5 v}
+
+    i.e. [NAME[.STAT] OP THRESHOLD] with [STAT] one of
+    [p50 p90 p99 max mean count], [OP] one of [<= < >= > ==].  [NAME] is
+    resolved against the registry with the naming conventions of
+    DESIGN.md §11: the literal name first, then [NAME_s] (duration
+    histograms carry an [_s] suffix — so [staleness.p99] finds the
+    [staleness_s] histogram), then [sched.NAME] (so [stall_ratio] finds
+    the scheduler's [sched.stall_ratio] gauge).
+
+    Evaluation is end-of-run: {!eval} reads the registry once and returns
+    a verdict ([dyno run --slo SPEC] prints them; [--slo-exit] turns any
+    failure into a nonzero exit status — the CI regression-gate hook). *)
+
+type stat = Value | P50 | P90 | P99 | Max | Mean | Count
+
+type op = Le | Lt | Ge | Gt | Eq
+
+type objective = {
+  spec : string;  (** the original text, for display *)
+  metric : string;
+  stat : stat;
+  op : op;
+  threshold : float;
+}
+
+type verdict = {
+  objective : objective;
+  actual : float option;  (** [None] when the metric was never recorded *)
+  pass : bool;
+}
+
+let stat_of_string = function
+  | "p50" -> Some P50
+  | "p90" -> Some P90
+  | "p99" -> Some P99
+  | "max" -> Some Max
+  | "mean" -> Some Mean
+  | "count" -> Some Count
+  | _ -> None
+
+let pp_stat ppf = function
+  | Value -> ()
+  | P50 -> Fmt.pf ppf ".p50"
+  | P90 -> Fmt.pf ppf ".p90"
+  | P99 -> Fmt.pf ppf ".p99"
+  | Max -> Fmt.pf ppf ".max"
+  | Mean -> Fmt.pf ppf ".mean"
+  | Count -> Fmt.pf ppf ".count"
+
+let pp_op ppf op =
+  Fmt.string ppf
+    (match op with Le -> "<=" | Lt -> "<" | Ge -> ">=" | Gt -> ">" | Eq -> "==")
+
+(* Split [spec] at the first comparison operator (two-char ops first). *)
+let split_op spec =
+  let n = String.length spec in
+  let rec scan i =
+    if i >= n then None
+    else
+      match spec.[i] with
+      | '<' | '>' ->
+          let two = i + 1 < n && spec.[i + 1] = '=' in
+          let op =
+            match (spec.[i], two) with
+            | '<', true -> Le
+            | '<', false -> Lt
+            | '>', true -> Ge
+            | _ -> Gt
+          in
+          let w = if two then 2 else 1 in
+          Some (String.sub spec 0 i, op, String.sub spec (i + w) (n - i - w))
+      | '=' when i + 1 < n && spec.[i + 1] = '=' ->
+          Some (String.sub spec 0 i, Eq, String.sub spec (i + 2) (n - i - 2))
+      | _ -> scan (i + 1)
+  in
+  scan 0
+
+(** [parse spec] — [Error] carries a human-readable diagnosis. *)
+let parse spec : (objective, string) result =
+  match split_op spec with
+  | None -> Error (Fmt.str "%S: no comparison operator (<= < >= > ==)" spec)
+  | Some (lhs, op, rhs) -> (
+      let lhs = String.trim lhs and rhs = String.trim rhs in
+      match float_of_string_opt rhs with
+      | None -> Error (Fmt.str "%S: threshold %S is not a number" spec rhs)
+      | Some threshold ->
+          if lhs = "" then Error (Fmt.str "%S: empty metric name" spec)
+          else
+            let metric, stat =
+              match String.rindex_opt lhs '.' with
+              | Some i -> (
+                  let suffix =
+                    String.sub lhs (i + 1) (String.length lhs - i - 1)
+                  in
+                  match stat_of_string suffix with
+                  | Some st -> (String.sub lhs 0 i, st)
+                  | None -> (lhs, Value))
+              | None -> (lhs, Value)
+            in
+            Ok { spec; metric; stat; op; threshold })
+
+let parse_exn spec =
+  match parse spec with Ok o -> o | Error e -> invalid_arg e
+
+(* Name-resolution fallback chain (see module doc). *)
+let candidates name =
+  [ name; name ^ "_s"; "sched." ^ name; "sched." ^ name ^ "_s" ]
+
+let resolve mx name =
+  List.find_opt (fun n -> Metrics.kind_of mx n <> None) (candidates name)
+
+let read mx obj : float option =
+  match resolve mx obj.metric with
+  | None -> None
+  | Some name -> (
+      match Metrics.kind_of mx name with
+      | Some `Counter -> Some (float_of_int (Metrics.counter_value mx name))
+      | Some `Gauge -> Some (Metrics.gauge_value mx name)
+      | Some `Histogram -> (
+          match Metrics.histogram_summary mx name with
+          | None -> None
+          | Some s -> (
+              match obj.stat with
+              | P50 -> Some s.Metrics.p50
+              | P90 -> Some s.Metrics.p90
+              | P99 | Value -> Some s.Metrics.p99
+                  (* a bare histogram name defaults to its tail quantile —
+                     the conservative read for a "stay below X" objective *)
+              | Max -> Some s.Metrics.max
+              | Count -> Some (float_of_int s.Metrics.count)
+              | Mean ->
+                  Some
+                    (if s.Metrics.count = 0 then 0.0
+                     else s.Metrics.sum /. float_of_int s.Metrics.count)))
+      | None -> None)
+
+let compare_op op actual threshold =
+  match op with
+  | Le -> actual <= threshold
+  | Lt -> actual < threshold
+  | Ge -> actual >= threshold
+  | Gt -> actual > threshold
+  | Eq -> Float.abs (actual -. threshold) <= 1e-9
+
+(** [eval mx obj] — a missing metric fails the objective (an SLO over a
+    signal that was never recorded is not met, it is unverifiable). *)
+let eval mx obj =
+  match read mx obj with
+  | None -> { objective = obj; actual = None; pass = false }
+  | Some actual ->
+      { objective = obj; actual = Some actual;
+        pass = compare_op obj.op actual obj.threshold }
+
+let eval_all mx objs = List.map (eval mx) objs
+
+let all_pass verdicts = List.for_all (fun v -> v.pass) verdicts
+
+let pp_objective ppf o =
+  Fmt.pf ppf "%s%a %a %g" o.metric pp_stat o.stat pp_op o.op o.threshold
+
+let pp_verdict ppf v =
+  let obj = Fmt.str "%a" pp_objective v.objective in
+  match v.actual with
+  | None ->
+      Fmt.pf ppf "FAIL  %-32s (metric %s not recorded)" obj
+        v.objective.metric
+  | Some a ->
+      Fmt.pf ppf "%s  %-32s (actual %.4g)"
+        (if v.pass then "PASS" else "FAIL")
+        obj a

@@ -1,0 +1,39 @@
+(** Declarative service-level objectives over the {!Metrics} registry:
+    one-line specs of the form [NAME[.STAT] OP THRESHOLD], e.g.
+    [staleness.p99 <= 30] or [stall_ratio <= 0.2].  [STAT] is one of
+    [p50 p90 p99 max mean count]; [NAME] resolves via the DESIGN.md §11
+    naming conventions (literal, then [NAME_s], then [sched.NAME]).
+    Evaluated at end of run; failures can fail the process
+    ([dyno run --slo SPEC --slo-exit]). *)
+
+type stat = Value | P50 | P90 | P99 | Max | Mean | Count
+type op = Le | Lt | Ge | Gt | Eq
+
+type objective = {
+  spec : string;  (** the original text, for display *)
+  metric : string;
+  stat : stat;
+  op : op;
+  threshold : float;
+}
+
+type verdict = {
+  objective : objective;
+  actual : float option;  (** [None] when the metric was never recorded *)
+  pass : bool;
+}
+
+val parse : string -> (objective, string) result
+(** [Error] carries a human-readable diagnosis. *)
+
+val parse_exn : string -> objective
+(** @raise Invalid_argument on a malformed spec. *)
+
+val eval : Metrics.t -> objective -> verdict
+(** A metric that was never recorded fails the objective. *)
+
+val eval_all : Metrics.t -> objective list -> verdict list
+val all_pass : verdict list -> bool
+
+val pp_objective : Format.formatter -> objective -> unit
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -336,6 +336,26 @@ let relation_at s ~version name =
 
 let history s = List.rev s.history
 
+(** {2 Commit frontier}
+
+    What the freshness/staleness tracker reads: when did this source
+    commit a given version?  History is newest-first and versions are
+    dense, so both lookups are cheap. *)
+
+(** [commit_time_of_version s v] — the simulated time at which version
+    [v] was committed; [None] for version 0 (initial load, not
+    versioned) or a version this source never produced. *)
+let commit_time_of_version s v =
+  match List.assoc_opt v s.history with
+  | Some (H_du { time; _ }) | Some (H_sc { time; _ }) -> Some time
+  | None -> None
+
+(** [last_commit_time s] — time of the newest commit, if any. *)
+let last_commit_time s =
+  match s.history with
+  | (_, H_du { time; _ }) :: _ | (_, H_sc { time; _ }) :: _ -> Some time
+  | [] -> None
+
 let pp ppf s =
   Fmt.pf ppf "@[<v2>source %s (v%d):@,%a@]" s.id s.version Catalog.pp s.catalog
 

@@ -105,5 +105,13 @@ type hist_entry =
 
 val history : t -> (int * hist_entry) list
 
+val commit_time_of_version : t -> int -> float option
+(** Simulated time at which a version was committed; [None] for
+    version 0 (initial load, not versioned) or an unknown version.  The
+    freshness/staleness tracker's commit-frontier read. *)
+
+val last_commit_time : t -> float option
+(** Time of the newest commit, if any. *)
+
 val pp : Format.formatter -> t -> unit
 val pp_broken : Format.formatter -> broken -> unit

@@ -21,10 +21,15 @@ type t = {
   mutable extent : Relation.t;
   mutable commits : commit list;  (** newest first *)
   track_snapshots : bool;
+  applied : (string, int * float) Hashtbl.t;
+      (** applied frontier: per source, the highest source version this
+          view has integrated (or trivially reflects) and the simulated
+          time of that source commit.  Written by the schedulers'
+          freshness tracker, read by staleness probes and [dyno report]. *)
 }
 
 let create ?(track_snapshots = false) def extent =
-  { def; extent; commits = []; track_snapshots }
+  { def; extent; commits = []; track_snapshots; applied = Hashtbl.create 8 }
 
 let def v = v.def
 let extent v = v.extent
@@ -62,6 +67,25 @@ let refresh v ~at ~maintained delta =
 let replace v ~at ~maintained extent =
   v.extent <- extent;
   record_commit v ~at ~maintained
+
+(** [note_applied v ~source ~version ~commit_time] advances the applied
+    frontier for [source] (monotone: a stale redelivery never moves it
+    backwards). *)
+let note_applied v ~source ~version ~commit_time =
+  match Hashtbl.find_opt v.applied source with
+  | Some (have, _) when have >= version -> ()
+  | _ -> Hashtbl.replace v.applied source (version, commit_time)
+
+(** [applied_version v source] — highest integrated version of [source],
+    if any update from it was ever applied. *)
+let applied_version v source =
+  Option.map fst (Hashtbl.find_opt v.applied source)
+
+(** The whole applied frontier, sorted by source id:
+    [(source, (version, commit_time))]. *)
+let applied_frontier v =
+  Hashtbl.fold (fun src f acc -> (src, f) :: acc) v.applied []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let pp ppf v =
   Fmt.pf ppf "@[<v>%a@,extent: %d tuples, %d commits@]" View_def.pp v.def

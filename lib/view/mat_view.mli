@@ -37,4 +37,19 @@ val replace : t -> at:float -> maintained:int list -> Relation.t -> unit
 (** Install a whole new extent (adaptation after the definition changed
     shape). *)
 
+(** {1 Applied frontier}
+
+    Per-source freshness bookkeeping written by the schedulers' staleness
+    tracker: the highest source version the view has integrated (or
+    trivially reflects) and the simulated time of that source commit. *)
+
+val note_applied : t -> source:string -> version:int -> commit_time:float -> unit
+(** Advance the frontier for a source (monotone: a stale redelivery never
+    moves it backwards). *)
+
+val applied_version : t -> string -> int option
+
+val applied_frontier : t -> (string * (int * float)) list
+(** [(source, (version, commit_time))], sorted by source id. *)
+
 val pp : Format.formatter -> t -> unit

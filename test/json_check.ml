@@ -1,153 +1,10 @@
-(* A deliberately tiny recursive-descent JSON well-formedness checker used
-   by the round-trip tests: no external JSON library is in the dependency
-   cone, and the tests only need "does this string parse as JSON", not a
-   document model.  Accepts exactly RFC 8259 grammar (objects, arrays,
-   strings with escapes, numbers, true/false/null); rejects trailing
-   garbage. *)
+(* Alcotest-facing wrappers over the shared RFC-8259 checker
+   (lib/jsonv): the tests only need "does this string parse as JSON",
+   not a document model — but the parser itself now lives in
+   [Dyno_jsonv.Jsonv] so the bench regression gate and the [json_check]
+   CLI can reuse it. *)
 
-exception Bad of string * int
-
-let fail pos msg = raise (Bad (msg, pos))
-
-type cursor = { s : string; mutable pos : int }
-
-let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
-
-let next c =
-  match peek c with
-  | Some ch ->
-      c.pos <- c.pos + 1;
-      ch
-  | None -> fail c.pos "unexpected end of input"
-
-let expect c ch =
-  let got = next c in
-  if got <> ch then fail (c.pos - 1) (Printf.sprintf "expected %C, got %C" ch got)
-
-let skip_ws c =
-  let rec go () =
-    match peek c with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-        c.pos <- c.pos + 1;
-        go ()
-    | _ -> ()
-  in
-  go ()
-
-let expect_lit c lit =
-  String.iter (fun ch -> expect c ch) lit
-
-let parse_string c =
-  expect c '"';
-  let rec go () =
-    match next c with
-    | '"' -> ()
-    | '\\' -> (
-        match next c with
-        | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> go ()
-        | 'u' ->
-            for _ = 1 to 4 do
-              match next c with
-              | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
-              | ch -> fail (c.pos - 1) (Printf.sprintf "bad hex digit %C" ch)
-            done;
-            go ()
-        | ch -> fail (c.pos - 1) (Printf.sprintf "bad escape %C" ch))
-    | ch when Char.code ch < 0x20 ->
-        fail (c.pos - 1) "unescaped control character in string"
-    | _ -> go ()
-  in
-  go ()
-
-let parse_number c =
-  (match peek c with Some '-' -> ignore (next c) | _ -> ());
-  let digits () =
-    let n = ref 0 in
-    let rec go () =
-      match peek c with
-      | Some '0' .. '9' ->
-          incr n;
-          c.pos <- c.pos + 1;
-          go ()
-      | _ -> ()
-    in
-    go ();
-    if !n = 0 then fail c.pos "expected digit"
-  in
-  digits ();
-  (match peek c with
-  | Some '.' ->
-      c.pos <- c.pos + 1;
-      digits ()
-  | _ -> ());
-  match peek c with
-  | Some ('e' | 'E') ->
-      c.pos <- c.pos + 1;
-      (match peek c with
-      | Some ('+' | '-') -> c.pos <- c.pos + 1
-      | _ -> ());
-      digits ()
-  | _ -> ()
-
-let rec parse_value c =
-  skip_ws c;
-  match peek c with
-  | Some '"' -> parse_string c
-  | Some '{' -> parse_object c
-  | Some '[' -> parse_array c
-  | Some 't' -> expect_lit c "true"
-  | Some 'f' -> expect_lit c "false"
-  | Some 'n' -> expect_lit c "null"
-  | Some ('-' | '0' .. '9') -> parse_number c
-  | Some ch -> fail c.pos (Printf.sprintf "unexpected %C" ch)
-  | None -> fail c.pos "unexpected end of input"
-
-and parse_object c =
-  expect c '{';
-  skip_ws c;
-  match peek c with
-  | Some '}' -> c.pos <- c.pos + 1
-  | _ ->
-      let rec members () =
-        skip_ws c;
-        parse_string c;
-        skip_ws c;
-        expect c ':';
-        parse_value c;
-        skip_ws c;
-        match next c with
-        | ',' -> members ()
-        | '}' -> ()
-        | ch -> fail (c.pos - 1) (Printf.sprintf "expected , or }, got %C" ch)
-      in
-      members ()
-
-and parse_array c =
-  expect c '[';
-  skip_ws c;
-  match peek c with
-  | Some ']' -> c.pos <- c.pos + 1
-  | _ ->
-      let rec elements () =
-        parse_value c;
-        skip_ws c;
-        match next c with
-        | ',' -> elements ()
-        | ']' -> ()
-        | ch -> fail (c.pos - 1) (Printf.sprintf "expected , or ], got %C" ch)
-      in
-      elements ()
-
-let check s =
-  let c = { s; pos = 0 } in
-  match
-    parse_value c;
-    skip_ws c;
-    peek c
-  with
-  | None -> Ok ()
-  | Some ch -> Error (Printf.sprintf "trailing %C at %d" ch c.pos)
-  | exception Bad (msg, pos) -> Error (Printf.sprintf "%s at %d" msg pos)
+let check = Dyno_jsonv.Jsonv.check
 
 let check_exn ~what s =
   match check s with

@@ -156,8 +156,8 @@ let test_sequencer_exactly_once () =
 
 (* -- end-to-end: zero-fault identity ----------------------------------- *)
 
-let scenario ?(trace_enabled = false) ?faults ?net_seed ~seed ~n_dus ~n_scs ()
-    =
+let scenario ?(trace_enabled = false) ?faults ?net_seed ?obs ~seed ~n_dus
+    ~n_scs () =
   let timeline =
     Dyno_workload.Generator.mixed ~rows:10 ~seed ~n_dus ~du_interval:0.2
       ~sc_start:0.1 ~sc_interval:1.5
@@ -166,12 +166,12 @@ let scenario ?(trace_enabled = false) ?faults ?net_seed ~seed ~n_dus ~n_scs ()
   in
   Dyno_workload.Scenario.make ~rows:10
     ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
-    ~track_snapshots:true ~trace_enabled ?faults ?net_seed ~timeline ()
+    ~track_snapshots:true ~trace_enabled ?faults ?net_seed ?obs ~timeline ()
 
 let test_zero_fault_identity () =
-  let run ?faults ?net_seed ?parallel () =
+  let run ?faults ?net_seed ?parallel ?obs () =
     let t =
-      scenario ~trace_enabled:true ?faults ?net_seed ~seed:11 ~n_dus:12
+      scenario ~trace_enabled:true ?faults ?net_seed ?obs ~seed:11 ~n_dus:12
         ~n_scs:2 ()
     in
     let stats =
@@ -206,7 +206,16 @@ let test_zero_fault_identity () =
     (run ~faults:Channel.reliable ~net_seed:987654 ());
   (* --parallel 1 must take the serial path bit for bit: same stats, same
      extent, byte-identical trace. *)
-  check_identical "parallel=1" base (run ~parallel:1 ())
+  check_identical "parallel=1" base (run ~parallel:1 ());
+  (* observability is pure observation: recording spans/metrics without
+     the sampler, and sampling the time series itself, both leave the run
+     byte-identical to the obs-disabled baseline. *)
+  check_identical "obs on, sampler off" base
+    (run ~obs:(Dyno_obs.Obs.create ()) ());
+  let sampled = Dyno_obs.Obs.create ~sample_interval:0.25 () in
+  check_identical "obs on, sampler on" base (run ~obs:sampled ());
+  Alcotest.(check bool) "the sampler did actually sample" true
+    (Dyno_obs.Timeseries.length (Dyno_obs.Obs.series sampled) > 0)
 
 (* -- the golden property ----------------------------------------------- *)
 

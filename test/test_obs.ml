@@ -288,6 +288,305 @@ let test_json_escaping () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "checker should reject malformed JSON"
 
+(* -- metrics edge cases: empty / single / bucket bounds / clamping ------ *)
+
+let test_metrics_empty_histogram () =
+  let m = Metrics.create () in
+  Alcotest.(check (float 0.0)) "absent quantile is 0" 0.0
+    (Metrics.quantile m "never" 0.5);
+  Alcotest.(check bool) "absent summary is None" true
+    (Metrics.histogram_summary m "never" = None);
+  (* a name registered as another kind is not a histogram either *)
+  Metrics.incr m "c";
+  Alcotest.(check bool) "counter has no summary" true
+    (Metrics.histogram_summary m "c" = None);
+  Alcotest.(check (float 0.0)) "counter quantile is 0" 0.0
+    (Metrics.quantile m "c" 0.99)
+
+let test_metrics_single_sample () =
+  let m = Metrics.create () in
+  Metrics.observe m "one" 0.37;
+  (* with a single observation every quantile clamps to the observed max *)
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-12))
+        (Fmt.str "q=%g collapses to the sample" q)
+        0.37
+        (Metrics.quantile m "one" q))
+    [ 0.0; 0.5; 0.9; 0.99; 1.0 ];
+  match Metrics.histogram_summary m "one" with
+  | Some s ->
+      Alcotest.(check int) "count" 1 s.Metrics.count;
+      Alcotest.(check (float 1e-12)) "sum" 0.37 s.Metrics.sum;
+      Alcotest.(check (float 1e-12)) "min" 0.37 s.Metrics.min;
+      Alcotest.(check (float 1e-12)) "max" 0.37 s.Metrics.max;
+      Alcotest.(check (float 1e-12)) "p50 = p99 = the sample" s.Metrics.p50
+        s.Metrics.p99
+  | None -> Alcotest.fail "summary expected"
+
+let test_metrics_bucket_boundaries () =
+  let m = Metrics.create () in
+  (* exactly the base bound (1 µs) lands in bucket 0 whose upper bound is
+     exactly 1e-6 — the quantile readout is exact, not off by a bucket *)
+  Metrics.observe m "edge" 1e-6;
+  Alcotest.(check (float 1e-18)) "p99 at exact base bound" 1e-6
+    (Metrics.quantile m "edge" 0.99);
+  (* un-clamped bound readout: 100 samples inside (1 µs, 2 µs] plus one
+     above ⇒ p50 is that bucket's upper bound, exactly 2e-6 *)
+  for _ = 1 to 100 do
+    Metrics.observe m "bounds" 1.1e-6
+  done;
+  Metrics.observe m "bounds" 3e-6;
+  Alcotest.(check (float 1e-18)) "p50 = log₂ bucket upper bound" 2e-6
+    (Metrics.quantile m "bounds" 0.5);
+  Alcotest.(check (float 1e-18)) "p99 still in the low bucket" 2e-6
+    (Metrics.quantile m "bounds" 0.99)
+
+let test_metrics_max_clamping () =
+  let m = Metrics.create () in
+  (* 40, 50, 60 s all fall in the same [33.6, 67.1] log₂ bucket: without
+     clamping every quantile would read the bucket bound 67.1; the clamp
+     pins them to the observed max *)
+  List.iter (Metrics.observe m "lat") [ 40.0; 50.0; 60.0 ];
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Fmt.str "q=%g clamps to max" q)
+        60.0
+        (Metrics.quantile m "lat" q))
+    [ 0.5; 0.9; 0.99 ];
+  match Metrics.histogram_summary m "lat" with
+  | Some s ->
+      Alcotest.(check (float 1e-9)) "summary p50 clamped too" 60.0 s.Metrics.p50;
+      Alcotest.(check (float 1e-9)) "max" 60.0 s.Metrics.max
+  | None -> Alcotest.fail "summary expected"
+
+(* -- time-series sampler ------------------------------------------------ *)
+
+let test_series_interval_gating () =
+  let s = Timeseries.create ~interval:1.0 () in
+  let v = ref 0.0 in
+  Timeseries.probe s "x" (fun _ -> !v);
+  Alcotest.(check bool) "first sample due immediately" true
+    (Timeseries.maybe_sample s ~now:0.0);
+  Alcotest.(check bool) "within the interval: skipped" false
+    (Timeseries.maybe_sample s ~now:0.4);
+  v := 7.0;
+  Alcotest.(check bool) "due again at the interval" true
+    (Timeseries.maybe_sample s ~now:1.0);
+  (match Timeseries.samples s with
+  | [ a; b ] ->
+      Alcotest.(check (float 0.0)) "t₀" 0.0 a.Timeseries.at;
+      Alcotest.(check (float 0.0)) "x@t₀" 0.0
+        (List.assoc "x" a.Timeseries.values);
+      Alcotest.(check (float 0.0)) "x@t₁ reads the probe live" 7.0
+        (List.assoc "x" b.Timeseries.values)
+  | l -> Alcotest.failf "expected 2 samples, got %d" (List.length l));
+  (* a forced sample at an already-sampled instant dedupes... *)
+  Timeseries.sample s ~now:1.0;
+  Alcotest.(check int) "same-instant force deduped" 2 (Timeseries.length s);
+  (* ...but a forced sample mid-interval is taken *)
+  Timeseries.sample s ~now:1.25;
+  Alcotest.(check int) "off-interval force taken" 3 (Timeseries.length s)
+
+let test_series_counter_rates () =
+  let s = Timeseries.create ~interval:0.5 () in
+  let c = ref 0.0 in
+  Timeseries.probe s ~kind:`Counter "c" (fun _ -> !c);
+  Timeseries.sample s ~now:0.0;
+  c := 10.0;
+  Timeseries.sample s ~now:2.0;
+  match Timeseries.samples s with
+  | [ a; b ] ->
+      Alcotest.(check (float 0.0)) "first sample has no history: rate 0" 0.0
+        (List.assoc "c.rate" a.Timeseries.values);
+      Alcotest.(check (float 1e-12)) "rate = Δv/Δt" 5.0
+        (List.assoc "c.rate" b.Timeseries.values);
+      Alcotest.(check (float 0.0)) "raw value kept alongside" 10.0
+        (List.assoc "c" b.Timeseries.values)
+  | l -> Alcotest.failf "expected 2 samples, got %d" (List.length l)
+
+let test_series_ring_and_jsonl () =
+  let s = Timeseries.create ~capacity:3 ~interval:1.0 () in
+  Timeseries.probe s "x" (fun now -> now *. 2.0);
+  for i = 0 to 4 do
+    Timeseries.sample s ~now:(float_of_int i)
+  done;
+  Alcotest.(check int) "ring holds capacity" 3 (Timeseries.length s);
+  Alcotest.(check int) "evictions counted" 2 (Timeseries.dropped s);
+  (match Timeseries.samples s with
+  | [ a; _; c ] ->
+      Alcotest.(check (float 0.0)) "oldest retained" 2.0 a.Timeseries.at;
+      Alcotest.(check (float 0.0)) "newest last" 4.0 c.Timeseries.at
+  | l -> Alcotest.failf "expected 3 samples, got %d" (List.length l));
+  Json_check.check_jsonl_exn ~what:"series JSONL" (Timeseries.to_jsonl s);
+  Alcotest.check_raises "interval <= 0 rejected"
+    (Invalid_argument "Timeseries.create: interval <= 0") (fun () ->
+      ignore (Timeseries.create ~interval:0.0 ()));
+  Alcotest.check_raises "capacity <= 0 rejected"
+    (Invalid_argument "Timeseries.create: capacity <= 0") (fun () ->
+      ignore (Timeseries.create ~capacity:0 ~interval:1.0 ()))
+
+let test_series_disabled_noop () =
+  let s = Timeseries.disabled in
+  Timeseries.probe s "x" (fun _ -> 1.0);
+  Alcotest.(check bool) "never samples" false (Timeseries.maybe_sample s ~now:0.0);
+  Timeseries.sample s ~now:1.0;
+  Alcotest.(check int) "stays empty" 0 (Timeseries.length s);
+  Alcotest.(check bool) "reports disabled" false (Timeseries.enabled s);
+  (* Obs only owns a live sampler when an interval was requested *)
+  Alcotest.(check bool) "Obs.create () has no sampler" false
+    (Timeseries.enabled (Obs.series (Obs.create ())));
+  Alcotest.(check bool) "Obs.create ~sample_interval has one" true
+    (Timeseries.enabled (Obs.series (Obs.create ~sample_interval:0.5 ())))
+
+(* -- SLO parsing + evaluation ------------------------------------------- *)
+
+let test_slo_parse () =
+  (match Slo.parse "staleness.p99 <= 30" with
+  | Ok o ->
+      Alcotest.(check string) "metric" "staleness" o.Slo.metric;
+      Alcotest.(check bool) "stat" true (o.Slo.stat = Slo.P99);
+      Alcotest.(check bool) "op" true (o.Slo.op = Slo.Le);
+      Alcotest.(check (float 0.0)) "threshold" 30.0 o.Slo.threshold
+  | Error e -> Alcotest.failf "should parse: %s" e);
+  (match Slo.parse "stall_ratio < 0.2" with
+  | Ok o ->
+      Alcotest.(check bool) "no suffix means raw value" true
+        (o.Slo.stat = Slo.Value);
+      Alcotest.(check bool) "strict op" true (o.Slo.op = Slo.Lt)
+  | Error e -> Alcotest.failf "should parse: %s" e);
+  (match Slo.parse "view.V.staleness_s.max == 0" with
+  | Ok o ->
+      (* only the last dot-segment is a stat candidate: dotted metric
+         names survive *)
+      Alcotest.(check string) "dotted metric kept" "view.V.staleness_s"
+        o.Slo.metric;
+      Alcotest.(check bool) "max stat" true (o.Slo.stat = Slo.Max);
+      Alcotest.(check bool) "eq op" true (o.Slo.op = Slo.Eq)
+  | Error e -> Alcotest.failf "should parse: %s" e);
+  List.iter
+    (fun bad ->
+      match Slo.parse bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "should reject %S" bad)
+    [ ""; "no operator here"; "m <= "; "m <= twelve"; " <= 3" ];
+  Alcotest.check_raises "parse_exn raises on garbage"
+    (Invalid_argument "\"nope\": no comparison operator (<= < >= > ==)")
+    (fun () -> ignore (Slo.parse_exn "nope"))
+
+let test_slo_eval () =
+  let m = Metrics.create () in
+  Metrics.set_gauge m "sched.stall_ratio" 0.25;
+  Metrics.incr m ~by:4 "sched.aborts";
+  Metrics.observe m "staleness_s" 0.5;
+  Metrics.observe m "staleness_s" 0.5;
+  Metrics.observe m "staleness_s" 40.0;
+  let eval spec = Slo.eval m (Slo.parse_exn spec) in
+  (* resolution chain: literal, NAME_s, sched.NAME *)
+  let v = eval "stall_ratio <= 0.3" in
+  Alcotest.(check bool) "gauge via sched. prefix passes" true v.Slo.pass;
+  Alcotest.(check (option (float 0.0))) "actual read" (Some 0.25) v.Slo.actual;
+  Alcotest.(check bool) "counter compares as float" true
+    (eval "aborts <= 4").Slo.pass;
+  Alcotest.(check bool) "counter strict fail" false
+    (eval "aborts < 4").Slo.pass;
+  (* histogram: NAME finds NAME_s; bare name defaults to the tail
+     quantile, which clamps to the observed max *)
+  Alcotest.(check bool) "staleness <= 40 passes" true
+    (eval "staleness <= 40").Slo.pass;
+  Alcotest.(check bool) "staleness <= 30 fails" false
+    (eval "staleness <= 30").Slo.pass;
+  Alcotest.(check bool) "explicit p50 stays low" true
+    (eval "staleness.p50 <= 1").Slo.pass;
+  Alcotest.(check bool) "count stat" true (eval "staleness.count == 3").Slo.pass;
+  Alcotest.(check bool) "mean stat" true
+    (eval "staleness.mean <= 13.7").Slo.pass;
+  (* a metric that was never recorded is unverifiable: FAIL, actual None *)
+  let missing = eval "no_such_metric <= 1" in
+  Alcotest.(check bool) "missing metric fails" false missing.Slo.pass;
+  Alcotest.(check bool) "missing metric has no actual" true
+    (missing.Slo.actual = None);
+  let vs = Slo.eval_all m (List.map Slo.parse_exn [ "aborts <= 4"; "stall_ratio <= 0.3" ]) in
+  Alcotest.(check bool) "all_pass over passing set" true (Slo.all_pass vs);
+  Alcotest.(check bool) "all_pass spots one failure" false
+    (Slo.all_pass (vs @ [ eval "aborts < 4" ]))
+
+(* -- OpenMetrics exposition --------------------------------------------- *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_openmetrics_format () =
+  let m = Metrics.create () in
+  Metrics.incr m ~by:3 "net.retries";
+  Metrics.set_gauge m "sched.stall_ratio" 0.25;
+  Metrics.observe m "staleness_s" 0.5;
+  Metrics.observe m "staleness_s" 1.5;
+  let out = Export.openmetrics m in
+  Alcotest.(check bool) "counter sanitized + _total suffix" true
+    (contains out "# TYPE dyno_net_retries counter");
+  Alcotest.(check bool) "counter sample" true
+    (contains out "dyno_net_retries_total 3");
+  Alcotest.(check bool) "gauge sample" true
+    (contains out "dyno_sched_stall_ratio 0.25");
+  Alcotest.(check bool) "histogram as summary" true
+    (contains out "# TYPE dyno_staleness_s summary");
+  Alcotest.(check bool) "tail quantile series" true
+    (contains out "dyno_staleness_s{quantile=\"0.99\"}");
+  Alcotest.(check bool) "count series" true
+    (contains out "dyno_staleness_s_count 2");
+  Alcotest.(check bool) "sum series" true
+    (contains out "dyno_staleness_s_sum 2");
+  let n = String.length out in
+  Alcotest.(check bool) "terminated by # EOF" true
+    (n >= 6 && String.sub out (n - 6) 6 = "# EOF\n")
+
+(* -- staleness property (acceptance) ------------------------------------ *)
+
+(* Under faults, with the sampler on: every sampled staleness reading is
+   non-negative, the per-view applied frontier never regresses (a commit
+   of the lagging source can only shrink the version lag — regressions
+   would trip the freshness monotonicity counter), and once the run
+   drains its UMQ the forced final sample reads exactly 0. *)
+let prop_staleness =
+  QCheck.Test.make
+    ~name:"staleness: sampled >= 0, frontier monotone, 0 at quiescence"
+    ~count:200
+    QCheck.(triple (int_range 0 9999) (int_range 3 10) (int_range 5 35))
+    (fun (seed, n_dus, loss_pct) ->
+      let loss = float_of_int loss_pct /. 100.0 in
+      let obs = Obs.create ~sample_interval:0.25 () in
+      let t = scenario ~obs ~loss ~seed ~n_dus ~n_scs:1 () in
+      let _stats =
+        Dyno_workload.Scenario.run t ~strategy:Dyno_core.Strategy.Pessimistic
+      in
+      let samples = Timeseries.samples (Obs.series obs) in
+      if samples = [] then QCheck.Test.fail_report "no samples taken";
+      let stale (s : Timeseries.sample) =
+        match List.assoc_opt "staleness_s" s.Timeseries.values with
+        | Some v -> v
+        | None -> QCheck.Test.fail_report "staleness_s column missing"
+      in
+      List.iter
+        (fun s ->
+          if stale s < 0.0 then
+            QCheck.Test.fail_reportf "negative staleness %g at t=%g" (stale s)
+              s.Timeseries.at)
+        samples;
+      if
+        Metrics.counter_value (Obs.metrics obs)
+          "freshness.monotonicity_violations"
+        <> 0
+      then QCheck.Test.fail_report "per-view applied frontier regressed";
+      let last = List.nth samples (List.length samples - 1) in
+      if stale last <> 0.0 then
+        QCheck.Test.fail_reportf "staleness %g at quiescence (t=%g)"
+          (stale last) last.Timeseries.at;
+      true)
+
 let () =
   Alcotest.run "obs"
     [
@@ -307,7 +606,34 @@ let () =
             test_metrics_quantiles;
           Alcotest.test_case "disabled is a no-op" `Quick
             test_metrics_disabled_noop;
+          Alcotest.test_case "empty histogram" `Quick
+            test_metrics_empty_histogram;
+          Alcotest.test_case "single sample" `Quick test_metrics_single_sample;
+          Alcotest.test_case "log₂ bucket boundaries" `Quick
+            test_metrics_bucket_boundaries;
+          Alcotest.test_case "quantiles clamp to max" `Quick
+            test_metrics_max_clamping;
         ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "interval gating + dedupe" `Quick
+            test_series_interval_gating;
+          Alcotest.test_case "counter rate derivation" `Quick
+            test_series_counter_rates;
+          Alcotest.test_case "ring eviction + JSONL" `Quick
+            test_series_ring_and_jsonl;
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_series_disabled_noop;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "parse" `Quick test_slo_parse;
+          Alcotest.test_case "eval + resolution chain" `Quick test_slo_eval;
+          Alcotest.test_case "openmetrics exposition" `Quick
+            test_openmetrics_format;
+        ] );
+      ( "staleness",
+        [ QCheck_alcotest.to_alcotest prop_staleness ] );
       ( "trace-ring",
         [
           Alcotest.test_case "bounded eviction" `Quick test_trace_ring_eviction;
