@@ -32,9 +32,12 @@ let line = String.make 72 '-'
 let header fmt =
   Fmt.kstr (fun s -> Fmt.pr "@.%s@.%s@.%s@." line s line) fmt
 
+let scenario_config () =
+  Scenario.Config.(default |> with_rows !rows |> with_cost (cost ()))
+
 let run_timeline ~timeline ~strategy =
-  let t = Scenario.make ~rows:!rows ~cost:(cost ()) ~timeline () in
-  let stats = Scenario.run t ~strategy in
+  let t = Scenario.make (scenario_config ()) ~timeline in
+  let stats = Scenario.run t ~config:(Run_config.of_strategy strategy) in
   (t, stats)
 
 (* ------------------------------------------------------------------ *)
@@ -245,12 +248,17 @@ let ablation () =
         Generator.mixed ~rows:!rows ~seed:32 ~n_dus:100 ~du_interval:0.0
           ~sc_interval:0.0 ~sc_kinds:[] ()
       in
-      let t = Scenario.make ~rows:!rows ~cost:(cost ()) ~timeline () in
-      let s = Scenario.run ~vm_mode t ~strategy:Strategy.Pessimistic in
+      let t = Scenario.make (scenario_config ()) ~timeline in
+      let s =
+        Scenario.run t
+          ~config:
+            Run_config.(
+              of_strategy Strategy.Pessimistic |> with_vm_mode vm_mode)
+      in
       Fmt.pr "%14s  %10.1f  %9d@." label s.Stats.busy s.Stats.view_commits)
     [
-      ("incremental", Dyno_core.Scheduler.Incremental);
-      ("recompute", Dyno_core.Scheduler.Recompute);
+      ("incremental", Dyno_core.Run_config.Incremental);
+      ("recompute", Dyno_core.Run_config.Recompute);
     ];
   Fmt.pr
     "@.Deferred/grouped DU maintenance (200 DUs flooding in, no SCs): group      size vs cost@.and view freshness (commits).@.@.";
@@ -261,8 +269,13 @@ let ablation () =
         Generator.mixed ~rows:!rows ~seed:33 ~n_dus:200 ~du_interval:0.0
           ~sc_interval:0.0 ~sc_kinds:[] ()
       in
-      let t = Scenario.make ~rows:!rows ~cost:(cost ()) ~timeline () in
-      let s = Scenario.run ~du_group t ~strategy:Strategy.Pessimistic in
+      let t = Scenario.make (scenario_config ()) ~timeline in
+      let s =
+        Scenario.run t
+          ~config:
+            Run_config.(
+              of_strategy Strategy.Pessimistic |> with_du_group du_group)
+      in
       Fmt.pr "%12d  %10.1f  %9d@." du_group s.Stats.busy s.Stats.view_commits)
     [ 1; 4; 16; 64 ]
 
@@ -292,8 +305,15 @@ let sensitivity () =
           ~sc_kinds:(Generator.drop_then_renames 10)
           ()
       in
-      let t = Scenario.make ~rows:!rows ~cost:cost_model ~timeline () in
-      let s = Scenario.run t ~strategy:Strategy.Pessimistic in
+      let t =
+        Scenario.make
+          Scenario.Config.(
+            default |> with_rows !rows |> with_cost cost_model)
+          ~timeline
+      in
+      let s =
+        Scenario.run t ~config:(Run_config.of_strategy Strategy.Pessimistic)
+      in
       (* one drop ≈ rename cost + rebuild over the 100k-tuple extent *)
       let drop_estimate =
         20.0 +. (rebuild *. Dyno_sim.Cost_model.rows cost_model !rows)
@@ -559,10 +579,14 @@ let net_bench () =
           { Dyno_net.Channel.reliable with loss; retransmit = 0.1 }
         in
         let t =
-          Scenario.make ~rows:!rows ~cost:(cost ()) ~faults ~net_seed:8
-            ~timeline ()
+          Scenario.make
+            Scenario.Config.(
+              scenario_config () |> with_faults faults |> with_net_seed 8)
+            ~timeline
         in
-        let stats = Scenario.run t ~strategy:Strategy.Pessimistic in
+        let stats =
+          Scenario.run t ~config:(Run_config.of_strategy Strategy.Pessimistic)
+        in
         let converged =
           match Scenario.check_convergent t with Ok b -> b | Error _ -> false
         in
@@ -744,6 +768,246 @@ let overlap_bench () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Scale: sharded view manager, DU throughput at bounded staleness      *)
+(* ------------------------------------------------------------------ *)
+
+(* Eight single-relation sources, chain-join view, heavy-tailed
+   (Zipf alpha = 0.7) per-source commit distribution, and a paced arrival
+   schedule: each leg offers load at ~91% of what its hottest shard can
+   sustain, so the view's staleness stays bounded (checked as a
+   [view.*.staleness_s] p99 SLO) and the reported throughput is
+   honest-to-goodness sustained DU/s of simulated time, not a drain rate
+   with unbounded lag.  Every DU alternates insert/delete of one
+   off-join-key row, so extents stay bounded across a million updates
+   while each sweep still pays its 7 probe round-trips. *)
+let scale_bench () =
+  header
+    "Scale - sharded view manager: sustained DU/s at bounded staleness \
+     (SIMULATED time)";
+  Fmt.pr
+    "8 Zipf-weighted sources partitioned over 1/2/4/8 shards; each leg is \
+     paced to ~91%%@.of its hottest shard's service rate, so throughput \
+     scales as 1 / (hottest shard's@.traffic share) while staleness p99 \
+     stays bounded.@.@.";
+  let n_sources = 8 in
+  let base_rows = 4 in
+  let src i = Fmt.str "S%d" i in
+  let rel i = Fmt.str "T%d" i in
+  let key i = Fmt.str "K%d" i in
+  let schema i =
+    Schema.of_list [ Attr.int (key i); Attr.int (Fmt.str "A%d" i) ]
+  in
+  let query =
+    Query.make ~name:"SCALE"
+      ~select:
+        (List.concat_map
+           (fun i ->
+             [
+               Query.item (Fmt.str "%s.%s" (rel i) (key i));
+               Query.item (Fmt.str "%s.A%d" (rel i) i);
+             ])
+           (List.init n_sources (fun i -> i + 1)))
+      ~from:
+        (List.init n_sources (fun i ->
+             let i = i + 1 in
+             Query.table (src i) (rel i)))
+      ~where:
+        (List.init (n_sources - 1) (fun i ->
+             let i = i + 1 in
+             Predicate.eq_attr
+               (Fmt.str "%s.%s" (rel i) (key i))
+               (Fmt.str "%s.%s" (rel (i + 1)) (key (i + 1)))))
+  in
+  let build_registry () =
+    let reg = Dyno_source.Registry.create () in
+    for i = 1 to n_sources do
+      Dyno_source.Registry.register reg
+        (Dyno_source.Data_source.create (src i));
+      let s = Dyno_source.Registry.find reg (src i) in
+      Dyno_source.Data_source.add_relation s (rel i) (schema i);
+      Dyno_source.Data_source.load s (rel i)
+        (List.init base_rows (fun k -> [ Value.int k; Value.int ((k * 3) + i) ]))
+    done;
+    reg
+  in
+  let weights = Generator.zipf ~alpha:0.7 ~n:n_sources in
+  (* Deterministic heavy-tailed source stream: smooth weighted
+     round-robin over the Zipf weights.  Deterministic pacing keeps the
+     whole bench reproducible (stable baselines) and avoids artificial
+     burst noise in the staleness tail. *)
+  let source_stream () =
+    let acc = Array.make n_sources 0.0 in
+    fun () ->
+      let best = ref 0 in
+      for i = 0 to n_sources - 1 do
+        acc.(i) <- acc.(i) +. weights.(i);
+        if acc.(i) > acc.(!best) then best := i
+      done;
+      acc.(!best) <- acc.(!best) -. 1.0;
+      !best
+  in
+  let build_timeline ~n ~horizon =
+    let next = source_stream () in
+    let flip = Array.make n_sources false in
+    let tl = Dyno_sim.Timeline.create () in
+    for j = 0 to n - 1 do
+      let i = next () in
+      let row = [ Value.int (100 + i); Value.int i ] in
+      let mku = if flip.(i) then Update.delete else Update.insert in
+      flip.(i) <- not flip.(i);
+      Dyno_sim.Timeline.schedule tl
+        ~time:(horizon *. float_of_int j /. float_of_int n)
+        (Dyno_sim.Timeline.Du
+           (mku ~source:(src (i + 1)) ~rel:(rel (i + 1))
+              (schema (i + 1))
+              row))
+    done;
+    tl
+  in
+  let cost =
+    {
+      Dyno_sim.Cost_model.default with
+      query_latency = 1.0;
+      row_scale = 1.0;
+    }
+  in
+  (* Spans off (a million Maintain spans is gigabytes of retained
+     records), metrics on: the staleness histograms and shard gauges are
+     bounded-size. *)
+  let run ~shards ~timeline =
+    let reg = build_registry () in
+    let srcs = List.init n_sources (fun i -> src (i + 1)) in
+    let plan = Dyno_core.Shard.plan ~shards srcs in
+    let ids = ref 0 in
+    let umqs =
+      Array.init shards (fun _ -> Dyno_view.Umq.create ~ids ())
+    in
+    let obs =
+      {
+        Dyno_obs.Obs.spans = Dyno_obs.Span.disabled;
+        metrics = Dyno_obs.Metrics.create ~enabled:true ();
+        series = Dyno_obs.Timeseries.disabled;
+      }
+    in
+    let trace = Dyno_sim.Trace.create ~enabled:false () in
+    let engine =
+      Dyno_view.Query_engine.create ~trace ~obs ~cost ~registry:reg
+        ~timeline ~umq:umqs.(0) ()
+    in
+    if shards > 1 then
+      Dyno_view.Query_engine.install_routes engine ~umqs
+        ~route_of:(Dyno_core.Shard.owner plan);
+    let vd =
+      Dyno_view.View_def.create
+        ~schemas:
+          (List.init n_sources (fun i ->
+               let i = i + 1 in
+               (rel i, schema i)))
+        query
+    in
+    let mv = Dyno_view.Mat_view.create vd (Relation.create Schema.empty) in
+    let env (tr : Query.table_ref) =
+      Dyno_source.Data_source.relation
+        (Dyno_source.Registry.find reg tr.source)
+        tr.rel
+    in
+    Dyno_view.Mat_view.replace mv ~at:0.0 ~maintained:[]
+      (Eval.run
+         ~planner:(Dyno_view.Query_engine.planner engine)
+         ~catalog:env query);
+    let mk = Dyno_source.Meta_knowledge.create () in
+    let stats =
+      Dyno_core.Shard_scheduler.run
+        ~config:
+          Run_config.(
+            of_strategy Strategy.Pessimistic |> with_max_steps max_int)
+        ~plan engine mv mk
+    in
+    (stats, Dyno_obs.Obs.metrics obs, plan)
+  in
+  (* Calibrate the per-DU service time (everything arrives at t = 0, one
+     shard, serial drain): the pacing horizons below derive from it, so
+     the bench self-adjusts if the cost model moves. *)
+  let cal_n = if !fast then 200 else 500 in
+  let s_du =
+    let stats, _, _ = run ~shards:1 ~timeline:(build_timeline ~n:cal_n ~horizon:0.0) in
+    stats.Stats.busy /. float_of_int cal_n
+  in
+  let n = if !fast then 20_000 else 1_000_000 in
+  let slo_thresh = 25.0 *. s_du in
+  let slo_spec = Fmt.str "view.SCALE.staleness_s.p99 <= %.6g" slo_thresh in
+  let objective = Dyno_obs.Slo.parse_exn slo_spec in
+  Fmt.pr
+    "calibrated service time: %.2f simulated s/DU; %d DUs per leg; SLO: \
+     %s@.@."
+    s_du n slo_spec;
+  (* Hottest shard's traffic share under the plan's round-robin deal. *)
+  let w_max plan shards =
+    let w = Array.make shards 0.0 in
+    List.iteri
+      (fun i s ->
+        w.(Dyno_core.Shard.owner plan s) <-
+          w.(Dyno_core.Shard.owner plan s) +. weights.(i))
+      (List.init n_sources (fun i -> src (i + 1)));
+    Array.fold_left Float.max 0.0 w
+  in
+  Fmt.pr "%7s  %12s  %14s  %5s  %9s  %8s  %8s@." "shards" "DU/s (sim)"
+    "staleness p99" "SLO" "barriers" "speedup" "ideal";
+  let legs = [ 1; 2; 4; 8 ] in
+  let base_throughput = ref 0.0 in
+  let entries =
+    List.map
+      (fun shards ->
+        let wm =
+          w_max (Dyno_core.Shard.plan ~shards
+                   (List.init n_sources (fun i -> src (i + 1))))
+            shards
+        in
+        let horizon = 1.1 *. float_of_int n *. s_du *. wm in
+        let stats, metrics, _ =
+          run ~shards ~timeline:(build_timeline ~n ~horizon)
+        in
+        let makespan = stats.Stats.end_time in
+        let du_per_s = float_of_int n /. makespan in
+        if shards = 1 then base_throughput := du_per_s;
+        let p99 =
+          match
+            Dyno_obs.Metrics.histogram_summary metrics
+              "view.SCALE.staleness_s"
+          with
+          | Some h -> h.Dyno_obs.Metrics.p99
+          | None -> Float.nan
+        in
+        let verdict = Dyno_obs.Slo.eval metrics objective in
+        let barriers =
+          Dyno_obs.Metrics.counter_value metrics "sched.cross_shard_barriers"
+        in
+        let speedup = du_per_s /. !base_throughput in
+        Fmt.pr "%7d  %12.1f  %12.2f s  %5s  %9d  %7.2fx  %7.2fx@." shards
+          du_per_s p99
+          (if verdict.Dyno_obs.Slo.pass then "ok" else "FAIL")
+          barriers speedup (1.0 /. wm);
+        let open Dyno_jsonv.Jsonv in
+        Obj
+          [
+            ("shards", Num (float_of_int shards));
+            ("n_dus", Num (float_of_int n));
+            ("du_per_s", Num du_per_s);
+            ("staleness_p99_s", Num p99);
+            ("slo", Str slo_spec);
+            ("slo_pass", Bool verdict.Dyno_obs.Slo.pass);
+            ("cross_shard_barriers", Num (float_of_int barriers));
+            ("speedup_vs_1", Num speedup);
+          ])
+      legs
+  in
+  Fmt.pr
+    "@.(ideal = 1 / hottest shard's Zipf traffic share; the paced \
+     horizon makes each@.leg's makespan track it, minus the drain \
+     tail)@.";
+  emit_json ~experiment:"scale" (Dyno_jsonv.Jsonv.Arr entries)
+
+(* ------------------------------------------------------------------ *)
 (* Regression gate: compare this run's results against a baseline file  *)
 (* ------------------------------------------------------------------ *)
 
@@ -769,6 +1033,8 @@ let check_regressions () =
         then Some "join"
         else if List.exists (fun o -> get_str "mode" o <> None) base_entries
         then Some "overlap"
+        else if List.exists (fun o -> get_num "du_per_s" o <> None) base_entries
+        then Some "scale"
         else if List.exists (fun o -> get_num "loss" o <> None) base_entries
         then Some "net"
         else None
@@ -859,6 +1125,36 @@ let check_regressions () =
                                 ~higher_better:true
                           | None -> ())
                       | None, None -> ())
+                  | "scale" -> (
+                      (* throughput per shard count; an SLO flip is
+                         always a failure, tolerance notwithstanding *)
+                      match get_num "shards" b with
+                      | Some sh -> (
+                          let same c = get_num "shards" c = Some sh in
+                          match find (fun _ -> same) b with
+                          | Some c ->
+                              (match
+                                 (get_num "du_per_s" b, get_num "du_per_s" c)
+                               with
+                              | Some bv, Some cv ->
+                                  cmp
+                                    ~label:(Fmt.str "du_per_s (%.0f shards)" sh)
+                                    ~base_v:bv ~cur_v:cv ~higher_better:true
+                              | _ -> ());
+                              if
+                                member "slo_pass" b = Some (Bool true)
+                                && member "slo_pass" c = Some (Bool false)
+                              then begin
+                                Fmt.pr
+                                  "  %-36s staleness SLO now fails  \
+                                   REGRESSION@."
+                                  (Fmt.str "%.0f shards" sh);
+                                incr failures
+                              end
+                          | None ->
+                              Fmt.pr "  %-36s (not in this run; skipped)@."
+                                (Fmt.str "%.0f shards" sh))
+                      | None -> ())
                   | _ -> (
                       (* net: busy per loss point; a convergence flip is
                          always a failure, tolerance notwithstanding *)
@@ -917,12 +1213,13 @@ let experiments =
     ("join", join_bench);
     ("net", net_bench);
     ("overlap", overlap_bench);
+    ("scale", scale_bench);
   ]
 
 let () =
   let specs =
     [
-      ("--only", Arg.Set_string only, "run a single experiment (fig8..fig12, ablation, sensitivity, micro, join, net, overlap)");
+      ("--only", Arg.Set_string only, "run a single experiment (fig8..fig12, ablation, sensitivity, micro, join, net, overlap, scale)");
       ("--rows", Arg.Set_int rows, "physical rows per relation (default 500; logical is always 100k via cost scaling)");
       ("--fast", Arg.Set fast, "fewer sweep points / smaller join sizes");
       ("--quota", Arg.Set_float quota, "bechamel quota per micro-bench, seconds (default 0.5)");

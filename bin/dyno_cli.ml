@@ -351,6 +351,26 @@ let parallel_arg =
   in
   Arg.(value & opt int 1 & info [ "parallel" ] ~docv:"N" ~doc)
 
+let shards_arg =
+  let doc =
+    "Shard the view manager across $(docv) partitions of the sources,      each shard owning its own update queue, transport channel and      exactly-once sequencer.  Shard-local data updates drain      independently; schema changes serialize at a cross-shard barrier.       1 is the classic single view manager."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
+(* The one place CLI flags turn into the shared scheduler run record. *)
+let run_config_of ~strategy ~no_compensation ~parallel =
+  Run_config.(
+    of_strategy strategy
+    |> with_compensate (not no_compensation)
+    |> with_parallel parallel)
+
+(* ...and the one place they turn into the world-construction record. *)
+let scenario_config_of ~rows ~cost ~trace ~faults ~net_seed ~obs ~shards =
+  Scenario.Config.(
+    default |> with_rows rows |> with_cost cost |> with_snapshots true
+    |> with_trace trace |> with_faults faults |> with_net_seed net_seed
+    |> with_obs obs |> with_shards shards)
+
 let timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval =
   Generator.mixed ~rows ~seed ~n_dus:dus ~du_interval ~sc_interval
     ~sc_kinds:(Generator.drop_then_renames scs)
@@ -360,7 +380,7 @@ let timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval =
 
 let run_cmd =
   let action rows dus scs du_interval sc_interval seed strategy trace
-      no_compensation report multi parallel loss dup reorder jitter
+      no_compensation report multi parallel shards loss dup reorder jitter
       reorder_delay outages net_seed json_file trace_out metrics_out
       sample_interval series_out openmetrics_out slos slo_exit watch =
     let timeline =
@@ -381,8 +401,10 @@ let run_cmd =
     in
     if watch then install_watch (Dyno_obs.Obs.series obs);
     let t =
-      Scenario.make ~rows ~cost ~track_snapshots:true
-        ~trace_enabled:(trace || report) ~faults ~net_seed ~obs ~timeline ()
+      Scenario.make
+        (scenario_config_of ~rows ~cost ~trace:(trace || report) ~faults
+           ~net_seed ~obs ~shards)
+        ~timeline
     in
     let stats =
       if multi then begin
@@ -415,13 +437,7 @@ let run_cmd =
         let m = Multi_scheduler.create [ t.Scenario.mv; mv2 ] in
         let stats =
           Multi_scheduler.run
-            ~config:
-              {
-                Multi_scheduler.strategy;
-                max_steps = 1_000_000;
-                compensate = not no_compensation;
-                parallel;
-              }
+            ~config:(run_config_of ~strategy ~no_compensation ~parallel)
             t.Scenario.engine m t.Scenario.mk
         in
         List.iteri
@@ -432,7 +448,9 @@ let run_cmd =
           (Multi_scheduler.views m);
         stats
       end
-      else Scenario.run ~compensate:(not no_compensation) ~parallel t ~strategy
+      else
+        Scenario.run t
+          ~config:(run_config_of ~strategy ~no_compensation ~parallel)
     in
     if trace then Fmt.pr "%a@.@." Dyno_sim.Trace.pp t.Scenario.trace;
     if report then Fmt.pr "%a@.@." Report.pp (Report.of_trace t.Scenario.trace);
@@ -472,10 +490,10 @@ let run_cmd =
     Term.(
       const action $ rows $ dus $ scs $ du_interval $ sc_interval $ seed
       $ strategy $ trace_flag $ no_compensation $ report_flag $ multi_flag
-      $ parallel_arg $ loss $ dup $ reorder $ jitter $ reorder_delay
-      $ outages $ net_seed $ json_file $ trace_out $ metrics_out
-      $ sample_interval $ series_out $ openmetrics_out $ slo_specs
-      $ slo_exit $ watch_flag)
+      $ parallel_arg $ shards_arg $ loss $ dup $ reorder $ jitter
+      $ reorder_delay $ outages $ net_seed $ json_file $ trace_out
+      $ metrics_out $ sample_interval $ series_out $ openmetrics_out
+      $ slo_specs $ slo_exit $ watch_flag)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a mixed workload under a strategy")
@@ -485,8 +503,8 @@ let run_cmd =
 
 let report_cmd =
   let action rows dus scs du_interval sc_interval seed strategy
-      no_compensation parallel loss dup reorder jitter reorder_delay outages
-      net_seed trace_out metrics_out sample_interval series_out
+      no_compensation parallel shards loss dup reorder jitter reorder_delay
+      outages net_seed trace_out metrics_out sample_interval series_out
       openmetrics_out slos slo_exit =
     let timeline =
       timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval
@@ -500,11 +518,13 @@ let report_cmd =
     let interval = Option.value sample_interval ~default:1.0 in
     let obs = Dyno_obs.Obs.create ~sample_interval:interval () in
     let t =
-      Scenario.make ~rows ~cost ~track_snapshots:true ~faults ~net_seed ~obs
-        ~timeline ()
+      Scenario.make
+        (scenario_config_of ~rows ~cost ~trace:false ~faults ~net_seed ~obs
+           ~shards)
+        ~timeline
     in
     let stats =
-      Scenario.run ~compensate:(not no_compensation) ~parallel t ~strategy
+      Scenario.run t ~config:(run_config_of ~strategy ~no_compensation ~parallel)
     in
     let spans = Dyno_obs.Obs.spans obs in
     Fmt.pr "strategy: %a@.@." Strategy.pp strategy;
@@ -533,10 +553,10 @@ let report_cmd =
   let term =
     Term.(
       const action $ rows $ dus $ scs $ du_interval $ sc_interval $ seed
-      $ strategy $ no_compensation $ parallel_arg $ loss $ dup $ reorder
-      $ jitter $ reorder_delay $ outages $ net_seed $ trace_out $ metrics_out
-      $ sample_interval $ series_out $ openmetrics_out $ slo_specs
-      $ slo_exit)
+      $ strategy $ no_compensation $ parallel_arg $ shards_arg $ loss $ dup
+      $ reorder $ jitter $ reorder_delay $ outages $ net_seed $ trace_out
+      $ metrics_out $ sample_interval $ series_out $ openmetrics_out
+      $ slo_specs $ slo_exit)
   in
   Cmd.v
     (Cmd.info "report"
@@ -558,7 +578,10 @@ let inspect_cmd =
         ()
     in
     let t =
-      Scenario.make ~rows ~cost:Dyno_sim.Cost_model.free ~timeline ()
+      Scenario.make
+        Scenario.Config.(
+          default |> with_rows rows |> with_cost Dyno_sim.Cost_model.free)
+        ~timeline
     in
     Dyno_view.Query_engine.deliver_due t.Scenario.engine;
     let vd = Dyno_view.Mat_view.def t.Scenario.mv in
@@ -710,8 +733,7 @@ let sql_cmd =
     | Some m ->
         let stats =
           Dyno_core.Scheduler.run
-            ~config:{ Dyno_core.Scheduler.default_config with strategy }
-            engine m mk
+            ~config:(Dyno_core.Run_config.of_strategy strategy) engine m mk
         in
         if trace then Fmt.pr "%a@.@." Dyno_sim.Trace.pp tracer;
         Fmt.pr "%a@.@." Sql.pp_view (Dyno_view.View_def.peek (Dyno_view.Mat_view.def m));

@@ -38,11 +38,15 @@ let () =
     (fun strategy ->
       let obs = Dyno_obs.Obs.create () in
       let t =
-        Scenario.make ~rows
-          ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1000.0 }
-          ~track_snapshots:true ~obs ~timeline:(workload ()) ()
+        Scenario.make
+          Scenario.Config.(
+            default |> with_rows rows
+            |> with_cost
+                 { Dyno_sim.Cost_model.default with row_scale = 1000.0 }
+            |> with_snapshots true |> with_obs obs)
+          ~timeline:(workload ())
       in
-      let s = Scenario.run t ~strategy in
+      let s = Scenario.run t ~config:(Run_config.of_strategy strategy) in
       if strategy = Strategy.Pessimistic then observed := Some obs;
       let convergent =
         match Scenario.check_convergent t with

@@ -149,25 +149,21 @@ let maintain_for_view ~compensate (w : Query_engine.t)
         Ok ()
     | Error f -> Error f
 
-type config = {
+(** The shared {!Run_config.t} record.  This scheduler consumes
+    [strategy], [max_steps], [compensate] and [parallel] (per-view sweep
+    overlap of a single-DU head entry, committing serially at the barrier
+    in view order); [vm_mode] and [du_group] are ignored — the multi-view
+    path always maintains incrementally, one entry at a time. *)
+type config = Run_config.t = {
   strategy : Strategy.t;
   max_steps : int;
   compensate : bool;
+  vm_mode : Run_config.vm_mode;
+  du_group : int;
   parallel : int;
-      (** when > 1, the per-view sweeps of a single-DU head entry run as
-          concurrent executor tasks (up to this many at once) so their
-          probe round trips overlap; refreshes still commit serially at
-          the barrier, in view order.  [1] (the default) is the strictly
-          serial view-by-view loop. *)
 }
 
-let default_config =
-  {
-    strategy = Strategy.Pessimistic;
-    max_steps = 1_000_000;
-    compensate = true;
-    parallel = 1;
-  }
+let default_config = Run_config.default
 
 (* Per-view concurrent maintenance of one single-DU entry: the sweeps for
    distinct views are independent (each view has its own extent and

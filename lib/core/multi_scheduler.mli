@@ -18,19 +18,25 @@ type t
 val create : Mat_view.t list -> t
 val views : t -> Mat_view.t list
 
-type config = {
+(** The shared {!Run_config.t} record (one record drives the serial,
+    multi-view and sharded schedulers).  This scheduler consumes
+    [strategy], [max_steps], [compensate] and [parallel] — when > 1, the
+    per-view sweeps of a single-DU head entry run as concurrent executor
+    tasks so their probe round trips overlap; refreshes still commit
+    serially at the barrier, in view order.  [vm_mode] and [du_group] are
+    ignored: the multi-view path always maintains incrementally, one
+    entry at a time. *)
+type config = Run_config.t = {
   strategy : Strategy.t;
   max_steps : int;
   compensate : bool;
+  vm_mode : Run_config.vm_mode;
+  du_group : int;
   parallel : int;
-      (** when > 1, the per-view sweeps of a single-DU head entry run as
-          concurrent executor tasks (up to this many at once) so their
-          probe round trips overlap; refreshes still commit serially at
-          the barrier, in view order.  [1] (the default) is the strictly
-          serial view-by-view loop. *)
 }
 
 val default_config : config
+(** [= Run_config.default]. *)
 
 val run :
   ?config:config ->

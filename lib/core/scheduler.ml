@@ -21,49 +21,28 @@
 open Dyno_view
 open Dyno_sim
 
-(** How data updates are maintained. *)
-type vm_mode =
+(** How data updates are maintained (re-exported from {!Run_config} so
+    historical [Scheduler.Incremental] call sites keep reading
+    naturally). *)
+type vm_mode = Run_config.vm_mode =
   | Incremental  (** SWEEP-style probes computing a view delta (default) *)
   | Recompute
       (** naive baseline: re-materialize the whole view per update — the
           classic strawman incremental maintenance is measured against *)
 
-type config = {
+(** The scheduler consumes the shared {!Run_config.t} record — the same
+    record drives the multi-view and sharded schedulers, so CLI plumbing
+    is written once. *)
+type config = Run_config.t = {
   strategy : Strategy.t;
-  max_steps : int;  (** safety valve against livelock in tests *)
+  max_steps : int;
   compensate : bool;
-      (** SWEEP compensation for concurrent DUs; disable only to
-          demonstrate the duplication anomaly (Example 1.a) *)
   vm_mode : vm_mode;
   du_group : int;
-      (** deferred/grouped maintenance: up to this many consecutive queued
-          data updates are maintained as one atomic batch through the
-          Equation 6 path (1 = the paper's per-update processing).  Groups
-          never cross schema changes or merged batches, and queue order is
-          preserved, so every dependency stays safe — the view just skips
-          some intermediate states, trading freshness for throughput (the
-          deferred-maintenance idea of Colby et al., the paper's [5]). *)
   parallel : int;
-      (** dependency-parallel maintenance: up to this many mutually
-          independent queued entries — an antichain of the corrected
-          topological order — are maintained concurrently, overlapping
-          their probe round trips on cooperative executor tasks.
-          Same-source commit order and every CD/SD edge still serialize
-          (Theorems 1–2): only single data updates from distinct sources
-          with no queued schema change ahead of them are dispatched
-          together.  [1] (the default) is the strictly serial scheduler,
-          bit-identical to the historical loop. *)
 }
 
-let default_config =
-  {
-    strategy = Strategy.Pessimistic;
-    max_steps = 1_000_000;
-    compensate = true;
-    vm_mode = Incremental;
-    du_group = 1;
-    parallel = 1;
-  }
+let default_config = Run_config.default
 
 exception Step_limit_exceeded of int
 
@@ -384,15 +363,13 @@ let antichain ~(config : config) (umq : Umq.t) (mv : Mat_view.t) :
 (* Copy the engine- and queue-level transport counters into the run's
    statistics (absolute values: one engine drives one run). *)
 let record_net_stats (w : Query_engine.t) (stats : Stats.t) : unit =
-  let ch = Query_engine.channel w in
-  let umq = Query_engine.umq w in
   stats.Stats.retries <- Query_engine.net_retries w;
   stats.Stats.timeouts <- Query_engine.net_timeouts w;
   stats.Stats.net_wait <- Query_engine.net_wait w;
-  stats.Stats.msgs_lost <- Dyno_net.Channel.lost_transmissions ch;
-  stats.Stats.msgs_duplicated <- Dyno_net.Channel.duplicates_sent ch;
-  stats.Stats.dups_dropped <- Umq.dups_dropped umq;
-  stats.Stats.reorders_healed <- Umq.reorders_healed umq
+  stats.Stats.msgs_lost <- Query_engine.net_msgs_lost w;
+  stats.Stats.msgs_duplicated <- Query_engine.net_msgs_duplicated w;
+  stats.Stats.dups_dropped <- Query_engine.umq_dups_dropped w;
+  stats.Stats.reorders_healed <- Query_engine.umq_reorders_healed w
 
 (* Mirror the run's final statistics into the metrics registry, so the
    exported metrics JSON is self-contained.  Live counters ([net.*],

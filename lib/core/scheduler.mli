@@ -9,45 +9,62 @@
 
 open Dyno_view
 
-(** How data updates are maintained. *)
-type vm_mode =
+(** How data updates are maintained (re-exported from {!Run_config}). *)
+type vm_mode = Run_config.vm_mode =
   | Incremental  (** SWEEP-style probes computing a view delta (default) *)
   | Recompute
       (** naive baseline: re-materialize the whole view per update — the
           classic strawman incremental maintenance is measured against *)
 
-type config = {
+(** The scheduler consumes the shared {!Run_config.t} record (one record
+    drives the serial, multi-view and sharded schedulers).  [parallel]
+    dispatches antichains of single data updates from distinct sources
+    with SWEEP exclusion sets fixed at dispatch; same-source commit order
+    and every CD/SD edge still serialize (Theorems 1–2), and [1] is
+    bit-identical to the historical serial loop. *)
+type config = Run_config.t = {
   strategy : Strategy.t;
-  max_steps : int;  (** safety valve against livelock in tests *)
+  max_steps : int;
   compensate : bool;
-      (** SWEEP compensation for concurrent DUs; disable only to
-          demonstrate the duplication anomaly (Example 1.a) *)
   vm_mode : vm_mode;
   du_group : int;
-      (** deferred/grouped maintenance: up to this many consecutive queued
-          data updates are maintained as one atomic batch (1 = the paper's
-          per-update processing).  Groups never cross schema changes or
-          merged batches and preserve queue order, so dependencies stay
-          safe; the view skips intermediate states (freshness for
-          throughput). *)
   parallel : int;
-      (** dependency-parallel maintenance: up to this many mutually
-          independent queued entries — an antichain of the corrected
-          topological order — are maintained concurrently, overlapping
-          their probe round trips on cooperative executor tasks.
-          Same-source commit order and every CD/SD edge still serialize
-          (Theorems 1–2): only single data updates from distinct sources
-          with no queued schema change ahead of them are dispatched
-          together, with SWEEP exclusion sets fixed at dispatch.  [1]
-          (the default) is the strictly serial scheduler, bit-identical
-          to the historical loop. *)
 }
 
 val default_config : config
-(** Pessimistic, compensated, incremental, no grouping, serial, one
-    million steps. *)
+(** [= Run_config.default]: pessimistic, compensated, incremental, no
+    grouping, serial, one million steps. *)
 
 exception Step_limit_exceeded of int
+
+(** Outcome of maintaining one queue entry (shared with the sharded
+    scheduler, which drives the same per-entry machinery across many
+    queues). *)
+type step_outcome =
+  | Done
+  | AbortedStep of Dyno_source.Data_source.broken
+  | UnreachableStep of Dyno_net.Retry.unreachable
+      (** a maintenance query exhausted its transport retry budget; the
+          entry stays at the queue head and is retried after recovery *)
+
+val maintain_entry :
+  compensate:bool ->
+  vm_mode:vm_mode ->
+  Query_engine.t ->
+  Mat_view.t ->
+  Dyno_source.Meta_knowledge.t ->
+  Stats.t ->
+  Umq.entry ->
+  step_outcome
+(** Maintain one queue entry (VM for a data update, VS+VA for a schema
+    change, batch adaptation for a merged node), updating counters on
+    success.  Does {e not} dequeue — the caller owns the queue. *)
+
+val stall_and_wait :
+  Query_engine.t -> Stats.t -> t0:float -> Dyno_net.Retry.unreachable -> unit
+(** A maintenance step stalled on an unreachable source: charge the sunk
+    work as busy, wait for recovery, and let the caller retry.  No
+    correction runs — the queue order is not the problem. *)
 
 val record_net_stats : Query_engine.t -> Stats.t -> unit
 (** Copy the engine- and queue-level transport counters (retries,

@@ -1,0 +1,57 @@
+(* Partition plan: source → shard assignment.  See shard.mli. *)
+
+type t = {
+  shards : int;
+  order : string list;  (* all sources, original order *)
+  owner : (string, int) Hashtbl.t;
+}
+
+let plan ?(partition = []) ~shards sources =
+  if shards < 1 then
+    invalid_arg (Fmt.str "Shard.plan: shards = %d (want >= 1)" shards);
+  if sources = [] then invalid_arg "Shard.plan: no sources";
+  let owner = Hashtbl.create (List.length sources) in
+  List.iter
+    (fun s ->
+      if Hashtbl.mem owner s then
+        invalid_arg (Fmt.str "Shard.plan: duplicate source %s" s);
+      Hashtbl.replace owner s (-1))
+    sources;
+  List.iter
+    (fun (s, i) ->
+      if not (Hashtbl.mem owner s) then
+        invalid_arg (Fmt.str "Shard.plan: partition names unknown source %s" s);
+      if i < 0 || i >= shards then
+        invalid_arg
+          (Fmt.str "Shard.plan: source %s -> shard %d of %d" s i shards);
+      Hashtbl.replace owner s i)
+    partition;
+  (* Deal the rest round-robin in list order, skipping overridden ones. *)
+  let next = ref 0 in
+  List.iter
+    (fun s ->
+      if Hashtbl.find owner s = -1 then begin
+        Hashtbl.replace owner s (!next mod shards);
+        incr next
+      end)
+    sources;
+  { shards; order = sources; owner }
+
+let solo sources = plan ~shards:1 sources
+
+let count t = t.shards
+
+let owner t source =
+  match Hashtbl.find_opt t.owner source with
+  | Some i -> i
+  | None -> invalid_arg (Fmt.str "Shard.owner: unknown source %s" source)
+
+let sources_of t i = List.filter (fun s -> Hashtbl.find t.owner s = i) t.order
+let sources t = t.order
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%d shard(s):" t.shards;
+  for i = 0 to t.shards - 1 do
+    Fmt.pf ppf "@,  %d: %a" i Fmt.(list ~sep:comma string) (sources_of t i)
+  done;
+  Fmt.pf ppf "@]"

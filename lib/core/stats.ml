@@ -37,6 +37,9 @@ type t = {
   mutable net_stalls : int;
       (** maintenance steps stalled on an unreachable source (retried
           after recovery — not aborts) *)
+  mutable cross_shard_barriers : int;
+      (** sharded runs: rounds where every shard paused for a global
+          schema-change barrier (zero outside the sharded scheduler) *)
   mutable net_wait : float;  (** time lost to timeouts/backoff/recovery, s *)
 }
 
@@ -67,6 +70,7 @@ let create () =
     dups_dropped = 0;
     reorders_healed = 0;
     net_stalls = 0;
+    cross_shard_barriers = 0;
     net_wait = 0.0;
   }
 
@@ -99,7 +103,11 @@ let pp ppf s =
       s.retries
       (if s.retries = 1 then "y" else "ies")
       s.timeouts s.net_wait s.msgs_lost s.msgs_duplicated s.dups_dropped
-      s.reorders_healed s.net_stalls
+      s.reorders_healed s.net_stalls;
+  (* Same byte-compatibility bargain as the transport section: only
+     sharded runs ever print it. *)
+  if s.cross_shard_barriers > 0 then
+    Fmt.pf ppf "@,cross-shard barriers: %d" s.cross_shard_barriers
 
 (** Machine-readable JSON rendering (mirrors the bench's [--json]
     output style; no external JSON dependency). *)
@@ -137,6 +145,7 @@ let to_json_string s =
   add "\"dups_dropped\": %d" s.dups_dropped;
   add "\"reorders_healed\": %d" s.reorders_healed;
   add "\"net_stalls\": %d" s.net_stalls;
+  add "\"cross_shard_barriers\": %d" s.cross_shard_barriers;
   add "\"net_wait\": %.6f" s.net_wait;
   Buffer.add_string b "\n}";
   Buffer.contents b

@@ -32,6 +32,9 @@ type t = {
   mutable net_stalls : int;
       (** maintenance steps stalled on an unreachable source (retried
           after recovery — not aborts) *)
+  mutable cross_shard_barriers : int;
+      (** sharded runs: rounds where every shard paused for a global
+          schema-change barrier (zero outside the sharded scheduler) *)
   mutable net_wait : float;  (** time lost to timeouts/backoff/recovery, s *)
 }
 

@@ -27,23 +27,39 @@ let pp_event ppf = function
 
 type entry = { time : float; seq : int; event : event }
 
-type t = { mutable pending : entry list; mutable next_seq : int }
-(* [pending] is kept sorted by (time, seq); workloads are a few thousand
-   events, so a sorted list is simpler than a heap and fast enough. *)
+type t = {
+  mutable pending : entry list;  (** sorted by (time, seq) when [sorted] *)
+  mutable sorted : bool;
+  mutable count : int;
+  mutable next_seq : int;
+}
+(* Scheduling prepends and marks the list dirty; the sort happens lazily
+   on the first read.  Million-event workloads (the scale bench) thus pay
+   one O(n log n) sort instead of O(n² log n) insertion sorts, and
+   [pop_until] peels a sorted prefix instead of partitioning the whole
+   list on every clock advance. *)
 
-let create () = { pending = []; next_seq = 0 }
+let create () = { pending = []; sorted = true; count = 0; next_seq = 0 }
 
 let compare_entry a b =
   match Float.compare a.time b.time with
   | 0 -> Int.compare a.seq b.seq
   | c -> c
 
+let ensure_sorted t =
+  if not t.sorted then begin
+    t.pending <- List.sort compare_entry t.pending;
+    t.sorted <- true
+  end
+
 (** [schedule t ~time event] enqueues a commit at absolute time [time];
     ties are broken by scheduling order. *)
 let schedule t ~time event =
   let e = { time; seq = t.next_seq; event } in
   t.next_seq <- t.next_seq + 1;
-  t.pending <- List.sort compare_entry (e :: t.pending)
+  t.count <- t.count + 1;
+  t.pending <- e :: t.pending;
+  t.sorted <- (match t.pending with [ _ ] -> true | _ -> false)
 
 let of_list entries =
   let t = create () in
@@ -52,24 +68,34 @@ let of_list entries =
 
 let is_empty t = t.pending = []
 
-let length t = List.length t.pending
+let length t = t.count
 
 (** Earliest pending commit time, if any. *)
 let next_time t =
+  ensure_sorted t;
   match t.pending with [] -> None | e :: _ -> Some e.time
 
 (** [pop_until t ~time] removes and returns (in order) every commit with
     timestamp ≤ [time]. *)
 let pop_until t ~time =
-  let due, rest =
-    List.partition (fun e -> e.time <= time +. 1e-12) t.pending
+  ensure_sorted t;
+  let cutoff = time +. 1e-12 in
+  let rec take acc = function
+    | e :: rest when e.time <= cutoff -> take (e :: acc) rest
+    | rest ->
+        t.pending <- rest;
+        List.rev acc
   in
-  t.pending <- rest;
+  let due = take [] t.pending in
+  t.count <- t.count - List.length due;
   due
 
-let peek_all t = t.pending
+let peek_all t =
+  ensure_sorted t;
+  t.pending
 
 let pp_entry ppf e = Fmt.pf ppf "@[<h>[%.3fs #%d] %a@]" e.time e.seq pp_event e.event
 
 let pp ppf t =
+  ensure_sorted t;
   Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_entry) t.pending

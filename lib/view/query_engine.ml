@@ -32,6 +32,16 @@ open Dyno_relational
 open Dyno_sim
 open Dyno_net
 
+(** One transport route: a shard's UMQ and the channel feeding it.  A
+    single-view-manager world has exactly one route; a sharded world has
+    one per shard (each with its own exactly-once sequencer inside the
+    UMQ and its own fault/RNG stream), with commits routed by source
+    ownership.  Route 0 doubles as the historical single queue. *)
+type route = {
+  r_umq : Umq.t;
+  r_channel : Update_msg.payload Channel.t;
+}
+
 type t = {
   clock : Clock.t;
   exec : Executor.t;
@@ -40,13 +50,15 @@ type t = {
           untouched *)
   timeline : Timeline.t;
   registry : Dyno_source.Registry.t;
-  umq : Umq.t;
+  mutable routes : route array;
+      (** wrapper→UMQ transport(s); one per shard, routed by source *)
+  mutable route_of : string -> int;  (** source → owning route index *)
   cost : Cost_model.t;
   trace : Trace.t;
   planner : Eval.plan;
       (** physical plan every query through this engine runs with *)
-  channel : Update_msg.payload Channel.t;
-      (** wrapper→UMQ transport, shared by all sources *)
+  faults : Channel.faults;  (** channel fault config (shared by routes) *)
+  net_seed : int;  (** base channel seed; route [i] draws from seed + i *)
   retry : Retry.policy;  (** probe retry policy *)
   obs : Dyno_obs.Obs.t;  (** span recorder + metrics registry *)
   held_since : (string * int, float) Hashtbl.t;
@@ -76,11 +88,14 @@ let create ?(trace = Trace.create ()) ?(planner = `Indexed)
     exec;
     timeline;
     registry;
-    umq;
+    routes =
+      [| { r_umq = umq; r_channel = Channel.create ~faults ~obs ~seed:net_seed () } |];
+    route_of = (fun _ -> 0);
     cost;
     trace;
     planner;
-    channel = Channel.create ~faults ~obs ~seed:net_seed ();
+    faults;
+    net_seed;
     retry;
     obs;
     held_since = Hashtbl.create 16;
@@ -94,22 +109,74 @@ let timeline w = w.timeline
 let clock w = w.clock
 let executor w = w.exec
 let trace w = w.trace
-let umq w = w.umq
+let umq w = w.routes.(0).r_umq
 let registry w = w.registry
 let cost w = w.cost
 let planner w = w.planner
-let channel w = w.channel
+let channel w = w.routes.(0).r_channel
 let retry_policy w = w.retry
 let obs w = w.obs
 let net_timeouts w = w.timeouts
 let net_retries w = w.retries
 let net_wait w = w.net_wait
 
-(* Run one arriving copy through the UMQ's exactly-once sequencer. *)
-let admit_packet w (p : Update_msg.payload Channel.packet) =
+let route w source = w.routes.(w.route_of source)
+
+let install_routes w ~umqs ~route_of =
+  if Array.length umqs = 0 then
+    invalid_arg "Query_engine.install_routes: no queues";
+  if Channel.in_flight w.routes.(0).r_channel > 0 then
+    invalid_arg "Query_engine.install_routes: traffic already in flight";
+  (* Route [i]'s channel gets its own RNG stream ([net_seed + i]) so the
+     fault draws of distinct shards are independent; a 1-route install is
+     bit-identical to the channel built by [create]. *)
+  w.routes <-
+    Array.mapi
+      (fun i umq ->
+        {
+          r_umq = umq;
+          r_channel =
+            Channel.create ~faults:w.faults ~obs:w.obs
+              ~seed:(w.net_seed + i) ();
+        })
+      umqs;
+  w.route_of <- (fun source ->
+      let i = route_of source in
+      if i < 0 || i >= Array.length w.routes then
+        invalid_arg
+          (Fmt.str "Query_engine: source %s routed to shard %d of %d" source
+             i (Array.length w.routes));
+      i)
+
+let route_count w = Array.length w.routes
+let route_umq w i = w.routes.(i).r_umq
+let umqs w = Array.to_list (Array.map (fun r -> r.r_umq) w.routes)
+let umq_for w ~source = (route w source).r_umq
+
+let net_msgs_lost w =
+  Array.fold_left
+    (fun acc r -> acc + Channel.lost_transmissions r.r_channel)
+    0 w.routes
+
+let net_msgs_duplicated w =
+  Array.fold_left
+    (fun acc r -> acc + Channel.duplicates_sent r.r_channel)
+    0 w.routes
+
+let umq_dups_dropped w =
+  Array.fold_left (fun acc r -> acc + Umq.dups_dropped r.r_umq) 0 w.routes
+
+let umq_reorders_healed w =
+  Array.fold_left (fun acc r -> acc + Umq.reorders_healed r.r_umq) 0 w.routes
+
+let set_broken_query_flags w =
+  Array.iter (fun r -> Umq.set_broken_query_flag r.r_umq) w.routes
+
+(* Run one arriving copy through its route's exactly-once sequencer. *)
+let admit_packet w ri (p : Update_msg.payload Channel.packet) =
   match
-    Umq.deliver w.umq ~source:p.source ~seq:p.seq ~commit_time:p.sent
-      ~source_version:p.seq p.payload
+    Umq.deliver w.routes.(ri).r_umq ~source:p.source ~seq:p.seq
+      ~commit_time:p.sent ~source_version:p.seq p.payload
   with
   | Umq.Admitted ms ->
       List.iter
@@ -140,9 +207,29 @@ let admit_packet w (p : Update_msg.payload Channel.packet) =
       Trace.recordf w.trace ~time:(now w) Trace.Info
         "holding out-of-order seq %d from %s" p.seq p.source
 
-(* Deliver every channel copy whose arrival time has passed. *)
+(* Deliver every channel copy whose arrival time has passed.  With
+   several routes, due packets are merged in global arrival order (ties
+   keep route-index order) so cross-shard admission is deterministic. *)
 let deliver_arrived w =
-  List.iter (admit_packet w) (Channel.due w.channel ~now:(now w))
+  if Array.length w.routes = 1 then
+    List.iter (admit_packet w 0) (Channel.due w.routes.(0).r_channel ~now:(now w))
+  else begin
+    let batches = ref [] in
+    for i = Array.length w.routes - 1 downto 0 do
+      match Channel.due w.routes.(i).r_channel ~now:(now w) with
+      | [] -> ()
+      | ps -> batches := List.map (fun p -> (i, p)) ps :: !batches
+    done;
+    match !batches with
+    | [] -> ()
+    | [ ps ] -> List.iter (fun (i, p) -> admit_packet w i p) ps
+    | several ->
+        List.concat several
+        |> List.stable_sort
+             (fun (_, (a : Update_msg.payload Channel.packet)) (_, b) ->
+               Float.compare a.Channel.arrival b.Channel.arrival)
+        |> List.iter (fun (i, p) -> admit_packet w i p)
+  end
 
 (** [deliver_due w] applies every source commit scheduled at or before the
     current simulated time, sends the corresponding message down the
@@ -159,14 +246,15 @@ let deliver_due w =
       (* The first commit carries the lowest seq this source will ever
          send; registering it here (before any delivery can happen)
          anchors the sequencer even if that first message is reordered. *)
-      Umq.ensure_source w.umq ~source ~first_seq:version;
+      let r = route w source in
+      Umq.ensure_source r.r_umq ~source ~first_seq:version;
       let payload =
         match e.event with
         | Timeline.Du u -> Update_msg.Du u
         | Timeline.Sc sc -> Update_msg.Sc sc
       in
       let report =
-        Channel.send w.channel ~now:e.time ~source ~seq:version payload
+        Channel.send r.r_channel ~now:e.time ~source ~seq:version payload
       in
       if report.transmissions > 1 then
         Trace.recordf w.trace ~time:e.time Trace.Msg_dropped
@@ -198,17 +286,24 @@ let idle_until w t =
     view manager doing anything: a future source commit or an in-flight
     message arrival. *)
 let next_wakeup w =
-  match (Timeline.next_time w.timeline, Channel.next_arrival w.channel) with
-  | None, None -> None
-  | (Some _ as t), None | None, (Some _ as t) -> t
-  | Some a, Some b -> Some (Float.min a b)
+  let min_opt a b =
+    match (a, b) with
+    | None, t | t, None -> t
+    | Some a, Some b -> Some (Float.min a b)
+  in
+  Array.fold_left
+    (fun acc r -> min_opt acc (Channel.next_arrival r.r_channel))
+    (Timeline.next_time w.timeline)
+    w.routes
 
 (* A probe answer from [source] arrived on the same FIFO stream as the
    source's update messages, so every message it sent earlier has arrived
    too: flush them into the UMQ before the answer is used.  This is what
    keeps the SWEEP compensation frontier exact under transport delay. *)
 let flush_in_flight w ~source =
-  List.iter (admit_packet w) (Channel.flush_source w.channel ~source)
+  let ri = w.route_of source in
+  List.iter (admit_packet w ri)
+    (Channel.flush_source w.routes.(ri).r_channel ~source)
 
 (** How a maintenance query can fail:
 
@@ -232,9 +327,10 @@ let pp_failure ppf = function
 let with_rpc w ~target ~what (attempt_ok : unit -> ('a, failure) result) :
     ('a, failure) result =
   let rec attempt ~n ~waited =
-    let outage = Channel.outage_at w.channel ~source:target ~now:(now w) in
+    let ch = (route w target).r_channel in
+    let outage = Channel.outage_at ch ~source:target ~now:(now w) in
     let lost =
-      match outage with Some _ -> true | None -> Channel.rpc_lost w.channel
+      match outage with Some _ -> true | None -> Channel.rpc_lost ch
     in
     if not lost then attempt_ok ()
     else begin
@@ -336,13 +432,14 @@ let execute_timed w (q : Query.t) ~bound ~target :
       (* Issue half: the request goes on the wire; this task parks for
          the round trip + source scan while other tasks' probes overlap. *)
       let rtt = Cost_model.probe w.cost ~scanned:scan_estimate ~returned:0 in
+      let ch = (route w target).r_channel in
       let rpc =
-        Channel.issue_rpc w.channel ~now:(now w) ~source:target
+        Channel.issue_rpc ch ~now:(now w) ~source:target
           ~ready:(now w +. rtt)
       in
       advance w rtt;
       (* Complete half: take the round trip off the wire. *)
-      Channel.complete_rpc w.channel rpc;
+      Channel.complete_rpc ch rpc;
       (* The answer travels the source's FIFO stream: its earlier update
          messages arrive first (SWEEP's per-source ordering assumption). *)
       flush_in_flight w ~source:target;
@@ -367,7 +464,7 @@ let execute_timed w (q : Query.t) ~bound ~target :
             (Relation.support ans.rows);
           Ok (ans, answered_at)
       | Error b ->
-          Umq.set_broken_query_flag w.umq;
+          set_broken_query_flags w;
           Trace.recordf w.trace ~time:(now w) Trace.Broken_query "%a"
             Dyno_source.Data_source.pp_broken b;
           Error (Broken b))
@@ -390,7 +487,7 @@ let validate w (q : Query.t) ~target : (unit, failure) result =
       match Dyno_source.Data_source.validate src q with
       | Ok () -> Ok ()
       | Error b ->
-          Umq.set_broken_query_flag w.umq;
+          set_broken_query_flags w;
           Trace.recordf w.trace ~time:(now w) Trace.Broken_query
             "validation: %a" Dyno_source.Data_source.pp_broken b;
           Error (Broken b))
@@ -401,7 +498,7 @@ let validate w (q : Query.t) ~target : (unit, failure) result =
     commits meanwhile.  Returns the simulated seconds waited. *)
 let await_recovery w ~source =
   let t0 = now w in
-  (match Channel.outage_at w.channel ~source ~now:t0 with
+  (match Channel.outage_at (route w source).r_channel ~source ~now:t0 with
   | Some o -> idle_until w o.ends
   | None ->
       advance w
@@ -419,4 +516,5 @@ let source_relation w ~source ~rel =
 
 (** Concurrent data updates currently pending in the UMQ against relation
     [rel] at [source] — the information compensation needs. *)
-let pending_dus w ~source ~rel = Umq.pending_dus w.umq ~source ~rel
+let pending_dus w ~source ~rel =
+  Umq.pending_dus (route w source).r_umq ~source ~rel

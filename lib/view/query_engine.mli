@@ -53,12 +53,53 @@ val executor : t -> Executor.t
     so independent probe round trips overlap. *)
 
 val trace : t -> Trace.t
+
 val umq : t -> Umq.t
+(** Route 0's queue — {e the} queue of a single-view-manager world, and
+    the first shard's queue of a sharded one. *)
+
 val registry : t -> Dyno_source.Registry.t
 val cost : t -> Cost_model.t
 
 val channel : t -> Update_msg.payload Dyno_net.Channel.t
+(** Route 0's channel (see {!umq}). *)
+
 val retry_policy : t -> Dyno_net.Retry.policy
+
+val install_routes :
+  t -> umqs:Umq.t array -> route_of:(string -> int) -> unit
+(** Replace the single default route with one route per shard: queue [i]
+    of [umqs] is fed by its own channel (same fault config, RNG stream
+    seeded [net_seed + i]) and owns the sources [route_of] maps to [i].
+    Must be called before any traffic flows (raises [Invalid_argument]
+    if messages are already in flight); installing a 1-element array is
+    bit-identical to the route built by {!create}.  The queues should
+    share one message-id counter ({!Umq.create}'s [ids]) so ids stay
+    globally unique across shards. *)
+
+val route_count : t -> int
+(** Number of installed routes ([1] unless {!install_routes} ran). *)
+
+val route_umq : t -> int -> Umq.t
+(** The queue owned by route [i]. *)
+
+val umqs : t -> Umq.t list
+(** All routes' queues, in route order. *)
+
+val umq_for : t -> source:string -> Umq.t
+(** The queue owning a source's updates. *)
+
+val net_msgs_lost : t -> int
+(** Transmissions dropped by the channel(s), summed across routes. *)
+
+val net_msgs_duplicated : t -> int
+(** Duplicate transmissions injected by the channel(s), summed. *)
+
+val umq_dups_dropped : t -> int
+(** Copies discarded by the exactly-once sequencer(s), summed. *)
+
+val umq_reorders_healed : t -> int
+(** Out-of-order deliveries healed by the sequencer(s), summed. *)
 
 val obs : t -> Dyno_obs.Obs.t
 (** The observability handle (see {!create}). *)

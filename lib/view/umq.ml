@@ -27,8 +27,18 @@ let pp_entry ppf = function
       Fmt.pf ppf "BATCH{%a}" Fmt.(list ~sep:(any "; ") Update_msg.pp) ms
 
 type t = {
-  mutable entries : entry list;  (** head first *)
-  mutable next_id : int;
+  mutable front : entry list;  (** head first *)
+  mutable back : entry list;
+      (** tail, newest first — appended O(1); the logical queue is
+          [front @ List.rev back].  A million-update backlog (the scale
+          bench) would otherwise pay O(n) per enqueue. *)
+  mutable n_entries : int;
+  ids : int ref;
+      (** message-id counter.  Sharded worlds pass one shared counter to
+          every shard's queue so ids stay globally unique (exclusion sets,
+          the consistency checker's message index and the cross-shard
+          commit order all key on them) and double as a global arrival
+          order. *)
   mutable new_schema_change : bool;
   mutable broken_query : bool;
   mutable total_enqueued : int;
@@ -47,10 +57,12 @@ type t = {
   mutable reorders_healed : int;
 }
 
-let create () =
+let create ?ids () =
   {
-    entries = [];
-    next_id = 0;
+    front = [];
+    back = [];
+    n_entries = 0;
+    ids = (match ids with Some r -> r | None -> ref 0);
     new_schema_change = false;
     broken_query = false;
     total_enqueued = 0;
@@ -61,6 +73,16 @@ let create () =
     dups_dropped = 0;
     reorders_healed = 0;
   }
+
+(* Merge the back buffer into the front list.  Amortized O(1) per
+   enqueued entry when the front is drained before forcing (the scheduler
+   hot paths only read the queue's prefix); full-queue readers (detection,
+   correction, pretty-printing) pay the concatenation. *)
+let force_all q =
+  if q.back <> [] then begin
+    q.front <- q.front @ List.rev q.back;
+    q.back <- []
+  end
 
 let index_key m =
   (Update_msg.source m, Update_msg.rel m)
@@ -85,12 +107,15 @@ let index_remove q m =
         else Hashtbl.replace q.du_index k l'
   end
 
-let is_empty q = q.entries = []
-let length q = List.length q.entries
-let entries q = q.entries
+let is_empty q = q.front = [] && q.back = []
+let length q = q.n_entries
+
+let entries q =
+  force_all q;
+  q.front
 
 (** All messages currently queued, in queue order. *)
-let messages q = List.concat_map entry_messages q.entries
+let messages q = List.concat_map entry_messages (entries q)
 
 let total_enqueued q = q.total_enqueued
 
@@ -99,11 +124,12 @@ let total_enqueued q = q.total_enqueued
     of Figure 7). *)
 let enqueue q ~commit_time ~source_version payload =
   let m =
-    Update_msg.make ~id:q.next_id ~commit_time ~source_version payload
+    Update_msg.make ~id:!(q.ids) ~commit_time ~source_version payload
   in
-  q.next_id <- q.next_id + 1;
+  incr q.ids;
   q.total_enqueued <- q.total_enqueued + 1;
-  q.entries <- q.entries @ [ Single m ];
+  q.back <- Single m :: q.back;
+  q.n_entries <- q.n_entries + 1;
   q.history <- m :: q.history;
   index_add q m;
   if Update_msg.is_sc m then q.new_schema_change <- true;
@@ -196,14 +222,18 @@ let pending_dus q ~source ~rel =
 (** Every message ever enqueued, in arrival order. *)
 let history q = List.rev q.history
 
-let head q = match q.entries with [] -> None | e :: _ -> Some e
+let head q =
+  if q.front = [] then force_all q;
+  match q.front with [] -> None | e :: _ -> Some e
 
 let remove_head q =
-  match q.entries with
+  if q.front = [] then force_all q;
+  match q.front with
   | [] -> ()
   | e :: rest ->
       List.iter (index_remove q) (entry_messages e);
-      q.entries <- rest
+      q.front <- rest;
+      q.n_entries <- q.n_entries - 1
 
 (** [remove_entry q e] removes the first queued entry carrying exactly
     [e]'s message-id set, wherever it sits — a parallel round maintains
@@ -211,26 +241,33 @@ let remove_head q =
     absent. *)
 let remove_entry q e =
   let target = List.sort compare (entry_ids e) in
+  let removed = ref false in
   let rec go = function
     | [] -> []
     | e' :: rest ->
-        if List.sort compare (entry_ids e') = target then begin
+        if (not !removed) && List.sort compare (entry_ids e') = target
+        then begin
+          removed := true;
           List.iter (index_remove q) (entry_messages e');
           rest
         end
         else e' :: go rest
   in
-  q.entries <- go q.entries
+  q.front <- go q.front;
+  if not !removed then q.back <- List.rev (go (List.rev q.back));
+  if !removed then q.n_entries <- q.n_entries - 1
 
 (** [replace q entries] installs a corrected (reordered / merged) queue.
     The multiset of message ids must be preserved — correction may neither
     drop nor invent updates (sources cannot abort).
     @raise Invalid_argument otherwise. *)
-let replace q entries =
+let replace q new_entries =
   let ids es = List.sort compare (List.concat_map entry_ids es) in
-  if ids entries <> ids q.entries then
+  if ids new_entries <> ids (entries q) then
     invalid_arg "Umq.replace: correction must preserve the set of updates";
-  q.entries <- entries
+  q.front <- new_entries;
+  q.back <- [];
+  q.n_entries <- List.length new_entries
 
 (* Flag protocol of Figure 6 (atomic in the paper; the simulation is
    single-threaded so plain reads/writes suffice). *)
@@ -254,4 +291,4 @@ let pp ppf q =
     (if q.new_schema_change then " [SC-flag]" else "")
     (if q.broken_query then " [broken-flag]" else "")
     Fmt.(list ~sep:cut pp_entry)
-    q.entries
+    (entries q)

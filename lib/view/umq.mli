@@ -18,7 +18,14 @@ val pp_entry : Format.formatter -> entry -> unit
 
 type t
 
-val create : unit -> t
+val create : ?ids:int ref -> unit -> t
+(** [create ?ids ()] — [ids] is the message-id counter to draw from
+    (fresh by default).
+    Sharded worlds pass one shared counter to every shard's queue so
+    message ids stay globally unique — exclusion sets, the consistency
+    checker's message index and the cross-shard commit order all key on
+    them — and double as a global arrival order. *)
+
 val is_empty : t -> bool
 val length : t -> int
 val entries : t -> entry list

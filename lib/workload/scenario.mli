@@ -1,54 +1,85 @@
 (** Scenario assembly and execution: build the whole simulated world
     (sources, view, engine, workload) and run the Dyno scheduler over it.
-    Used by benches, examples and integration tests. *)
+    Used by benches, examples and integration tests.
+
+    World construction is driven by an explicit {!Config.t} record (no
+    optional-argument soup): build one with {!Config.default} and the
+    [with_]-style helpers, hand it to {!make}.  Runs are driven by the
+    shared {!Dyno_core.Run_config.t} record (aliased here as
+    {!Run_config}), the same record every scheduler consumes. *)
 
 open Dyno_relational
 open Dyno_view
 
+(** World-construction parameters. *)
+module Config : sig
+  type t = {
+    rows : int;  (** tuples loaded per relation *)
+    cost : Dyno_sim.Cost_model.t;
+    track_snapshots : bool;
+        (** retain per-commit view snapshots (consistency checkers) *)
+    trace_enabled : bool;
+    faults : Dyno_net.Channel.faults;
+        (** wrapper→UMQ transport faults (reliable by default) *)
+    retry : Dyno_net.Retry.policy option;
+        (** probe retry policy ([None] derives it from [cost]) *)
+    net_seed : int;  (** channel RNG stream; shard [i] draws seed + i *)
+    obs : Dyno_obs.Obs.t;
+    shards : int;
+        (** view-manager shards; sources are partitioned across them *)
+    partition : (string * int) list;
+        (** explicit source→shard overrides (round-robin otherwise) *)
+  }
+
+  val default : t
+  (** 200 rows, {!Dyno_sim.Cost_model.default}, no snapshots, no trace,
+      reliable transport, disabled observability, 1 shard. *)
+
+  val with_rows : int -> t -> t
+  val with_cost : Dyno_sim.Cost_model.t -> t -> t
+  val with_snapshots : bool -> t -> t
+  val with_trace : bool -> t -> t
+  val with_faults : Dyno_net.Channel.faults -> t -> t
+  val with_retry : Dyno_net.Retry.policy -> t -> t
+  val with_net_seed : int -> t -> t
+  val with_obs : Dyno_obs.Obs.t -> t -> t
+  val with_shards : int -> t -> t
+  val with_partition : (string * int) list -> t -> t
+end
+
+(** Alias of {!Dyno_core.Run_config}: the shared scheduler-run record
+    ([strategy], [max_steps], [compensate], [vm_mode], [du_group],
+    [parallel]) with its own [default] / [of_strategy] / [with_]
+    helpers. *)
+module Run_config = Dyno_core.Run_config
+
 type t = {
   registry : Dyno_source.Registry.t;
   mk : Dyno_source.Meta_knowledge.t;
-  umq : Umq.t;
+  umq : Umq.t;  (** shard 0's queue — {e the} queue of a 1-shard world *)
+  plan : Dyno_core.Shard.t;  (** source→shard partition plan *)
   timeline : Dyno_sim.Timeline.t;
   engine : Query_engine.t;
   mv : Mat_view.t;
   trace : Dyno_sim.Trace.t;
 }
 
-val make :
-  rows:int ->
-  cost:Dyno_sim.Cost_model.t ->
-  ?track_snapshots:bool ->
-  ?trace_enabled:bool ->
-  ?faults:Dyno_net.Channel.faults ->
-  ?retry:Dyno_net.Retry.policy ->
-  ?net_seed:int ->
-  ?obs:Dyno_obs.Obs.t ->
-  timeline:Dyno_sim.Timeline.t ->
-  unit ->
-  t
-(** Build the paper's 6-relation world, load [rows] tuples per relation,
-    materialize the view (uncharged — initialization is not part of any
-    measured experiment) and wire the engine around the timeline.
-    [faults]/[retry]/[net_seed] configure the transport channel between
-    the view manager and the sources (reliable by default); [obs]
-    (default disabled) is the observability handle passed to the
-    engine. *)
+val make : Config.t -> timeline:Dyno_sim.Timeline.t -> t
+(** Build the paper's 6-relation world, load [Config.rows] tuples per
+    relation, materialize the view (uncharged — initialization is not
+    part of any measured experiment) and wire the engine around the
+    timeline.  With [Config.shards > 1] the sources are partitioned by
+    {!Dyno_core.Shard.plan} and the engine gets one transport route per
+    shard, every queue drawing message ids from one shared counter. *)
 
-val run :
-  ?max_steps:int ->
-  ?compensate:bool ->
-  ?vm_mode:Dyno_core.Scheduler.vm_mode ->
-  ?du_group:int ->
-  ?parallel:int ->
-  t ->
-  strategy:Dyno_core.Strategy.t ->
-  Dyno_core.Stats.t
-(** Drive the Dyno loop to completion. *)
+val run : t -> config:Run_config.t -> Dyno_core.Stats.t
+(** Drive the maintenance loop to completion via
+    {!Dyno_core.Shard_scheduler.run} — which, on a 1-shard plan, is
+    {!Dyno_core.Scheduler.run} bit for bit. *)
 
 val msg_index : t -> (int * (string * int)) list
-(** Message id → (source, source version), for
-    {!Dyno_core.Consistency.check_strong}. *)
+(** Message id → (source, source version) across every shard's queue,
+    for {!Dyno_core.Consistency.check_strong}. *)
 
 val check_convergent : t -> (bool, string) result
 val check_strong : t -> Dyno_core.Consistency.report

@@ -14,10 +14,15 @@ let run_small () =
       ~sc_interval:0.0 ~sc_kinds:[] ()
   in
   let t =
-    Scenario.make ~rows:12 ~cost:Dyno_sim.Cost_model.free ~track_snapshots:true
-      ~timeline ()
+    Scenario.make
+      Scenario.Config.(
+        default |> with_rows 12 |> with_cost Dyno_sim.Cost_model.free
+        |> with_snapshots true)
+      ~timeline
   in
-  ignore (Scenario.run t ~strategy:Strategy.Pessimistic);
+  ignore
+    (Scenario.run t
+       ~config:(Dyno_core.Run_config.of_strategy Strategy.Pessimistic));
   t
 
 let test_accepts_correct_run () =

@@ -11,9 +11,12 @@ open Dyno_core
 let rows = 50
 let cost () = Dyno_sim.Cost_model.scaled (100_000.0 /. float_of_int rows)
 
+let config () =
+  Scenario.Config.(default |> with_rows rows |> with_cost (cost ()))
+
 let run ~timeline ~strategy =
-  let t = Scenario.make ~rows ~cost:(cost ()) ~timeline () in
-  Scenario.run t ~strategy
+  let t = Scenario.make (config ()) ~timeline in
+  Scenario.run t ~config:(Run_config.of_strategy strategy)
 
 let mixed ~seed ~n_dus ~n_scs ~sc_interval ~strategy =
   run
@@ -131,11 +134,14 @@ let test_baseline_shape () =
       Generator.mixed ~rows ~seed:32 ~n_dus:50 ~du_interval:0.0
         ~sc_interval:0.0 ~sc_kinds:[] ()
     in
-    let t = Scenario.make ~rows ~cost:(cost ()) ~timeline () in
-    Scenario.run ~vm_mode t ~strategy:Strategy.Pessimistic
+    let t = Scenario.make (config ()) ~timeline in
+    Scenario.run t
+      ~config:
+        Run_config.(
+          of_strategy Strategy.Pessimistic |> with_vm_mode vm_mode)
   in
-  let inc = du_only Scheduler.Incremental in
-  let rec_ = du_only Scheduler.Recompute in
+  let inc = du_only Run_config.Incremental in
+  let rec_ = du_only Run_config.Recompute in
   Alcotest.(check bool) "incremental >= 20x cheaper" true
     (rec_.Stats.busy > 20.0 *. inc.Stats.busy)
 

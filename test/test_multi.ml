@@ -75,12 +75,7 @@ let run_and_check ~rows ~cost ~timeline ~strategy () =
   let stats =
     Multi_scheduler.run
       ~config:
-        {
-          Multi_scheduler.strategy;
-          max_steps = 200_000;
-          compensate = true;
-          parallel = 1;
-        }
+        Dyno_core.Run_config.(of_strategy strategy |> with_max_steps 200_000)
       w.engine w.multi w.mk
   in
   Alcotest.(check bool) "queue drained" true (Umq.is_empty w.umq);

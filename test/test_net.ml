@@ -164,9 +164,28 @@ let scenario ?(trace_enabled = false) ?faults ?net_seed ?obs ~seed ~n_dus
       ~sc_kinds:(Dyno_workload.Generator.drop_then_renames n_scs)
       ()
   in
-  Dyno_workload.Scenario.make ~rows:10
-    ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
-    ~track_snapshots:true ~trace_enabled ?faults ?net_seed ?obs ~timeline ()
+  let c =
+    Dyno_workload.Scenario.Config.(
+      default |> with_rows 10
+      |> with_cost { Dyno_sim.Cost_model.default with row_scale = 1.0 }
+      |> with_snapshots true |> with_trace trace_enabled)
+  in
+  let c =
+    match faults with
+    | Some f -> Dyno_workload.Scenario.Config.with_faults f c
+    | None -> c
+  in
+  let c =
+    match net_seed with
+    | Some n -> Dyno_workload.Scenario.Config.with_net_seed n c
+    | None -> c
+  in
+  let c =
+    match obs with
+    | Some o -> Dyno_workload.Scenario.Config.with_obs o c
+    | None -> c
+  in
+  Dyno_workload.Scenario.make c ~timeline
 
 let test_zero_fault_identity () =
   let run ?faults ?net_seed ?parallel ?obs () =
@@ -175,8 +194,11 @@ let test_zero_fault_identity () =
         ~n_scs:2 ()
     in
     let stats =
-      Dyno_workload.Scenario.run ?parallel t
-        ~strategy:Dyno_core.Strategy.Pessimistic
+      Dyno_workload.Scenario.run t
+        ~config:
+          Dyno_core.Run_config.(
+            of_strategy Dyno_core.Strategy.Pessimistic
+            |> with_parallel (Option.value parallel ~default:1))
     in
     ( Fmt.str "%a" Dyno_core.Stats.pp stats,
       Dyno_view.Mat_view.extent t.mv,
@@ -261,7 +283,10 @@ let prop_faulty_converges_like_reliable =
       in
       let run ?faults ?net_seed () =
         let t = scenario ?faults ?net_seed ~seed ~n_dus ~n_scs () in
-        let stats = Dyno_workload.Scenario.run t ~strategy in
+        let stats =
+          Dyno_workload.Scenario.run t
+            ~config:(Dyno_core.Run_config.of_strategy strategy)
+        in
         (t, stats)
       in
       let tr, _ = run () in

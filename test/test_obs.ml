@@ -26,15 +26,21 @@ let scenario ?(obs = Obs.disabled) ?(loss = 0.0) ~seed ~n_dus ~n_scs () =
   let faults =
     { Dyno_net.Channel.reliable with loss; retransmit = 0.05 }
   in
-  Dyno_workload.Scenario.make ~rows:10
-    ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
-    ~track_snapshots:true ~trace_enabled:true ~faults ~net_seed:99 ~obs
-    ~timeline ()
+  Dyno_workload.Scenario.make
+    Dyno_workload.Scenario.Config.(
+      default |> with_rows 10
+      |> with_cost { Dyno_sim.Cost_model.default with row_scale = 1.0 }
+      |> with_snapshots true |> with_trace true |> with_faults faults
+      |> with_net_seed 99 |> with_obs obs)
+    ~timeline
 
 let run_observed ?loss ?(strategy = Dyno_core.Strategy.Pessimistic) () =
   let obs = Obs.create () in
   let t = scenario ~obs ?loss ~seed:11 ~n_dus:12 ~n_scs:2 () in
-  let stats = Dyno_workload.Scenario.run t ~strategy in
+  let stats =
+    Dyno_workload.Scenario.run t
+      ~config:(Dyno_core.Run_config.of_strategy strategy)
+  in
   (obs, t, stats)
 
 (* -- span recorder ------------------------------------------------------ *)
@@ -239,7 +245,8 @@ let test_obs_off_identical () =
   let run obs =
     let t = scenario ~obs ~loss:0.3 ~seed:11 ~n_dus:12 ~n_scs:2 () in
     let stats =
-      Dyno_workload.Scenario.run t ~strategy:Dyno_core.Strategy.Pessimistic
+      Dyno_workload.Scenario.run t
+        ~config:(Dyno_core.Run_config.of_strategy Dyno_core.Strategy.Pessimistic)
     in
     ( Fmt.str "%a" Dyno_core.Stats.pp stats,
       Dyno_view.Mat_view.extent t.Dyno_workload.Scenario.mv )
@@ -561,7 +568,9 @@ let prop_staleness =
       let obs = Obs.create ~sample_interval:0.25 () in
       let t = scenario ~obs ~loss ~seed ~n_dus ~n_scs:1 () in
       let _stats =
-        Dyno_workload.Scenario.run t ~strategy:Dyno_core.Strategy.Pessimistic
+        Dyno_workload.Scenario.run t
+          ~config:
+            (Dyno_core.Run_config.of_strategy Dyno_core.Strategy.Pessimistic)
       in
       let samples = Timeseries.samples (Obs.series obs) in
       if samples = [] then QCheck.Test.fail_report "no samples taken";

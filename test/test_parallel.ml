@@ -18,9 +18,23 @@ let scenario ?faults ?net_seed ~seed ~n_dus ~n_scs () =
       ~sc_kinds:(Dyno_workload.Generator.drop_then_renames n_scs)
       ()
   in
-  Dyno_workload.Scenario.make ~rows:10
-    ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
-    ~track_snapshots:true ?faults ?net_seed ~timeline ()
+  let c =
+    Dyno_workload.Scenario.Config.(
+      default |> with_rows 10
+      |> with_cost { Dyno_sim.Cost_model.default with row_scale = 1.0 }
+      |> with_snapshots true)
+  in
+  let c =
+    match faults with
+    | Some f -> Dyno_workload.Scenario.Config.with_faults f c
+    | None -> c
+  in
+  let c =
+    match net_seed with
+    | Some n -> Dyno_workload.Scenario.Config.with_net_seed n c
+    | None -> c
+  in
+  Dyno_workload.Scenario.make c ~timeline
 
 (* Per-source sets of update messages integrated into the view: commit-log
    [maintained] ids resolved through the scenario's id -> (source, version)
@@ -88,7 +102,12 @@ let prop_parallel_equals_serial =
       in
       let run ~parallel =
         let t = scenario ~faults ~net_seed ~seed ~n_dus ~n_scs () in
-        let stats = Dyno_workload.Scenario.run ~parallel t ~strategy in
+        let stats =
+          Dyno_workload.Scenario.run t
+            ~config:
+              Dyno_core.Run_config.(
+                of_strategy strategy |> with_parallel parallel)
+        in
         (t, stats)
       in
       let ts, stats_s = run ~parallel:1 in

@@ -367,11 +367,16 @@ let prop_end_to_end =
           ()
       in
       let t =
-        Dyno_workload.Scenario.make ~rows:10
-          ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
-          ~track_snapshots:true ~timeline ()
+        Dyno_workload.Scenario.make
+          Dyno_workload.Scenario.Config.(
+            default |> with_rows 10
+            |> with_cost { Dyno_sim.Cost_model.default with row_scale = 1.0 }
+            |> with_snapshots true)
+          ~timeline
       in
-      ignore (Dyno_workload.Scenario.run t ~strategy);
+      ignore
+        (Dyno_workload.Scenario.run t
+           ~config:(Dyno_core.Run_config.of_strategy strategy));
       let convergent =
         match Dyno_workload.Scenario.check_convergent t with
         | Ok b -> b

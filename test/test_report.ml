@@ -61,11 +61,17 @@ let test_on_live_run () =
       ()
   in
   let t =
-    Dyno_workload.Scenario.make ~rows:10
-      ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
-      ~trace_enabled:true ~timeline ()
+    Dyno_workload.Scenario.make
+      Dyno_workload.Scenario.Config.(
+        default |> with_rows 10
+        |> with_cost { Dyno_sim.Cost_model.default with row_scale = 1.0 }
+        |> with_trace true)
+      ~timeline
   in
-  let stats = Dyno_workload.Scenario.run t ~strategy:Strategy.Pessimistic in
+  let stats =
+    Dyno_workload.Scenario.run t
+      ~config:(Dyno_core.Run_config.of_strategy Strategy.Pessimistic)
+  in
   let r = Report.of_trace t.Dyno_workload.Scenario.trace in
   let finished =
     List.length (List.filter (fun e -> not e.Report.aborted) r.Report.episodes)

@@ -7,16 +7,20 @@ open Dyno_workload
 open Dyno_core
 
 let cost = Dyno_sim.Cost_model.free
+let row1 = { Dyno_sim.Cost_model.default with row_scale = 1.0 }
+
+(* World config shared by most integration workloads: snapshots + trace on. *)
+let tracked ~rows ~cost =
+  Scenario.Config.(
+    default |> with_rows rows |> with_cost cost |> with_snapshots true
+    |> with_trace true)
 
 let strategies =
   [ Strategy.Pessimistic; Strategy.Optimistic; Strategy.Merge_all ]
 
 let run_workload ~rows ~timeline ~strategy () =
-  let t =
-    Scenario.make ~rows ~cost ~track_snapshots:true ~trace_enabled:true
-      ~timeline ()
-  in
-  let stats = Scenario.run t ~strategy in
+  let t = Scenario.make (tracked ~rows ~cost) ~timeline in
+  let stats = Scenario.run t ~config:(Run_config.of_strategy strategy) in
   (t, stats)
 
 let assert_converged t =
@@ -68,12 +72,8 @@ let test_mixed_spaced strategy () =
       ~sc_kinds:(Generator.drop_then_renames 5)
       ()
   in
-  let t =
-    Scenario.make ~rows:20
-      ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
-      ~track_snapshots:true ~trace_enabled:true ~timeline ()
-  in
-  let stats = Scenario.run t ~strategy in
+  let t = Scenario.make (tracked ~rows:20 ~cost:row1) ~timeline in
+  let stats = Scenario.run t ~config:(Run_config.of_strategy strategy) in
   ignore stats;
   assert_converged t;
   assert_strong t
@@ -93,12 +93,8 @@ let test_all_sc_kinds strategy () =
         ]
       ()
   in
-  let t =
-    Scenario.make ~rows:15
-      ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
-      ~track_snapshots:true ~trace_enabled:true ~timeline ()
-  in
-  let stats = Scenario.run t ~strategy in
+  let t = Scenario.make (tracked ~rows:15 ~cost:row1) ~timeline in
+  let stats = Scenario.run t ~config:(Run_config.of_strategy strategy) in
   ignore stats;
   assert_converged t;
   assert_strong t
@@ -129,13 +125,12 @@ let test_recompute_mode strategy () =
       ~sc_kinds:(Generator.drop_then_renames 2)
       ()
   in
-  let t =
-    Scenario.make ~rows:12
-      ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
-      ~track_snapshots:true ~trace_enabled:true ~timeline ()
-  in
+  let t = Scenario.make (tracked ~rows:12 ~cost:row1) ~timeline in
   let _stats =
-    Scenario.run ~vm_mode:Dyno_core.Scheduler.Recompute t ~strategy
+    Scenario.run t
+      ~config:
+        Run_config.(
+          of_strategy strategy |> with_vm_mode Dyno_core.Run_config.Recompute)
   in
   assert_converged t;
   assert_strong t
@@ -150,12 +145,11 @@ let test_du_grouping strategy () =
       ()
   in
   let run du_group =
-    let t =
-      Scenario.make ~rows:15
-        ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
-        ~track_snapshots:true ~trace_enabled:true ~timeline:(mk ()) ()
+    let t = Scenario.make (tracked ~rows:15 ~cost:row1) ~timeline:(mk ()) in
+    let stats =
+      Scenario.run t
+        ~config:Run_config.(of_strategy strategy |> with_du_group du_group)
     in
-    let stats = Scenario.run ~du_group t ~strategy in
     assert_converged t;
     assert_strong t;
     stats
@@ -181,7 +175,10 @@ let test_view_undefined () =
       ]
   in
   let t =
-    Scenario.make ~rows:8 ~cost ~trace_enabled:true ~timeline ()
+    Scenario.make
+      Scenario.Config.(
+        default |> with_rows 8 |> with_cost cost |> with_trace true)
+      ~timeline
   in
   (* a DU arriving after the view died *)
   Dyno_sim.Timeline.schedule t.Scenario.timeline ~time:1.0
@@ -189,7 +186,9 @@ let test_view_undefined () =
        (Dyno_relational.Update.insert ~source:"DS2" ~rel:"R3"
           (Paper_schema.schema_of_rel 3)
           (Paper_schema.tuple_for 3 0)));
-  let stats = Scenario.run t ~strategy:Strategy.Pessimistic in
+  let stats =
+    Scenario.run t ~config:(Run_config.of_strategy Strategy.Pessimistic)
+  in
   Alcotest.(check bool) "view undefined" true stats.Stats.view_undefined;
   Alcotest.(check bool) "queue drained anyway" true
     (Dyno_view.Umq.is_empty t.Scenario.umq);
@@ -200,9 +199,18 @@ let test_step_limit () =
     Generator.mixed ~rows:8 ~seed:1 ~n_dus:30 ~du_interval:0.0
       ~sc_interval:0.0 ~sc_kinds:[] ()
   in
-  let t = Scenario.make ~rows:8 ~cost ~timeline () in
+  let t =
+    Scenario.make
+      Scenario.Config.(default |> with_rows 8 |> with_cost cost)
+      ~timeline
+  in
   Alcotest.(check bool) "step limit raises" true
-    (match Scenario.run ~max_steps:3 t ~strategy:Strategy.Pessimistic with
+    (match
+       Scenario.run t
+         ~config:
+           Run_config.(
+             of_strategy Strategy.Pessimistic |> with_max_steps 3)
+     with
     | _ -> false
     | exception Dyno_core.Scheduler.Step_limit_exceeded _ -> true)
 
@@ -213,11 +221,13 @@ let test_idle_accounting () =
       ~sc_interval:0.0 ~sc_kinds:[] ()
   in
   let t =
-    Scenario.make ~rows:8
-      ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
-      ~timeline ()
+    Scenario.make
+      Scenario.Config.(default |> with_rows 8 |> with_cost row1)
+      ~timeline
   in
-  let stats = Scenario.run t ~strategy:Strategy.Optimistic in
+  let stats =
+    Scenario.run t ~config:(Run_config.of_strategy Strategy.Optimistic)
+  in
   Alcotest.(check bool) "idle time accounted" true (stats.Stats.idle > 20.0);
   Alcotest.(check bool) "busy excludes idle" true (stats.Stats.busy < 5.0);
   Alcotest.(check int) "no aborts when spaced" 0 stats.Stats.aborts
@@ -230,11 +240,14 @@ let test_spaced_scs_never_abort () =
       ()
   in
   let t =
-    Scenario.make ~rows:8
-      ~cost:{ Dyno_sim.Cost_model.default with row_scale = 1.0 }
-      ~track_snapshots:true ~timeline ()
+    Scenario.make
+      Scenario.Config.(
+        default |> with_rows 8 |> with_cost row1 |> with_snapshots true)
+      ~timeline
   in
-  let stats = Scenario.run t ~strategy:Strategy.Optimistic in
+  let stats =
+    Scenario.run t ~config:(Run_config.of_strategy Strategy.Optimistic)
+  in
   Alcotest.(check int) "no aborts" 0 stats.Stats.aborts;
   assert_converged t;
   assert_strong t

@@ -113,10 +113,18 @@ let test_scenario_smoke () =
     Generator.mixed ~rows:10 ~seed:5 ~n_dus:8 ~du_interval:0.0 ~sc_interval:0.0
       ~sc_kinds:[] ()
   in
-  let t = Scenario.make ~rows:10 ~cost:Dyno_sim.Cost_model.free ~timeline () in
+  let t =
+    Scenario.make
+      Scenario.Config.(
+        default |> with_rows 10 |> with_cost Dyno_sim.Cost_model.free)
+      ~timeline
+  in
   Alcotest.(check int) "view materialized" 10
     (Relation.cardinality (Dyno_view.Mat_view.extent t.Scenario.mv));
-  let stats = Scenario.run t ~strategy:Dyno_core.Strategy.Pessimistic in
+  let stats =
+    Scenario.run t
+      ~config:(Dyno_core.Run_config.of_strategy Dyno_core.Strategy.Pessimistic)
+  in
   Alcotest.(check int) "all maintained" 8
     (stats.Dyno_core.Stats.du_maintained + stats.Dyno_core.Stats.irrelevant);
   Alcotest.(check bool) "extent equals oracle" true
