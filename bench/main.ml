@@ -729,6 +729,7 @@ let overlap_bench () =
             vm_mode = Scheduler.Incremental;
             du_group = 1;
             parallel;
+            self_maint = false;
           }
         engine mv mk
     in
@@ -766,6 +767,104 @@ let overlap_bench () =
          mode "parallel" n_sources stats_p;
          Obj [ ("speedup", Num speedup) ];
        ])
+
+(* ------------------------------------------------------------------ *)
+(* Self-maintenance: the auxiliary-view tier vs the probing SWEEP       *)
+(* ------------------------------------------------------------------ *)
+
+(* Same world and fault sweep as the transport bench, run twice per loss
+   point: the probing baseline and [--self-maint].  Once the auxiliary
+   projections are seeded, every DU sweep over the chain-join view is
+   fully covered and answers locally, so the self-maintaining run dodges
+   the probe round-trips entirely — and with them the channel's losses,
+   timeouts and backoff.  Extents are asserted identical at every point
+   (the tier is an optimization, never a semantic change). *)
+let selfmaint_bench () =
+  header
+    "Self-maintenance - auxiliary-view tier vs probing SWEEP under \
+     transport loss (SIMULATED seconds)";
+  Fmt.pr
+    "expected shape: >= 60%% of probe round-trips answered locally; busy \
+     and bytes-on-wire@.drop accordingly; extents stay identical at every \
+     loss rate.@.@.";
+  Fmt.pr "%8s  %8s  %8s  %8s  %7s  %10s  %10s  %12s@." "loss" "probes"
+    "probes'" "avoided" "pct" "busy" "busy'" "bytes saved";
+  let points =
+    if !fast then [ 0.0; 0.1; 0.3 ] else [ 0.0; 0.05; 0.1; 0.2; 0.3; 0.4 ]
+  in
+  let n_dus = if !fast then 100 else 300 in
+  let entries =
+    List.map
+      (fun loss ->
+        let faults =
+          { Dyno_net.Channel.reliable with loss; retransmit = 0.1 }
+        in
+        let world () =
+          let timeline =
+            Generator.mixed ~rows:!rows ~seed:8 ~n_dus ~du_interval:1.0
+              ~sc_interval:0.0 ~sc_kinds:[] ()
+          in
+          Scenario.make
+            Scenario.Config.(
+              scenario_config () |> with_faults faults |> with_net_seed 8)
+            ~timeline
+        in
+        let base = world () in
+        let stats_b =
+          Scenario.run base
+            ~config:(Run_config.of_strategy Strategy.Pessimistic)
+        in
+        let sm = world () in
+        let stats_s =
+          Scenario.run sm
+            ~config:
+              Run_config.(
+                of_strategy Strategy.Pessimistic |> with_self_maint true)
+        in
+        if
+          not
+            (Relation.equal
+               (Dyno_view.Mat_view.extent base.Scenario.mv)
+               (Dyno_view.Mat_view.extent sm.Scenario.mv))
+        then begin
+          Fmt.epr
+            "selfmaint bench: extent diverged from baseline at loss %.2f@."
+            loss;
+          exit 1
+        end;
+        let converged =
+          match Scenario.check_convergent sm with
+          | Ok b -> b
+          | Error _ -> false
+        in
+        let avoided = stats_s.Stats.probes_avoided in
+        let pct =
+          let total = stats_s.Stats.probes + avoided in
+          if total = 0 then 0.0
+          else 100.0 *. float_of_int avoided /. float_of_int total
+        in
+        Fmt.pr "%8.2f  %8d  %8d  %8d  %6.1f%%  %10.1f  %10.1f  %10d B@." loss
+          stats_b.Stats.probes stats_s.Stats.probes avoided pct
+          stats_b.Stats.busy stats_s.Stats.busy stats_s.Stats.bytes_saved;
+        let open Dyno_jsonv.Jsonv in
+        Obj
+          [
+            ("loss", Num loss);
+            ("probes_base", Num (float_of_int stats_b.Stats.probes));
+            ("probes_sm", Num (float_of_int stats_s.Stats.probes));
+            ("probes_avoided", Num (float_of_int avoided));
+            ("pct_avoided", Num pct);
+            ("busy_base_s", Num stats_b.Stats.busy);
+            ("busy_sm_s", Num stats_s.Stats.busy);
+            ("bytes_saved_b", Num (float_of_int stats_s.Stats.bytes_saved));
+            ("converged", Bool converged);
+          ])
+      points
+  in
+  Fmt.pr
+    "@.(probes' / busy' = the --self-maint run; extents checked identical \
+     at every point)@.";
+  emit_json ~experiment:"selfmaint" (Dyno_jsonv.Jsonv.Arr entries)
 
 (* ------------------------------------------------------------------ *)
 (* Scale: sharded view manager, DU throughput at bounded staleness      *)
@@ -1035,6 +1134,10 @@ let check_regressions () =
         then Some "overlap"
         else if List.exists (fun o -> get_num "du_per_s" o <> None) base_entries
         then Some "scale"
+        (* selfmaint entries also carry a [loss] field — test before net *)
+        else if
+          List.exists (fun o -> get_num "pct_avoided" o <> None) base_entries
+        then Some "selfmaint"
         else if List.exists (fun o -> get_num "loss" o <> None) base_entries
         then Some "net"
         else None
@@ -1155,6 +1258,47 @@ let check_regressions () =
                               Fmt.pr "  %-36s (not in this run; skipped)@."
                                 (Fmt.str "%.0f shards" sh))
                       | None -> ())
+                  | "selfmaint" -> (
+                      (* probes avoided per loss point (higher is better)
+                         plus the self-maintaining run's busy time; a
+                         convergence flip is always a failure *)
+                      match get_num "loss" b with
+                      | Some loss -> (
+                          let same c = get_num "loss" c = Some loss in
+                          match find (fun _ -> same) b with
+                          | Some c ->
+                              (match
+                                 ( get_num "pct_avoided" b,
+                                   get_num "pct_avoided" c )
+                               with
+                              | Some bv, Some cv ->
+                                  cmp
+                                    ~label:
+                                      (Fmt.str "pct_avoided (loss %.2f)" loss)
+                                    ~base_v:bv ~cur_v:cv ~higher_better:true
+                              | _ -> ());
+                              (match
+                                 (get_num "busy_sm_s" b, get_num "busy_sm_s" c)
+                               with
+                              | Some bv, Some cv ->
+                                  cmp
+                                    ~label:
+                                      (Fmt.str "busy_sm_s (loss %.2f)" loss)
+                                    ~base_v:bv ~cur_v:cv ~higher_better:false
+                              | _ -> ());
+                              if
+                                member "converged" b = Some (Bool true)
+                                && member "converged" c = Some (Bool false)
+                              then begin
+                                Fmt.pr
+                                  "  %-36s no longer converges  REGRESSION@."
+                                  (Fmt.str "loss %.2f" loss);
+                                incr failures
+                              end
+                          | None ->
+                              Fmt.pr "  %-36s (not in this run; skipped)@."
+                                (Fmt.str "loss %.2f" loss))
+                      | None -> ())
                   | _ -> (
                       (* net: busy per loss point; a convergence flip is
                          always a failure, tolerance notwithstanding *)
@@ -1213,29 +1357,40 @@ let experiments =
     ("join", join_bench);
     ("net", net_bench);
     ("overlap", overlap_bench);
+    ("selfmaint", selfmaint_bench);
     ("scale", scale_bench);
   ]
 
+(* The one source of truth for what exists: both [--list] and the
+   [--only] usage string derive from the [experiments] table. *)
+let experiment_names = List.map fst experiments
+
 let () =
+  let list_only = ref false in
   let specs =
     [
-      ("--only", Arg.Set_string only, "run a single experiment (fig8..fig12, ablation, sensitivity, micro, join, net, overlap, scale)");
+      ("--list", Arg.Set list_only, "list the available experiments, one per line, and exit");
+      ("--only", Arg.Set_string only, Fmt.str "run a single experiment (%s)" (String.concat ", " experiment_names));
       ("--rows", Arg.Set_int rows, "physical rows per relation (default 500; logical is always 100k via cost scaling)");
       ("--fast", Arg.Set fast, "fewer sweep points / smaller join sizes");
       ("--quota", Arg.Set_float quota, "bechamel quota per micro-bench, seconds (default 0.5)");
-      ("--json", Arg.Set_string json_path, "write the join/net/overlap results to this JSON file");
-      ("--check", Arg.Set_string check_path, "compare this run's join/net/overlap results against a baseline JSON file; exit 1 on regression");
+      ("--json", Arg.Set_string json_path, "write the join/net/overlap/selfmaint/scale results to this JSON file");
+      ("--check", Arg.Set_string check_path, "compare this run's join/net/overlap/selfmaint/scale results against a baseline JSON file; exit 1 on regression");
       ("--tolerance", Arg.Set_float tolerance, "allowed regression for --check, percent (default 25)");
     ]
   in
   Arg.parse specs (fun _ -> ()) "dyno benchmarks";
+  if !list_only then begin
+    List.iter (Fmt.pr "%s@.") experiment_names;
+    exit 0
+  end;
   let todo =
     if !only = "" then experiments
     else
       match List.assoc_opt !only experiments with
       | Some f -> [ (!only, f) ]
       | None ->
-          Fmt.epr "unknown experiment %s@." !only;
+          Fmt.epr "unknown experiment %s (try --list)@." !only;
           exit 1
   in
   Fmt.pr

@@ -351,6 +351,17 @@ let parallel_arg =
   in
   Arg.(value & opt int 1 & info [ "parallel" ] ~docv:"N" ~doc)
 
+let self_maint_flag =
+  let doc =
+    "Self-maintenance tier: keep incrementally-maintained auxiliary \
+     projections of every join partner at the view manager (fed for free \
+     from the delivered update stream) and answer fully-covered \
+     maintenance sweeps locally, skipping their probe round trips.  Any \
+     coverage miss, stale projection or queued schema change falls back \
+     to the probing SWEEP path unchanged."
+  in
+  Arg.(value & flag & info [ "self-maint" ] ~doc)
+
 let shards_arg =
   let doc =
     "Shard the view manager across $(docv) partitions of the sources,      each shard owning its own update queue, transport channel and      exactly-once sequencer.  Shard-local data updates drain      independently; schema changes serialize at a cross-shard barrier.       1 is the classic single view manager."
@@ -358,11 +369,12 @@ let shards_arg =
   Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
 
 (* The one place CLI flags turn into the shared scheduler run record. *)
-let run_config_of ~strategy ~no_compensation ~parallel =
+let run_config_of ~strategy ~no_compensation ~parallel ~self_maint =
   Run_config.(
     of_strategy strategy
     |> with_compensate (not no_compensation)
-    |> with_parallel parallel)
+    |> with_parallel parallel
+    |> with_self_maint self_maint)
 
 (* ...and the one place they turn into the world-construction record. *)
 let scenario_config_of ~rows ~cost ~trace ~faults ~net_seed ~obs ~shards =
@@ -380,9 +392,10 @@ let timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval =
 
 let run_cmd =
   let action rows dus scs du_interval sc_interval seed strategy trace
-      no_compensation report multi parallel shards loss dup reorder jitter
-      reorder_delay outages net_seed json_file trace_out metrics_out
-      sample_interval series_out openmetrics_out slos slo_exit watch =
+      no_compensation report multi parallel self_maint shards loss dup
+      reorder jitter reorder_delay outages net_seed json_file trace_out
+      metrics_out sample_interval series_out openmetrics_out slos slo_exit
+      watch =
     let timeline =
       timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval
     in
@@ -437,7 +450,8 @@ let run_cmd =
         let m = Multi_scheduler.create [ t.Scenario.mv; mv2 ] in
         let stats =
           Multi_scheduler.run
-            ~config:(run_config_of ~strategy ~no_compensation ~parallel)
+            ~config:
+              (run_config_of ~strategy ~no_compensation ~parallel ~self_maint)
             t.Scenario.engine m t.Scenario.mk
         in
         List.iteri
@@ -450,7 +464,8 @@ let run_cmd =
       end
       else
         Scenario.run t
-          ~config:(run_config_of ~strategy ~no_compensation ~parallel)
+          ~config:
+            (run_config_of ~strategy ~no_compensation ~parallel ~self_maint)
     in
     if trace then Fmt.pr "%a@.@." Dyno_sim.Trace.pp t.Scenario.trace;
     if report then Fmt.pr "%a@.@." Report.pp (Report.of_trace t.Scenario.trace);
@@ -490,8 +505,8 @@ let run_cmd =
     Term.(
       const action $ rows $ dus $ scs $ du_interval $ sc_interval $ seed
       $ strategy $ trace_flag $ no_compensation $ report_flag $ multi_flag
-      $ parallel_arg $ shards_arg $ loss $ dup $ reorder $ jitter
-      $ reorder_delay $ outages $ net_seed $ json_file $ trace_out
+      $ parallel_arg $ self_maint_flag $ shards_arg $ loss $ dup $ reorder
+      $ jitter $ reorder_delay $ outages $ net_seed $ json_file $ trace_out
       $ metrics_out $ sample_interval $ series_out $ openmetrics_out
       $ slo_specs $ slo_exit $ watch_flag)
   in
@@ -503,9 +518,9 @@ let run_cmd =
 
 let report_cmd =
   let action rows dus scs du_interval sc_interval seed strategy
-      no_compensation parallel shards loss dup reorder jitter reorder_delay
-      outages net_seed trace_out metrics_out sample_interval series_out
-      openmetrics_out slos slo_exit =
+      no_compensation parallel self_maint shards loss dup reorder jitter
+      reorder_delay outages net_seed trace_out metrics_out sample_interval
+      series_out openmetrics_out slos slo_exit =
     let timeline =
       timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval
     in
@@ -524,7 +539,9 @@ let report_cmd =
         ~timeline
     in
     let stats =
-      Scenario.run t ~config:(run_config_of ~strategy ~no_compensation ~parallel)
+      Scenario.run t
+        ~config:
+          (run_config_of ~strategy ~no_compensation ~parallel ~self_maint)
     in
     let spans = Dyno_obs.Obs.spans obs in
     Fmt.pr "strategy: %a@.@." Strategy.pp strategy;
@@ -553,10 +570,10 @@ let report_cmd =
   let term =
     Term.(
       const action $ rows $ dus $ scs $ du_interval $ sc_interval $ seed
-      $ strategy $ no_compensation $ parallel_arg $ shards_arg $ loss $ dup
-      $ reorder $ jitter $ reorder_delay $ outages $ net_seed $ trace_out
-      $ metrics_out $ sample_interval $ series_out $ openmetrics_out
-      $ slo_specs $ slo_exit)
+      $ strategy $ no_compensation $ parallel_arg $ self_maint_flag
+      $ shards_arg $ loss $ dup $ reorder $ jitter $ reorder_delay
+      $ outages $ net_seed $ trace_out $ metrics_out $ sample_interval
+      $ series_out $ openmetrics_out $ slo_specs $ slo_exit)
   in
   Cmd.v
     (Cmd.info "report"

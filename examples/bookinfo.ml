@@ -222,6 +222,7 @@ let run ?(strategy = Dyno_core.Strategy.Pessimistic) ?(compensate = true) w =
         vm_mode = Dyno_core.Scheduler.Incremental;
         du_group = 1;
         parallel = 1;
+        self_maint = false;
       }
     w.engine w.mv w.mk
 

@@ -94,7 +94,7 @@ let detect_and_correct ~(force : bool) (w : Query_engine.t) (t : t)
   stats.Stats.busy <- stats.Stats.busy +. (Query_engine.now w -. t0)
 
 (* Maintain one entry against one view, skipping already-applied msgs. *)
-let maintain_for_view ~compensate (w : Query_engine.t)
+let maintain_for_view ?local ~compensate (w : Query_engine.t)
     (mk : Dyno_source.Meta_knowledge.t) (stats : Stats.t) (v : view_state)
     (entry : Umq.entry) : (unit, Query_engine.failure) result =
   let vd = Mat_view.def v.mv in
@@ -111,11 +111,16 @@ let maintain_for_view ~compensate (w : Query_engine.t)
           match Update_msg.as_du m with
           | Some u -> (
               match
-                Dyno_vm.Vm.maintain ~compensate ~applied:v.applied w v.mv m u
+                Dyno_vm.Vm.maintain ~compensate ~applied:v.applied ?local w
+                  v.mv m u
               with
               | Dyno_vm.Vm.Refreshed { stats = s; _ } ->
                   stats.Stats.du_maintained <- stats.Stats.du_maintained + 1;
                   stats.Stats.probes <- stats.Stats.probes + s.Dyno_vm.Sweep.probes;
+                  stats.Stats.probes_avoided <-
+                    stats.Stats.probes_avoided + s.Dyno_vm.Sweep.probes_avoided;
+                  stats.Stats.bytes_saved <-
+                    stats.Stats.bytes_saved + s.Dyno_vm.Sweep.bytes_saved;
                   stats.Stats.view_commits <- stats.Stats.view_commits + 1;
                   Ok ()
               | Dyno_vm.Vm.Irrelevant ->
@@ -161,6 +166,7 @@ type config = Run_config.t = {
   vm_mode : Run_config.vm_mode;
   du_group : int;
   parallel : int;
+  self_maint : bool;
 }
 
 let default_config = Run_config.default
@@ -171,8 +177,9 @@ let default_config = Run_config.default
    the refreshes commit serially at the barrier, in view order, stopping
    at the first failure.  Earlier views keep their commits — [applied]
    remembers them for the retry, exactly as in the serial loop. *)
-let parallel_views ~compensate (w : Query_engine.t) (stats : Stats.t)
-    (vs : view_state list) (m : Update_msg.t) (u : Dyno_relational.Update.t) :
+let parallel_views ?(local_for = fun _ -> None) ~compensate
+    (w : Query_engine.t) (stats : Stats.t) (vs : view_state list)
+    (m : Update_msg.t) (u : Dyno_relational.Update.t) :
     (unit, Query_engine.failure) result =
   let obs = Query_engine.obs w in
   let sp = Dyno_obs.Obs.spans obs
@@ -195,8 +202,8 @@ let parallel_views ~compensate (w : Query_engine.t) (stats : Stats.t)
             let ts = Query_engine.now w in
             results.(i) <-
               Some
-                (Dyno_vm.Vm.maintain_sweep ~compensate ~applied:v.applied w
-                   v.mv m u);
+                (Dyno_vm.Vm.maintain_sweep ~compensate ~applied:v.applied
+                   ?local:(local_for v) w v.mv m u);
             spent.(i) <- Query_engine.now w -. ts))
       vs
   in
@@ -212,6 +219,10 @@ let parallel_views ~compensate (w : Query_engine.t) (stats : Stats.t)
                 stats.Stats.du_maintained <- stats.Stats.du_maintained + 1;
                 stats.Stats.probes <-
                   stats.Stats.probes + s.Dyno_vm.Sweep.probes;
+                stats.Stats.probes_avoided <-
+                  stats.Stats.probes_avoided + s.Dyno_vm.Sweep.probes_avoided;
+                stats.Stats.bytes_saved <-
+                  stats.Stats.bytes_saved + s.Dyno_vm.Sweep.bytes_saved;
                 stats.Stats.view_commits <- stats.Stats.view_commits + 1;
                 v.applied <- Update_msg.id m :: v.applied
             | _ -> assert false)
@@ -243,6 +254,22 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
   let obs = Query_engine.obs w in
   let sp = Dyno_obs.Obs.spans obs in
   let now () = Query_engine.now w in
+  (* One auxiliary-view store per view: each view has its own join
+     partners and coverage, so the stores are independent even though
+     they all ride the same admitted stream. *)
+  let stores =
+    if config.self_maint then
+      List.map
+        (fun v ->
+          let s = Scheduler.aux_store w v.mv in
+          Query_engine.add_admit_hook w (Dyno_selfmaint.Aux_store.on_message s);
+          (v, s))
+        t.views
+    else []
+  in
+  let local_for v =
+    Option.map Dyno_selfmaint.Aux_store.local (List.assq_opt v stores)
+  in
   (* One freshness tracker per view.  Frontiers are advanced only when an
      entry has been integrated by {e every} view (the Ok branch below) —
      a partially-applied entry still counts as unapplied lag for the
@@ -301,8 +328,8 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
           | [] -> Ok ()
           | v :: rest -> (
               match
-                maintain_for_view ~compensate:config.compensate w mk stats v
-                  entry
+                maintain_for_view ?local:(local_for v)
+                  ~compensate:config.compensate w mk stats v entry
               with
               | Ok () -> maintain_views rest
               | Error f -> Error f)
@@ -329,8 +356,8 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
                       List.filteri (fun i _ -> i < config.parallel) eligible
                     in
                     match
-                      parallel_views ~compensate:config.compensate w stats
-                        chunk m u
+                      parallel_views ~local_for ~compensate:config.compensate
+                        w stats chunk m u
                     with
                     | Ok () -> maintain_views t.views
                     | Error f -> Error f)
@@ -405,6 +432,7 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
     if !steps > config.max_steps then
       raise (Scheduler.Step_limit_exceeded !steps);
     Query_engine.deliver_due w;
+    List.iter (fun (v, s) -> Scheduler.sync_aux w s v.mv) stores;
     ignore
       (Dyno_obs.Timeseries.maybe_sample series ~now:(Query_engine.now w)
         : bool);

@@ -25,7 +25,9 @@ val views : t -> Mat_view.t list
     tasks so their probe round trips overlap; refreshes still commit
     serially at the barrier, in view order.  [vm_mode] and [du_group] are
     ignored: the multi-view path always maintains incrementally, one
-    entry at a time. *)
+    entry at a time.  [self_maint] builds one auxiliary-view store per
+    view (each view has its own join partners and coverage), fed by one
+    shared admit hook per store. *)
 type config = Run_config.t = {
   strategy : Strategy.t;
   max_steps : int;
@@ -33,6 +35,7 @@ type config = Run_config.t = {
   vm_mode : Run_config.vm_mode;
   du_group : int;
   parallel : int;
+  self_maint : bool;
 }
 
 val default_config : config

@@ -33,6 +33,13 @@ type t = {
           overlapping their probe round trips on cooperative executor
           tasks.  [1] (the default) is the strictly serial per-queue
           scheduler. *)
+  self_maint : bool;
+      (** self-maintenance tier: keep auxiliary probe-column projections
+          current at the view manager and answer maintenance sweeps
+          locally whenever they cover the probed aliases, falling back to
+          SWEEP probes on any coverage miss or schema-change
+          invalidation.  [false] (the default) is byte-identical to a
+          build without the tier. *)
 }
 
 let default =
@@ -43,6 +50,7 @@ let default =
     vm_mode = Incremental;
     du_group = 1;
     parallel = 1;
+    self_maint = false;
   }
 
 let of_strategy strategy = { default with strategy }
@@ -53,3 +61,4 @@ let with_compensate compensate t = { t with compensate }
 let with_vm_mode vm_mode t = { t with vm_mode }
 let with_du_group du_group t = { t with du_group }
 let with_parallel parallel t = { t with parallel }
+let with_self_maint self_maint t = { t with self_maint }

@@ -33,6 +33,13 @@ type t = {
           overlapping their probe round trips on cooperative executor
           tasks.  [1] (the default) is the strictly serial per-queue
           scheduler. *)
+  self_maint : bool;
+      (** self-maintenance tier: keep auxiliary probe-column projections
+          current at the view manager and answer maintenance sweeps
+          locally whenever they cover the probed aliases, falling back to
+          SWEEP probes on any coverage miss or schema-change
+          invalidation.  [false] (the default) is byte-identical to a
+          build without the tier. *)
 }
 
 val default : t
@@ -48,3 +55,4 @@ val with_compensate : bool -> t -> t
 val with_vm_mode : vm_mode -> t -> t
 val with_du_group : int -> t -> t
 val with_parallel : int -> t -> t
+val with_self_maint : bool -> t -> t

@@ -40,6 +40,7 @@ type config = Run_config.t = {
   vm_mode : vm_mode;
   du_group : int;
   parallel : int;
+  self_maint : bool;
 }
 
 let default_config = Run_config.default
@@ -113,8 +114,9 @@ let detect_and_correct ~(force : bool) (w : Query_engine.t) (mv : Mat_view.t)
           end));
   stats.Stats.busy <- stats.Stats.busy +. (Query_engine.now w -. t0)
 
-(* Maintain one queue entry.  Updates counters on success. *)
-let maintain_entry ~(compensate : bool) ~(vm_mode : vm_mode)
+(* Maintain one queue entry.  Updates counters on success.  [local] is
+   the self-maintenance hook pair (None unless [config.self_maint]). *)
+let maintain_entry ?local ~(compensate : bool) ~(vm_mode : vm_mode)
     (w : Query_engine.t) (mv : Mat_view.t)
     (mk : Dyno_source.Meta_knowledge.t) (stats : Stats.t)
     (entry : Umq.entry) : step_outcome =
@@ -148,12 +150,16 @@ let maintain_entry ~(compensate : bool) ~(vm_mode : vm_mode)
             | Error (Query_engine.Broken b) -> AbortedStep b
             | Error (Query_engine.Unreachable u) -> UnreachableStep u)
         | Update_msg.Du u -> (
-            match Dyno_vm.Vm.maintain ~compensate w mv m u with
+            match Dyno_vm.Vm.maintain ~compensate ?local w mv m u with
             | Dyno_vm.Vm.Refreshed { stats = s; _ } ->
                 stats.Stats.du_maintained <- stats.Stats.du_maintained + 1;
                 stats.Stats.probes <- stats.Stats.probes + s.Dyno_vm.Sweep.probes;
                 stats.Stats.compensations <-
                   stats.Stats.compensations + s.Dyno_vm.Sweep.compensations;
+                stats.Stats.probes_avoided <-
+                  stats.Stats.probes_avoided + s.Dyno_vm.Sweep.probes_avoided;
+                stats.Stats.bytes_saved <-
+                  stats.Stats.bytes_saved + s.Dyno_vm.Sweep.bytes_saved;
                 stats.Stats.view_commits <- stats.Stats.view_commits + 1;
                 Done
             | Dyno_vm.Vm.Irrelevant ->
@@ -220,7 +226,7 @@ let stall_and_wait (w : Query_engine.t) (stats : Stats.t) ~(t0 : float)
    member.  Later members' results are discarded: their entries stay
    queued (exclusion sets were fixed at dispatch, so a re-sweep on the
    next round compensates correctly). *)
-let parallel_round ~(config : config) ~(fresh : Freshness.t)
+let parallel_round ?local ~(config : config) ~(fresh : Freshness.t)
     (w : Query_engine.t) (mv : Mat_view.t) (stats : Stats.t) (mid : int)
     (members : (Update_msg.t * Dyno_relational.Update.t) list) : unit =
   let trace = Query_engine.trace w in
@@ -262,7 +268,7 @@ let parallel_round ~(config : config) ~(fresh : Freshness.t)
               results.(i) <-
                 Some
                   (Dyno_vm.Vm.maintain_sweep ~compensate:config.compensate
-                     ~exclude_extra w mv m u);
+                     ~exclude_extra ?local w mv m u);
               spent.(i) <- Query_engine.now w -. ts))
       members
   in
@@ -280,6 +286,10 @@ let parallel_round ~(config : config) ~(fresh : Freshness.t)
                   stats.Stats.probes + s.Dyno_vm.Sweep.probes;
                 stats.Stats.compensations <-
                   stats.Stats.compensations + s.Dyno_vm.Sweep.compensations;
+                stats.Stats.probes_avoided <-
+                  stats.Stats.probes_avoided + s.Dyno_vm.Sweep.probes_avoided;
+                stats.Stats.bytes_saved <-
+                  stats.Stats.bytes_saved + s.Dyno_vm.Sweep.bytes_saved;
                 stats.Stats.view_commits <- stats.Stats.view_commits + 1;
                 Freshness.note_entry fresh ~now:(Query_engine.now w) [ m ];
                 Umq.remove_entry umq (Umq.Single m)
@@ -360,6 +370,53 @@ let antichain ~(config : config) (umq : Umq.t) (mv : Mat_view.t) :
     in
     scan [] [] (Umq.entries umq)
 
+(* ---- Self-maintenance tier wiring (shared by all schedulers) ---- *)
+
+(* Build a view's auxiliary store against this engine: projections are
+   seeded (and re-seeded after schema-change invalidation) from the
+   memoized source snapshots at the per-source delivered frontier — the
+   exact historical state, never the live one, which may hold committed
+   but undelivered updates neither maintenance path is allowed to see. *)
+let aux_store (w : Query_engine.t) (mv : Mat_view.t) :
+    Dyno_selfmaint.Aux_store.t =
+  let registry = Query_engine.registry w in
+  let lookup ~source ~rel ~version =
+    match Dyno_source.Registry.find_opt registry source with
+    | None -> None
+    | Some ds -> (
+        try Some (Dyno_source.Data_source.relation_at ds ~version rel)
+        with _ -> None)
+  in
+  let history = List.concat_map Umq.history (Query_engine.umqs w) in
+  let frontier source =
+    List.fold_left
+      (fun acc m ->
+        if String.equal (Update_msg.source m) source then
+          max acc (Update_msg.source_version m)
+        else acc)
+      0 history
+  in
+  let refresh_cost ~delta_tuples =
+    Cost_model.refresh (Query_engine.cost w) ~delta_tuples
+  in
+  Dyno_selfmaint.Aux_store.create
+    ~obs:(Query_engine.obs w)
+    ~lookup ~frontier ~refresh_cost mv
+
+(* A source's projections may only revalidate once no schema change of
+   that source remains queued anywhere (the cross-shard barrier handles
+   queued SCs globally, so the scan covers every route's queue). *)
+let sync_aux (w : Query_engine.t) (store : Dyno_selfmaint.Aux_store.t)
+    (mv : Mat_view.t) : unit =
+  Dyno_selfmaint.Aux_store.sync store mv ~sc_queued:(fun src ->
+      List.exists
+        (fun u ->
+          List.exists
+            (fun m ->
+              Update_msg.is_sc m && String.equal (Update_msg.source m) src)
+            (Umq.messages u))
+        (Query_engine.umqs w))
+
 (* Copy the engine- and queue-level transport counters into the run's
    statistics (absolute values: one engine drives one run). *)
 let record_net_stats (w : Query_engine.t) (stats : Stats.t) : unit =
@@ -404,7 +461,15 @@ let mirror_stats (obs : Dyno_obs.Obs.t) (stats : Stats.t) : unit =
     Dyno_obs.Metrics.set_counter mx "sched.compensations"
       stats.Stats.compensations;
     Dyno_obs.Metrics.set_counter mx "sched.view_commits"
-      stats.Stats.view_commits
+      stats.Stats.view_commits;
+    (* Self-maintenance totals: only when the tier actually fired, so
+       baseline metric exports keep their historical key set. *)
+    if stats.Stats.probes_avoided > 0 then begin
+      Dyno_obs.Metrics.set_counter mx "sched.probes_avoided"
+        stats.Stats.probes_avoided;
+      Dyno_obs.Metrics.set_counter mx "sched.bytes_saved"
+        stats.Stats.bytes_saved
+    end
   end
 
 (** [run ?config w mv mk] drives the Dyno loop until the UMQ and the
@@ -418,6 +483,15 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
   let obs = Query_engine.obs w in
   let sp = Dyno_obs.Obs.spans obs in
   let now () = Query_engine.now w in
+  let store =
+    if config.self_maint then begin
+      let s = aux_store w mv in
+      Query_engine.add_admit_hook w (Dyno_selfmaint.Aux_store.on_message s);
+      Some s
+    end
+    else None
+  in
+  let local = Option.map Dyno_selfmaint.Aux_store.local store in
   let fresh =
     Freshness.create
       ~metrics:(Dyno_obs.Obs.metrics obs)
@@ -486,7 +560,10 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
       in
       Umq.clear_broken_query_flag umq;
       let t0 = Query_engine.now w in
-      match Dyno_vm.Vm.maintain_group ~compensate:config.compensate w mv msgs with
+      match
+        Dyno_vm.Vm.maintain_group ~compensate:config.compensate ?local w mv
+          msgs
+      with
       | Dyno_vm.Vm.Unreachable u ->
           Dyno_obs.Span.set_attr sp mid "outcome" "stalled";
           stall_and_wait w stats ~t0 u
@@ -531,7 +608,7 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
          [parallel = 1] is bit-identical to the serial scheduler. *)
       match antichain ~config umq mv with
       | _ :: _ :: _ as members ->
-          parallel_round ~config ~fresh w mv stats mid members
+          parallel_round ?local ~config ~fresh w mv stats mid members
       | _ -> (
           match Umq.head umq with
           | None -> ()
@@ -540,7 +617,7 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
         Umq.clear_broken_query_flag umq;
         let t0 = Query_engine.now w in
         match
-          maintain_entry ~compensate:config.compensate
+          maintain_entry ?local ~compensate:config.compensate
             ~vm_mode:config.vm_mode w mv mk stats entry
         with
         | Done ->
@@ -592,6 +669,9 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
     incr steps;
     if !steps > config.max_steps then raise (Step_limit_exceeded !steps);
     Query_engine.deliver_due w;
+    (* Revalidate auxiliary projections whose invalidating schema changes
+       have all been maintained (no-op unless something is invalid). *)
+    (match store with Some s -> sync_aux w s mv | None -> ());
     (* Sampling at scheduler wakeups: every state change in the simulation
        happens at a wakeup, so sampling here (rate-limited to the series
        interval) captures every change-point without touching the clock. *)

@@ -29,6 +29,7 @@ type config = Run_config.t = {
   vm_mode : vm_mode;
   du_group : int;
   parallel : int;
+  self_maint : bool;
 }
 
 val default_config : config
@@ -48,6 +49,7 @@ type step_outcome =
           entry stays at the queue head and is retried after recovery *)
 
 val maintain_entry :
+  ?local:Dyno_vm.Sweep.local ->
   compensate:bool ->
   vm_mode:vm_mode ->
   Query_engine.t ->
@@ -58,7 +60,23 @@ val maintain_entry :
   step_outcome
 (** Maintain one queue entry (VM for a data update, VS+VA for a schema
     change, batch adaptation for a merged node), updating counters on
-    success.  Does {e not} dequeue — the caller owns the queue. *)
+    success.  Does {e not} dequeue — the caller owns the queue.  [local]
+    (self-maintenance tier) lets fully-covered sweeps skip their probe
+    round trips — see {!Dyno_vm.Vm.maintain}. *)
+
+val aux_store : Query_engine.t -> Mat_view.t -> Dyno_selfmaint.Aux_store.t
+(** Build the view's auxiliary-projection store: derive the plan from the
+    view definition, seed every projection from its source's state at the
+    per-source {e delivered} frontier (reconstructed from the queues'
+    admission history, so in-flight commits are excluded), and wire the
+    refresh cost to the engine's cost model.  The caller installs
+    {!Dyno_selfmaint.Aux_store.on_message} as an admit hook to keep it
+    fed.  Shared with the multi-view and sharded schedulers. *)
+
+val sync_aux : Query_engine.t -> Dyno_selfmaint.Aux_store.t -> Mat_view.t -> unit
+(** Revalidate invalidated projections once no schema change of their
+    source remains queued on any route (cheap no-op unless something is
+    invalid).  Call once per scheduler iteration, after delivery. *)
 
 val stall_and_wait :
   Query_engine.t -> Stats.t -> t0:float -> Dyno_net.Retry.unreachable -> unit

@@ -44,6 +44,26 @@ let run ?(config = Run_config.default) ~plan (w : Query_engine.t)
         ~queued:(Array.to_list umqs |> List.concat_map Umq.messages)
         ()
     in
+    (* Per-shard auxiliary stores.  Every store is a full replica (it
+       covers all of the view's join partners, so it must see the whole
+       admitted stream to stay current); the per-shard split decides
+       which replica a member's maintenance reads, keeping shard-local
+       counters honest.  One hook feeds them all. *)
+    let stores =
+      if config.Run_config.self_maint then begin
+        let arr = Array.init n (fun _ -> Scheduler.aux_store w mv) in
+        Query_engine.add_admit_hook w (fun m ->
+            Array.iter
+              (fun s -> Dyno_selfmaint.Aux_store.on_message s m)
+              arr);
+        Some arr
+      end
+      else None
+    in
+    let local_of_shard i =
+      Option.map (fun arr -> Dyno_selfmaint.Aux_store.local arr.(i)) stores
+    in
+    let local_of_source src = local_of_shard (Shard.owner plan src) in
     let series = Dyno_obs.Obs.series obs in
     if Dyno_obs.Timeseries.enabled series then begin
       Dyno_obs.Timeseries.probe series "umq.depth" (fun _ ->
@@ -103,7 +123,8 @@ let run ?(config = Run_config.default) ~plan (w : Query_engine.t)
           clear_broken ();
           let t0 = now () in
           match
-            Scheduler.maintain_entry ~compensate:config.Run_config.compensate
+            Scheduler.maintain_entry ?local:(local_of_shard qi)
+              ~compensate:config.Run_config.compensate
               ~vm_mode:config.Run_config.vm_mode w mv mk stats entry
           with
           | Scheduler.Done ->
@@ -184,7 +205,9 @@ let run ?(config = Run_config.default) ~plan (w : Query_engine.t)
                         Some
                           (Dyno_vm.Vm.maintain_sweep
                              ~compensate:config.Run_config.compensate
-                             ~exclude_extra w mv m u);
+                             ~exclude_extra
+                             ?local:(local_of_source (Update_msg.source m))
+                             w mv m u);
                       spent.(i) <- now () -. ts))
               members
           in
@@ -211,6 +234,11 @@ let run ?(config = Run_config.default) ~plan (w : Query_engine.t)
                         stats.Stats.compensations <-
                           stats.Stats.compensations
                           + s.Dyno_vm.Sweep.compensations;
+                        stats.Stats.probes_avoided <-
+                          stats.Stats.probes_avoided
+                          + s.Dyno_vm.Sweep.probes_avoided;
+                        stats.Stats.bytes_saved <-
+                          stats.Stats.bytes_saved + s.Dyno_vm.Sweep.bytes_saved;
                         stats.Stats.view_commits <-
                           stats.Stats.view_commits + 1;
                         Freshness.note_entry fresh ~now:(now ()) [ m ];
@@ -330,6 +358,7 @@ let run ?(config = Run_config.default) ~plan (w : Query_engine.t)
                 let t0 = now () in
                 match
                   Scheduler.maintain_entry
+                    ?local:(local_of_source (entry_source entry))
                     ~compensate:config.Run_config.compensate
                     ~vm_mode:config.Run_config.vm_mode w mv mk stats entry
                 with
@@ -365,6 +394,9 @@ let run ?(config = Run_config.default) ~plan (w : Query_engine.t)
     let rec loop () =
       tick ();
       Query_engine.deliver_due w;
+      (match stores with
+      | Some arr -> Array.iter (fun s -> Scheduler.sync_aux w s mv) arr
+      | None -> ());
       ignore (Dyno_obs.Timeseries.maybe_sample series ~now:(now ()) : bool);
       if all_empty () then begin
         match Query_engine.next_wakeup w with

@@ -40,6 +40,12 @@ type t = {
   mutable cross_shard_barriers : int;
       (** sharded runs: rounds where every shard paused for a global
           schema-change barrier (zero outside the sharded scheduler) *)
+  mutable probes_avoided : int;
+      (** self-maintenance: sweeps answered from auxiliary views instead
+          of probe round trips (zero unless [--self-maint]) *)
+  mutable bytes_saved : int;
+      (** self-maintenance: estimated wire bytes the avoided probes would
+          have shipped *)
   mutable net_wait : float;  (** time lost to timeouts/backoff/recovery, s *)
 }
 
@@ -71,6 +77,8 @@ let create () =
     reorders_healed = 0;
     net_stalls = 0;
     cross_shard_barriers = 0;
+    probes_avoided = 0;
+    bytes_saved = 0;
     net_wait = 0.0;
   }
 
@@ -107,7 +115,11 @@ let pp ppf s =
   (* Same byte-compatibility bargain as the transport section: only
      sharded runs ever print it. *)
   if s.cross_shard_barriers > 0 then
-    Fmt.pf ppf "@,cross-shard barriers: %d" s.cross_shard_barriers
+    Fmt.pf ppf "@,cross-shard barriers: %d" s.cross_shard_barriers;
+  (* Likewise: only self-maintaining runs ever print it. *)
+  if s.probes_avoided > 0 then
+    Fmt.pf ppf "@,self-maintenance: %d probe(s) avoided, ~%d B saved"
+      s.probes_avoided s.bytes_saved
 
 (** Machine-readable JSON rendering (mirrors the bench's [--json]
     output style; no external JSON dependency). *)
@@ -146,6 +158,8 @@ let to_json_string s =
   add "\"reorders_healed\": %d" s.reorders_healed;
   add "\"net_stalls\": %d" s.net_stalls;
   add "\"cross_shard_barriers\": %d" s.cross_shard_barriers;
+  add "\"probes_avoided\": %d" s.probes_avoided;
+  add "\"bytes_saved\": %d" s.bytes_saved;
   add "\"net_wait\": %.6f" s.net_wait;
   Buffer.add_string b "\n}";
   Buffer.contents b

@@ -35,6 +35,12 @@ type t = {
   mutable cross_shard_barriers : int;
       (** sharded runs: rounds where every shard paused for a global
           schema-change barrier (zero outside the sharded scheduler) *)
+  mutable probes_avoided : int;
+      (** self-maintenance: sweeps answered from auxiliary views instead
+          of probe round trips (zero unless [--self-maint]) *)
+  mutable bytes_saved : int;
+      (** self-maintenance: estimated wire bytes the avoided probes would
+          have shipped *)
   mutable net_wait : float;  (** time lost to timeouts/backoff/recovery, s *)
 }
 

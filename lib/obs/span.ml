@@ -34,6 +34,9 @@ type kind =
   | Timeout  (** one probe attempt that got no answer in time *)
   | Stall  (** waiting out an unreachable source (no abort) *)
   | Task  (** one cooperative maintenance task inside a parallel round *)
+  | Local
+      (** a maintenance sweep answered from the auxiliary-view store —
+          zero probe round trips (self-maintenance) *)
 
 let kind_to_string = function
   | Maintain -> "maintain"
@@ -49,11 +52,12 @@ let kind_to_string = function
   | Timeout -> "timeout"
   | Stall -> "stall"
   | Task -> "task"
+  | Local -> "local"
 
 let all_kinds =
   [
     Maintain; Detect; Correct; Probe; Compensate; Refresh; Vs; Va; Batch;
-    Retry; Timeout; Stall; Task;
+    Retry; Timeout; Stall; Task; Local;
   ]
 
 type t = {

@@ -20,6 +20,9 @@ type kind =
   | Timeout  (** one probe attempt that got no answer in time *)
   | Stall  (** waiting out an unreachable source (no abort) *)
   | Task  (** one cooperative maintenance task inside a parallel round *)
+  | Local
+      (** a maintenance sweep answered from the auxiliary-view store —
+          zero probe round trips (self-maintenance) *)
 
 val kind_to_string : kind -> string
 val all_kinds : kind list

@@ -67,6 +67,9 @@ type t = {
   mutable timeouts : int;  (** probe attempts that got no answer in time *)
   mutable retries : int;  (** probe attempts re-sent after backoff *)
   mutable net_wait : float;  (** simulated seconds lost to transport, s *)
+  mutable admit_hooks : (Update_msg.t -> unit) list;
+      (** observers of the admitted update stream (install order);
+          empty by default — see {!add_admit_hook} *)
 }
 
 let create ?(trace = Trace.create ()) ?(planner = `Indexed)
@@ -102,6 +105,7 @@ let create ?(trace = Trace.create ()) ?(planner = `Indexed)
     timeouts = 0;
     retries = 0;
     net_wait = 0.0;
+    admit_hooks = [];
   }
 
 let now w = Clock.now w.clock
@@ -148,6 +152,8 @@ let install_routes w ~umqs ~route_of =
              i (Array.length w.routes));
       i)
 
+let add_admit_hook w h = w.admit_hooks <- w.admit_hooks @ [ h ]
+
 let route_count w = Array.length w.routes
 let route_umq w i = w.routes.(i).r_umq
 let umqs w = Array.to_list (Array.map (fun r -> r.r_umq) w.routes)
@@ -191,7 +197,8 @@ let admit_packet w ri (p : Update_msg.payload Channel.packet) =
                 "umq.hold_s" (now w -. since)
           | None -> ());
           Trace.recordf w.trace ~time:(now w) Trace.Enqueue "%a" Update_msg.pp
-            m)
+            m;
+          List.iter (fun h -> h m) w.admit_hooks)
         ms
   | Umq.Duplicate ->
       Dyno_obs.Metrics.incr (Dyno_obs.Obs.metrics w.obs) "umq.duplicates";

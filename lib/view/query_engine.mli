@@ -89,6 +89,15 @@ val umqs : t -> Umq.t list
 val umq_for : t -> source:string -> Umq.t
 (** The queue owning a source's updates. *)
 
+val add_admit_hook : t -> (Update_msg.t -> unit) -> unit
+(** Observe the admitted update stream: [h] is called once per message
+    the exactly-once sequencer admits into any route's UMQ (post-dedup,
+    in per-source order), at the instant of admission.  Hooks run in
+    install order and must not mutate engine state.  No hooks are
+    installed by default, so runs without one are byte-identical to the
+    historical behaviour.  This is how the self-maintenance tier rides
+    the delivered stream for free. *)
+
 val net_msgs_lost : t -> int
 (** Transmissions dropped by the channel(s), summed across routes. *)
 

@@ -26,9 +26,32 @@ type stats = {
   probes : int;  (** maintenance queries sent *)
   compensations : int;  (** probe answers that needed compensation *)
   comp_tuples : int;  (** tuples removed/added by compensation *)
+  probes_avoided : int;
+      (** probes answered locally from auxiliary views (self-maintenance) *)
+  bytes_saved : int;
+      (** estimated wire bytes those avoided probes would have shipped *)
 }
 
-let no_stats = { probes = 0; compensations = 0; comp_tuples = 0 }
+let no_stats =
+  {
+    probes = 0;
+    compensations = 0;
+    comp_tuples = 0;
+    probes_avoided = 0;
+    bytes_saved = 0;
+  }
+
+(** The hooks the self-maintenance tier ({!Dyno_selfmaint.Aux_store})
+    hands down: per-alias current auxiliary data plus avoided-probe
+    accounting.  Kept as a closure record so this library stays free of a
+    dependency on the store. *)
+type local = {
+  aux : string -> Relation.t option;
+      (** current auxiliary data for a view alias — [None] when the alias
+          is uncovered or its projection is invalidated/stale *)
+  note_avoided : probes:int -> bytes:int -> unit;
+      (** accounting callback, called once per successful local sweep *)
+}
 
 (** [delta_view w ~view_query ~schemas ~pivot ~delta ~exclude] computes the
     view delta for update [delta] against relation alias [pivot].
@@ -179,3 +202,179 @@ let delta_view ?(compensate = true) (w : Query_engine.t)
       Ok (Maint_query.final_projection view_query owner !partial, !stats)
     end
   with Failed f -> Error f
+
+(** [delta_view_local w ~view_query ~schemas ~pivot ~delta ~exclude
+    ~local] — the self-maintenance path: the same sweep as {!delta_view},
+    but every probe is answered by [Eval.run] over the auxiliary
+    projection of the probed alias instead of a round trip through
+    {!Query_engine.execute_timed}.  Returns [None] whenever any swept
+    alias lacks current auxiliary data covering its needed attributes, or
+    any local evaluation fails (e.g. pending deltas straddling a schema
+    drift) — the caller then falls back to the probed path unchanged.
+
+    Correctness: a valid projection holds the relation at the source's
+    delivered frontier (initial state + every delivered DU), which is
+    exactly what a probe answer looks like {e after} compensation.  So
+    compensation here subtracts {e all} pending unmaintained updates on
+    the probed relation — no answer-time cutoff: the local join happens
+    "now", after every delivered commit.  The local path never parks, so
+    no delivery can interleave mid-sweep even under parallel rounds.
+
+    The work is local view-manager computation and is not charged on the
+    simulated clock (same bargain as compensation); a {!Dyno_obs.Span.Local}
+    span marks it so reports can split local vs probed cost. *)
+let delta_view_local (w : Query_engine.t) ~(view_query : Query.t)
+    ~(schemas : (string * Schema.t) list) ~(pivot : Query.table_ref)
+    ~(delta : Relation.t) ~(exclude : int list) ~(local : local) :
+    (Relation.t * stats) option =
+  let sp = Dyno_obs.Obs.spans (Query_engine.obs w) in
+  let sid = ref None in
+  let end_span ~fallback =
+    match !sid with
+    | None -> ()
+    | Some id ->
+        if fallback then Dyno_obs.Span.set_attr sp id "fallback" "true";
+        Dyno_obs.Span.end_span sp ~time:(Query_engine.now w) id;
+        sid := None
+  in
+  try
+    let owner = Maint_query.owner_of_schemas schemas in
+    let order = Maint_query.sweep_order view_query pivot.Query.alias in
+    (* Coverage check up front: every non-pivot alias must have current
+       auxiliary data carrying all the attributes its probe needs (the
+       projection may legitimately carry more — counts sum out). *)
+    let auxes =
+      List.map
+        (fun (tr : Query.table_ref) ->
+          match local.aux tr.Query.alias with
+          | None -> raise Exit
+          | Some r ->
+              let s = Relation.schema r in
+              let needed =
+                Maint_query.needed_attrs view_query owner tr.Query.alias
+              in
+              if needed = [] || not (List.for_all (Schema.mem s) needed)
+              then raise Exit;
+              (tr, r))
+        order
+    in
+    let partial =
+      ref (Maint_query.initial_partial view_query owner pivot delta)
+    in
+    if Relation.is_empty !partial then
+      (* Filtered out locally — the probed path sends no probes either. *)
+      Some
+        ( Relation.create (Maint_query.view_output_schema view_query schemas),
+          no_stats )
+    else begin
+      let bound = ref [ pivot.Query.alias ] in
+      let stats = ref no_stats in
+      sid :=
+        Some
+          (Dyno_obs.Span.begin_span sp ~time:(Query_engine.now w)
+             Dyno_obs.Span.Local
+             (Fmt.str "local:%s:%s" (Query.name view_query)
+                pivot.Query.alias));
+      List.iter
+        (fun ((tr : Query.table_ref), aux_data) ->
+          let probe =
+            Maint_query.probe_query view_query owner tr
+              ~partial_schema:(Relation.schema !partial)
+              ~bound:!bound
+          in
+          let answer =
+            Eval.run
+              ~planner:(Query_engine.planner w)
+              ~catalog:
+                (Eval.catalog
+                   [
+                     (tr.Query.alias, aux_data);
+                     (Maint_query.partial_alias, !partial);
+                   ])
+              probe
+          in
+          (* Wire-cost estimate for the round trip this replaced: the
+             partial shipped out plus the answer shipped back, 8 bytes a
+             field. *)
+          let est r =
+            8 * Relation.support r
+            * List.length (Schema.attrs (Relation.schema r))
+          in
+          stats :=
+            {
+              !stats with
+              probes_avoided = !stats.probes_avoided + 1;
+              bytes_saved = !stats.bytes_saved + est !partial + est answer;
+            };
+          (* Compensation: subtract every pending unmaintained DU on the
+             probed relation — all of them, the auxiliary data already
+             reflects every delivered commit. *)
+          let pending =
+            List.filter
+              (fun (m, _) -> not (List.mem (Update_msg.id m) exclude))
+              (Query_engine.pending_dus w ~source:tr.Query.source
+                 ~rel:tr.Query.rel)
+          in
+          let groups =
+            List.fold_left
+              (fun acc (m, u) ->
+                let s = Update.schema u in
+                let rec insert = function
+                  | [] -> [ (s, Relation.copy (Update.delta u), [ m ]) ]
+                  | (s', d, ms) :: rest when Schema.equal s s' ->
+                      (s', Relation.sum d (Update.delta u), m :: ms) :: rest
+                  | g :: rest -> g :: insert rest
+                in
+                insert acc)
+              [] pending
+          in
+          let compensated =
+            List.fold_left
+              (fun acc (_, combined, _) ->
+                let contribution =
+                  Eval.run
+                    ~planner:(Query_engine.planner w)
+                    ~catalog:
+                      (Eval.catalog
+                         [
+                           (tr.Query.alias, combined);
+                           (Maint_query.partial_alias, !partial);
+                         ])
+                    probe
+                in
+                if Relation.is_empty contribution then acc
+                else begin
+                  stats :=
+                    {
+                      !stats with
+                      compensations = !stats.compensations + 1;
+                      comp_tuples =
+                        !stats.comp_tuples + Relation.mass contribution;
+                    };
+                  Relation.diff acc contribution
+                end)
+              answer groups
+          in
+          partial := compensated;
+          bound := tr.Query.alias :: !bound)
+        auxes;
+      let result = Maint_query.final_projection view_query owner !partial in
+      (match !sid with
+      | Some id ->
+          Dyno_obs.Span.set_attr sp id "probes_avoided"
+            (string_of_int !stats.probes_avoided)
+      | None -> ());
+      end_span ~fallback:false;
+      local.note_avoided ~probes:!stats.probes_avoided
+        ~bytes:!stats.bytes_saved;
+      Some (result, !stats)
+    end
+  with
+  | Exit ->
+      end_span ~fallback:true;
+      None
+  | Eval.Error _ | Maint_query.Unsupported _ ->
+      (* A local evaluation the probed path might survive (or surface as
+         Broken, triggering correction) — fall back rather than guess. *)
+      end_span ~fallback:true;
+      None

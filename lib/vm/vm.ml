@@ -23,10 +23,34 @@ type outcome =
 
 exception Invalid_view of string
 
+(* One sweep, preferring the self-maintenance path when the scheduler
+   installed local hooks and coverage holds.  Local answering is sound
+   only in compensated mode: the auxiliary data reflects every delivered
+   commit, and the local path removes pending unmaintained updates by
+   construction — with compensation off the baseline deliberately keeps
+   them in, so it must keep probing. *)
+let sweep_delta ?local ~compensate w ~view_query ~schemas ~pivot ~delta
+    ~exclude =
+  match local with
+  | Some l when compensate -> (
+      match
+        Sweep.delta_view_local w ~view_query ~schemas ~pivot ~delta ~exclude
+          ~local:l
+      with
+      | Some ok -> Ok ok
+      | None ->
+          Sweep.delta_view ~compensate w ~view_query ~schemas ~pivot ~delta
+            ~exclude)
+  | _ ->
+      Sweep.delta_view ~compensate w ~view_query ~schemas ~pivot ~delta
+        ~exclude
+
 (** [maintain w mv msg du] runs one full VM process for data update [du]
-    carried by message [msg]. *)
-let maintain ?(compensate = true) ?(applied = []) (w : Query_engine.t)
-    (mv : Mat_view.t) (msg : Update_msg.t) (du : Update.t) : outcome =
+    carried by message [msg].  [local] (from the self-maintenance tier)
+    lets covered sweeps be answered without probing. *)
+let maintain ?(compensate = true) ?(applied = []) ?local
+    (w : Query_engine.t) (mv : Mat_view.t) (msg : Update_msg.t)
+    (du : Update.t) : outcome =
   let vd = Mat_view.def mv in
   if not (View_def.is_valid vd) then
     raise (Invalid_view (View_def.name vd));
@@ -77,7 +101,7 @@ let maintain ?(compensate = true) ?(applied = []) (w : Query_engine.t)
             }
       | Some _ -> (
           match
-            Sweep.delta_view ~compensate w ~view_query:q ~schemas ~pivot
+            sweep_delta ?local ~compensate w ~view_query:q ~schemas ~pivot
               ~delta:(Update.delta du)
               ~exclude:(Update_msg.id msg :: applied)
           with
@@ -121,7 +145,7 @@ type swept =
     deltas are being maintained concurrently, so compensation must not
     subtract them (their exclusion set is fixed at dispatch). *)
 let maintain_sweep ?(compensate = true) ?(applied = []) ?(exclude_extra = [])
-    (w : Query_engine.t) (mv : Mat_view.t) (msg : Update_msg.t)
+    ?local (w : Query_engine.t) (mv : Mat_view.t) (msg : Update_msg.t)
     (du : Update.t) : swept =
   let vd = Mat_view.def mv in
   if not (View_def.is_valid vd) then raise (Invalid_view (View_def.name vd));
@@ -165,7 +189,7 @@ let maintain_sweep ?(compensate = true) ?(applied = []) ?(exclude_extra = [])
             }
       | Some _ -> (
           match
-            Sweep.delta_view ~compensate w ~view_query:q ~schemas ~pivot
+            sweep_delta ?local ~compensate w ~view_query:q ~schemas ~pivot
               ~delta:(Update.delta du)
               ~exclude:((Update_msg.id msg :: applied) @ exclude_extra)
           with
@@ -212,7 +236,7 @@ let commit_swept (w : Query_engine.t) (mv : Mat_view.t)
     as concurrent tasks whose probe round trips overlap; each sweep's
     compensation exclusion set is fixed at dispatch to exactly what the
     serial left-to-right pass would use, so the frontiers stay exact. *)
-let maintain_group ?(compensate = true) ?(overlap = false)
+let maintain_group ?(compensate = true) ?(overlap = false) ?local
     (w : Query_engine.t) (mv : Mat_view.t) (msgs : Update_msg.t list) :
     outcome =
   let vd = Mat_view.def mv in
@@ -308,7 +332,7 @@ let maintain_group ?(compensate = true) ?(overlap = false)
             fun () ->
               results.(i) <-
                 Some
-                  (Sweep.delta_view ~compensate w ~view_query:q ~schemas
+                  (sweep_delta ?local ~compensate w ~view_query:q ~schemas
                      ~pivot ~delta ~exclude))
           relevant
       in
@@ -334,8 +358,8 @@ let maintain_group ?(compensate = true) ?(overlap = false)
           | Some pivot -> (
               check_schema pivot delta rel;
               match
-                Sweep.delta_view ~compensate w ~view_query:q ~schemas ~pivot
-                  ~delta
+                sweep_delta ?local ~compensate w ~view_query:q ~schemas
+                  ~pivot ~delta
                   ~exclude:(ids @ !processed)
               with
               | Error (Query_engine.Broken b) -> raise (Abort b)

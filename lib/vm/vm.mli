@@ -22,6 +22,7 @@ exception Invalid_view of string
 val maintain :
   ?compensate:bool ->
   ?applied:int list ->
+  ?local:Sweep.local ->
   Query_engine.t ->
   Mat_view.t ->
   Update_msg.t ->
@@ -30,7 +31,11 @@ val maintain :
 (** Run one full VM process for a data update.  [compensate:false]
     disables SWEEP (demonstrating the duplication anomaly); [applied]
     lists queued message ids this view has already integrated (multi-view
-    mode) so compensation leaves their effects in.
+    mode) so compensation leaves their effects in.  [local] (installed by
+    a scheduler running the self-maintenance tier) lets a sweep whose
+    aliases are all covered by current auxiliary data be answered without
+    probing — {!Sweep.delta_view_local}; any miss falls back to the
+    probed path unchanged.  Ignored when [compensate] is false.
     @raise Invalid_view when the view is undefined.
     @raise Maint_query.Unsupported on a self-join of the target relation. *)
 
@@ -49,6 +54,7 @@ val maintain_sweep :
   ?compensate:bool ->
   ?applied:int list ->
   ?exclude_extra:int list ->
+  ?local:Sweep.local ->
   Query_engine.t ->
   Mat_view.t ->
   Update_msg.t ->
@@ -77,6 +83,7 @@ val commit_swept :
 val maintain_group :
   ?compensate:bool ->
   ?overlap:bool ->
+  ?local:Sweep.local ->
   Query_engine.t ->
   Mat_view.t ->
   Update_msg.t list ->

@@ -188,7 +188,7 @@ let scenario ?(trace_enabled = false) ?faults ?net_seed ?obs ~seed ~n_dus
   Dyno_workload.Scenario.make c ~timeline
 
 let test_zero_fault_identity () =
-  let run ?faults ?net_seed ?parallel ?obs () =
+  let run ?faults ?net_seed ?parallel ?self_maint ?obs () =
     let t =
       scenario ~trace_enabled:true ?faults ?net_seed ?obs ~seed:11 ~n_dus:12
         ~n_scs:2 ()
@@ -198,7 +198,8 @@ let test_zero_fault_identity () =
         ~config:
           Dyno_core.Run_config.(
             of_strategy Dyno_core.Strategy.Pessimistic
-            |> with_parallel (Option.value parallel ~default:1))
+            |> with_parallel (Option.value parallel ~default:1)
+            |> with_self_maint (Option.value self_maint ~default:false))
     in
     ( Fmt.str "%a" Dyno_core.Stats.pp stats,
       Dyno_view.Mat_view.extent t.mv,
@@ -229,6 +230,9 @@ let test_zero_fault_identity () =
   (* --parallel 1 must take the serial path bit for bit: same stats, same
      extent, byte-identical trace. *)
   check_identical "parallel=1" base (run ~parallel:1 ());
+  (* --self-maint off must leave no footprint: no admit hook installed,
+     no store built, output byte-identical to the historical run. *)
+  check_identical "self-maint off" base (run ~self_maint:false ());
   (* observability is pure observation: recording spans/metrics without
      the sampler, and sampling the time series itself, both leave the run
      byte-identical to the obs-disabled baseline. *)

@@ -549,6 +549,104 @@ let prop_multi_view_end_to_end =
                   (Dyno_core.Consistency.check_strong engine mv ~msg_index))
         (Dyno_core.Multi_scheduler.views multi))
 
+(* -- stats JSON round-trip --------------------------------------------- *)
+
+(* [Stats.to_json_string] must survive a parse → re-serialize loop through
+   the in-tree JSON parser with every field intact — counters, transport
+   fields, [cross_shard_barriers] and the self-maintenance pair included.
+   Floats are generated dyadic (n/8) so the %.6f rendering is exact. *)
+let gen_stats =
+  QCheck.Gen.(
+    let dy = map (fun n -> float_of_int n /. 8.0) (int_range 0 80_000) in
+    let i = int_range 0 100_000 in
+    map3
+      (fun fl b ints ->
+        let f k = List.nth fl k and n k = List.nth ints k in
+        let open Dyno_core in
+        let s = Stats.create () in
+        s.Stats.busy <- f 0;
+        s.Stats.abort_cost <- f 1;
+        s.Stats.idle <- f 2;
+        s.Stats.end_time <- f 3;
+        s.Stats.net_wait <- f 4;
+        s.Stats.du_maintained <- n 0;
+        s.Stats.sc_maintained <- n 1;
+        s.Stats.batches <- n 2;
+        s.Stats.batch_updates <- n 3;
+        s.Stats.irrelevant <- n 4;
+        s.Stats.aborts <- n 5;
+        s.Stats.broken_queries <- n 6;
+        s.Stats.detections <- n 7;
+        s.Stats.corrections <- n 8;
+        s.Stats.merges <- n 9;
+        s.Stats.probes <- n 10;
+        s.Stats.compensations <- n 11;
+        s.Stats.view_commits <- n 12;
+        s.Stats.view_undefined <- b;
+        s.Stats.retries <- n 13;
+        s.Stats.timeouts <- n 14;
+        s.Stats.msgs_lost <- n 15;
+        s.Stats.msgs_duplicated <- n 16;
+        s.Stats.dups_dropped <- n 17;
+        s.Stats.reorders_healed <- n 18;
+        s.Stats.net_stalls <- n 19;
+        s.Stats.cross_shard_barriers <- n 20;
+        s.Stats.probes_avoided <- n 21;
+        s.Stats.bytes_saved <- n 22;
+        s)
+      (list_repeat 5 dy) bool (list_repeat 23 i))
+
+let arb_stats = QCheck.make gen_stats ~print:Dyno_core.Stats.to_json_string
+
+let prop_stats_json_roundtrip =
+  QCheck.Test.make ~name:"Stats JSON survives parse -> re-serialize"
+    ~count:200 arb_stats (fun s ->
+      let open Dyno_jsonv.Jsonv in
+      match parse (Dyno_core.Stats.to_json_string s) with
+      | Error _ -> false
+      | Ok doc ->
+          let fl k =
+            match Option.bind (member k doc) num with
+            | Some v -> v
+            | None -> Float.nan
+          in
+          let it k = int_of_float (fl k) in
+          let open Dyno_core in
+          let s' = Stats.create () in
+          s'.Stats.busy <- fl "busy";
+          s'.Stats.abort_cost <- fl "abort_cost";
+          s'.Stats.idle <- fl "idle";
+          s'.Stats.end_time <- fl "end_time";
+          s'.Stats.du_maintained <- it "du_maintained";
+          s'.Stats.sc_maintained <- it "sc_maintained";
+          s'.Stats.batches <- it "batches";
+          s'.Stats.batch_updates <- it "batch_updates";
+          s'.Stats.irrelevant <- it "irrelevant";
+          s'.Stats.aborts <- it "aborts";
+          s'.Stats.broken_queries <- it "broken_queries";
+          s'.Stats.detections <- it "detections";
+          s'.Stats.corrections <- it "corrections";
+          s'.Stats.merges <- it "merges";
+          s'.Stats.probes <- it "probes";
+          s'.Stats.compensations <- it "compensations";
+          s'.Stats.view_commits <- it "view_commits";
+          s'.Stats.view_undefined <-
+            member "view_undefined" doc = Some (Bool true);
+          s'.Stats.retries <- it "retries";
+          s'.Stats.timeouts <- it "timeouts";
+          s'.Stats.msgs_lost <- it "msgs_lost";
+          s'.Stats.msgs_duplicated <- it "msgs_duplicated";
+          s'.Stats.dups_dropped <- it "dups_dropped";
+          s'.Stats.reorders_healed <- it "reorders_healed";
+          s'.Stats.net_stalls <- it "net_stalls";
+          s'.Stats.cross_shard_barriers <- it "cross_shard_barriers";
+          s'.Stats.probes_avoided <- it "probes_avoided";
+          s'.Stats.bytes_saved <- it "bytes_saved";
+          s'.Stats.net_wait <- fl "net_wait";
+          String.equal
+            (Dyno_core.Stats.to_json_string s)
+            (Dyno_core.Stats.to_json_string s'))
+
 let () =
   let to_alcotest = QCheck_alcotest.to_alcotest in
   Alcotest.run "properties"
@@ -573,4 +671,5 @@ let () =
       ( "versioned store",
         List.map to_alcotest [ prop_snapshot_reconstruction ] );
       ("end to end", List.map to_alcotest [ prop_end_to_end; prop_multi_view_end_to_end ]);
+      ("stats json", List.map to_alcotest [ prop_stats_json_roundtrip ]);
     ]

@@ -1,0 +1,296 @@
+(* Self-maintenance tier: auxiliary key/FK projections answer fully
+   covered maintenance sweeps locally, skipping probe round trips.  The
+   tier is an optimization, never a semantic change, so the golden
+   property is observational equivalence: for every workload, fault mix,
+   strategy and shard count, [--self-maint] reaches the same final
+   extent, the same convergence and strong-consistency verdicts and the
+   same per-source applied sets as the probing baseline. *)
+
+open Dyno_relational
+open Dyno_net
+open Dyno_workload
+
+let scenario ?faults ?net_seed ?(shards = 1) ~seed ~n_dus ~n_scs () =
+  let timeline =
+    Generator.mixed ~rows:10 ~seed ~n_dus ~du_interval:0.2 ~sc_start:0.1
+      ~sc_interval:1.5
+      ~sc_kinds:(Generator.drop_then_renames n_scs)
+      ()
+  in
+  let c =
+    Scenario.Config.(
+      default |> with_rows 10
+      |> with_cost { Dyno_sim.Cost_model.default with row_scale = 1.0 }
+      |> with_snapshots true |> with_shards shards)
+  in
+  let c =
+    match faults with Some f -> Scenario.Config.with_faults f c | None -> c
+  in
+  let c =
+    match net_seed with
+    | Some n -> Scenario.Config.with_net_seed n c
+    | None -> c
+  in
+  Scenario.make c ~timeline
+
+(* -- derivation -------------------------------------------------------- *)
+
+(* One projection per alias of the view query, each with the alias's
+   needed probe attributes (join keys + selected columns). *)
+let test_derive () =
+  let t = scenario ~seed:1 ~n_dus:0 ~n_scs:0 () in
+  let defs = Dyno_selfmaint.Aux_plan.derive t.Scenario.mv in
+  let q = Dyno_view.View_def.peek (Dyno_view.Mat_view.def t.Scenario.mv) in
+  Alcotest.(check int)
+    "one projection per alias"
+    (List.length (Query.from q))
+    (List.length defs);
+  List.iter
+    (fun (d : Dyno_selfmaint.Aux_plan.aux_def) ->
+      Alcotest.(check bool)
+        (Fmt.str "%s has attributes" d.alias)
+        true (d.attrs <> []);
+      let src =
+        Dyno_view.Query_engine.source_relation t.Scenario.engine
+          ~source:d.source ~rel:d.rel
+      in
+      match src with
+      | None -> Alcotest.failf "%s: source relation %s missing" d.alias d.rel
+      | Some r ->
+          List.iter
+            (fun a ->
+              Alcotest.(check bool)
+                (Fmt.str "%s.%s exists at the source" d.alias a)
+                true
+                (Schema.mem (Relation.schema r) a))
+            d.attrs)
+    defs;
+  let aliases = List.map (fun (d : Dyno_selfmaint.Aux_plan.aux_def) -> d.alias) defs in
+  Alcotest.(check int)
+    "aliases distinct"
+    (List.length aliases)
+    (List.length (List.sort_uniq String.compare aliases))
+
+(* -- the store --------------------------------------------------------- *)
+
+let test_store_refresh_and_invalidate () =
+  let t = scenario ~seed:2 ~n_dus:0 ~n_scs:0 () in
+  let w = t.Scenario.engine in
+  let store = Dyno_core.Scheduler.aux_store w t.Scenario.mv in
+  Alcotest.(check (float 1e-9))
+    "full coverage after seeding" 1.0
+    (Dyno_selfmaint.Aux_store.coverage store);
+  (* Seeded projections = the projection of the source relation at the
+     delivered frontier (nothing delivered yet = initial load). *)
+  let defs = Dyno_selfmaint.Aux_plan.derive t.Scenario.mv in
+  List.iter
+    (fun (d : Dyno_selfmaint.Aux_plan.aux_def) ->
+      match Dyno_selfmaint.Aux_store.aux store d.alias with
+      | None -> Alcotest.failf "%s: no auxiliary data" d.alias
+      | Some r ->
+          let src =
+            Option.get
+              (Dyno_view.Query_engine.source_relation w ~source:d.source
+                 ~rel:d.rel)
+          in
+          Alcotest.(check bool)
+            (Fmt.str "%s seeded = projected source" d.alias)
+            true
+            (Relation.equal r (Relation.project src d.attrs)))
+    defs;
+  (* A delivered DU refreshes the matching projection incrementally. *)
+  let d1 =
+    List.find
+      (fun (d : Dyno_selfmaint.Aux_plan.aux_def) -> String.equal d.rel "R1")
+      defs
+  in
+  let before =
+    Relation.mass (Option.get (Dyno_selfmaint.Aux_store.aux store d1.alias))
+  in
+  let u =
+    Update.insert
+      ~source:(Paper_schema.source_of_rel 1)
+      ~rel:(Paper_schema.rel_name 1)
+      (Paper_schema.schema_of_rel 1)
+      (Paper_schema.tuple_for ~salt:77 1 0)
+  in
+  Dyno_selfmaint.Aux_store.on_message store
+    (Dyno_view.Update_msg.make ~id:990 ~commit_time:0.5 ~source_version:11
+       (Dyno_view.Update_msg.Du u));
+  let after =
+    Relation.mass (Option.get (Dyno_selfmaint.Aux_store.aux store d1.alias))
+  in
+  Alcotest.(check int) "insert refreshed the projection" (before + 1) after;
+  (* A schema change invalidates every projection of its source. *)
+  Dyno_selfmaint.Aux_store.on_message store
+    (Dyno_view.Update_msg.make ~id:991 ~commit_time:0.6 ~source_version:12
+       (Dyno_view.Update_msg.Sc
+          (Schema_change.Drop_attribute
+             { source = "DS1"; rel = "R2"; attr = "B2" })));
+  Alcotest.(check bool)
+    "invalidations counted" true
+    (Dyno_selfmaint.Aux_store.invalidations store > 0);
+  Alcotest.(check bool)
+    "coverage dropped" true
+    (Dyno_selfmaint.Aux_store.coverage store < 1.0);
+  List.iter
+    (fun (d : Dyno_selfmaint.Aux_plan.aux_def) ->
+      if String.equal d.source "DS1" then
+        Alcotest.(check bool)
+          (Fmt.str "%s invalid after DS1 schema change" d.alias)
+          true
+          (Dyno_selfmaint.Aux_store.aux store d.alias = None))
+    defs
+
+(* -- the local path actually fires ------------------------------------- *)
+
+let test_local_fires () =
+  let run ~self_maint =
+    let t = scenario ~seed:3 ~n_dus:20 ~n_scs:0 () in
+    let stats =
+      Scenario.run t
+        ~config:
+          Dyno_core.Run_config.(
+            of_strategy Dyno_core.Strategy.Pessimistic
+            |> with_self_maint self_maint)
+    in
+    (t, stats)
+  in
+  let tb, _ = run ~self_maint:false in
+  let ts, stats = run ~self_maint:true in
+  Alcotest.(check bool)
+    "sweeps answered locally" true
+    (stats.Dyno_core.Stats.probes_avoided > 0);
+  Alcotest.(check int)
+    "no probe was needed (full coverage, no SCs)" 0
+    stats.Dyno_core.Stats.probes;
+  Alcotest.(check bool)
+    "wire bytes saved" true
+    (stats.Dyno_core.Stats.bytes_saved > 0);
+  Alcotest.(check bool)
+    "extent identical to baseline" true
+    (Relation.equal
+       (Dyno_view.Mat_view.extent tb.Scenario.mv)
+       (Dyno_view.Mat_view.extent ts.Scenario.mv));
+  match Scenario.check_convergent ts with
+  | Ok b -> Alcotest.(check bool) "convergent" true b
+  | Error e -> Alcotest.failf "not checkable: %s" e
+
+(* -- the golden property ----------------------------------------------- *)
+
+(* Per-source sets of integrated update versions (see test_shard.ml). *)
+let applied_per_source (t : Scenario.t) =
+  let index = Scenario.msg_index t in
+  let tbl : (string, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (c : Dyno_view.Mat_view.commit) ->
+      List.iter
+        (fun id ->
+          match List.assoc_opt id index with
+          | None -> ()
+          | Some (src, version) -> (
+              match Hashtbl.find_opt tbl src with
+              | Some l -> l := version :: !l
+              | None -> Hashtbl.add tbl src (ref [ version ])))
+        c.maintained)
+    (Dyno_view.Mat_view.commits t.mv);
+  Hashtbl.fold
+    (fun src l acc -> (src, List.sort_uniq Int.compare !l) :: acc)
+    tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let arb_selfmaint_workload =
+  QCheck.make
+    QCheck.Gen.(
+      let f01 lo hi = map (fun x -> float_of_int x /. 100.0) (int_range lo hi) in
+      pair
+        (quad (int_range 1 10000) (int_range 1 12) (int_range 0 2)
+           (int_range 0 2))
+        (quad (f01 0 25) (f01 0 25)
+           (pair (f01 0 25) (int_range 0 2))
+           (int_range 0 1000)))
+    ~print:
+      (fun ((seed, dus, scs, strat), (loss, dup, (reorder, sh), net_seed)) ->
+      Fmt.str
+        "seed=%d dus=%d scs=%d strategy=%d loss=%.2f dup=%.2f reorder=%.2f \
+         shards=%d net_seed=%d"
+        seed dus scs strat loss dup reorder
+        (match sh with 0 -> 1 | 1 -> 2 | _ -> 4)
+        net_seed)
+
+let prop_selfmaint_equals_baseline =
+  QCheck.Test.make
+    ~name:
+      "self-maintenance is observationally the probing baseline (faults, \
+       SCs, shards included)"
+    ~count:300 arb_selfmaint_workload
+    (fun ((seed, n_dus, n_scs, strat), (loss, dup, (reorder, sh), net_seed))
+       ->
+      let strategy =
+        match strat with
+        | 0 -> Dyno_core.Strategy.Pessimistic
+        | 1 -> Dyno_core.Strategy.Optimistic
+        | _ -> Dyno_core.Strategy.Merge_all
+      in
+      let shards = match sh with 0 -> 1 | 1 -> 2 | _ -> 4 in
+      let faults =
+        {
+          Channel.reliable with
+          loss;
+          dup;
+          reorder;
+          reorder_delay = 0.5;
+          retransmit = 0.05;
+        }
+      in
+      let run ~self_maint =
+        let t = scenario ~faults ~net_seed ~shards ~seed ~n_dus ~n_scs () in
+        let stats =
+          Scenario.run t
+            ~config:
+              Dyno_core.Run_config.(
+                of_strategy strategy |> with_self_maint self_maint)
+        in
+        (t, stats)
+      in
+      let tb, stats_b = run ~self_maint:false in
+      let ts, stats_s = run ~self_maint:true in
+      let same_extent =
+        Relation.equal
+          (Dyno_view.Mat_view.extent tb.Scenario.mv)
+          (Dyno_view.Mat_view.extent ts.Scenario.mv)
+      in
+      let convergent =
+        match Scenario.check_convergent ts with
+        | Ok b -> b
+        | Error _ -> false
+      in
+      let same_strong =
+        Bool.equal
+          (Dyno_core.Consistency.ok (Scenario.check_strong tb))
+          (Dyno_core.Consistency.ok (Scenario.check_strong ts))
+      in
+      let same_applied = applied_per_source tb = applied_per_source ts in
+      let no_undefined =
+        stats_b.Dyno_core.Stats.view_undefined
+        = stats_s.Dyno_core.Stats.view_undefined
+      in
+      same_extent && convergent && same_strong && same_applied && no_undefined)
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "selfmaint"
+    [
+      ("derive", [ Alcotest.test_case "aux plan" `Quick test_derive ]);
+      ( "store",
+        [
+          Alcotest.test_case "seed / refresh / invalidate" `Quick
+            test_store_refresh_and_invalidate;
+        ] );
+      ( "local path",
+        [ Alcotest.test_case "covered sweeps skip probes" `Quick
+            test_local_fires ] );
+      ( "equivalence",
+        List.map to_alcotest [ prop_selfmaint_equals_baseline ] );
+    ]

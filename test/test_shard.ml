@@ -261,12 +261,53 @@ let test_plan () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
+(* Validation error paths of the plan constructor itself. *)
+let test_plan_errors () =
+  Alcotest.(check bool)
+    "duplicate source rejected" true
+    (match Dyno_core.Shard.plan ~shards:2 [ "DS1"; "DS2"; "DS1" ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "partition naming unknown source rejected" true
+    (match
+       Dyno_core.Shard.plan ~shards:2
+         ~partition:[ ("DS9", 0) ]
+         [ "DS1"; "DS2" ]
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "empty source list rejected" true
+    (match Dyno_core.Shard.plan ~shards:2 [] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  (* Negative shard override is out of range too. *)
+  Alcotest.(check bool)
+    "negative override rejected" true
+    (match
+       Dyno_core.Shard.plan ~shards:2 ~partition:[ ("DS1", -1) ] [ "DS1" ]
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  (* More shards than sources is legal — some shards just own nothing. *)
+  let p = Dyno_core.Shard.plan ~shards:4 [ "DS1"; "DS2" ] in
+  Alcotest.(check int) "oversized plan keeps its count" 4
+    (Dyno_core.Shard.count p);
+  Alcotest.(check (list string))
+    "shard 3 legally empty" []
+    (Dyno_core.Shard.sources_of p 3)
+
 let to_alcotest = QCheck_alcotest.to_alcotest
 
 let () =
   Alcotest.run "shard"
     [
-      ("plan", [ Alcotest.test_case "partition plan" `Quick test_plan ]);
+      ( "plan",
+        [
+          Alcotest.test_case "partition plan" `Quick test_plan;
+          Alcotest.test_case "validation errors" `Quick test_plan_errors;
+        ] );
       ( "identity",
         [ Alcotest.test_case "1 shard = serial, bit for bit" `Quick
             test_one_shard_identity ] );
