@@ -690,12 +690,12 @@ let overlap_bench () =
       row_scale = 1.0;
     }
   in
-  let run ~parallel =
+  let run ?obs ~parallel () =
     let reg = build_registry () in
     let umq = Dyno_view.Umq.create () in
     let trace = Dyno_sim.Trace.create ~enabled:false () in
     let engine =
-      Dyno_view.Query_engine.create ~trace ~cost ~registry:reg
+      Dyno_view.Query_engine.create ~trace ?obs ~cost ~registry:reg
         ~timeline:(build_timeline ()) ~umq ()
     in
     let vd =
@@ -735,10 +735,45 @@ let overlap_bench () =
     in
     (stats, Dyno_view.Mat_view.extent mv)
   in
-  let stats_s, extent_s = run ~parallel:1 in
-  let stats_p, extent_p = run ~parallel:n_sources in
+  let stats_s, extent_s = run ~parallel:1 () in
+  let stats_p, extent_p = run ~parallel:n_sources () in
   if not (Relation.equal extent_s extent_p) then begin
     Fmt.epr "overlap bench: parallel extent diverged from serial@.";
+    exit 1
+  end;
+  (* lineage-overhead probe: the same parallel run with the full obs
+     stack (spans + metrics + lineage) on must stay byte-identical in
+     simulated time and cost < 5% extra host CPU. *)
+  let timed f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (r, Sys.time () -. t0)
+  in
+  (* one throwaway each to warm allocators before timing *)
+  ignore (run ~parallel:n_sources ());
+  let (stats_off, _), cpu_off = timed (fun () -> run ~parallel:n_sources ()) in
+  let (stats_lin, extent_lin), cpu_lin =
+    timed (fun () ->
+        run ~obs:(Dyno_obs.Obs.create ()) ~parallel:n_sources ())
+  in
+  if not (Relation.equal extent_p extent_lin) then begin
+    Fmt.epr "overlap bench: lineage-on extent diverged@.";
+    exit 1
+  end;
+  let busy_delta = Float.abs (stats_lin.Stats.busy -. stats_off.Stats.busy) in
+  if busy_delta > 1e-9 then begin
+    Fmt.epr "overlap bench: lineage-on changed simulated busy by %g s@."
+      busy_delta;
+    exit 1
+  end;
+  let cpu_overhead_pct =
+    if cpu_off > 0.0 then (cpu_lin -. cpu_off) /. cpu_off *. 100.0 else 0.0
+  in
+  (* host CPU timings on a fast run are noisy; fail only on a blowup an
+     order of magnitude past the 5% budget *)
+  if cpu_off > 0.01 && cpu_overhead_pct > 50.0 then begin
+    Fmt.epr "overlap bench: lineage overhead %.1f%% CPU (budget 5%%)@."
+      cpu_overhead_pct;
     exit 1
   end;
   let speedup = stats_s.Stats.busy /. stats_p.Stats.busy in
@@ -749,6 +784,10 @@ let overlap_bench () =
     (Fmt.str "parallel=%d" n_sources)
     stats_p.Stats.busy stats_p.Stats.view_commits stats_p.Stats.probes;
   Fmt.pr "@.speedup: %.2fx (extents identical)@." speedup;
+  Fmt.pr
+    "lineage: busy_s delta %.9f (must be 0), host CPU %+.1f%% vs obs-off \
+     (%.3fs -> %.3fs)@."
+    busy_delta cpu_overhead_pct cpu_off cpu_lin;
   let open Dyno_jsonv.Jsonv in
   let mode name parallel (s : Stats.t) =
     Obj
@@ -766,6 +805,11 @@ let overlap_bench () =
          mode "serial" 1 stats_s;
          mode "parallel" n_sources stats_p;
          Obj [ ("speedup", Num speedup) ];
+         Obj
+           [
+             ("lineage_busy_delta_s", Num busy_delta);
+             ("lineage_cpu_overhead_pct", Num cpu_overhead_pct);
+           ];
        ])
 
 (* ------------------------------------------------------------------ *)
@@ -986,6 +1030,7 @@ let scale_bench () =
         Dyno_obs.Obs.spans = Dyno_obs.Span.disabled;
         metrics = Dyno_obs.Metrics.create ~enabled:true ();
         series = Dyno_obs.Timeseries.disabled;
+        lineage = Dyno_obs.Lineage.disabled;
       }
     in
     let trace = Dyno_sim.Trace.create ~enabled:false () in

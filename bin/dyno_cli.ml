@@ -142,6 +142,30 @@ let metrics_out =
   Arg.(
     value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
+let lineage_out =
+  let doc =
+    "Write per-update causal lineage (commit → channel → sequencer → \
+     queue → dispatch → probes → terminal, with per-segment charged \
+     durations) as JSON-lines to $(docv)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "lineage-out" ] ~docv:"FILE" ~doc)
+
+let no_lineage =
+  let doc =
+    "Disable per-update lineage recording while keeping the rest of the \
+     observability stack on (lineage-off runs are byte-identical; used \
+     for overhead measurement)."
+  in
+  Arg.(value & flag & info [ "no-lineage" ] ~doc)
+
+let critical_path_flag =
+  let doc =
+    "Print the critical-path table: commit→terminal staleness decomposed \
+     into channel / hold / queue / barrier / probe / compute segments."
+  in
+  Arg.(value & flag & info [ "critical-path" ] ~doc)
+
 let write_file path contents =
   let oc = open_out path in
   output_string oc contents;
@@ -275,6 +299,53 @@ let staleness_section mx =
       views
   end
 
+(* Critical-path table: the lineage per-segment histograms decompose each
+   update's commit-to-terminal elapsed time; the quantiles show where the
+   population loses its time. *)
+let critical_path_section mx =
+  let open Dyno_obs in
+  match Metrics.histogram_summary mx "lineage.total_s" with
+  | None ->
+      Fmt.pr
+        "@.critical path: no lineage data (lineage disabled or no update \
+         reached a terminal state)@."
+  | Some tot ->
+      Fmt.pr
+        "@.critical path (commit→terminal elapsed, decomposed by \
+         segment):@.";
+      Fmt.pr "  %-10s %9s %9s %9s %9s %7s@." "segment" "p50" "p90" "p99"
+        "max" "n";
+      List.iter
+        (fun seg ->
+          let name = Lineage.segment_name seg in
+          match
+            Metrics.histogram_summary mx (Fmt.str "lineage.%s_s" name)
+          with
+          | Some s ->
+              Fmt.pr "  %-10s %9.3f %9.3f %9.3f %9.3f %7d@." name
+                s.Metrics.p50 s.Metrics.p90 s.Metrics.p99 s.Metrics.max
+                s.Metrics.count
+          | None -> ())
+        Lineage.all_segments;
+      Fmt.pr "  %-10s %9.3f %9.3f %9.3f %9.3f %7d@." "total" tot.Metrics.p50
+        tot.Metrics.p90 tot.Metrics.p99 tot.Metrics.max tot.Metrics.count
+
+(* Per-shard busy/barrier rows, printed only for sharded runs. *)
+let shard_section mx =
+  let open Dyno_obs in
+  let shards = int_of_float (Metrics.gauge_value mx "sched.shards") in
+  if shards > 1 then begin
+    Fmt.pr "@.shards (%d, schema changes serialize at the barrier):@."
+      shards;
+    Fmt.pr "  %-8s %12s@." "shard" "busy_s";
+    for i = 0 to shards - 1 do
+      Fmt.pr "  %-8d %12.3f@." i
+        (Metrics.gauge_value mx (Fmt.str "shard.%d.busy_s" i))
+    done;
+    Fmt.pr "  cross-shard barriers: %d@."
+      (Metrics.counter_value mx "sched.cross_shard_barriers")
+  end
+
 let sparkline values =
   let glyphs = [| "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |] in
   let hi = List.fold_left Float.max 0.0 values in
@@ -394,8 +465,8 @@ let run_cmd =
   let action rows dus scs du_interval sc_interval seed strategy trace
       no_compensation report multi parallel self_maint shards loss dup
       reorder jitter reorder_delay outages net_seed json_file trace_out
-      metrics_out sample_interval series_out openmetrics_out slos slo_exit
-      watch =
+      metrics_out lineage_out no_lineage sample_interval series_out
+      openmetrics_out slos slo_exit watch =
     let timeline =
       timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval
     in
@@ -408,8 +479,10 @@ let run_cmd =
     let obs =
       if
         trace_out <> None || metrics_out <> None || openmetrics_out <> None
-        || slos <> [] || interval <> None
-      then Dyno_obs.Obs.create ?sample_interval:interval ()
+        || lineage_out <> None || slos <> [] || interval <> None
+      then
+        Dyno_obs.Obs.create ?sample_interval:interval
+          ~lineage:(not no_lineage) ()
       else Dyno_obs.Obs.disabled
     in
     if watch then install_watch (Dyno_obs.Obs.series obs);
@@ -486,7 +559,9 @@ let run_cmd =
     | None -> ()
     | Some f ->
         write_file f
-          (Dyno_obs.Export.chrome_trace (Dyno_obs.Obs.spans obs));
+          (Dyno_obs.Export.chrome_trace
+             ~lineage:(Dyno_obs.Obs.lineage obs)
+             (Dyno_obs.Obs.spans obs));
         Fmt.pr "chrome trace written to %s (open in ui.perfetto.dev)@." f);
     (match metrics_out with
     | None -> ()
@@ -494,6 +569,13 @@ let run_cmd =
         write_file f
           (Dyno_obs.Metrics.to_json_string (Dyno_obs.Obs.metrics obs));
         Fmt.pr "metrics written to %s@." f);
+    (match lineage_out with
+    | None -> ()
+    | Some f ->
+        let lin = Dyno_obs.Obs.lineage obs in
+        write_file f (String.trim (Dyno_obs.Lineage.to_jsonl lin));
+        Fmt.pr "lineage written to %s (%d record(s))@." f
+          (List.length (Dyno_obs.Lineage.records lin)));
     write_series (Dyno_obs.Obs.series obs) series_out;
     write_openmetrics (Dyno_obs.Obs.metrics obs) openmetrics_out;
     staleness_section (Dyno_obs.Obs.metrics obs);
@@ -507,8 +589,8 @@ let run_cmd =
       $ strategy $ trace_flag $ no_compensation $ report_flag $ multi_flag
       $ parallel_arg $ self_maint_flag $ shards_arg $ loss $ dup $ reorder
       $ jitter $ reorder_delay $ outages $ net_seed $ json_file $ trace_out
-      $ metrics_out $ sample_interval $ series_out $ openmetrics_out
-      $ slo_specs $ slo_exit $ watch_flag)
+      $ metrics_out $ lineage_out $ no_lineage $ sample_interval
+      $ series_out $ openmetrics_out $ slo_specs $ slo_exit $ watch_flag)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a mixed workload under a strategy")
@@ -519,8 +601,9 @@ let run_cmd =
 let report_cmd =
   let action rows dus scs du_interval sc_interval seed strategy
       no_compensation parallel self_maint shards loss dup reorder jitter
-      reorder_delay outages net_seed trace_out metrics_out sample_interval
-      series_out openmetrics_out slos slo_exit =
+      reorder_delay outages net_seed trace_out metrics_out lineage_out
+      critical_path sample_interval series_out openmetrics_out slos slo_exit
+      =
     let timeline =
       timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval
     in
@@ -551,7 +634,10 @@ let report_cmd =
     (match trace_out with
     | None -> ()
     | Some f ->
-        write_file f (Dyno_obs.Export.chrome_trace spans);
+        write_file f
+          (Dyno_obs.Export.chrome_trace
+             ~lineage:(Dyno_obs.Obs.lineage obs)
+             spans);
         Fmt.pr "@.chrome trace written to %s (open in ui.perfetto.dev)@." f);
     (match metrics_out with
     | None -> ()
@@ -559,9 +645,18 @@ let report_cmd =
         write_file f
           (Dyno_obs.Metrics.to_json_string (Dyno_obs.Obs.metrics obs));
         Fmt.pr "metrics written to %s@." f);
+    (match lineage_out with
+    | None -> ()
+    | Some f ->
+        let lin = Dyno_obs.Obs.lineage obs in
+        write_file f (String.trim (Dyno_obs.Lineage.to_jsonl lin));
+        Fmt.pr "lineage written to %s (%d record(s))@." f
+          (List.length (Dyno_obs.Lineage.records lin)));
     write_series (Dyno_obs.Obs.series obs) series_out;
     write_openmetrics (Dyno_obs.Obs.metrics obs) openmetrics_out;
     staleness_section (Dyno_obs.Obs.metrics obs);
+    shard_section (Dyno_obs.Obs.metrics obs);
+    if critical_path then critical_path_section (Dyno_obs.Obs.metrics obs);
     timeline_section (Dyno_obs.Obs.series obs);
     let slo_ok = slo_section (Dyno_obs.Obs.metrics obs) slos in
     if Stats.(stats.view_undefined) then exit 2;
@@ -572,8 +667,9 @@ let report_cmd =
       const action $ rows $ dus $ scs $ du_interval $ sc_interval $ seed
       $ strategy $ no_compensation $ parallel_arg $ self_maint_flag
       $ shards_arg $ loss $ dup $ reorder $ jitter $ reorder_delay
-      $ outages $ net_seed $ trace_out $ metrics_out $ sample_interval
-      $ series_out $ openmetrics_out $ slo_specs $ slo_exit)
+      $ outages $ net_seed $ trace_out $ metrics_out $ lineage_out
+      $ critical_path_flag $ sample_interval $ series_out $ openmetrics_out
+      $ slo_specs $ slo_exit)
   in
   Cmd.v
     (Cmd.info "report"
@@ -581,6 +677,162 @@ let report_cmd =
          "Run a workload with span recording on and print the \
           busy/abort/idle/net-wait cost breakdown derived from spans alone, \
           plus the metrics registry")
+    term
+
+(* ---- explain: per-update causal narrative --------------------------- *)
+
+let explain_msg =
+  let doc = "Explain the update admitted to the UMQ as message $(docv)." in
+  Arg.(value & opt (some int) None & info [ "msg" ] ~docv:"ID" ~doc)
+
+let explain_abort =
+  let doc =
+    "Explain the update behind the $(docv)-th abort of the run (1-based, \
+     in time order)."
+  in
+  Arg.(value & opt (some int) None & info [ "abort" ] ~docv:"N" ~doc)
+
+let explain_view =
+  let doc =
+    "Explain the updates whose lineage mentions view $(docv), slowest \
+     first."
+  in
+  Arg.(value & opt (some string) None & info [ "view" ] ~docv:"VIEW" ~doc)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  m = 0
+  ||
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let lineage_summary_table records =
+  Fmt.pr "%4s  %-10s  %-4s  %-10s  %9s  %s@." "msg" "update" "kind"
+    "terminal" "elapsed" "dominant segment";
+  List.iter
+    (fun (r : Dyno_obs.Lineage.record) ->
+      let terminal =
+        match r.Dyno_obs.Lineage.term with
+        | None -> "pending"
+        | Some t -> Dyno_obs.Lineage.terminal_name t
+      in
+      let dominant =
+        match
+          List.sort
+            (fun (_, a) (_, b) -> Float.compare b a)
+            (Dyno_obs.Lineage.segments r)
+        with
+        | [] -> "-"
+        | (name, v) :: _ -> Fmt.str "%s (%.3fs)" name v
+      in
+      Fmt.pr "%4d  %-10s  %-4s  %-10s  %8.3fs  %s@."
+        r.Dyno_obs.Lineage.msg_id
+        (Fmt.str "%s#%d" r.Dyno_obs.Lineage.source r.Dyno_obs.Lineage.seq)
+        (if r.Dyno_obs.Lineage.sc then "SC" else "DU")
+        terminal
+        (Dyno_obs.Lineage.elapsed r)
+        dominant)
+    records
+
+let explain_cmd =
+  let action rows dus scs du_interval sc_interval seed strategy
+      no_compensation parallel self_maint shards loss dup reorder jitter
+      reorder_delay outages net_seed msg abort_n view =
+    let timeline =
+      timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval
+    in
+    let cost = Dyno_sim.Cost_model.scaled (100_000.0 /. float_of_int rows) in
+    let faults =
+      faults_of ~cost ~loss ~dup ~reorder ~jitter ~reorder_delay ~outages
+    in
+    let net_seed = Option.value net_seed ~default:seed in
+    let obs = Dyno_obs.Obs.create () in
+    let t =
+      Scenario.make
+        (scenario_config_of ~rows ~cost ~trace:false ~faults ~net_seed ~obs
+           ~shards)
+        ~timeline
+    in
+    let (_ : Stats.t) =
+      Scenario.run t
+        ~config:
+          (run_config_of ~strategy ~no_compensation ~parallel ~self_maint)
+    in
+    let lin = Dyno_obs.Obs.lineage obs in
+    let records = Dyno_obs.Lineage.records lin in
+    let slowest n rs =
+      let rs =
+        List.sort
+          (fun a b ->
+            Float.compare (Dyno_obs.Lineage.elapsed b)
+              (Dyno_obs.Lineage.elapsed a))
+          rs
+      in
+      List.filteri (fun i _ -> i < n) rs
+    in
+    let narrate r = Fmt.pr "%a@." Dyno_obs.Lineage.pp_record r in
+    match (msg, abort_n, view) with
+    | Some id, _, _ -> (
+        match Dyno_obs.Lineage.find_msg lin id with
+        | Some r -> narrate r
+        | None ->
+            Fmt.epr "no lineage record for msg %d (ids run 0..%d)@." id
+              (List.length records - 1);
+            exit 1)
+    | None, Some n, _ -> (
+        let aborts =
+          List.concat_map
+            (fun r ->
+              List.filter_map
+                (fun (e : Dyno_obs.Lineage.event) ->
+                  if e.Dyno_obs.Lineage.kind = "abort" then
+                    Some (e.Dyno_obs.Lineage.at, r)
+                  else None)
+                (Dyno_obs.Lineage.events r))
+            records
+          |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
+        in
+        match List.nth_opt aborts (n - 1) with
+        | Some (_, r) ->
+            Fmt.pr "abort %d of %d:@.@." n (List.length aborts);
+            narrate r
+        | None ->
+            Fmt.epr "run had %d abort(s); --abort %d out of range@."
+              (List.length aborts) n;
+            exit 1)
+    | None, None, Some v ->
+        let mentions (r : Dyno_obs.Lineage.record) =
+          List.exists
+            (fun (e : Dyno_obs.Lineage.event) ->
+              contains_sub e.Dyno_obs.Lineage.detail v)
+            (Dyno_obs.Lineage.events r)
+        in
+        let hits = List.filter mentions records in
+        let hits = if hits = [] then records else hits in
+        Fmt.pr "%d update(s) touched view %s:@.@." (List.length hits) v;
+        lineage_summary_table hits;
+        Fmt.pr "@.slowest:@.@.";
+        List.iter narrate (slowest 3 hits)
+    | None, None, None ->
+        Fmt.pr "%d update(s) traced:@.@." (List.length records);
+        lineage_summary_table records;
+        Fmt.pr "@.slowest:@.@.";
+        List.iter narrate (slowest 3 records)
+  in
+  let term =
+    Term.(
+      const action $ rows $ dus $ scs $ du_interval $ sc_interval $ seed
+      $ strategy $ no_compensation $ parallel_arg $ self_maint_flag
+      $ shards_arg $ loss $ dup $ reorder $ jitter $ reorder_delay
+      $ outages $ net_seed $ explain_msg $ explain_abort $ explain_view)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Re-run a workload with lineage recording on and print the causal \
+          narrative of one update (--msg), of the update behind the N-th \
+          abort (--abort), of the updates touching a view (--view), or a \
+          summary of every update")
     term
 
 (* ---- inspect ------------------------------------------------------- *)
@@ -787,4 +1039,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ run_cmd; report_cmd; inspect_cmd; sql_cmd; demo_cmd ]))
+       (Cmd.group info
+          [ run_cmd; report_cmd; explain_cmd; inspect_cmd; sql_cmd; demo_cmd ]))

@@ -15,6 +15,8 @@ type report = {
   reordered : bool;  (** the queue order actually changed *)
   merged_cycles : int;
   merged_updates : int;
+  merged_members : int list list;
+      (** message ids of each collapsed cycle — merge provenance *)
   nodes : int;
   edges : int;
 }
@@ -35,6 +37,7 @@ let apply (umq : Umq.t) (g : Dep_graph.t) : report =
     reordered;
     merged_cycles = c.Dep_graph.merged_cycles;
     merged_updates = c.Dep_graph.merged_updates;
+    merged_members = c.Dep_graph.merged_members;
     nodes = Dep_graph.size g;
     edges = List.length (Dep_graph.edges g);
   }
@@ -51,13 +54,21 @@ let merge_all (umq : Umq.t) : report =
   in
   match msgs with
   | [] | [ _ ] ->
-      { reordered = false; merged_cycles = 0; merged_updates = 0; nodes = List.length msgs; edges = 0 }
+      {
+        reordered = false;
+        merged_cycles = 0;
+        merged_updates = 0;
+        merged_members = [];
+        nodes = List.length msgs;
+        edges = 0;
+      }
   | _ ->
       Umq.replace umq [ Umq.Batch msgs ];
       {
         reordered = true;
         merged_cycles = 1;
         merged_updates = List.length msgs;
+        merged_members = [ List.map Update_msg.id msgs ];
         nodes = List.length msgs;
         edges = 0;
       }

@@ -8,6 +8,8 @@ type report = {
   reordered : bool;  (** the queue order actually changed *)
   merged_cycles : int;
   merged_updates : int;
+  merged_members : int list list;
+      (** message ids of each collapsed cycle — merge provenance *)
   nodes : int;
   edges : int;
 }

@@ -177,11 +177,62 @@ let scc g =
   done;
   !components
 
+(* ------------------------------------------------------------------ *)
+(* Forensic provenance                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let pp_ids ppf = function
+  | [ id ] -> Fmt.pf ppf "#%d" id
+  | ids ->
+      Fmt.pf ppf "batch [%a]" Fmt.(list ~sep:sp (fun ppf -> Fmt.pf ppf "#%d")) ids
+
+(** [describe_edge g e] — a human-readable account of why the edge
+    exists, naming the message ids involved and (for concurrent
+    dependencies) the triggering schema change.  This is the provenance
+    [dyno explain] replays. *)
+let describe_edge g (e : Dependency.edge) : string =
+  let ids i = Umq.entry_ids g.nodes.(i) in
+  match e.Dependency.kind with
+  | Dependency.Concurrent -> (
+      match
+        List.find_opt Update_msg.is_sc
+          (Umq.entry_messages g.nodes.(e.Dependency.prerequisite))
+      with
+      | Some sc ->
+          Fmt.str "CD edge: %a conflicts with SC #%d (%s) and must wait for it"
+            pp_ids
+            (ids e.Dependency.dependent)
+            (Update_msg.id sc) (Update_msg.source sc)
+      | None ->
+          Fmt.str "CD edge: %a must follow %a" pp_ids
+            (ids e.Dependency.dependent)
+            pp_ids
+            (ids e.Dependency.prerequisite))
+  | Dependency.Semantic ->
+      let src =
+        match Umq.entry_messages g.nodes.(e.Dependency.prerequisite) with
+        | m :: _ -> Update_msg.source m
+        | [] -> "?"
+      in
+      Fmt.str "SD edge: %a must follow %a (commit order at %s)" pp_ids
+        (ids e.Dependency.dependent)
+        pp_ids
+        (ids e.Dependency.prerequisite)
+        src
+
+(** Message ids of the edge's dependent entry — where the provenance is
+    recorded in the lineage. *)
+let edge_dependent_ids g (e : Dependency.edge) : int list =
+  Umq.entry_ids g.nodes.(e.Dependency.dependent)
+
 (** Result of a correction pass. *)
 type correction = {
   order : Umq.entry list;  (** the legal order to install in the UMQ *)
   merged_cycles : int;  (** number of cycles collapsed into batches *)
   merged_updates : int;  (** messages involved in those cycles *)
+  merged_members : int list list;
+      (** message ids of each collapsed cycle, one list per new batch —
+          the provenance behind every merge *)
 }
 
 (** [correct g] computes a legal order: cycles merged into batch entries
@@ -198,6 +249,7 @@ let correct g : correction =
     comps_arr;
   let merged_cycles = ref 0 in
   let merged_updates = ref 0 in
+  let merged_members = ref [] in
   let entry_of_comp ci =
     let members = comps_arr.(ci) in
     match members with
@@ -210,6 +262,7 @@ let correct g : correction =
                  Int.compare (Update_msg.id a) (Update_msg.id b))
         in
         merged_updates := !merged_updates + List.length msgs;
+        merged_members := List.map Update_msg.id msgs :: !merged_members;
         Umq.Batch msgs
   in
   (* Condensation adjacency + indegrees. *)
@@ -259,7 +312,12 @@ let correct g : correction =
   assert (!emitted = nc);
   (* Build the order first: [entry_of_comp] updates the merge counters. *)
   let order = List.rev_map entry_of_comp !order in
-  { order; merged_cycles = !merged_cycles; merged_updates = !merged_updates }
+  {
+    order;
+    merged_cycles = !merged_cycles;
+    merged_updates = !merged_updates;
+    merged_members = List.rev !merged_members;
+  }
 
 let pp ppf g =
   Fmt.pf ppf "@[<v>%d node(s):@,%a@,%d edge(s):@,%a@]" (size g)

@@ -40,10 +40,21 @@ val scc : t -> int list list
     algorithm, O(n + e).  Multi-node components are the maintenance
     deadlocks of Section 3.5. *)
 
+val describe_edge : t -> Dependency.edge -> string
+(** A human-readable account of why the edge exists, naming the message
+    ids involved and (for concurrent dependencies) the triggering schema
+    change — the provenance [dyno explain] replays. *)
+
+val edge_dependent_ids : t -> Dependency.edge -> int list
+(** Message ids of the edge's dependent entry — where the provenance is
+    recorded in the lineage. *)
+
 type correction = {
   order : Umq.entry list;  (** the legal order to install in the UMQ *)
   merged_cycles : int;  (** number of cycles collapsed into batches *)
   merged_updates : int;  (** messages involved in those cycles *)
+  merged_members : int list list;
+      (** message ids of each collapsed cycle, one list per new batch *)
 }
 
 val correct : t -> correction

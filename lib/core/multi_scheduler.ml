@@ -81,7 +81,22 @@ let detect_and_correct ~(force : bool) (w : Query_engine.t) (t : t)
     Dyno_obs.Span.with_span sp ~now Dyno_obs.Span.Correct "correct"
       (fun _ ->
         let tc = now () in
+        let lin = Dyno_obs.Obs.lineage obs in
+        List.iter
+          (fun e ->
+            Dyno_obs.Lineage.edge lin
+              ~dep_ids:(Dep_graph.edge_dependent_ids g e)
+              ~time:tc ~detail:(Dep_graph.describe_edge g e))
+          (Dep_graph.unsafe g);
         let r = Correct.apply umq g in
+        List.iter
+          (fun ids ->
+            Dyno_obs.Lineage.merged lin ~ids ~time:tc
+              ~detail:
+                (Fmt.str
+                   "dependency cycle merged: %d update(s) now one batch"
+                   (List.length ids)))
+          r.Correct.merged_members;
         Query_engine.advance w
           (Cost_model.correct cost ~nodes:r.Correct.nodes
              ~edges:r.Correct.edges);
@@ -199,6 +214,9 @@ let parallel_views ?(local_for = fun _ -> None) ~compensate
           ~thread:(Fmt.str "view-%d" i) Dyno_obs.Span.Task
           (Fmt.str "maintain #%d" (Update_msg.id m))
           (fun _ ->
+            Dyno_obs.Lineage.set_scope
+              (Dyno_obs.Obs.lineage obs)
+              [ Update_msg.id m ];
             let ts = Query_engine.now w in
             results.(i) <-
               Some
@@ -253,6 +271,7 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
   let trace = Query_engine.trace w in
   let obs = Query_engine.obs w in
   let sp = Dyno_obs.Obs.spans obs in
+  let lin = Dyno_obs.Obs.lineage obs in
   let now () = Query_engine.now w in
   (* One auxiliary-view store per view: each view has its own join
      partners and coverage, so the stores are independent even though
@@ -324,6 +343,14 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
         Dyno_obs.Span.set_name sp mid (Fmt.str "%a" Umq.pp_entry entry);
         Umq.clear_broken_query_flag umq;
         let t0 = Query_engine.now w in
+        let eids = Umq.entry_ids entry in
+        Dyno_obs.Lineage.dispatch lin ~ids:eids ~time:t0
+          ~detail:
+            (Fmt.str "dispatched at queue head (%d view(s))"
+               (List.length t.views))
+          ();
+        (* Serial view-by-view probes charge the head entry's updates. *)
+        Dyno_obs.Lineage.set_scope lin eids;
         let rec maintain_views = function
           | [] -> Ok ()
           | v :: rest -> (
@@ -376,11 +403,14 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
               (fun (_, f) ->
                 Freshness.note_entry f ~now:(Query_engine.now w) msgs)
               trackers;
-            let ids = Umq.entry_ids entry in
+            Dyno_obs.Lineage.finish lin ~ids:eids ~time:(Query_engine.now w)
+              ~state:Dyno_obs.Lineage.Applied
+              ~detail:
+                (Fmt.str "integrated by all %d view(s)" (List.length t.views));
             List.iter
               (fun v ->
                 v.applied <-
-                  List.filter (fun id -> not (List.mem id ids)) v.applied)
+                  List.filter (fun id -> not (List.mem id eids)) v.applied)
               t.views;
             Umq.remove_head umq
         | Error (Query_engine.Unreachable u) ->
@@ -403,7 +433,9 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
                   Query_engine.await_recovery w
                     ~source:u.Dyno_net.Retry.source)
             in
-            stats.Stats.busy <- stats.Stats.busy +. waited
+            stats.Stats.busy <- stats.Stats.busy +. waited;
+            Dyno_obs.Lineage.stall lin ~ids:eids ~time:(Query_engine.now w)
+              ~detail:(Fmt.str "%a" Dyno_net.Retry.pp_unreachable u)
         | Error (Query_engine.Broken b) ->
             let dt = Query_engine.now w -. t0 in
             stats.Stats.busy <- stats.Stats.busy +. dt;
@@ -415,6 +447,8 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
             Trace.recordf trace ~time:(Query_engine.now w) Trace.Abort
               "multi-view maintenance aborted: %a"
               Dyno_source.Data_source.pp_broken b;
+            Dyno_obs.Lineage.abort lin ~ids:eids ~time:(Query_engine.now w)
+              ~detail:(Scheduler.abort_provenance umq b);
             (match config.strategy with
             | Strategy.Pessimistic ->
                 if not (Umq.peek_schema_change_flag umq) then
@@ -424,7 +458,8 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
                 let r = Correct.merge_all umq in
                 if r.Correct.reordered then begin
                   stats.Stats.corrections <- stats.Stats.corrections + 1;
-                  stats.Stats.merges <- stats.Stats.merges + 1
+                  stats.Stats.merges <- stats.Stats.merges + 1;
+                  Scheduler.note_merge_all lin ~time:(Query_engine.now w) r
                 end))
   in
   let rec loop () =

@@ -94,7 +94,25 @@ let detect_and_correct ~(force : bool) (w : Query_engine.t) (mv : Mat_view.t)
       Dyno_obs.Span.with_span sp ~now Dyno_obs.Span.Correct "correct"
         (fun cid ->
           let tc = now () in
+          let lin = Dyno_obs.Obs.lineage obs in
+          (* Forensic provenance: every unsafe edge (the ones forcing the
+             reorder) lands on the dependent updates' lineage records
+             before the correction rewrites the queue. *)
+          List.iter
+            (fun e ->
+              Dyno_obs.Lineage.edge lin
+                ~dep_ids:(Dep_graph.edge_dependent_ids g e)
+                ~time:tc ~detail:(Dep_graph.describe_edge g e))
+            (Dep_graph.unsafe g);
           let r = Correct.apply umq g in
+          List.iter
+            (fun ids ->
+              Dyno_obs.Lineage.merged lin ~ids ~time:tc
+                ~detail:
+                  (Fmt.str
+                     "dependency cycle merged: %d update(s) now one batch"
+                     (List.length ids)))
+            r.Correct.merged_members;
           Query_engine.advance w
             (Cost_model.correct cost ~nodes:r.Correct.nodes
                ~edges:r.Correct.edges);
@@ -122,6 +140,14 @@ let maintain_entry ?local ~(compensate : bool) ~(vm_mode : vm_mode)
     (entry : Umq.entry) : step_outcome =
   let trace = Query_engine.trace w in
   let vd = Mat_view.def mv in
+  let lin = Dyno_obs.Obs.lineage (Query_engine.obs w) in
+  let ids = Umq.entry_ids entry in
+  let finish state detail =
+    Dyno_obs.Lineage.finish lin ~ids ~time:(Query_engine.now w) ~state ~detail
+  in
+  (* Probe round-trips issued by this maintenance step are charged to
+     this entry's updates via the ambient scope. *)
+  Dyno_obs.Lineage.set_scope lin ids;
   Trace.recordf trace ~time:(Query_engine.now w) Trace.Maint_start "%a"
     Umq.pp_entry entry;
   if not (View_def.is_valid vd) then begin
@@ -130,6 +156,8 @@ let maintain_entry ?local ~(compensate : bool) ~(vm_mode : vm_mode)
       "view undefined; dropping %a" Umq.pp_entry entry;
     stats.Stats.irrelevant <-
       stats.Stats.irrelevant + List.length (Umq.entry_messages entry);
+    finish Dyno_obs.Lineage.Dropped_undefined
+      "view undefined; update acknowledged and dropped";
     Done
   end
   else
@@ -146,6 +174,7 @@ let maintain_entry ?local ~(compensate : bool) ~(vm_mode : vm_mode)
             | Ok () ->
                 stats.Stats.du_maintained <- stats.Stats.du_maintained + 1;
                 stats.Stats.view_commits <- stats.Stats.view_commits + 1;
+                finish Dyno_obs.Lineage.Applied "view re-materialized";
                 Done
             | Error (Query_engine.Broken b) -> AbortedStep b
             | Error (Query_engine.Unreachable u) -> UnreachableStep u)
@@ -161,9 +190,13 @@ let maintain_entry ?local ~(compensate : bool) ~(vm_mode : vm_mode)
                 stats.Stats.bytes_saved <-
                   stats.Stats.bytes_saved + s.Dyno_vm.Sweep.bytes_saved;
                 stats.Stats.view_commits <- stats.Stats.view_commits + 1;
+                finish Dyno_obs.Lineage.Applied
+                  (Fmt.str "view refreshed (%d probe(s), %d compensation(s))"
+                     s.Dyno_vm.Sweep.probes s.Dyno_vm.Sweep.compensations);
                 Done
             | Dyno_vm.Vm.Irrelevant ->
                 stats.Stats.irrelevant <- stats.Stats.irrelevant + 1;
+                finish Dyno_obs.Lineage.Irrelevant "no pivot row in the view";
                 Done
             | Dyno_vm.Vm.Aborted b -> AbortedStep b
             | Dyno_vm.Vm.Unreachable u -> UnreachableStep u)
@@ -172,11 +205,14 @@ let maintain_entry ?local ~(compensate : bool) ~(vm_mode : vm_mode)
             | Dyno_va.Batch.Adapted ->
                 stats.Stats.sc_maintained <- stats.Stats.sc_maintained + 1;
                 stats.Stats.view_commits <- stats.Stats.view_commits + 1;
+                finish Dyno_obs.Lineage.Applied "view adapted (VS + VA)";
                 Done
             | Dyno_va.Batch.Aborted b -> AbortedStep b
             | Dyno_va.Batch.Unreachable u -> UnreachableStep u
             | Dyno_va.Batch.View_undefined _ ->
                 stats.Stats.view_undefined <- true;
+                finish Dyno_obs.Lineage.Applied
+                  "schema change left the view undefined";
                 Done))
     | Umq.Batch msgs -> (
         match Dyno_va.Batch.maintain w mv mk msgs with
@@ -185,11 +221,15 @@ let maintain_entry ?local ~(compensate : bool) ~(vm_mode : vm_mode)
             stats.Stats.batch_updates <-
               stats.Stats.batch_updates + List.length msgs;
             stats.Stats.view_commits <- stats.Stats.view_commits + 1;
+            finish Dyno_obs.Lineage.Applied
+              (Fmt.str "batch of %d adapted atomically" (List.length msgs));
             Done
         | Dyno_va.Batch.Aborted b -> AbortedStep b
         | Dyno_va.Batch.Unreachable u -> UnreachableStep u
         | Dyno_va.Batch.View_undefined _ ->
             stats.Stats.view_undefined <- true;
+            finish Dyno_obs.Lineage.Applied
+              "schema change left the view undefined";
             Done)
 
 (* A maintenance step stalled on an unreachable source: charge the sunk
@@ -218,6 +258,40 @@ let stall_and_wait (w : Query_engine.t) (stats : Stats.t) ~(t0 : float)
   in
   stats.Stats.busy <- stats.Stats.busy +. waited
 
+(* Name the schema change behind a broken query: in-exec detection only
+   diagnoses the query, so the lineage narrative looks up the queued SC
+   from the broken source — the conflict the correction will resolve. *)
+let abort_provenance (umq : Umq.t) (b : Dyno_source.Data_source.broken) :
+    string =
+  let sc =
+    List.find_opt
+      (fun m ->
+        Update_msg.is_sc m
+        && String.equal (Update_msg.source m) b.Dyno_source.Data_source.source)
+      (Umq.messages umq)
+  in
+  match sc with
+  | Some m ->
+      Fmt.str "broken query %s (%s); aborting SC #%d at %s"
+        b.Dyno_source.Data_source.query_name b.Dyno_source.Data_source.reason
+        (Update_msg.id m) b.Dyno_source.Data_source.source
+  | None ->
+      Fmt.str "broken query %s at %s: %s"
+        b.Dyno_source.Data_source.query_name b.Dyno_source.Data_source.source
+        b.Dyno_source.Data_source.reason
+
+(* Merge-all provenance: the strawman collapse is a causal rebirth too —
+   members gain a parent link to the batch's oldest update. *)
+let note_merge_all (lin : Dyno_obs.Lineage.t) ~(time : float)
+    (r : Correct.report) : unit =
+  List.iter
+    (fun ids ->
+      Dyno_obs.Lineage.merged lin ~ids ~time
+        ~detail:
+          (Fmt.str "merge-all: %d update(s) collapsed into one batch"
+             (List.length ids)))
+    r.Correct.merged_members
+
 (* One concurrent maintenance round over an antichain of single data
    updates from distinct sources (no queued schema change ahead of them).
    The sweeps — probe round trips included — run as cooperative executor
@@ -233,6 +307,7 @@ let parallel_round ?local ~(config : config) ~(fresh : Freshness.t)
   let obs = Query_engine.obs w in
   let sp = Dyno_obs.Obs.spans obs
   and mx = Dyno_obs.Obs.metrics obs in
+  let lin = Dyno_obs.Obs.lineage obs in
   let umq = Query_engine.umq w in
   let exec = Query_engine.executor w in
   let k = List.length members in
@@ -245,6 +320,14 @@ let parallel_round ?local ~(config : config) ~(fresh : Freshness.t)
     (fun (m, _) ->
       Trace.recordf trace ~time:t0 Trace.Maint_start "%a" Umq.pp_entry
         (Umq.Single m))
+    members;
+  List.iteri
+    (fun i (m, _) ->
+      Dyno_obs.Lineage.dispatch lin
+        ~ids:[ Update_msg.id m ]
+        ~time:t0
+        ~detail:(Fmt.str "dispatched into parallel round of %d (slot %d)" k i)
+        ())
     members;
   let results = Array.make k None in
   let spent = Array.make k 0.0 in
@@ -264,6 +347,9 @@ let parallel_round ?local ~(config : config) ~(fresh : Freshness.t)
             ~thread:(Update_msg.source m) Dyno_obs.Span.Task
             (Fmt.str "maintain #%d" (Update_msg.id m))
             (fun _ ->
+              (* Scope this task's context to its update so probe
+                 round-trips land on the right lineage record. *)
+              Dyno_obs.Lineage.set_scope lin [ Update_msg.id m ];
               let ts = Query_engine.now w in
               results.(i) <-
                 Some
@@ -276,7 +362,14 @@ let parallel_round ?local ~(config : config) ~(fresh : Freshness.t)
   let failure = ref None in
   List.iteri
     (fun i (m, _) ->
-      if !failure = None then
+      if !failure <> None then
+        (* Later members' sweeps are discarded: the wasted work shows up
+           as [Queue] time on re-dispatch, keeping segment sums exact. *)
+        Dyno_obs.Lineage.note lin
+          ~ids:[ Update_msg.id m ]
+          ~time:(Query_engine.now w) ~kind:"requeued"
+          ~detail:"earlier round member failed; sweep discarded, requeued"
+      else
         match results.(i) with
         | Some (Dyno_vm.Vm.Swept (dv, s)) -> (
             match Dyno_vm.Vm.commit_swept w mv m dv s with
@@ -292,6 +385,14 @@ let parallel_round ?local ~(config : config) ~(fresh : Freshness.t)
                   stats.Stats.bytes_saved + s.Dyno_vm.Sweep.bytes_saved;
                 stats.Stats.view_commits <- stats.Stats.view_commits + 1;
                 Freshness.note_entry fresh ~now:(Query_engine.now w) [ m ];
+                Dyno_obs.Lineage.finish lin
+                  ~ids:[ Update_msg.id m ]
+                  ~time:(Query_engine.now w) ~state:Dyno_obs.Lineage.Applied
+                  ~detail:
+                    (Fmt.str
+                       "view refreshed in parallel round (%d probe(s), %d \
+                        compensation(s))"
+                       s.Dyno_vm.Sweep.probes s.Dyno_vm.Sweep.compensations);
                 Umq.remove_entry umq (Umq.Single m)
             | _ -> assert false)
         | Some Dyno_vm.Vm.Swept_irrelevant ->
@@ -299,10 +400,14 @@ let parallel_round ?local ~(config : config) ~(fresh : Freshness.t)
               ~maintained:[ Update_msg.id m ];
             stats.Stats.irrelevant <- stats.Stats.irrelevant + 1;
             Freshness.note_entry fresh ~now:(Query_engine.now w) [ m ];
+            Dyno_obs.Lineage.finish lin
+              ~ids:[ Update_msg.id m ]
+              ~time:(Query_engine.now w) ~state:Dyno_obs.Lineage.Irrelevant
+              ~detail:"no pivot row in the view";
             Umq.remove_entry umq (Umq.Single m)
-        | Some (Dyno_vm.Vm.Swept_aborted b) -> failure := Some (`Aborted b)
+        | Some (Dyno_vm.Vm.Swept_aborted b) -> failure := Some (`Aborted (b, m))
         | Some (Dyno_vm.Vm.Swept_unreachable u) ->
-            failure := Some (`Unreachable u)
+            failure := Some (`Unreachable (u, m))
         | None -> assert false)
     members;
   let elapsed = Query_engine.now w -. t0 in
@@ -316,10 +421,14 @@ let parallel_round ?local ~(config : config) ~(fresh : Freshness.t)
   | None ->
       Dyno_obs.Span.set_attr sp mid "outcome" "done";
       stats.Stats.busy <- stats.Stats.busy +. elapsed
-  | Some (`Unreachable u) ->
+  | Some (`Unreachable (u, m)) ->
       Dyno_obs.Span.set_attr sp mid "outcome" "stalled";
-      stall_and_wait w stats ~t0 u
-  | Some (`Aborted b) ->
+      stall_and_wait w stats ~t0 u;
+      Dyno_obs.Lineage.stall lin
+        ~ids:[ Update_msg.id m ]
+        ~time:(Query_engine.now w)
+        ~detail:(Fmt.str "%a" Dyno_net.Retry.pp_unreachable u)
+  | Some (`Aborted (b, m)) ->
       let dt = Query_engine.now w -. t0 in
       stats.Stats.busy <- stats.Stats.busy +. dt;
       stats.Stats.abort_cost <- stats.Stats.abort_cost +. dt;
@@ -330,6 +439,10 @@ let parallel_round ?local ~(config : config) ~(fresh : Freshness.t)
       Trace.recordf trace ~time:(Query_engine.now w) Trace.Abort
         "parallel round aborted after %.3f s: %a" dt
         Dyno_source.Data_source.pp_broken b;
+      Dyno_obs.Lineage.abort lin
+        ~ids:[ Update_msg.id m ]
+        ~time:(Query_engine.now w)
+        ~detail:(abort_provenance umq b);
       (match config.strategy with
       | Strategy.Pessimistic ->
           if not (Umq.peek_schema_change_flag umq) then
@@ -339,7 +452,8 @@ let parallel_round ?local ~(config : config) ~(fresh : Freshness.t)
           let r = Correct.merge_all umq in
           if r.Correct.reordered then begin
             stats.Stats.corrections <- stats.Stats.corrections + 1;
-            stats.Stats.merges <- stats.Stats.merges + 1
+            stats.Stats.merges <- stats.Stats.merges + 1;
+            note_merge_all lin ~time:(Query_engine.now w) r
           end)
 
 (* The frontier of concurrently-maintainable entries: single data updates
@@ -482,6 +596,7 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
   let trace = Query_engine.trace w in
   let obs = Query_engine.obs w in
   let sp = Dyno_obs.Obs.spans obs in
+  let lin = Dyno_obs.Obs.lineage obs in
   let now () = Query_engine.now w in
   let store =
     if config.self_maint then begin
@@ -560,14 +675,21 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
       in
       Umq.clear_broken_query_flag umq;
       let t0 = Query_engine.now w in
+      let gids = List.map Update_msg.id msgs in
+      Dyno_obs.Lineage.dispatch lin ~ids:gids ~time:t0
+        ~detail:(Fmt.str "dispatched in a grouped sweep of %d" group_size)
+        ();
+      Dyno_obs.Lineage.set_scope lin gids;
       match
         Dyno_vm.Vm.maintain_group ~compensate:config.compensate ?local w mv
           msgs
       with
       | Dyno_vm.Vm.Unreachable u ->
           Dyno_obs.Span.set_attr sp mid "outcome" "stalled";
-          stall_and_wait w stats ~t0 u
-      | Dyno_vm.Vm.Refreshed _ | Dyno_vm.Vm.Irrelevant ->
+          stall_and_wait w stats ~t0 u;
+          Dyno_obs.Lineage.stall lin ~ids:gids ~time:(Query_engine.now w)
+            ~detail:(Fmt.str "%a" Dyno_net.Retry.pp_unreachable u)
+      | (Dyno_vm.Vm.Refreshed _ | Dyno_vm.Vm.Irrelevant) as res ->
           Dyno_obs.Span.set_attr sp mid "outcome" "done";
           stats.Stats.busy <- stats.Stats.busy +. (Query_engine.now w -. t0);
           stats.Stats.batches <- stats.Stats.batches + 1;
@@ -575,6 +697,18 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
             stats.Stats.batch_updates + List.length msgs;
           stats.Stats.view_commits <- stats.Stats.view_commits + 1;
           Freshness.note_entry fresh ~now:(Query_engine.now w) msgs;
+          (let state, detail =
+             match res with
+             | Dyno_vm.Vm.Irrelevant ->
+                 ( Dyno_obs.Lineage.Irrelevant,
+                   "grouped sweep: no pivot rows in the view" )
+             | _ ->
+                 ( Dyno_obs.Lineage.Applied,
+                   Fmt.str "grouped sweep of %d applied atomically" group_size
+                 )
+           in
+           Dyno_obs.Lineage.finish lin ~ids:gids ~time:(Query_engine.now w)
+             ~state ~detail);
           for _ = 1 to group_size do
             Umq.remove_head umq
           done
@@ -589,6 +723,8 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
           Trace.recordf trace ~time:(Query_engine.now w) Trace.Abort
             "grouped maintenance aborted after %.3f s: %a" dt
             Dyno_source.Data_source.pp_broken b;
+          Dyno_obs.Lineage.abort lin ~ids:gids ~time:(Query_engine.now w)
+            ~detail:(abort_provenance umq b);
           (match config.strategy with
           | Strategy.Pessimistic ->
               if not (Umq.peek_schema_change_flag umq) then
@@ -616,6 +752,8 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
         Dyno_obs.Span.set_name sp mid (Fmt.str "%a" Umq.pp_entry entry);
         Umq.clear_broken_query_flag umq;
         let t0 = Query_engine.now w in
+        Dyno_obs.Lineage.dispatch lin ~ids:(Umq.entry_ids entry) ~time:t0
+          ~detail:"dispatched at queue head" ();
         match
           maintain_entry ?local ~compensate:config.compensate
             ~vm_mode:config.vm_mode w mv mk stats entry
@@ -628,7 +766,10 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
             Umq.remove_head umq
         | UnreachableStep u ->
             Dyno_obs.Span.set_attr sp mid "outcome" "stalled";
-            stall_and_wait w stats ~t0 u
+            stall_and_wait w stats ~t0 u;
+            Dyno_obs.Lineage.stall lin ~ids:(Umq.entry_ids entry)
+              ~time:(Query_engine.now w)
+              ~detail:(Fmt.str "%a" Dyno_net.Retry.pp_unreachable u)
         | AbortedStep b ->
             let dt = Query_engine.now w -. t0 in
             stats.Stats.busy <- stats.Stats.busy +. dt;
@@ -640,6 +781,8 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
             Trace.recordf trace ~time:(Query_engine.now w) Trace.Abort
               "maintenance aborted after %.3f s: %a" dt
               Dyno_source.Data_source.pp_broken b;
+            Dyno_obs.Lineage.abort lin ~ids:(Umq.entry_ids entry)
+              ~time:(Query_engine.now w) ~detail:(abort_provenance umq b);
             (match config.strategy with
             | Strategy.Pessimistic ->
                 (* The SC that broke us set the schema-change flag when it
@@ -660,7 +803,8 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
                   stats.Stats.corrections <- stats.Stats.corrections + 1;
                   stats.Stats.merges <- stats.Stats.merges + 1;
                   Trace.recordf trace ~time:(Query_engine.now w) Trace.Merge
-                    "merge-all: %d update(s) collapsed" r.Correct.merged_updates
+                    "merge-all: %d update(s) collapsed" r.Correct.merged_updates;
+                  note_merge_all lin ~time:(Query_engine.now w) r
                 end;
                 stats.Stats.busy <-
                   stats.Stats.busy +. (Query_engine.now w -. t1))))

@@ -78,6 +78,16 @@ val sync_aux : Query_engine.t -> Dyno_selfmaint.Aux_store.t -> Mat_view.t -> uni
     source remains queued on any route (cheap no-op unless something is
     invalid).  Call once per scheduler iteration, after delivery. *)
 
+val abort_provenance : Umq.t -> Dyno_source.Data_source.broken -> string
+(** Lineage narrative for an abort: the broken-query diagnosis plus the
+    queued schema change from the broken source (the conflicting SC the
+    correction will resolve), when one is still queued. *)
+
+val note_merge_all :
+  Dyno_obs.Lineage.t -> time:float -> Correct.report -> unit
+(** Record merge-all collapse provenance (parent links to the batch's
+    oldest member) on the lineage ring. *)
+
 val stall_and_wait :
   Query_engine.t -> Stats.t -> t0:float -> Dyno_net.Retry.unreachable -> unit
 (** A maintenance step stalled on an unreachable source: charge the sunk

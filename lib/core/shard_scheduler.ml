@@ -37,7 +37,15 @@ let run ?(config = Run_config.default) ~plan (w : Query_engine.t)
     let obs = Query_engine.obs w in
     let sp = Dyno_obs.Obs.spans obs
     and mx = Dyno_obs.Obs.metrics obs in
+    let lin = Dyno_obs.Obs.lineage obs in
     let now () = Query_engine.now w in
+    (* Abort provenance looks for the conflicting SC in the broken
+       source's owning shard queue. *)
+    let provenance (b : Dyno_source.Data_source.broken) =
+      Scheduler.abort_provenance
+        umqs.(Shard.owner plan b.Dyno_source.Data_source.source)
+        b
+    in
     let fresh =
       Freshness.create ~metrics:mx ~mv
         ~registry:(Query_engine.registry w)
@@ -122,6 +130,9 @@ let run ?(config = Run_config.default) ~plan (w : Query_engine.t)
           Dyno_obs.Span.set_name sp mid (Fmt.str "%a" Umq.pp_entry entry);
           clear_broken ();
           let t0 = now () in
+          Dyno_obs.Lineage.dispatch lin ~ids:(Umq.entry_ids entry) ~time:t0
+            ~detail:(Fmt.str "dispatched at shard %d queue head" qi)
+            ();
           match
             Scheduler.maintain_entry ?local:(local_of_shard qi)
               ~compensate:config.Run_config.compensate
@@ -135,10 +146,15 @@ let run ?(config = Run_config.default) ~plan (w : Query_engine.t)
               Umq.remove_head umqs.(qi)
           | Scheduler.UnreachableStep u ->
               Dyno_obs.Span.set_attr sp mid "outcome" "stalled";
-              Scheduler.stall_and_wait w stats ~t0 u
+              Scheduler.stall_and_wait w stats ~t0 u;
+              Dyno_obs.Lineage.stall lin ~ids:(Umq.entry_ids entry)
+                ~time:(now ())
+                ~detail:(Fmt.str "%a" Dyno_net.Retry.pp_unreachable u)
           | Scheduler.AbortedStep b ->
               Dyno_obs.Span.set_attr sp mid "outcome" "aborted";
               charge_abort b ~t0 ~what:"shard maintenance";
+              Dyno_obs.Lineage.abort lin ~ids:(Umq.entry_ids entry)
+                ~time:(now ()) ~detail:(provenance b);
               force_barrier := true)
     in
     (* One shard-parallel round: every shard contributes up to
@@ -183,6 +199,16 @@ let run ?(config = Run_config.default) ~plan (w : Query_engine.t)
               Trace.recordf trace ~time:t0 Trace.Maint_start "%a" Umq.pp_entry
                 (Umq.Single m))
             members;
+          List.iter
+            (fun (m, _) ->
+              Dyno_obs.Lineage.dispatch lin
+                ~ids:[ Update_msg.id m ]
+                ~time:t0
+                ~detail:
+                  (Fmt.str "dispatched into shard round of %d (shard %d)" k
+                     (Shard.owner plan (Update_msg.source m)))
+                ())
+            members;
           let results = Array.make k None in
           let spent = Array.make k 0.0 in
           let thunks =
@@ -200,6 +226,7 @@ let run ?(config = Run_config.default) ~plan (w : Query_engine.t)
                     ~thread:(Update_msg.source m) Dyno_obs.Span.Task
                     (Fmt.str "maintain #%d" (Update_msg.id m))
                     (fun _ ->
+                      Dyno_obs.Lineage.set_scope lin [ Update_msg.id m ];
                       let ts = now () in
                       results.(i) <-
                         Some
@@ -222,7 +249,13 @@ let run ?(config = Run_config.default) ~plan (w : Query_engine.t)
           let failure = ref None in
           List.iteri
             (fun i (m, _) ->
-              if !failure = None then
+              if !failure <> None then
+                Dyno_obs.Lineage.note lin
+                  ~ids:[ Update_msg.id m ]
+                  ~time:(now ()) ~kind:"requeued"
+                  ~detail:
+                    "earlier round member failed; sweep discarded, requeued"
+              else
                 match results.(i) with
                 | Some (Dyno_vm.Vm.Swept (dv, s)) -> (
                     match Dyno_vm.Vm.commit_swept w mv m dv s with
@@ -242,6 +275,15 @@ let run ?(config = Run_config.default) ~plan (w : Query_engine.t)
                         stats.Stats.view_commits <-
                           stats.Stats.view_commits + 1;
                         Freshness.note_entry fresh ~now:(now ()) [ m ];
+                        Dyno_obs.Lineage.finish lin
+                          ~ids:[ Update_msg.id m ]
+                          ~time:(now ()) ~state:Dyno_obs.Lineage.Applied
+                          ~detail:
+                            (Fmt.str
+                               "view refreshed in shard round (%d probe(s), \
+                                %d compensation(s))"
+                               s.Dyno_vm.Sweep.probes
+                               s.Dyno_vm.Sweep.compensations);
                         Umq.remove_entry (owning_umq m) (Umq.Single m)
                     | _ -> assert false)
                 | Some Dyno_vm.Vm.Swept_irrelevant ->
@@ -249,11 +291,15 @@ let run ?(config = Run_config.default) ~plan (w : Query_engine.t)
                       ~maintained:[ Update_msg.id m ];
                     stats.Stats.irrelevant <- stats.Stats.irrelevant + 1;
                     Freshness.note_entry fresh ~now:(now ()) [ m ];
+                    Dyno_obs.Lineage.finish lin
+                      ~ids:[ Update_msg.id m ]
+                      ~time:(now ()) ~state:Dyno_obs.Lineage.Irrelevant
+                      ~detail:"no pivot row in the view";
                     Umq.remove_entry (owning_umq m) (Umq.Single m)
                 | Some (Dyno_vm.Vm.Swept_aborted b) ->
-                    failure := Some (`Aborted b)
+                    failure := Some (`Aborted (b, m))
                 | Some (Dyno_vm.Vm.Swept_unreachable u) ->
-                    failure := Some (`Unreachable u)
+                    failure := Some (`Unreachable (u, m))
                 | None -> assert false)
             members;
           let elapsed = now () -. t0 in
@@ -264,12 +310,19 @@ let run ?(config = Run_config.default) ~plan (w : Query_engine.t)
           | None ->
               Dyno_obs.Span.set_attr sp mid "outcome" "done";
               stats.Stats.busy <- stats.Stats.busy +. elapsed
-          | Some (`Unreachable u) ->
+          | Some (`Unreachable (u, m)) ->
               Dyno_obs.Span.set_attr sp mid "outcome" "stalled";
-              Scheduler.stall_and_wait w stats ~t0 u
-          | Some (`Aborted b) ->
+              Scheduler.stall_and_wait w stats ~t0 u;
+              Dyno_obs.Lineage.stall lin
+                ~ids:[ Update_msg.id m ]
+                ~time:(now ())
+                ~detail:(Fmt.str "%a" Dyno_net.Retry.pp_unreachable u)
+          | Some (`Aborted (b, m)) ->
               Dyno_obs.Span.set_attr sp mid "outcome" "aborted";
               charge_abort b ~t0 ~what:"sharded round";
+              Dyno_obs.Lineage.abort lin
+                ~ids:[ Update_msg.id m ]
+                ~time:(now ()) ~detail:(provenance b);
               force_barrier := true)
     in
     (* Cross-shard barrier: every shard pauses; the union of the queues
@@ -311,15 +364,40 @@ let run ?(config = Run_config.default) ~plan (w : Query_engine.t)
                 (* The strawman collapses everything it can see — here,
                    the whole cross-shard snapshot — into one batch. *)
                 let msgs = List.concat_map Umq.entry_messages snapshot in
-                if List.length msgs > 1 then
+                if List.length msgs > 1 then begin
+                  Dyno_obs.Lineage.merged lin
+                    ~ids:(List.map Update_msg.id msgs)
+                    ~time:(now ())
+                    ~detail:
+                      (Fmt.str
+                         "merge-all at cross-shard barrier: %d update(s) \
+                          collapsed into one batch"
+                         (List.length msgs));
                   ([ Umq.Batch msgs ], 1, List.length msgs, true)
+                end
                 else (snapshot, 0, 0, false)
             | Strategy.Pessimistic | Strategy.Optimistic ->
                 let g =
                   Dep_graph.build (View_def.peek vd) (View_def.schemas vd)
                     snapshot
                 in
+                List.iter
+                  (fun e ->
+                    Dyno_obs.Lineage.edge lin
+                      ~dep_ids:(Dep_graph.edge_dependent_ids g e)
+                      ~time:(now ())
+                      ~detail:(Dep_graph.describe_edge g e))
+                  (Dep_graph.unsafe g);
                 let r = Dep_graph.correct g in
+                List.iter
+                  (fun ids ->
+                    Dyno_obs.Lineage.merged lin ~ids ~time:(now ())
+                      ~detail:
+                        (Fmt.str
+                           "dependency cycle merged at cross-shard barrier: \
+                            %d update(s) now one batch"
+                           (List.length ids)))
+                  r.Dep_graph.merged_members;
                 Query_engine.advance w
                   (Cost_model.correct cost ~nodes:(Dep_graph.size g)
                      ~edges:(List.length (Dep_graph.edges g)));
@@ -356,6 +434,9 @@ let run ?(config = Run_config.default) ~plan (w : Query_engine.t)
                 tick ();
                 clear_broken ();
                 let t0 = now () in
+                Dyno_obs.Lineage.dispatch lin ~ids:(Umq.entry_ids entry)
+                  ~time:t0 ~seg:Dyno_obs.Lineage.Barrier
+                  ~detail:"dispatched from cross-shard barrier drain" ();
                 match
                   Scheduler.maintain_entry
                     ?local:(local_of_source (entry_source entry))
@@ -370,9 +451,14 @@ let run ?(config = Run_config.default) ~plan (w : Query_engine.t)
                     process rest
                 | Scheduler.UnreachableStep u ->
                     Scheduler.stall_and_wait w stats ~t0 u;
+                    Dyno_obs.Lineage.stall lin ~ids:(Umq.entry_ids entry)
+                      ~time:(now ())
+                      ~detail:(Fmt.str "%a" Dyno_net.Retry.pp_unreachable u);
                     process (entry :: rest)
                 | Scheduler.AbortedStep b ->
                     charge_abort b ~t0 ~what:"barrier maintenance";
+                    Dyno_obs.Lineage.abort lin ~ids:(Umq.entry_ids entry)
+                      ~time:(now ()) ~detail:(provenance b);
                     restart := true)
           in
           process prefix;

@@ -29,8 +29,12 @@ let attrs_json attrs =
              attrs)
       ^ "}"
 
-(** [chrome_trace r] — the complete trace as one JSON document. *)
-let chrome_trace (r : Span.recorder) : string =
+(** [chrome_trace ?lineage r] — the complete trace as one JSON document.
+    With [lineage], each admitted update additionally contributes a
+    Perfetto {e flow} — a start ("s") at commit, a step ("t") per
+    dispatch and a finish ("f") at its terminal event — rendered as a
+    clickable arrow chain following the update across threads. *)
+let chrome_trace ?(lineage = Lineage.disabled) (r : Span.recorder) : string =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
   let sep = ref "" in
@@ -71,6 +75,31 @@ let chrome_trace (r : Span.recorder) : string =
             \"tid\": %d, \"s\": \"t\", \"args\": {\"detail\": %s}}"
            (Json.quote e.ename) (us e.time) e.etid (Json.quote e.detail)))
     (Span.events r);
+  if Lineage.enabled lineage then
+    List.iter
+      (fun (lr : Lineage.record) ->
+        if lr.Lineage.msg_id >= 0 then begin
+          let name = Json.quote (Fmt.str "msg %d" lr.Lineage.msg_id) in
+          let flow ph ?(bp = "") ts =
+            add
+              (Fmt.str
+                 "{\"name\": %s, \"cat\": \"lineage\", \"ph\": \"%s\", \
+                  \"id\": %d, \"ts\": %.3f, \"pid\": 1, \"tid\": 0%s}"
+                 name ph lr.Lineage.msg_id (us ts) bp)
+          in
+          flow "s" lr.Lineage.commit_at;
+          List.iter
+            (fun (e : Lineage.event) ->
+              if e.Lineage.kind = "dispatch" then flow "t" e.Lineage.at)
+            (Lineage.events lr);
+          let finish_at =
+            match lr.Lineage.term with
+            | Some _ -> lr.Lineage.term_at
+            | None -> lr.Lineage.cursor
+          in
+          flow "f" ~bp:", \"bp\": \"e\"" finish_at
+        end)
+      (Lineage.records lineage);
   Buffer.add_string b "\n]}";
   Buffer.contents b
 

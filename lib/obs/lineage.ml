@@ -1,0 +1,481 @@
+(** Per-update causal lineage: one record per source update, keyed by
+    [(source, seq)] at commit time and by UMQ message id from admission
+    onward.  Every stage of an update's life — channel flight, the
+    exactly-once sequencer, UMQ queue wait, dispatch, probes,
+    compensation, refresh, abort/correction and the terminal state —
+    appends an event; events that close a stage also {e charge} the
+    elapsed time since the record's cursor to a named segment and advance
+    the cursor.  Because the cursor tiles the timeline, the segment sums
+    equal commit-to-terminal elapsed time {e by construction} (the qcheck
+    property in [test/test_obs.ml] pins the bookkeeping, not the
+    arithmetic).
+
+    A disabled recorder (the default, shared {!disabled}) is a structural
+    no-op: no clock reads, no RNG draws, no allocation beyond the call —
+    lineage-off runs are byte-identical. *)
+
+type segment =
+  | Channel  (** commit → packet arrival at the warehouse *)
+  | Hold  (** sequencer held-for-gap wait *)
+  | Queue  (** admission → dispatch (or re-dispatch after abort) *)
+  | Barrier  (** dispatched from a cross-shard barrier drain *)
+  | Probe  (** source round-trips during maintenance *)
+  | Compute  (** maintenance work that is not a probe *)
+  | Stall  (** outage stall while dispatched *)
+  | Abort  (** work sunk into an aborted maintenance step *)
+
+let all_segments =
+  [ Channel; Hold; Queue; Barrier; Probe; Compute; Stall; Abort ]
+
+let segment_name = function
+  | Channel -> "channel"
+  | Hold -> "hold"
+  | Queue -> "queue"
+  | Barrier -> "barrier"
+  | Probe -> "probe"
+  | Compute -> "compute"
+  | Stall -> "stall"
+  | Abort -> "abort"
+
+let seg_index = function
+  | Channel -> 0
+  | Hold -> 1
+  | Queue -> 2
+  | Barrier -> 3
+  | Probe -> 4
+  | Compute -> 5
+  | Stall -> 6
+  | Abort -> 7
+
+let n_segments = 8
+
+type terminal =
+  | Applied  (** integrated into every registered view *)
+  | Irrelevant  (** no pivot row — dropped without view work *)
+  | Dropped_undefined  (** view became undefined; update discarded *)
+
+let terminal_name = function
+  | Applied -> "applied"
+  | Irrelevant -> "irrelevant"
+  | Dropped_undefined -> "dropped_undefined"
+
+type event = {
+  at : float;  (** simulated time of the event *)
+  kind : string;  (** "commit", "send", "arrive", "admit", ... *)
+  seg : segment option;  (** segment this event charged, if any *)
+  charged : float;  (** duration charged (0 for pure events) *)
+  detail : string;
+}
+
+type record = {
+  source : string;
+  seq : int;
+  sc : bool;
+  mutable msg_id : int;  (** -1 until the sequencer admits it *)
+  commit_at : float;
+  mutable cursor : float;
+  mutable revents : event list;  (** newest first *)
+  segs : float array;  (** per-{!segment} charged totals *)
+  mutable held : bool;  (** currently held for a sequence gap *)
+  mutable term : terminal option;
+  mutable term_at : float;
+  mutable parent : int;  (** causal parent msg id (batch rebirth), -1 *)
+}
+
+type t = {
+  on : bool;
+  metrics : Metrics.t;
+  by_key : (string * int, record) Hashtbl.t;
+  by_msg : (int, record) Hashtbl.t;
+  mutable rorder : record list;  (** commit order, newest first *)
+  scopes : (int, int list) Hashtbl.t;  (** ambient ctx → dispatched ids *)
+  mutable ctx : int;
+}
+
+let create ?(enabled = true) ?(metrics = Metrics.disabled) () =
+  {
+    on = enabled;
+    metrics;
+    by_key = Hashtbl.create (if enabled then 64 else 0);
+    by_msg = Hashtbl.create (if enabled then 64 else 0);
+    rorder = [];
+    scopes = Hashtbl.create (if enabled then 8 else 0);
+    ctx = 0;
+  }
+
+let disabled = create ~enabled:false ()
+let enabled t = t.on
+
+let clear t =
+  if t.on then begin
+    Hashtbl.reset t.by_key;
+    Hashtbl.reset t.by_msg;
+    t.rorder <- [];
+    Hashtbl.reset t.scopes;
+    t.ctx <- 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ev r ~at ~kind ?seg ?(charged = 0.0) detail =
+  r.revents <- { at; kind; seg; charged; detail } :: r.revents
+
+(* Charge [time − cursor] to [seg] and advance the cursor.  The clock is
+   monotone, so the duration is non-negative (clamped against float
+   noise).  A sealed record never accumulates again — stray charges after
+   the terminal (e.g. from a stale ambient scope) cannot break the
+   Σ segments = elapsed invariant. *)
+let charge r ~time seg =
+  if r.term <> None then 0.0
+  else begin
+    let d = Float.max 0.0 (time -. r.cursor) in
+    r.segs.(seg_index seg) <- r.segs.(seg_index seg) +. d;
+    r.cursor <- time;
+    d
+  end
+
+let find_key t ~source ~seq = Hashtbl.find_opt t.by_key (source, seq)
+let find_msg t id = if t.on then Hashtbl.find_opt t.by_msg id else None
+
+let commit t ~source ~seq ~time ~sc ~detail =
+  if t.on then begin
+    let r =
+      {
+        source;
+        seq;
+        sc;
+        msg_id = -1;
+        commit_at = time;
+        cursor = time;
+        revents = [];
+        segs = Array.make n_segments 0.0;
+        held = false;
+        term = None;
+        term_at = 0.0;
+        parent = -1;
+      }
+    in
+    Hashtbl.replace t.by_key (source, seq) r;
+    t.rorder <- r :: t.rorder;
+    ev r ~at:time ~kind:"commit" detail
+  end
+
+let sent t ~source ~seq ~time ~transmissions ~duplicated ~arrival =
+  if t.on then
+    match find_key t ~source ~seq with
+    | None -> ()
+    | Some r ->
+        let detail =
+          Fmt.str "%d transmission%s%s%s, arrival t=%.3fs" transmissions
+            (if transmissions = 1 then "" else "s")
+            (if transmissions > 1 then
+               Fmt.str " (%d lost)" (transmissions - 1)
+             else "")
+            (if duplicated then ", duplicated in flight" else "")
+            arrival
+        in
+        ev r ~at:time ~kind:"send" detail
+
+let arrive t ~source ~seq ~time =
+  if t.on then
+    match find_key t ~source ~seq with
+    | None -> ()
+    | Some r ->
+        let d = charge r ~time Channel in
+        ev r ~at:time ~kind:"arrive" ~seg:Channel ~charged:d
+          "packet at warehouse"
+
+let held t ~source ~seq ~time =
+  if t.on then
+    match find_key t ~source ~seq with
+    | None -> ()
+    | Some r ->
+        r.held <- true;
+        ev r ~at:time ~kind:"held" "sequencer holding for a gap"
+
+let dedup t ~source ~seq ~time =
+  if t.on then begin
+    Metrics.incr t.metrics "lineage.dedups";
+    match find_key t ~source ~seq with
+    | None -> ()
+    | Some r -> ev r ~at:time ~kind:"dedup" "duplicate delivery discarded"
+  end
+
+let admit t ~source ~seq ~time ~msg_id =
+  if t.on then
+    match find_key t ~source ~seq with
+    | None -> ()
+    | Some r ->
+        r.msg_id <- msg_id;
+        Hashtbl.replace t.by_msg msg_id r;
+        if r.held then begin
+          r.held <- false;
+          let d = charge r ~time Hold in
+          ev r ~at:time ~kind:"admit" ~seg:Hold ~charged:d
+            (Fmt.str "released from gap hold as msg #%d" msg_id)
+        end
+        else
+          ev r ~at:time ~kind:"admit"
+            (Fmt.str "admitted exactly-once as msg #%d" msg_id)
+
+(* Dispatch and everything after is keyed by message id.  [seg] names
+   the wait the dispatch closes: [Queue] for normal scheduling, [Barrier]
+   when drained by a cross-shard barrier. *)
+let dispatch t ~ids ~time ?(seg = Queue) ~detail () =
+  if t.on then
+    List.iter
+      (fun id ->
+        match find_msg t id with
+        | None -> ()
+        | Some r ->
+            let d = charge r ~time seg in
+            ev r ~at:time ~kind:"dispatch" ~seg ~charged:d detail)
+      ids
+
+let note t ~ids ~time ~kind ~detail =
+  if t.on then
+    List.iter
+      (fun id ->
+        match find_msg t id with
+        | None -> ()
+        | Some r -> ev r ~at:time ~kind detail)
+      ids
+
+let stall t ~ids ~time ~detail =
+  if t.on then
+    List.iter
+      (fun id ->
+        match find_msg t id with
+        | None -> ()
+        | Some r ->
+            let d = charge r ~time Stall in
+            ev r ~at:time ~kind:"stall" ~seg:Stall ~charged:d detail)
+      ids
+
+let abort t ~ids ~time ~detail =
+  if t.on then begin
+    Metrics.incr t.metrics "lineage.aborts";
+    List.iter
+      (fun id ->
+        match find_msg t id with
+        | None -> ()
+        | Some r ->
+            let d = charge r ~time Abort in
+            ev r ~at:time ~kind:"abort" ~seg:Abort ~charged:d detail)
+      ids
+  end
+
+(* Forensics: a detected dependency edge, recorded on the dependent's
+   record. *)
+let edge t ~dep_ids ~time ~detail =
+  if t.on then
+    List.iter
+      (fun id ->
+        match find_msg t id with
+        | None -> ()
+        | Some r -> ev r ~at:time ~kind:"dep-edge" detail)
+      dep_ids
+
+(* Forensics: a cycle merge (or Merge_all collapse).  Members gain a
+   parent link to the batch's smallest id — the causal "rebirth" of the
+   merged updates as one Batch entry. *)
+let merged t ~ids ~time ~detail =
+  if t.on then begin
+    Metrics.incr t.metrics "lineage.merges";
+    let parent = List.fold_left min max_int ids in
+    List.iter
+      (fun id ->
+        match find_msg t id with
+        | None -> ()
+        | Some r ->
+            if r.msg_id <> parent then r.parent <- parent;
+            ev r ~at:time ~kind:"merge" detail)
+      ids
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Ambient probe scope                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Probes fire deep inside the query engine, which knows the target but
+   not which update is paying for the round-trip.  The scheduler
+   registers the dispatched ids as the {e scope} of the current ambient
+   context (the same per-task integer the span recorder uses), and the
+   engine charges probe time to whatever scope is active. *)
+
+let set_context t ctx = if t.on then t.ctx <- ctx
+
+let set_scope t ids =
+  if t.on then
+    if ids = [] then Hashtbl.remove t.scopes t.ctx
+    else Hashtbl.replace t.scopes t.ctx ids
+
+let scope t =
+  if t.on then
+    match Hashtbl.find_opt t.scopes t.ctx with Some ids -> ids | None -> []
+  else []
+
+let note_scope t ~time ~kind ~detail =
+  if t.on then
+    List.iter
+      (fun id ->
+        match find_msg t id with
+        | None -> ()
+        | Some r -> ev r ~at:time ~kind detail)
+      (scope t)
+
+let probe_begin t ~time =
+  if t.on then
+    List.iter
+      (fun id ->
+        match find_msg t id with
+        | None -> ()
+        | Some r -> ignore (charge r ~time Compute))
+      (scope t)
+
+let probe_end t ~time ~detail =
+  if t.on then
+    List.iter
+      (fun id ->
+        match find_msg t id with
+        | None -> ()
+        | Some r ->
+            let d = charge r ~time Probe in
+            ev r ~at:time ~kind:"probe" ~seg:Probe ~charged:d detail)
+      (scope t)
+
+(* ------------------------------------------------------------------ *)
+(* Terminal                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let finish t ~ids ~time ~state ~detail =
+  if t.on then
+    List.iter
+      (fun id ->
+        match find_msg t id with
+        | None -> ()
+        | Some r ->
+            if r.term = None then begin
+              let d = charge r ~time Compute in
+              r.term <- Some state;
+              r.term_at <- time;
+              ev r ~at:time
+                ~kind:(terminal_name state)
+                ~seg:Compute ~charged:d detail;
+              Metrics.incr t.metrics
+                (Fmt.str "lineage.%s" (terminal_name state));
+              Metrics.observe t.metrics "lineage.total_s" (time -. r.commit_at);
+              Array.iteri
+                (fun i v ->
+                  if v > 0.0 then
+                    Metrics.observe t.metrics
+                      (Fmt.str "lineage.%s_s"
+                         (segment_name (List.nth all_segments i)))
+                      v)
+                r.segs
+            end)
+      ids
+
+(* ------------------------------------------------------------------ *)
+(* Readout                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let records t = List.rev t.rorder
+let events r = List.rev r.revents
+let segment_value r seg = r.segs.(seg_index seg)
+
+let segments r =
+  List.filter_map
+    (fun s ->
+      let v = segment_value r s in
+      if v > 0.0 then Some (segment_name s, v) else None)
+    all_segments
+
+let elapsed r =
+  match r.term with Some _ -> r.term_at -. r.commit_at | None -> 0.0
+
+let segment_sum r = Array.fold_left ( +. ) 0.0 r.segs
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let record_json r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Fmt.str
+       "{\"msg\": %d, \"source\": %s, \"seq\": %d, \"sc\": %b, \
+        \"commit_s\": %.9f, \"terminal\": %s, \"terminal_s\": %.9f, \
+        \"parent\": %d, \"segments\": {"
+       r.msg_id (Json.quote r.source) r.seq r.sc r.commit_at
+       (match r.term with
+       | Some s -> Json.quote (terminal_name s)
+       | None -> "null")
+       r.term_at r.parent);
+  let sep = ref "" in
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string b (Fmt.str "%s%s: %.9f" !sep (Json.quote name) v);
+      sep := ", ")
+    (segments r);
+  Buffer.add_string b "}, \"events\": [";
+  sep := "";
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Fmt.str
+           "%s{\"t\": %.9f, \"kind\": %s, \"segment\": %s, \"charged\": \
+            %.9f, \"detail\": %s}"
+           !sep e.at (Json.quote e.kind)
+           (match e.seg with
+           | Some s -> Json.quote (segment_name s)
+           | None -> "null")
+           e.charged (Json.quote e.detail));
+      sep := ", ")
+    (events r);
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(** One JSON object per line per record, in commit order. *)
+let to_jsonl t =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      Buffer.add_string b (record_json r);
+      Buffer.add_char b '\n')
+    (records t);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Narrative (dyno explain)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_record ppf r =
+  Fmt.pf ppf "@[<v>message #%d — %s from %s (seq %d), committed t=%.3fs@,"
+    r.msg_id
+    (if r.sc then "SC" else "DU")
+    r.source r.seq r.commit_at;
+  if r.parent >= 0 then
+    Fmt.pf ppf "  causal parent: merged into batch led by msg #%d@," r.parent;
+  List.iter
+    (fun e ->
+      Fmt.pf ppf "  t=%8.3fs  %-10s %s%s@," e.at e.kind e.detail
+        (match e.seg with
+        | Some s when e.charged > 0.0 ->
+            Fmt.str "  [%s +%.3fs]" (segment_name s) e.charged
+        | _ -> ""))
+    (events r);
+  (match r.term with
+  | Some s ->
+      Fmt.pf ppf "  terminal: %s at t=%.3fs (elapsed %.3fs)@,"
+        (terminal_name s) r.term_at (elapsed r)
+  | None -> Fmt.pf ppf "  terminal: (still pending at end of run)@,");
+  (match segments r with
+  | [] -> ()
+  | segs ->
+      Fmt.pf ppf "  critical path: %s@,"
+        (String.concat " | "
+           (List.map (fun (n, v) -> Fmt.str "%s %.3fs" n v) segs)));
+  Fmt.pf ppf "@]"

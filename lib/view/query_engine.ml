@@ -84,8 +84,11 @@ let create ?(trace = Trace.create ()) ?(planner = `Indexed)
      switch retargets the recorder's ambient open-span stack (context 0
      is the serial driver; task [i] gets context [i + 1]). *)
   Executor.on_switch exec (fun task ->
-      Dyno_obs.Span.set_context (Dyno_obs.Obs.spans obs)
-        (match task with None -> 0 | Some i -> i + 1));
+      let ctx = match task with None -> 0 | Some i -> i + 1 in
+      Dyno_obs.Span.set_context (Dyno_obs.Obs.spans obs) ctx;
+      (* Lineage shares the ambient context so probe round-trips are
+         charged to the update(s) the running task is maintaining. *)
+      Dyno_obs.Lineage.set_context (Dyno_obs.Obs.lineage obs) ctx);
   {
     clock;
     exec;
@@ -180,6 +183,7 @@ let set_broken_query_flags w =
 
 (* Run one arriving copy through its route's exactly-once sequencer. *)
 let admit_packet w ri (p : Update_msg.payload Channel.packet) =
+  let lin = Dyno_obs.Obs.lineage w.obs in
   match
     Umq.deliver w.routes.(ri).r_umq ~source:p.source ~seq:p.seq
       ~commit_time:p.sent ~source_version:p.seq p.payload
@@ -196,16 +200,27 @@ let admit_packet w ri (p : Update_msg.payload Channel.packet) =
                 (Dyno_obs.Obs.metrics w.obs)
                 "umq.hold_s" (now w -. since)
           | None -> ());
+          (* The carried packet arrives now; messages drained from the
+             gap hold already recorded their arrival when they were
+             held, so only their hold wait closes here (in [admit]). *)
+          if Update_msg.seq m = p.seq then
+            Dyno_obs.Lineage.arrive lin ~source:p.source ~seq:p.seq
+              ~time:p.arrival;
+          Dyno_obs.Lineage.admit lin ~source:p.source ~seq:(Update_msg.seq m)
+            ~time:(now w) ~msg_id:(Update_msg.id m);
           Trace.recordf w.trace ~time:(now w) Trace.Enqueue "%a" Update_msg.pp
             m;
           List.iter (fun h -> h m) w.admit_hooks)
         ms
   | Umq.Duplicate ->
       Dyno_obs.Metrics.incr (Dyno_obs.Obs.metrics w.obs) "umq.duplicates";
+      Dyno_obs.Lineage.dedup lin ~source:p.source ~seq:p.seq ~time:(now w);
       Trace.recordf w.trace ~time:(now w) Trace.Msg_duplicated
         "dropped duplicate seq %d from %s" p.seq p.source
   | Umq.Held ->
       Hashtbl.replace w.held_since (p.source, p.seq) (now w);
+      Dyno_obs.Lineage.arrive lin ~source:p.source ~seq:p.seq ~time:p.arrival;
+      Dyno_obs.Lineage.held lin ~source:p.source ~seq:p.seq ~time:(now w);
       Dyno_obs.Metrics.incr (Dyno_obs.Obs.metrics w.obs) "umq.held";
       Dyno_obs.Span.instant
         (Dyno_obs.Obs.spans w.obs)
@@ -260,9 +275,16 @@ let deliver_due w =
         | Timeline.Du u -> Update_msg.Du u
         | Timeline.Sc sc -> Update_msg.Sc sc
       in
+      let lin = Dyno_obs.Obs.lineage w.obs in
+      Dyno_obs.Lineage.commit lin ~source ~seq:version ~time:e.time
+        ~sc:(match payload with Update_msg.Sc _ -> true | Update_msg.Du _ -> false)
+        ~detail:(Fmt.str "%a" Timeline.pp_event e.event);
       let report =
         Channel.send r.r_channel ~now:e.time ~source ~seq:version payload
       in
+      Dyno_obs.Lineage.sent lin ~source ~seq:version ~time:e.time
+        ~transmissions:report.transmissions ~duplicated:report.duplicated
+        ~arrival:report.arrival;
       if report.transmissions > 1 then
         Trace.recordf w.trace ~time:e.time Trace.Msg_dropped
           "%s seq %d: %d transmission(s) lost, retransmitted" source version
@@ -395,18 +417,24 @@ let with_rpc w ~target ~what (attempt_ok : unit -> ('a, failure) result) :
 let probe_span w ~target ~name (body : unit -> ('a, failure) result) :
     ('a, failure) result =
   let sp = Dyno_obs.Obs.spans w.obs in
+  let lin = Dyno_obs.Obs.lineage w.obs in
   Dyno_obs.Span.with_span sp
     ~now:(fun () -> now w)
     Dyno_obs.Span.Probe name
     (fun span_id ->
       let t0 = now w in
+      Dyno_obs.Lineage.probe_begin lin ~time:t0;
       let result = body () in
-      Dyno_obs.Span.set_attr sp span_id "target" target;
-      Dyno_obs.Span.set_attr sp span_id "outcome"
-        (match result with
+      let outcome =
+        match result with
         | Ok _ -> "ok"
         | Error (Broken _) -> "broken"
-        | Error (Unreachable _) -> "unreachable");
+        | Error (Unreachable _) -> "unreachable"
+      in
+      Dyno_obs.Span.set_attr sp span_id "target" target;
+      Dyno_obs.Span.set_attr sp span_id "outcome" outcome;
+      Dyno_obs.Lineage.probe_end lin ~time:(now w)
+        ~detail:(Fmt.str "%s %s: %s, rtt %.3fs" name target outcome (now w -. t0));
       Dyno_obs.Metrics.observe
         (Dyno_obs.Obs.metrics w.obs)
         "probe.rtt_s" (now w -. t0);

@@ -367,6 +367,14 @@ let delta_view_local (w : Query_engine.t) ~(view_query : Query.t)
       end_span ~fallback:false;
       local.note_avoided ~probes:!stats.probes_avoided
         ~bytes:!stats.bytes_saved;
+      Dyno_obs.Lineage.note_scope
+        (Dyno_obs.Obs.lineage (Query_engine.obs w))
+        ~time:(Query_engine.now w) ~kind:"local-answer"
+        ~detail:
+          (Fmt.str
+             "self-maintenance tier answered locally: %d probe(s) avoided, \
+              %d byte(s) saved"
+             !stats.probes_avoided !stats.bytes_saved);
       Some (result, !stats)
     end
   with

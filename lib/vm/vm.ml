@@ -126,6 +126,13 @@ let maintain ?(compensate = true) ?(applied = []) ?local
                 ~time:(Query_engine.now w) Dyno_sim.Trace.Refresh
                 "view %s += %d tuple(s) for #%d" (Query.name q) delta_tuples
                 (Update_msg.id msg);
+              Dyno_obs.Lineage.note
+                (Dyno_obs.Obs.lineage (Query_engine.obs w))
+                ~ids:[ Update_msg.id msg ]
+                ~time:(Query_engine.now w) ~kind:"refresh"
+                ~detail:
+                  (Fmt.str "view %s += %d tuple(s)" (Query.name q)
+                     delta_tuples);
               Refreshed { delta_tuples; stats }))
 
 (** The sweep half of {!maintain}, without the refresh/commit: what a
@@ -220,6 +227,11 @@ let commit_swept (w : Query_engine.t) (mv : Mat_view.t)
   Dyno_sim.Trace.recordf (Query_engine.trace w) ~time:(Query_engine.now w)
     Dyno_sim.Trace.Refresh "view %s += %d tuple(s) for #%d" (Query.name q)
     delta_tuples (Update_msg.id msg);
+  Dyno_obs.Lineage.note
+    (Dyno_obs.Obs.lineage (Query_engine.obs w))
+    ~ids:[ Update_msg.id msg ]
+    ~time:(Query_engine.now w) ~kind:"refresh"
+    ~detail:(Fmt.str "view %s += %d tuple(s)" (Query.name q) delta_tuples);
   Refreshed { delta_tuples; stats }
 
 (** [maintain_group w mv msgs] — deferred/grouped maintenance of a queue
@@ -388,7 +400,14 @@ let maintain_group ?(compensate = true) ?(overlap = false) ?local
         Dyno_sim.Trace.recordf (Query_engine.trace w)
           ~time:(Query_engine.now w) Dyno_sim.Trace.Refresh
           "view %s += %d tuple(s) for group of %d" (Query.name q)
-          (Relation.mass dv) (List.length msgs));
+          (Relation.mass dv) (List.length msgs);
+        Dyno_obs.Lineage.note
+          (Dyno_obs.Obs.lineage (Query_engine.obs w))
+          ~ids:(List.map Update_msg.id msgs)
+          ~time:(Query_engine.now w) ~kind:"refresh"
+          ~detail:
+            (Fmt.str "view %s += %d tuple(s) (grouped)" (Query.name q)
+               (Relation.mass dv)));
     Refreshed { delta_tuples = 0; stats = Sweep.no_stats }
   with
   | Abort b -> Aborted b

@@ -241,7 +241,15 @@ let test_zero_fault_identity () =
   let sampled = Dyno_obs.Obs.create ~sample_interval:0.25 () in
   check_identical "obs on, sampler on" base (run ~obs:sampled ());
   Alcotest.(check bool) "the sampler did actually sample" true
-    (Dyno_obs.Timeseries.length (Dyno_obs.Obs.series sampled) > 0)
+    (Dyno_obs.Timeseries.length (Dyno_obs.Obs.series sampled) > 0);
+  (* lineage is pure observation too: recording it, or switching it off
+     while the rest of obs stays on, both leave the run byte-identical *)
+  let lineage_on = Dyno_obs.Obs.create () in
+  check_identical "obs on, lineage on" base (run ~obs:lineage_on ());
+  Alcotest.(check bool) "lineage did actually record" true
+    (Dyno_obs.Lineage.records (Dyno_obs.Obs.lineage lineage_on) <> []);
+  check_identical "obs on, lineage off" base
+    (run ~obs:(Dyno_obs.Obs.create ~lineage:false ()) ())
 
 (* -- the golden property ----------------------------------------------- *)
 

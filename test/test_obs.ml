@@ -16,7 +16,8 @@ open Dyno_obs
 
 (* -- a small faulty workload that exercises every span kind ------------- *)
 
-let scenario ?(obs = Obs.disabled) ?(loss = 0.0) ~seed ~n_dus ~n_scs () =
+let scenario ?(obs = Obs.disabled) ?(loss = 0.0) ?(shards = 1) ~seed ~n_dus
+    ~n_scs () =
   let timeline =
     Dyno_workload.Generator.mixed ~rows:10 ~seed ~n_dus ~du_interval:0.2
       ~sc_start:0.1 ~sc_interval:1.5
@@ -31,7 +32,7 @@ let scenario ?(obs = Obs.disabled) ?(loss = 0.0) ~seed ~n_dus ~n_scs () =
       default |> with_rows 10
       |> with_cost { Dyno_sim.Cost_model.default with row_scale = 1.0 }
       |> with_snapshots true |> with_trace true |> with_faults faults
-      |> with_net_seed 99 |> with_obs obs)
+      |> with_net_seed 99 |> with_obs obs |> with_shards shards)
     ~timeline
 
 let run_observed ?loss ?(strategy = Dyno_core.Strategy.Pessimistic) () =
@@ -255,7 +256,193 @@ let test_obs_off_identical () =
   let s_on, e_on = run (Obs.create ()) in
   Alcotest.(check string) "stats byte-identical" s_off s_on;
   Alcotest.(check bool) "extent identical" true
-    (Dyno_relational.Relation.equal e_off e_on)
+    (Dyno_relational.Relation.equal e_off e_on);
+  (* lineage off with the rest of obs on is just as invisible *)
+  let s_nl, e_nl = run (Obs.create ~lineage:false ()) in
+  Alcotest.(check string) "lineage-off stats byte-identical" s_off s_nl;
+  Alcotest.(check bool) "lineage-off extent identical" true
+    (Dyno_relational.Relation.equal e_off e_nl)
+
+(* -- lineage: cursor tiling, forensics, terminals ----------------------- *)
+
+let terminal_kinds = [ "applied"; "irrelevant"; "dropped_undefined" ]
+
+let terminal_event_count r =
+  List.length
+    (List.filter
+       (fun (e : Lineage.event) -> List.mem e.Lineage.kind terminal_kinds)
+       (Lineage.events r))
+
+let test_lineage_cursor_tiling () =
+  let lin = Lineage.create () in
+  Lineage.commit lin ~source:"DS1" ~seq:1 ~time:0.0 ~sc:false ~detail:"DU";
+  Lineage.sent lin ~source:"DS1" ~seq:1 ~time:0.0 ~transmissions:2
+    ~duplicated:false ~arrival:0.4;
+  Lineage.arrive lin ~source:"DS1" ~seq:1 ~time:0.4;
+  Lineage.admit lin ~source:"DS1" ~seq:1 ~time:0.4 ~msg_id:0;
+  Lineage.dispatch lin ~ids:[ 0 ] ~time:1.4 ~detail:"head" ();
+  Lineage.set_scope lin [ 0 ];
+  Lineage.probe_begin lin ~time:1.5;
+  Lineage.probe_end lin ~time:1.7 ~detail:"probe DS1";
+  Lineage.finish lin ~ids:[ 0 ] ~time:2.0 ~state:Lineage.Applied
+    ~detail:"done";
+  match Lineage.find_msg lin 0 with
+  | None -> Alcotest.fail "record should be indexed by msg id"
+  | Some r ->
+      let seg = Lineage.segment_value r in
+      Alcotest.(check (float 1e-12)) "channel" 0.4 (seg Lineage.Channel);
+      Alcotest.(check (float 1e-12)) "queue" 1.0 (seg Lineage.Queue);
+      Alcotest.(check (float 1e-12)) "probe" 0.2 (seg Lineage.Probe);
+      (* compute = 0.1 before the probe + 0.3 trailing at finish *)
+      Alcotest.(check (float 1e-12)) "compute" 0.4 (seg Lineage.Compute);
+      Alcotest.(check (float 1e-12)) "elapsed" 2.0 (Lineage.elapsed r);
+      Alcotest.(check (float 1e-12))
+        "segments tile the elapsed interval" (Lineage.elapsed r)
+        (Lineage.segment_sum r);
+      Alcotest.(check int) "exactly one terminal event" 1
+        (terminal_event_count r);
+      (* the record is sealed: later charges are structural no-ops *)
+      Lineage.dispatch lin ~ids:[ 0 ] ~time:9.0 ~detail:"too late" ();
+      Lineage.finish lin ~ids:[ 0 ] ~time:9.5 ~state:Lineage.Irrelevant
+        ~detail:"second terminal loses";
+      Alcotest.(check (float 1e-12)) "sum unchanged after seal" 2.0
+        (Lineage.segment_sum r);
+      Alcotest.(check bool) "first terminal wins" true
+        (r.Lineage.term = Some Lineage.Applied)
+
+let test_lineage_hold_dedup_merge () =
+  let mx = Metrics.create () in
+  let lin = Lineage.create ~metrics:mx () in
+  (* a held-for-gap packet charges [Hold] between arrival and admission *)
+  Lineage.commit lin ~source:"DS2" ~seq:2 ~time:0.0 ~sc:false ~detail:"DU";
+  Lineage.arrive lin ~source:"DS2" ~seq:2 ~time:0.3;
+  Lineage.held lin ~source:"DS2" ~seq:2 ~time:0.3;
+  Lineage.dedup lin ~source:"DS2" ~seq:2 ~time:0.5;
+  Lineage.admit lin ~source:"DS2" ~seq:2 ~time:0.9 ~msg_id:7;
+  (match Lineage.find_msg lin 7 with
+  | None -> Alcotest.fail "held record should be admitted as msg 7"
+  | Some r ->
+      Alcotest.(check (float 1e-12)) "hold charged" 0.6
+        (Lineage.segment_value r Lineage.Hold);
+      Alcotest.(check int) "dedup counted" 1
+        (Metrics.counter_value mx "lineage.dedups"));
+  (* a merge links members to the batch's smallest id as causal parent *)
+  List.iter
+    (fun (seq, id) ->
+      Lineage.commit lin ~source:"DS1" ~seq ~time:1.0 ~sc:(seq = 9)
+        ~detail:"member";
+      Lineage.admit lin ~source:"DS1" ~seq ~time:1.0 ~msg_id:id)
+    [ (8, 3); (9, 5) ];
+  Lineage.merged lin ~ids:[ 5; 3 ] ~time:2.0 ~detail:"cycle merged";
+  (match (Lineage.find_msg lin 3, Lineage.find_msg lin 5) with
+  | Some a, Some b ->
+      Alcotest.(check int) "smallest id is the parent" (-1) a.Lineage.parent;
+      Alcotest.(check int) "member links to parent" 3 b.Lineage.parent
+  | _ -> Alcotest.fail "merge members should exist");
+  Alcotest.(check int) "merges counted" 1
+    (Metrics.counter_value mx "lineage.merges")
+
+let test_lineage_disabled_noop () =
+  let lin = Lineage.disabled in
+  Lineage.commit lin ~source:"DS1" ~seq:1 ~time:0.0 ~sc:false ~detail:"x";
+  Lineage.admit lin ~source:"DS1" ~seq:1 ~time:0.0 ~msg_id:0;
+  Lineage.finish lin ~ids:[ 0 ] ~time:1.0 ~state:Lineage.Applied ~detail:"x";
+  Alcotest.(check bool) "reports disabled" false (Lineage.enabled lin);
+  Alcotest.(check int) "no records" 0 (List.length (Lineage.records lin));
+  Alcotest.(check bool) "no index" true (Lineage.find_msg lin 0 = None);
+  Alcotest.(check string) "empty JSONL" "" (Lineage.to_jsonl lin)
+
+let test_lineage_abort_forensics () =
+  (* optimistic strategy applies before detection, so drop-column SCs force
+     real aborts: the narrative must name the aborting SC and the CD/SD
+     edges behind the wait *)
+  let obs, _, _ =
+    run_observed ~loss:0.2 ~strategy:Dyno_core.Strategy.Optimistic ()
+  in
+  let records = Lineage.records (Obs.lineage obs) in
+  let has kind pred =
+    List.exists
+      (fun r ->
+        List.exists
+          (fun (e : Lineage.event) ->
+            e.Lineage.kind = kind && pred e.Lineage.detail)
+          (Lineage.events r))
+      records
+  in
+  let contains_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "an abort names its SC" true
+    (has "abort" (fun d -> contains_sub d "aborting SC #"));
+  Alcotest.(check bool) "a CD/SD edge was recorded" true
+    (has "dep-edge" (fun d -> contains_sub d "edge"));
+  Alcotest.(check bool) "aborts counted" true
+    (Metrics.counter_value (Obs.metrics obs) "lineage.aborts" > 0);
+  (* the narrative printer agrees with the event list *)
+  let aborted =
+    List.find
+      (fun r ->
+        List.exists
+          (fun (e : Lineage.event) -> e.Lineage.kind = "abort")
+          (Lineage.events r))
+      records
+  in
+  let text = Fmt.str "%a" Lineage.pp_record aborted in
+  Alcotest.(check bool) "narrative mentions the abort" true
+    (contains_sub text "aborting SC #")
+
+(* Under faults, across shard counts: every delivered update reaches
+   exactly one terminal state, every segment is non-negative, and the
+   segments tile the commit-to-terminal interval exactly. *)
+let prop_lineage =
+  QCheck.Test.make
+    ~name:
+      "lineage: one terminal per delivered id, segs >= 0, Σ segs = elapsed"
+    ~count:200
+    QCheck.(
+      quad (int_range 0 9999) (int_range 3 10) (int_range 0 25)
+        (int_range 0 2))
+    (fun (seed, n_dus, loss_pct, shard_ix) ->
+      let loss = float_of_int loss_pct /. 100.0 in
+      let shards = [| 1; 2; 4 |].(shard_ix) in
+      let obs = Obs.create () in
+      let t = scenario ~obs ~loss ~shards ~seed ~n_dus ~n_scs:1 () in
+      let _stats =
+        Dyno_workload.Scenario.run t
+          ~config:
+            (Dyno_core.Run_config.of_strategy Dyno_core.Strategy.Pessimistic)
+      in
+      let records = Lineage.records (Obs.lineage obs) in
+      if records = [] then QCheck.Test.fail_report "no lineage records";
+      List.iter
+        (fun (r : Lineage.record) ->
+          let who = Fmt.str "%s#%d (msg %d)" r.Lineage.source r.Lineage.seq
+              r.Lineage.msg_id
+          in
+          if r.Lineage.msg_id >= 0 then begin
+            if r.Lineage.term = None then
+              QCheck.Test.fail_reportf "%s delivered but never terminal" who;
+            let n = terminal_event_count r in
+            if n <> 1 then
+              QCheck.Test.fail_reportf "%s has %d terminal events" who n
+          end;
+          List.iter
+            (fun s ->
+              if Lineage.segment_value r s < 0.0 then
+                QCheck.Test.fail_reportf "%s: negative %s segment" who
+                  (Lineage.segment_name s))
+            Lineage.all_segments;
+          if r.Lineage.term <> None then begin
+            let sum = Lineage.segment_sum r
+            and elapsed = Lineage.elapsed r in
+            if Float.abs (sum -. elapsed) > 1e-6 then
+              QCheck.Test.fail_reportf
+                "%s: segments sum %.9f <> elapsed %.9f" who sum elapsed
+          end)
+        records;
+      true)
 
 (* -- JSON round-trips --------------------------------------------------- *)
 
@@ -268,9 +455,23 @@ let test_json_round_trips () =
   Json_check.check_exn ~what:"trace JSON"
     (Dyno_sim.Trace.to_json_string t.Dyno_workload.Scenario.trace);
   Json_check.check_exn ~what:"chrome trace"
-    (Export.chrome_trace (Obs.spans obs));
+    (Export.chrome_trace ~lineage:(Obs.lineage obs) (Obs.spans obs));
   Json_check.check_jsonl_exn ~what:"span JSONL"
-    (Export.spans_jsonl (Obs.spans obs))
+    (Export.spans_jsonl (Obs.spans obs));
+  Json_check.check_jsonl_exn ~what:"lineage JSONL"
+    (Lineage.to_jsonl (Obs.lineage obs));
+  (* the Perfetto flow thread: a start at commit and a binding-point end
+     per admitted update must be present in the same document *)
+  let trace = Export.chrome_trace ~lineage:(Obs.lineage obs) (Obs.spans obs) in
+  let contains_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "flow start events present" true
+    (contains_sub trace "\"ph\": \"s\"");
+  Alcotest.(check bool) "flow end events present" true
+    (contains_sub trace "\"bp\": \"e\"")
 
 let test_json_escaping () =
   (* attr/name values with quotes, backslashes and control chars must
@@ -640,6 +841,18 @@ let () =
           Alcotest.test_case "eval + resolution chain" `Quick test_slo_eval;
           Alcotest.test_case "openmetrics exposition" `Quick
             test_openmetrics_format;
+        ] );
+      ( "lineage",
+        [
+          Alcotest.test_case "cursor tiles the interval" `Quick
+            test_lineage_cursor_tiling;
+          Alcotest.test_case "hold + dedup + merge parent" `Quick
+            test_lineage_hold_dedup_merge;
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_lineage_disabled_noop;
+          Alcotest.test_case "abort forensics name the SC" `Quick
+            test_lineage_abort_forensics;
+          QCheck_alcotest.to_alcotest prop_lineage;
         ] );
       ( "staleness",
         [ QCheck_alcotest.to_alcotest prop_staleness ] );
