@@ -439,13 +439,54 @@ let shards_arg =
   in
   Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
 
+let runtime_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "simulated" -> Ok `Simulated
+    | s -> (
+        match String.index_opt s ':' with
+        | Some i when String.sub s 0 i = "domains" -> (
+            let n = String.sub s (i + 1) (String.length s - i - 1) in
+            match int_of_string_opt n with
+            | Some d when d >= 1 -> Ok (`Domains d)
+            | _ -> Error (`Msg (Fmt.str "invalid domain count %S" n)))
+        | _ ->
+            Error
+              (`Msg
+                 (Fmt.str
+                    "unknown runtime %S (expected 'simulated' or 'domains:N')"
+                    s)))
+  in
+  let print ppf = function
+    | `Simulated -> Fmt.string ppf "simulated"
+    | `Domains d -> Fmt.pf ppf "domains:%d" d
+  in
+  Arg.conv (parse, print)
+
+let runtime_arg =
+  let doc =
+    "Execution backend: 'simulated' (default; the single-threaded \
+     cooperative executor, byte-identical to historical runs) or \
+     'domains:N' (evaluate fully-covered local maintenance sweeps on N \
+     OCaml 5 worker domains; admission, sequencing, commits and the \
+     simulated clock stay on the coordinator, so the final extent and \
+     consistency verdicts are unchanged).  Only compute the \
+     self-maintenance tier answers locally parallelizes — combine with \
+     --self-maint and --parallel."
+  in
+  Arg.(
+    value
+    & opt runtime_conv `Simulated
+    & info [ "runtime" ] ~docv:"RUNTIME" ~doc)
+
 (* The one place CLI flags turn into the shared scheduler run record. *)
-let run_config_of ~strategy ~no_compensation ~parallel ~self_maint =
+let run_config_of ~strategy ~no_compensation ~parallel ~self_maint ~runtime =
   Run_config.(
     of_strategy strategy
     |> with_compensate (not no_compensation)
     |> with_parallel parallel
-    |> with_self_maint self_maint)
+    |> with_self_maint self_maint
+    |> with_runtime runtime)
 
 (* ...and the one place they turn into the world-construction record. *)
 let scenario_config_of ~rows ~cost ~trace ~faults ~net_seed ~obs ~shards =
@@ -463,7 +504,7 @@ let timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval =
 
 let run_cmd =
   let action rows dus scs du_interval sc_interval seed strategy trace
-      no_compensation report multi parallel self_maint shards loss dup
+      no_compensation report multi parallel self_maint runtime shards loss dup
       reorder jitter reorder_delay outages net_seed json_file trace_out
       metrics_out lineage_out no_lineage sample_interval series_out
       openmetrics_out slos slo_exit watch =
@@ -524,7 +565,8 @@ let run_cmd =
         let stats =
           Multi_scheduler.run
             ~config:
-              (run_config_of ~strategy ~no_compensation ~parallel ~self_maint)
+              (run_config_of ~strategy ~no_compensation ~parallel ~self_maint
+               ~runtime)
             t.Scenario.engine m t.Scenario.mk
         in
         List.iteri
@@ -538,7 +580,8 @@ let run_cmd =
       else
         Scenario.run t
           ~config:
-            (run_config_of ~strategy ~no_compensation ~parallel ~self_maint)
+            (run_config_of ~strategy ~no_compensation ~parallel ~self_maint
+               ~runtime)
     in
     if trace then Fmt.pr "%a@.@." Dyno_sim.Trace.pp t.Scenario.trace;
     if report then Fmt.pr "%a@.@." Report.pp (Report.of_trace t.Scenario.trace);
@@ -587,7 +630,7 @@ let run_cmd =
     Term.(
       const action $ rows $ dus $ scs $ du_interval $ sc_interval $ seed
       $ strategy $ trace_flag $ no_compensation $ report_flag $ multi_flag
-      $ parallel_arg $ self_maint_flag $ shards_arg $ loss $ dup $ reorder
+      $ parallel_arg $ self_maint_flag $ runtime_arg $ shards_arg $ loss $ dup $ reorder
       $ jitter $ reorder_delay $ outages $ net_seed $ json_file $ trace_out
       $ metrics_out $ lineage_out $ no_lineage $ sample_interval
       $ series_out $ openmetrics_out $ slo_specs $ slo_exit $ watch_flag)
@@ -600,8 +643,8 @@ let run_cmd =
 
 let report_cmd =
   let action rows dus scs du_interval sc_interval seed strategy
-      no_compensation parallel self_maint shards loss dup reorder jitter
-      reorder_delay outages net_seed trace_out metrics_out lineage_out
+      no_compensation parallel self_maint runtime shards loss dup reorder
+      jitter reorder_delay outages net_seed trace_out metrics_out lineage_out
       critical_path sample_interval series_out openmetrics_out slos slo_exit
       =
     let timeline =
@@ -624,7 +667,8 @@ let report_cmd =
     let stats =
       Scenario.run t
         ~config:
-          (run_config_of ~strategy ~no_compensation ~parallel ~self_maint)
+          (run_config_of ~strategy ~no_compensation ~parallel ~self_maint
+               ~runtime)
     in
     let spans = Dyno_obs.Obs.spans obs in
     Fmt.pr "strategy: %a@.@." Strategy.pp strategy;
@@ -666,7 +710,7 @@ let report_cmd =
     Term.(
       const action $ rows $ dus $ scs $ du_interval $ sc_interval $ seed
       $ strategy $ no_compensation $ parallel_arg $ self_maint_flag
-      $ shards_arg $ loss $ dup $ reorder $ jitter $ reorder_delay
+      $ runtime_arg $ shards_arg $ loss $ dup $ reorder $ jitter $ reorder_delay
       $ outages $ net_seed $ trace_out $ metrics_out $ lineage_out
       $ critical_path_flag $ sample_interval $ series_out $ openmetrics_out
       $ slo_specs $ slo_exit)
@@ -736,8 +780,8 @@ let lineage_summary_table records =
 
 let explain_cmd =
   let action rows dus scs du_interval sc_interval seed strategy
-      no_compensation parallel self_maint shards loss dup reorder jitter
-      reorder_delay outages net_seed msg abort_n view =
+      no_compensation parallel self_maint runtime shards loss dup reorder
+      jitter reorder_delay outages net_seed msg abort_n view =
     let timeline =
       timeline_of ~rows ~seed ~dus ~du_interval ~scs ~sc_interval
     in
@@ -756,7 +800,8 @@ let explain_cmd =
     let (_ : Stats.t) =
       Scenario.run t
         ~config:
-          (run_config_of ~strategy ~no_compensation ~parallel ~self_maint)
+          (run_config_of ~strategy ~no_compensation ~parallel ~self_maint
+               ~runtime)
     in
     let lin = Dyno_obs.Obs.lineage obs in
     let records = Dyno_obs.Lineage.records lin in
@@ -823,7 +868,7 @@ let explain_cmd =
     Term.(
       const action $ rows $ dus $ scs $ du_interval $ sc_interval $ seed
       $ strategy $ no_compensation $ parallel_arg $ self_maint_flag
-      $ shards_arg $ loss $ dup $ reorder $ jitter $ reorder_delay
+      $ runtime_arg $ shards_arg $ loss $ dup $ reorder $ jitter $ reorder_delay
       $ outages $ net_seed $ explain_msg $ explain_abort $ explain_view)
   in
   Cmd.v

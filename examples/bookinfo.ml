@@ -223,6 +223,7 @@ let run ?(strategy = Dyno_core.Strategy.Pessimistic) ?(compensate = true) w =
         du_group = 1;
         parallel = 1;
         self_maint = false;
+        runtime = `Simulated;
       }
     w.engine w.mv w.mk
 

@@ -182,6 +182,7 @@ type config = Run_config.t = {
   du_group : int;
   parallel : int;
   self_maint : bool;
+  runtime : [ `Simulated | `Domains of int ];
 }
 
 let default_config = Run_config.default
@@ -192,7 +193,7 @@ let default_config = Run_config.default
    the refreshes commit serially at the barrier, in view order, stopping
    at the first failure.  Earlier views keep their commits — [applied]
    remembers them for the retry, exactly as in the serial loop. *)
-let parallel_views ?(local_for = fun _ -> None) ~compensate
+let parallel_views ?(local_for = fun _ -> None) ?pool ~compensate
     (w : Query_engine.t) (stats : Stats.t) (vs : view_state list)
     (m : Update_msg.t) (u : Dyno_relational.Update.t) :
     (unit, Query_engine.failure) result =
@@ -206,24 +207,58 @@ let parallel_views ?(local_for = fun _ -> None) ~compensate
   let t0 = Query_engine.now w in
   let results = Array.make k None in
   let spent = Array.make k 0.0 in
+  (* Multicore runtime: fully-covered per-view local sweeps evaluate on
+     the worker-domain pool; the rest takes the executor.  The per-view
+     sweeps are independent (each view has its own extent and commit
+     log) and no exclusion set is needed: a single shared update is
+     being maintained, not an antichain. *)
+  (match pool with
+  | None -> ()
+  | Some pool ->
+      let precomputed =
+        Scheduler.pool_sweeps ~pool ~compensate w stats
+          (Array.of_list
+             (List.map
+                (fun v ->
+                  {
+                    Scheduler.pj_mv = v.mv;
+                    pj_msg = m;
+                    pj_du = u;
+                    pj_applied = v.applied;
+                    pj_exclude_extra = [];
+                    pj_local = local_for v;
+                  })
+                vs))
+      in
+      Array.iteri
+        (fun i r ->
+          match r with Some s -> results.(i) <- Some s | None -> ())
+        precomputed);
   let thunks =
-    List.mapi
-      (fun i v () ->
-        Dyno_obs.Span.with_span sp
-          ~now:(fun () -> Query_engine.now w)
-          ~thread:(Fmt.str "view-%d" i) Dyno_obs.Span.Task
-          (Fmt.str "maintain #%d" (Update_msg.id m))
-          (fun _ ->
-            Dyno_obs.Lineage.set_scope
-              (Dyno_obs.Obs.lineage obs)
-              [ Update_msg.id m ];
-            let ts = Query_engine.now w in
-            results.(i) <-
-              Some
-                (Dyno_vm.Vm.maintain_sweep ~compensate ~applied:v.applied
-                   ?local:(local_for v) w v.mv m u);
-            spent.(i) <- Query_engine.now w -. ts))
-      vs
+    List.concat
+      (List.mapi
+         (fun i v ->
+           if results.(i) <> None then []
+           else
+             [
+               (fun () ->
+                 Dyno_obs.Span.with_span sp
+                   ~now:(fun () -> Query_engine.now w)
+                   ~thread:(Fmt.str "view-%d" i) Dyno_obs.Span.Task
+                   (Fmt.str "maintain #%d" (Update_msg.id m))
+                   (fun _ ->
+                     Dyno_obs.Lineage.set_scope
+                       (Dyno_obs.Obs.lineage obs)
+                       [ Update_msg.id m ];
+                     let ts = Query_engine.now w in
+                     results.(i) <-
+                       Some
+                         (Dyno_vm.Vm.maintain_sweep ~compensate
+                            ~applied:v.applied ?local:(local_for v) w v.mv m
+                            u);
+                     spent.(i) <- Query_engine.now w -. ts));
+             ])
+         vs)
   in
   Executor.run_all exec thunks;
   let failure = ref None in
@@ -288,6 +323,13 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
   in
   let local_for v =
     Option.map Dyno_selfmaint.Aux_store.local (List.assq_opt v stores)
+  in
+  (* Multicore runtime: one worker-domain pool for the run's per-view
+     round compute. *)
+  let pool =
+    match config.runtime with
+    | `Simulated -> None
+    | `Domains d -> Some (Dyno_sim.Domain_pool.create ~domains:d)
   in
   (* One freshness tracker per view.  Frontiers are advanced only when an
      entry has been integrated by {e every} view (the Ok branch below) —
@@ -383,8 +425,8 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
                       List.filteri (fun i _ -> i < config.parallel) eligible
                     in
                     match
-                      parallel_views ~local_for ~compensate:config.compensate
-                        w stats chunk m u
+                      parallel_views ~local_for ?pool
+                        ~compensate:config.compensate w stats chunk m u
                     with
                     | Ok () -> maintain_views t.views
                     | Error f -> Error f)
@@ -488,7 +530,9 @@ let run ?(config = default_config) (w : Query_engine.t) (t : t)
       loop ()
     end
   in
-  loop ();
+  Fun.protect
+    ~finally:(fun () -> Option.iter Dyno_sim.Domain_pool.shutdown pool)
+    loop;
   Dyno_obs.Timeseries.sample series ~now:(Query_engine.now w);
   stats.Stats.end_time <- Query_engine.now w;
   Scheduler.record_net_stats w stats;

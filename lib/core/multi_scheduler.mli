@@ -36,6 +36,9 @@ type config = Run_config.t = {
   du_group : int;
   parallel : int;
   self_maint : bool;
+  runtime : [ `Simulated | `Domains of int ];
+      (** execution backend for per-view sweep compute — see
+          {!Run_config.t} *)
 }
 
 val default_config : config

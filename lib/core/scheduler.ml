@@ -41,6 +41,7 @@ type config = Run_config.t = {
   du_group : int;
   parallel : int;
   self_maint : bool;
+  runtime : [ `Simulated | `Domains of int ];
 }
 
 let default_config = Run_config.default
@@ -292,6 +293,83 @@ let note_merge_all (lin : Dyno_obs.Lineage.t) ~(time : float)
              (List.length ids)))
     r.Correct.merged_members
 
+(* --- Multicore runtime ([`Domains _]) ------------------------------- *)
+
+(* One round member as the worker-domain pool sees it.  [pj_mv] and
+   [pj_local] vary per member only in the multi-view scheduler; the
+   serial and sharded schedulers pass one view and the member's owning
+   shard's store. *)
+type pool_job = {
+  pj_mv : Mat_view.t;
+  pj_msg : Update_msg.t;
+  pj_du : Dyno_relational.Update.t;
+  pj_applied : int list;
+  pj_exclude_extra : int list;
+  pj_local : Dyno_vm.Sweep.local option;
+}
+
+(* Evaluate a dispatched round's fully-covered local sweeps on the
+   worker-domain pool.  Phase A (coordinator): run each member's
+   {!Dyno_vm.Vm.prepare_sweep} prelude in round order, capturing pure
+   compute inputs with exclusion sets already frozen.  Phase B: one pool
+   batch over {!Dyno_vm.Sweep.compute_local} — pure CPU, no engine,
+   clock or observability access on the workers.  Phase C (coordinator):
+   replay the local-answer bookkeeping for each harvested result.  The
+   returned array holds [Some swept] for members decided here; [None]
+   members still need the cooperative probed path on the executor.
+   Admission, commits and the simulated clock never leave the
+   coordinator, so Theorems 1–2 are untouched: this only relocates
+   compute the cooperative path would have run inline at dispatch
+   time. *)
+let pool_sweeps ~(pool : Dyno_sim.Domain_pool.t) ~(compensate : bool)
+    (w : Query_engine.t) (stats : Stats.t) (jobs : pool_job array) :
+    Dyno_vm.Vm.swept option array =
+  let prepared =
+    Array.map
+      (fun j ->
+        Dyno_vm.Vm.prepare_sweep ~compensate ~applied:j.pj_applied
+          ~exclude_extra:j.pj_exclude_extra ?local:j.pj_local w j.pj_mv
+          j.pj_msg j.pj_du)
+      jobs
+  in
+  let offload = ref [] in
+  Array.iteri
+    (fun i p ->
+      match p with
+      | Dyno_vm.Vm.Offloadable input -> offload := (i, input) :: !offload
+      | Dyno_vm.Vm.Settled _ | Dyno_vm.Vm.Needs_probes -> ())
+    prepared;
+  let offload = Array.of_list (List.rev !offload) in
+  let outs =
+    Dyno_sim.Domain_pool.run_all pool
+      (Array.map
+         (fun (_, input) () -> Dyno_vm.Sweep.compute_local input)
+         offload)
+  in
+  stats.Stats.mcore_tasks <- stats.Stats.mcore_tasks + Array.length offload;
+  let results =
+    Array.map
+      (function Dyno_vm.Vm.Settled s -> Some s | _ -> None)
+      prepared
+  in
+  let lin = Dyno_obs.Obs.lineage (Query_engine.obs w) in
+  Array.iteri
+    (fun k (i, input) ->
+      match outs.(k) with
+      | Some ((dv, st) as ok) ->
+          let j = jobs.(i) in
+          Dyno_obs.Lineage.set_scope lin [ Update_msg.id j.pj_msg ];
+          (match j.pj_local with
+          | Some l -> Dyno_vm.Sweep.record_local w ~local:l input ok
+          | None -> ());
+          results.(i) <- Some (Dyno_vm.Vm.Swept (dv, st))
+      | None ->
+          (* The pure compute fell back (a local evaluation failed); let
+             the probed path decide, exactly as the inline path would. *)
+          ())
+    offload;
+  results
+
 (* One concurrent maintenance round over an antichain of single data
    updates from distinct sources (no queued schema change ahead of them).
    The sweeps — probe round trips included — run as cooperative executor
@@ -299,8 +377,10 @@ let note_merge_all (lin : Dyno_obs.Lineage.t) ~(time : float)
    serially at the barrier, in queue order, stopping at the first failed
    member.  Later members' results are discarded: their entries stay
    queued (exclusion sets were fixed at dispatch, so a re-sweep on the
-   next round compensates correctly). *)
-let parallel_round ?local ~(config : config) ~(fresh : Freshness.t)
+   next round compensates correctly).  With [pool] (the [`Domains _]
+   runtime) fully-covered local sweeps are evaluated on worker domains
+   first; only the remainder takes the executor. *)
+let parallel_round ?local ?pool ~(config : config) ~(fresh : Freshness.t)
     (w : Query_engine.t) (mv : Mat_view.t) (stats : Stats.t) (mid : int)
     (members : (Update_msg.t * Dyno_relational.Update.t) list) : unit =
   let trace = Query_engine.trace w in
@@ -331,32 +411,70 @@ let parallel_round ?local ~(config : config) ~(fresh : Freshness.t)
     members;
   let results = Array.make k None in
   let spent = Array.make k 0.0 in
-  let thunks =
-    (* Exclusion sets are fixed at dispatch: member [i] must not
-       compensate against members earlier in queue order — they are being
-       maintained concurrently, exactly as if the serial pass had already
-       processed them. *)
+  (* Exclusion sets are fixed at dispatch: member [i] must not
+     compensate against members earlier in queue order — they are being
+     maintained concurrently, exactly as if the serial pass had already
+     processed them. *)
+  let excludes =
     let earlier = ref [] in
-    List.mapi
-      (fun i (m, u) ->
-        let exclude_extra = !earlier in
-        earlier := Update_msg.id m :: !earlier;
-        fun () ->
-          Dyno_obs.Span.with_span sp
-            ~now:(fun () -> Query_engine.now w)
-            ~thread:(Update_msg.source m) Dyno_obs.Span.Task
-            (Fmt.str "maintain #%d" (Update_msg.id m))
-            (fun _ ->
-              (* Scope this task's context to its update so probe
-                 round-trips land on the right lineage record. *)
-              Dyno_obs.Lineage.set_scope lin [ Update_msg.id m ];
-              let ts = Query_engine.now w in
-              results.(i) <-
-                Some
-                  (Dyno_vm.Vm.maintain_sweep ~compensate:config.compensate
-                     ~exclude_extra ?local w mv m u);
-              spent.(i) <- Query_engine.now w -. ts))
-      members
+    Array.of_list
+      (List.map
+         (fun (m, _) ->
+           let e = !earlier in
+           earlier := Update_msg.id m :: !earlier;
+           e)
+         members)
+  in
+  (* Multicore runtime: fully-covered local sweeps evaluate on the
+     worker-domain pool before the executor round; members decided there
+     skip their cooperative task entirely. *)
+  (match pool with
+  | None -> ()
+  | Some pool ->
+      let precomputed =
+        pool_sweeps ~pool ~compensate:config.compensate w stats
+          (Array.of_list
+             (List.mapi
+                (fun i (m, u) ->
+                  {
+                    pj_mv = mv;
+                    pj_msg = m;
+                    pj_du = u;
+                    pj_applied = [];
+                    pj_exclude_extra = excludes.(i);
+                    pj_local = local;
+                  })
+                members))
+      in
+      Array.iteri
+        (fun i r ->
+          match r with Some s -> results.(i) <- Some s | None -> ())
+        precomputed);
+  let thunks =
+    List.concat
+      (List.mapi
+         (fun i (m, u) ->
+           if results.(i) <> None then []
+           else
+             [
+               (fun () ->
+                 Dyno_obs.Span.with_span sp
+                   ~now:(fun () -> Query_engine.now w)
+                   ~thread:(Update_msg.source m) Dyno_obs.Span.Task
+                   (Fmt.str "maintain #%d" (Update_msg.id m))
+                   (fun _ ->
+                     (* Scope this task's context to its update so probe
+                        round-trips land on the right lineage record. *)
+                     Dyno_obs.Lineage.set_scope lin [ Update_msg.id m ];
+                     let ts = Query_engine.now w in
+                     results.(i) <-
+                       Some
+                         (Dyno_vm.Vm.maintain_sweep
+                            ~compensate:config.compensate
+                            ~exclude_extra:excludes.(i) ?local w mv m u);
+                     spent.(i) <- Query_engine.now w -. ts));
+             ])
+         members)
   in
   Executor.run_all exec thunks;
   let failure = ref None in
@@ -607,6 +725,15 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
     else None
   in
   let local = Option.map Dyno_selfmaint.Aux_store.local store in
+  (* Multicore runtime: a fixed worker-domain pool for the lifetime of
+     the run.  [`Domains 1] still routes through the prepare/compute
+     split (serially, on the coordinator) — the honest baseline for
+     speedup measurements. *)
+  let pool =
+    match config.runtime with
+    | `Simulated -> None
+    | `Domains n -> Some (Dyno_sim.Domain_pool.create ~domains:n)
+  in
   let fresh =
     Freshness.create
       ~metrics:(Dyno_obs.Obs.metrics obs)
@@ -744,7 +871,7 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
          [parallel = 1] is bit-identical to the serial scheduler. *)
       match antichain ~config umq mv with
       | _ :: _ :: _ as members ->
-          parallel_round ?local ~config ~fresh w mv stats mid members
+          parallel_round ?local ?pool ~config ~fresh w mv stats mid members
       | _ -> (
           match Umq.head umq with
           | None -> ()
@@ -841,7 +968,9 @@ let run ?(config = default_config) (w : Query_engine.t) (mv : Mat_view.t)
       loop ()
     end
   in
-  loop ();
+  Fun.protect
+    ~finally:(fun () -> Option.iter Dyno_sim.Domain_pool.shutdown pool)
+    loop;
   (* Force a final sample at quiescence so the series always ends with the
      caught-up state (staleness exactly 0). *)
   Dyno_obs.Timeseries.sample series ~now:(Query_engine.now w);

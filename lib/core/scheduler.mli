@@ -30,6 +30,9 @@ type config = Run_config.t = {
   du_group : int;
   parallel : int;
   self_maint : bool;
+  runtime : [ `Simulated | `Domains of int ];
+      (** execution backend for antichain sweep compute — see
+          {!Run_config.t} *)
 }
 
 val default_config : config
@@ -63,6 +66,33 @@ val maintain_entry :
     success.  Does {e not} dequeue — the caller owns the queue.  [local]
     (self-maintenance tier) lets fully-covered sweeps skip their probe
     round trips — see {!Dyno_vm.Vm.maintain}. *)
+
+(** One parallel-round member as the multicore runtime's worker-domain
+    pool sees it (shared with the multi-view and sharded schedulers —
+    [pj_mv] and [pj_local] vary per member only there). *)
+type pool_job = {
+  pj_mv : Mat_view.t;
+  pj_msg : Update_msg.t;
+  pj_du : Dyno_relational.Update.t;
+  pj_applied : int list;  (** multi-view: queued ids already integrated *)
+  pj_exclude_extra : int list;  (** exclusion set frozen at dispatch *)
+  pj_local : Dyno_vm.Sweep.local option;
+}
+
+val pool_sweeps :
+  pool:Dyno_sim.Domain_pool.t ->
+  compensate:bool ->
+  Query_engine.t ->
+  Stats.t ->
+  pool_job array ->
+  Dyno_vm.Vm.swept option array
+(** Evaluate a dispatched round's fully-covered local sweeps on the
+    worker-domain pool: coordinator-side {!Dyno_vm.Vm.prepare_sweep} per
+    member, one {!Dyno_sim.Domain_pool.run_all} batch of pure
+    {!Dyno_vm.Sweep.compute_local} thunks, then coordinator-side
+    bookkeeping.  [Some swept] members are decided; [None] members still
+    need the cooperative probed path.  Increments [Stats.mcore_tasks] by
+    the number of offloaded computations. *)
 
 val aux_store : Query_engine.t -> Mat_view.t -> Dyno_selfmaint.Aux_store.t
 (** Build the view's auxiliary-projection store: derive the plan from the

@@ -72,6 +72,14 @@ let run ?(config = Run_config.default) ~plan (w : Query_engine.t)
       Option.map (fun arr -> Dyno_selfmaint.Aux_store.local arr.(i)) stores
     in
     let local_of_source src = local_of_shard (Shard.owner plan src) in
+    (* Multicore runtime: one worker-domain pool shared by every shard's
+       round compute (the rounds are coordinator-driven and sequential;
+       only the per-member sweep compute fans out). *)
+    let pool =
+      match config.Run_config.runtime with
+      | `Simulated -> None
+      | `Domains d -> Some (Domain_pool.create ~domains:d)
+    in
     let series = Dyno_obs.Obs.series obs in
     if Dyno_obs.Timeseries.enabled series then begin
       Dyno_obs.Timeseries.probe series "umq.depth" (fun _ ->
@@ -211,32 +219,72 @@ let run ?(config = Run_config.default) ~plan (w : Query_engine.t)
             members;
           let results = Array.make k None in
           let spent = Array.make k 0.0 in
-          let thunks =
-            (* Exclusion sets fixed at dispatch: member [i] must not
-               compensate against members earlier in global arrival
-               order — they are being maintained concurrently, exactly
-               as if a serial pass had already processed them. *)
+          (* Exclusion sets fixed at dispatch: member [i] must not
+             compensate against members earlier in global arrival
+             order — they are being maintained concurrently, exactly
+             as if a serial pass had already processed them. *)
+          let excludes =
             let earlier = ref [] in
-            List.mapi
-              (fun i (m, u) ->
-                let exclude_extra = !earlier in
-                earlier := Update_msg.id m :: !earlier;
-                fun () ->
-                  Dyno_obs.Span.with_span sp ~now
-                    ~thread:(Update_msg.source m) Dyno_obs.Span.Task
-                    (Fmt.str "maintain #%d" (Update_msg.id m))
-                    (fun _ ->
-                      Dyno_obs.Lineage.set_scope lin [ Update_msg.id m ];
-                      let ts = now () in
-                      results.(i) <-
-                        Some
-                          (Dyno_vm.Vm.maintain_sweep
-                             ~compensate:config.Run_config.compensate
-                             ~exclude_extra
-                             ?local:(local_of_source (Update_msg.source m))
-                             w mv m u);
-                      spent.(i) <- now () -. ts))
-              members
+            Array.of_list
+              (List.map
+                 (fun (m, _) ->
+                   let e = !earlier in
+                   earlier := Update_msg.id m :: !earlier;
+                   e)
+                 members)
+          in
+          (* Multicore runtime: fully-covered local sweeps evaluate on
+             the worker-domain pool; the rest takes the executor. *)
+          (match pool with
+          | None -> ()
+          | Some pool ->
+              let precomputed =
+                Scheduler.pool_sweeps ~pool
+                  ~compensate:config.Run_config.compensate w stats
+                  (Array.of_list
+                     (List.mapi
+                        (fun i (m, u) ->
+                          {
+                            Scheduler.pj_mv = mv;
+                            pj_msg = m;
+                            pj_du = u;
+                            pj_applied = [];
+                            pj_exclude_extra = excludes.(i);
+                            pj_local =
+                              local_of_source (Update_msg.source m);
+                          })
+                        members))
+              in
+              Array.iteri
+                (fun i r ->
+                  match r with Some s -> results.(i) <- Some s | None -> ())
+                precomputed);
+          let thunks =
+            List.concat
+              (List.mapi
+                 (fun i (m, u) ->
+                   if results.(i) <> None then []
+                   else
+                     [
+                       (fun () ->
+                         Dyno_obs.Span.with_span sp ~now
+                           ~thread:(Update_msg.source m) Dyno_obs.Span.Task
+                           (Fmt.str "maintain #%d" (Update_msg.id m))
+                           (fun _ ->
+                             Dyno_obs.Lineage.set_scope lin
+                               [ Update_msg.id m ];
+                             let ts = now () in
+                             results.(i) <-
+                               Some
+                                 (Dyno_vm.Vm.maintain_sweep
+                                    ~compensate:config.Run_config.compensate
+                                    ~exclude_extra:excludes.(i)
+                                    ?local:
+                                      (local_of_source (Update_msg.source m))
+                                    w mv m u);
+                             spent.(i) <- now () -. ts));
+                     ])
+                 members)
           in
           Executor.run_all (Query_engine.executor w) thunks;
           List.iteri
@@ -500,7 +548,9 @@ let run ?(config = Run_config.default) ~plan (w : Query_engine.t)
         loop ()
       end
     in
-    loop ();
+    Fun.protect
+      ~finally:(fun () -> Option.iter Domain_pool.shutdown pool)
+      loop;
     Dyno_obs.Timeseries.sample series ~now:(now ());
     stats.Stats.end_time <- now ();
     Scheduler.record_net_stats w stats;

@@ -42,6 +42,9 @@ type t = {
       (** self-maintenance: estimated wire bytes the avoided probes would
           have shipped *)
   mutable net_wait : float;  (** time lost to timeouts/backoff/recovery, s *)
+  mutable mcore_tasks : int;
+      (** multicore backend: sweep computations evaluated on worker
+          domains (zero on the default simulated runtime) *)
 }
 
 val create : unit -> t
@@ -55,4 +58,6 @@ val pp : Format.formatter -> t -> unit
     output. *)
 
 val to_json_string : t -> string
-(** Machine-readable JSON rendering of every field. *)
+(** Machine-readable JSON rendering of every field.  [mcore_tasks] is
+    emitted only when nonzero, so the default simulated runtime's JSON
+    stays byte-identical across releases. *)

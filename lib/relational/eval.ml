@@ -228,25 +228,31 @@ let run ?(planner : plan = `Indexed) ~(catalog : catalog) (q : Query.t) =
   in
   (* Per-alias selection push-down.  Under [`Indexed], constant-equality
      conjuncts become one index lookup instead of a scan. *)
+  (* Positions are resolved ONCE per materialization via
+     [Predicate.compile]; the per-tuple loop is then pure array
+     indexing (no name resolution on the hot path). *)
   let materialize ((tr : Query.table_ref), rel) =
     let mine = local_atoms tr in
     if mine = [] then rel
     else
       let res = local_res tr in
       match planner with
-      | `Nested_loop -> Relation.select (fun t -> Predicate.eval res mine t) rel
+      | `Nested_loop -> Relation.select (Predicate.compile res mine) rel
       | `Indexed -> (
           match split_const_eqs res mine with
-          | [], _ -> Relation.select (fun t -> Predicate.eval res mine t) rel
+          | [], _ -> Relation.select (Predicate.compile res mine) rel
           | eqs, rest ->
               let ix =
                 Relation.ensure_index_pos rel
                   (Array.of_list (List.map fst eqs))
               in
               let key = Tuple.of_list (List.map snd eqs) in
+              let rest_pred =
+                if rest = [] then None else Some (Predicate.compile res rest)
+              in
               let out = Relation.create (Relation.schema rel) in
               Index.iter_matches ix key (fun t c ->
-                  if rest = [] || Predicate.eval res rest t then
+                  if (match rest_pred with None -> true | Some p -> p t) then
                     Relation.add_unchecked out t c);
               out)
   in
@@ -255,9 +261,7 @@ let run ?(planner : plan = `Indexed) ~(catalog : catalog) (q : Query.t) =
   let local_pred (tr : Query.table_ref) =
     match local_atoms tr with
     | [] -> None
-    | mine ->
-        let res = local_res tr in
-        Some (fun t -> Predicate.eval res mine t)
+    | mine -> Some (Predicate.compile (local_res tr) mine)
   in
   (* One join step streaming [stream] against the persistent index of the
      pristine base [raw]: each stream tuple's key is probed, matches are
@@ -431,10 +435,7 @@ let run ?(planner : plan = `Indexed) ~(catalog : catalog) (q : Query.t) =
   (* Residual predicate. *)
   let joined =
     if residual = [] then joined
-    else
-      Relation.select
-        (fun t -> Predicate.eval (resolve binder) residual t)
-        joined
+    else Relation.select (Predicate.compile (resolve binder) residual) joined
   in
   (* Final projection (already emitted by the last join step when fused). *)
   if !fused then joined

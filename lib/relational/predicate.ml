@@ -76,6 +76,36 @@ let eval_atom resolve a (tup : Tuple.t) =
 
 let eval resolve (p : t) tup = List.for_all (fun a -> eval_atom resolve a tup) p
 
+(** [compile resolve p] resolves every attribute reference to its tuple
+    position ONCE and returns a closure evaluating the conjunction with
+    pure array indexing — no per-tuple name resolution.  Semantically
+    identical to [eval resolve p], including raising whatever [resolve]
+    raises, except resolution failures surface at compile time instead
+    of on the first tuple.  The hot inner loops of {!Eval.run} call the
+    compiled form; per-tuple [eval] remains for one-off checks. *)
+let compile resolve (p : t) =
+  let compiled =
+    Array.of_list
+      (List.map
+         (fun a ->
+           let pos = function
+             | Const v -> Error v
+             | Ref q -> Ok (resolve q)
+           in
+           (pos a.lhs, a.op, pos a.rhs))
+         p)
+  in
+  let value tup = function Error v -> v | Ok i -> Tuple.get tup i in
+  fun (tup : Tuple.t) ->
+    let n = Array.length compiled in
+    let rec go i =
+      i >= n
+      ||
+      let l, op, r = compiled.(i) in
+      apply_op op (Value.compare (value tup l) (value tup r)) && go (i + 1)
+    in
+    go 0
+
 (** [map_refs f p] rewrites every attribute reference (used by view
     synchronization to apply renamings). *)
 let map_refs f (p : t) : t =

@@ -39,6 +39,14 @@ val eval_atom : (Attr.Qualified.t -> int) -> atom -> Tuple.t -> bool
 
 val eval : (Attr.Qualified.t -> int) -> t -> Tuple.t -> bool
 
+val compile : (Attr.Qualified.t -> int) -> t -> Tuple.t -> bool
+(** [compile resolve p] resolves every reference to its tuple position
+    once, up front, and returns a closure evaluating the conjunction by
+    array indexing alone — the form the {!Eval.run} inner loops use.
+    Semantically identical to [eval resolve p]; resolution failures
+    (whatever [resolve] raises) surface at compile time instead of on
+    the first tuple. *)
+
 val map_refs : (Attr.Qualified.t -> Attr.Qualified.t) -> t -> t
 (** Rewrite every reference (view synchronization uses this to apply
     renamings). *)

@@ -1,0 +1,150 @@
+(* A fixed pool of OCaml 5 domains for the CPU-heavy phase of view
+   maintenance.  Stdlib-only: one mutex, two condition variables, and a
+   pair of atomics per batch.
+
+   Work distribution is chunked self-scheduling: a batch publishes its
+   task array once, and every participant (the spawned workers AND the
+   calling coordinator domain) claims geometrically shrinking chunks of
+   indices with a single fetch-and-add — large chunks while the deque is
+   full, single tasks near the tail, so stragglers are stolen from
+   without per-task lock traffic.
+
+   Contract:
+   - [run_all] returns results in input order, regardless of which
+     domain ran which task.
+   - A task that raises is captured; after the whole batch drains, the
+     exception of the FIRST failed task (in input order) is re-raised.
+     One failure never poisons a worker or skips sibling tasks.
+   - Tasks must not call [run_all] on the same pool (no nesting) and
+     must not park on the simulation executor: the pool is for pure
+     compute over immutable snapshots.
+   - [create ~domains:n] spawns [n - 1] workers; the coordinator is the
+     n-th participant.  [n <= 1] spawns nothing and [run_all] degrades
+     to an inline serial loop, so a pool of one is always safe. *)
+
+type t = {
+  domains : int;  (* requested parallelism, >= 1 *)
+  mutable workers : unit Domain.t list;
+  m : Mutex.t;
+  work : Condition.t;  (* new batch published, or shutdown *)
+  finished : Condition.t;  (* current batch fully drained *)
+  mutable job : (unit -> unit) option;  (* claiming loop of the open batch *)
+  mutable epoch : int;  (* bumped per batch so sated workers re-park *)
+  mutable stop : bool;
+  mutable in_batch : bool;
+}
+
+let domains t = t.domains
+
+let worker_loop t =
+  let last = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.m;
+    while (not t.stop) && t.epoch = !last do
+      Condition.wait t.work t.m
+    done;
+    if t.stop then begin
+      Mutex.unlock t.m;
+      running := false
+    end
+    else begin
+      last := t.epoch;
+      let job = t.job in
+      Mutex.unlock t.m;
+      match job with
+      | Some job -> ( try job () with _ -> () )
+      | None -> ()
+    end
+  done
+
+let create ~domains =
+  let domains = max 1 domains in
+  let t =
+    {
+      domains;
+      workers = [];
+      m = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      epoch = 0;
+      stop = false;
+      in_batch = false;
+    }
+  in
+  t.workers <-
+    List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let serial tasks =
+  Array.map (fun f -> try Ok (f ()) with e -> Error e) tasks
+
+let run_all t tasks =
+  let n = Array.length tasks in
+  if t.in_batch then
+    invalid_arg "Domain_pool.run_all: nested call from inside a task";
+  let results =
+    if n = 0 then [||]
+    else if t.workers = [] then serial tasks
+    else begin
+      t.in_batch <- true;
+      let results = Array.make n (Error Exit) in
+      let claimed = Array.make n false in
+      let next = Atomic.make 0 in
+      let remaining = Atomic.make n in
+      let job () =
+        let continue = ref true in
+        while !continue do
+          (* Shrinking chunks: half the unclaimed tail split over all
+             participants, floored at one task. *)
+          let left = n - Atomic.get next in
+          let chunk = max 1 (left / (2 * t.domains)) in
+          let start = Atomic.fetch_and_add next chunk in
+          if start >= n then continue := false
+          else begin
+            let stop_i = min n (start + chunk) in
+            for i = start to stop_i - 1 do
+              claimed.(i) <- true;
+              results.(i) <- (try Ok (tasks.(i) ()) with e -> Error e)
+            done;
+            let ran = stop_i - start in
+            if Atomic.fetch_and_add remaining (-ran) = ran then begin
+              Mutex.lock t.m;
+              Condition.broadcast t.finished;
+              Mutex.unlock t.m
+            end
+          end
+        done
+      in
+      Mutex.lock t.m;
+      t.job <- Some job;
+      t.epoch <- t.epoch + 1;
+      Condition.broadcast t.work;
+      Mutex.unlock t.m;
+      (* The coordinator is a full participant: it claims chunks like any
+         worker, then blocks only for stragglers on other domains. *)
+      job ();
+      Mutex.lock t.m;
+      while Atomic.get remaining > 0 do
+        Condition.wait t.finished t.m
+      done;
+      t.job <- None;
+      Mutex.unlock t.m;
+      t.in_batch <- false;
+      (* Every index must have been claimed exactly once. *)
+      assert (Array.for_all Fun.id claimed);
+      results
+    end
+  in
+  (* First failure in INPUT order wins, after the whole batch drained. *)
+  Array.iter (function Error e -> raise e | Ok _ -> ()) results;
+  Array.map (function Ok v -> v | Error _ -> assert false) results
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.workers;
+  t.workers <- []

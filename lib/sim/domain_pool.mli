@@ -1,0 +1,30 @@
+(** A fixed pool of OCaml 5 domains for the CPU-heavy phase of view
+    maintenance (stdlib-only: mutex/condition publication, chunked
+    atomic work claiming).
+
+    The pool runs PURE COMPUTE over immutable snapshots.  Tasks must not
+    touch the simulation executor, the UMQ, observability sinks, or any
+    other coordinator-owned mutable state — see DESIGN.md §17 for the
+    coordinator-only module list. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains:n] spawns [n - 1] worker domains; the caller's
+    domain is the [n]-th participant in every batch.  [n <= 1] spawns
+    nothing and [run_all] runs inline and serially. *)
+
+val domains : t -> int
+(** The requested parallelism [n] (including the coordinator). *)
+
+val run_all : t -> (unit -> 'a) array -> 'a array
+(** [run_all t tasks] runs every task to completion, distributing them
+    over the pool's domains, and returns their results in input order.
+    Per-task exceptions are captured; after the batch fully drains, the
+    exception of the first failed task (in input order) is re-raised.
+    Blocks until the batch is drained.  Tasks must not call [run_all]
+    (no nesting): @raise Invalid_argument on a nested call. *)
+
+val shutdown : t -> unit
+(** Signal every worker to exit and join them.  Idempotent; the pool
+    degrades to inline serial execution afterwards. *)

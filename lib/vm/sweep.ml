@@ -203,7 +203,7 @@ let delta_view ?(compensate = true) (w : Query_engine.t)
     end
   with Failed f -> Error f
 
-(** [delta_view_local w ~view_query ~schemas ~pivot ~delta ~exclude
+(* [delta_view_local w ~view_query ~schemas ~pivot ~delta ~exclude
     ~local] — the self-maintenance path: the same sweep as {!delta_view},
     but every probe is answered by [Eval.run] over the auxiliary
     projection of the probed alias instead of a round trip through
@@ -223,20 +223,31 @@ let delta_view ?(compensate = true) (w : Query_engine.t)
     The work is local view-manager computation and is not charged on the
     simulated clock (same bargain as compensation); a {!Dyno_obs.Span.Local}
     span marks it so reports can split local vs probed cost. *)
-let delta_view_local (w : Query_engine.t) ~(view_query : Query.t)
+(** The local sweep is split into a {e prepare} phase (coordinator-only:
+    reads the engine's auxiliary data and pending queues) and a pure
+    {e compute} phase over the captured snapshot.  The inline simulated
+    path composes them back to back; the multicore runtime prepares every
+    round member on the coordinator, ships the captured inputs to worker
+    domains, and replays the bookkeeping ({!record_local}) when the
+    results come home.  The split is sound because the local path never
+    parks: between prepare and compute no delivery, commit or clock
+    movement can change what the sweep would read. *)
+type local_input = {
+  in_query : Query.t;
+  in_schemas : (string * Schema.t) list;
+  in_pivot : Query.table_ref;
+  in_planner : Eval.plan;
+  in_partial0 : Relation.t;  (** initial partial (pivot ⋈ delta, filtered) *)
+  in_auxes : (Query.table_ref * Relation.t * Relation.t list) list;
+      (** per swept alias: (table ref, auxiliary data, pending-DU deltas
+          pre-grouped by schema and summed — already filtered by the
+          exclusion set) *)
+}
+
+let prepare_local (w : Query_engine.t) ~(view_query : Query.t)
     ~(schemas : (string * Schema.t) list) ~(pivot : Query.table_ref)
     ~(delta : Relation.t) ~(exclude : int list) ~(local : local) :
-    (Relation.t * stats) option =
-  let sp = Dyno_obs.Obs.spans (Query_engine.obs w) in
-  let sid = ref None in
-  let end_span ~fallback =
-    match !sid with
-    | None -> ()
-    | Some id ->
-        if fallback then Dyno_obs.Span.set_attr sp id "fallback" "true";
-        Dyno_obs.Span.end_span sp ~time:(Query_engine.now w) id;
-        sid := None
-  in
+    local_input option =
   try
     let owner = Maint_query.owner_of_schemas schemas in
     let order = Maint_query.sweep_order view_query pivot.Query.alias in
@@ -255,36 +266,68 @@ let delta_view_local (w : Query_engine.t) ~(view_query : Query.t)
               in
               if needed = [] || not (List.for_all (Schema.mem s) needed)
               then raise Exit;
-              (tr, r))
+              (* Pending unmaintained DUs on the probed relation — all of
+                 them, no answer-time cutoff: the auxiliary data already
+                 reflects every delivered commit.  Partitioned by delta
+                 schema (updates straddling an unmaintained schema change
+                 carry different schemas) and summed per group — SPJ
+                 queries are linear in each input over signed multisets. *)
+              let pending =
+                List.filter
+                  (fun (m, _) -> not (List.mem (Update_msg.id m) exclude))
+                  (Query_engine.pending_dus w ~source:tr.Query.source
+                     ~rel:tr.Query.rel)
+              in
+              let groups =
+                List.fold_left
+                  (fun acc (_, u) ->
+                    let s = Update.schema u in
+                    let rec insert = function
+                      | [] -> [ (s, Relation.copy (Update.delta u)) ]
+                      | (s', d) :: rest when Schema.equal s s' ->
+                          (s', Relation.sum d (Update.delta u)) :: rest
+                      | g :: rest -> g :: insert rest
+                    in
+                    insert acc)
+                  [] pending
+              in
+              (tr, r, List.map snd groups))
         order
     in
-    let partial =
-      ref (Maint_query.initial_partial view_query owner pivot delta)
-    in
+    Some
+      {
+        in_query = view_query;
+        in_schemas = schemas;
+        in_pivot = pivot;
+        in_planner = Query_engine.planner w;
+        in_partial0 =
+          Maint_query.initial_partial view_query owner pivot delta;
+        in_auxes = auxes;
+      }
+  with Exit | Maint_query.Unsupported _ -> None
+
+let compute_local (i : local_input) : (Relation.t * stats) option =
+  try
+    let owner = Maint_query.owner_of_schemas i.in_schemas in
+    let partial = ref i.in_partial0 in
     if Relation.is_empty !partial then
       (* Filtered out locally — the probed path sends no probes either. *)
       Some
-        ( Relation.create (Maint_query.view_output_schema view_query schemas),
+        ( Relation.create
+            (Maint_query.view_output_schema i.in_query i.in_schemas),
           no_stats )
     else begin
-      let bound = ref [ pivot.Query.alias ] in
+      let bound = ref [ i.in_pivot.Query.alias ] in
       let stats = ref no_stats in
-      sid :=
-        Some
-          (Dyno_obs.Span.begin_span sp ~time:(Query_engine.now w)
-             Dyno_obs.Span.Local
-             (Fmt.str "local:%s:%s" (Query.name view_query)
-                pivot.Query.alias));
       List.iter
-        (fun ((tr : Query.table_ref), aux_data) ->
+        (fun ((tr : Query.table_ref), aux_data, combineds) ->
           let probe =
-            Maint_query.probe_query view_query owner tr
+            Maint_query.probe_query i.in_query owner tr
               ~partial_schema:(Relation.schema !partial)
               ~bound:!bound
           in
           let answer =
-            Eval.run
-              ~planner:(Query_engine.planner w)
+            Eval.run ~planner:i.in_planner
               ~catalog:
                 (Eval.catalog
                    [
@@ -306,34 +349,11 @@ let delta_view_local (w : Query_engine.t) ~(view_query : Query.t)
               probes_avoided = !stats.probes_avoided + 1;
               bytes_saved = !stats.bytes_saved + est !partial + est answer;
             };
-          (* Compensation: subtract every pending unmaintained DU on the
-             probed relation — all of them, the auxiliary data already
-             reflects every delivered commit. *)
-          let pending =
-            List.filter
-              (fun (m, _) -> not (List.mem (Update_msg.id m) exclude))
-              (Query_engine.pending_dus w ~source:tr.Query.source
-                 ~rel:tr.Query.rel)
-          in
-          let groups =
-            List.fold_left
-              (fun acc (m, u) ->
-                let s = Update.schema u in
-                let rec insert = function
-                  | [] -> [ (s, Relation.copy (Update.delta u), [ m ]) ]
-                  | (s', d, ms) :: rest when Schema.equal s s' ->
-                      (s', Relation.sum d (Update.delta u), m :: ms) :: rest
-                  | g :: rest -> g :: insert rest
-                in
-                insert acc)
-              [] pending
-          in
           let compensated =
             List.fold_left
-              (fun acc (_, combined, _) ->
+              (fun acc combined ->
                 let contribution =
-                  Eval.run
-                    ~planner:(Query_engine.planner w)
+                  Eval.run ~planner:i.in_planner
                     ~catalog:
                       (Eval.catalog
                          [
@@ -353,36 +373,80 @@ let delta_view_local (w : Query_engine.t) ~(view_query : Query.t)
                     };
                   Relation.diff acc contribution
                 end)
-              answer groups
+              answer combineds
           in
           partial := compensated;
           bound := tr.Query.alias :: !bound)
-        auxes;
-      let result = Maint_query.final_projection view_query owner !partial in
-      (match !sid with
-      | Some id ->
-          Dyno_obs.Span.set_attr sp id "probes_avoided"
-            (string_of_int !stats.probes_avoided)
-      | None -> ());
-      end_span ~fallback:false;
-      local.note_avoided ~probes:!stats.probes_avoided
-        ~bytes:!stats.bytes_saved;
-      Dyno_obs.Lineage.note_scope
-        (Dyno_obs.Obs.lineage (Query_engine.obs w))
-        ~time:(Query_engine.now w) ~kind:"local-answer"
-        ~detail:
-          (Fmt.str
-             "self-maintenance tier answered locally: %d probe(s) avoided, \
-              %d byte(s) saved"
-             !stats.probes_avoided !stats.bytes_saved);
-      Some (result, !stats)
+        i.in_auxes;
+      Some (Maint_query.final_projection i.in_query owner !partial, !stats)
     end
+  with Eval.Error _ | Maint_query.Unsupported _ ->
+    (* A local evaluation the probed path might survive (or surface as
+       Broken, triggering correction) — fall back rather than guess. *)
+    None
+
+let record_local (w : Query_engine.t) ~(local : local) (i : local_input)
+    ((_, st) : Relation.t * stats) : unit =
+  let sp = Dyno_obs.Obs.spans (Query_engine.obs w) in
+  let id =
+    Dyno_obs.Span.begin_span sp ~time:(Query_engine.now w)
+      Dyno_obs.Span.Local
+      (Fmt.str "local:%s:%s" (Query.name i.in_query) i.in_pivot.Query.alias)
+  in
+  Dyno_obs.Span.set_attr sp id "probes_avoided"
+    (string_of_int st.probes_avoided);
+  Dyno_obs.Span.end_span sp ~time:(Query_engine.now w) id;
+  local.note_avoided ~probes:st.probes_avoided ~bytes:st.bytes_saved;
+  Dyno_obs.Lineage.note_scope
+    (Dyno_obs.Obs.lineage (Query_engine.obs w))
+    ~time:(Query_engine.now w) ~kind:"local-answer"
+    ~detail:
+      (Fmt.str
+         "self-maintenance tier answered locally: %d probe(s) avoided, \
+          %d byte(s) saved"
+         st.probes_avoided st.bytes_saved)
+
+let delta_view_local (w : Query_engine.t) ~(view_query : Query.t)
+    ~(schemas : (string * Schema.t) list) ~(pivot : Query.table_ref)
+    ~(delta : Relation.t) ~(exclude : int list) ~(local : local) :
+    (Relation.t * stats) option =
+  match
+    prepare_local w ~view_query ~schemas ~pivot ~delta ~exclude ~local
   with
-  | Exit ->
-      end_span ~fallback:true;
-      None
-  | Eval.Error _ | Maint_query.Unsupported _ ->
-      (* A local evaluation the probed path might survive (or surface as
-         Broken, triggering correction) — fall back rather than guess. *)
-      end_span ~fallback:true;
-      None
+  | None -> None
+  | Some input ->
+      if Relation.is_empty input.in_partial0 then
+        (* Filtered out locally — no span, matching the probed path which
+           sends no probes either. *)
+        match Maint_query.view_output_schema view_query schemas with
+        | s -> Some (Relation.create s, no_stats)
+        | exception Maint_query.Unsupported _ -> None
+      else begin
+        let sp = Dyno_obs.Obs.spans (Query_engine.obs w) in
+        let sid =
+          Dyno_obs.Span.begin_span sp ~time:(Query_engine.now w)
+            Dyno_obs.Span.Local
+            (Fmt.str "local:%s:%s" (Query.name view_query)
+               pivot.Query.alias)
+        in
+        match compute_local input with
+        | Some (result, st) ->
+            Dyno_obs.Span.set_attr sp sid "probes_avoided"
+              (string_of_int st.probes_avoided);
+            Dyno_obs.Span.end_span sp ~time:(Query_engine.now w) sid;
+            local.note_avoided ~probes:st.probes_avoided
+              ~bytes:st.bytes_saved;
+            Dyno_obs.Lineage.note_scope
+              (Dyno_obs.Obs.lineage (Query_engine.obs w))
+              ~time:(Query_engine.now w) ~kind:"local-answer"
+              ~detail:
+                (Fmt.str
+                   "self-maintenance tier answered locally: %d probe(s) \
+                    avoided, %d byte(s) saved"
+                   st.probes_avoided st.bytes_saved);
+            Some (result, st)
+        | None ->
+            Dyno_obs.Span.set_attr sp sid "fallback" "true";
+            Dyno_obs.Span.end_span sp ~time:(Query_engine.now w) sid;
+            None
+      end

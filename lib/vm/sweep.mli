@@ -50,6 +50,42 @@ val delta_view :
     maintained (never compensated against itself) plus, in multi-view
     mode, every queued update this view has already applied. *)
 
+type local_input
+(** A local sweep captured at dispatch: the view query, pivot delta,
+    auxiliary snapshots and pre-grouped pending compensation deltas —
+    everything {!compute_local} needs, with no reference back to the
+    engine.  Relations inside are never mutated after capture, so the
+    value may be shipped to a worker domain. *)
+
+val prepare_local :
+  Query_engine.t ->
+  view_query:Query.t ->
+  schemas:(string * Schema.t) list ->
+  pivot:Query.table_ref ->
+  delta:Relation.t ->
+  exclude:int list ->
+  local:local ->
+  local_input option
+(** Coordinator-only phase of the local sweep: checks that every swept
+    alias has current auxiliary data covering its needed attributes and
+    captures the inputs.  [None] means the coverage check failed — the
+    caller falls back to the probed path. *)
+
+val compute_local : local_input -> (Relation.t * stats) option
+(** Pure compute phase: the sweep itself — per-alias local probe answers
+    and compensation by [Eval.run] over the captured snapshot.  Touches
+    no engine, observability or simulated-clock state, so it is safe to
+    evaluate on a worker domain ({!Dyno_sim.Domain_pool}).  [None] means
+    a local evaluation failed and the probed path must decide. *)
+
+val record_local :
+  Query_engine.t -> local:local -> local_input -> Relation.t * stats -> unit
+(** Coordinator-side bookkeeping for a successful {!compute_local}
+    result: the {!Dyno_obs.Span.Local} span, avoided-probe accounting
+    callback and lineage note the inline path emits.  The multicore
+    scheduler calls this while harvesting worker results; the ambient
+    lineage scope must already name the maintained update. *)
+
 val delta_view_local :
   Query_engine.t ->
   view_query:Query.t ->
@@ -68,4 +104,5 @@ val delta_view_local :
     commit, which is exactly a probe answer after compensation, so the
     computed view delta is identical).  Returns [None] — caller falls
     back to the probed path — when any swept alias lacks current covering
-    auxiliary data or a local evaluation fails. *)
+    auxiliary data or a local evaluation fails.  Equivalent to
+    {!prepare_local} + {!compute_local} + the inline bookkeeping. *)

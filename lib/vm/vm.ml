@@ -204,6 +204,80 @@ let maintain_sweep ?(compensate = true) ?(applied = []) ?(exclude_extra = [])
           | Error (Query_engine.Unreachable u) -> Swept_unreachable u
           | Ok (dv, stats) -> Swept (dv, stats)))
 
+(** The dispatch-time split of {!maintain_sweep} the multicore runtime
+    uses: the prelude (view validity, pivot lookup, believed-schema
+    checks) and the local-sweep capture run on the coordinator; members
+    that come back [Offloadable] carry a pure {!Sweep.compute_local}
+    input a worker domain can evaluate with no engine access. *)
+type prepared =
+  | Settled of swept
+      (** decided without any sweep (irrelevant pivot or schema abort) *)
+  | Offloadable of Sweep.local_input
+      (** fully covered local sweep: compute on a worker domain, then
+          {!Sweep.record_local} + {!commit_swept} on the coordinator *)
+  | Needs_probes
+      (** not locally answerable — run the ordinary cooperative
+          {!maintain_sweep} on the executor *)
+
+let prepare_sweep ?(compensate = true) ?(applied = []) ?(exclude_extra = [])
+    ?local (w : Query_engine.t) (mv : Mat_view.t) (msg : Update_msg.t)
+    (du : Update.t) : prepared =
+  let vd = Mat_view.def mv in
+  if not (View_def.is_valid vd) then raise (Invalid_view (View_def.name vd));
+  let q, _version = View_def.read vd in
+  let schemas = View_def.schemas vd in
+  let pivots =
+    List.filter
+      (fun (tr : Query.table_ref) ->
+        String.equal tr.source (Update.source du)
+        && String.equal tr.rel (Update.rel du))
+      (Query.from q)
+  in
+  match pivots with
+  | [] -> Settled Swept_irrelevant
+  | _ :: _ :: _ ->
+      raise
+        (Maint_query.Unsupported
+           (Fmt.str "relation %s@%s occurs more than once in view %s"
+              (Update.rel du) (Update.source du) (Query.name q)))
+  | [ pivot ] -> (
+      let believed = List.assoc_opt pivot.Query.alias schemas in
+      let actual = Relation.schema (Update.delta du) in
+      match believed with
+      | Some s when not (Schema.equal s actual) ->
+          Settled
+            (Swept_aborted
+               {
+                 Dyno_source.Data_source.source = Update.source du;
+                 query_name = Query.name q;
+                 reason =
+                   Fmt.str
+                     "delta schema %a of %s diverges from believed schema %a"
+                     Schema.pp actual (Update.rel du) Schema.pp s;
+               })
+      | None ->
+          Settled
+            (Swept_aborted
+               {
+                 Dyno_source.Data_source.source = Update.source du;
+                 query_name = Query.name q;
+                 reason =
+                   Fmt.str "no believed schema for alias %s"
+                     pivot.Query.alias;
+               })
+      | Some _ -> (
+          match local with
+          | Some l when compensate -> (
+              match
+                Sweep.prepare_local w ~view_query:q ~schemas ~pivot
+                  ~delta:(Update.delta du)
+                  ~exclude:((Update_msg.id msg :: applied) @ exclude_extra)
+                  ~local:l
+              with
+              | Some input -> Offloadable input
+              | None -> Needs_probes)
+          | _ -> Needs_probes))
+
 (** [commit_swept w mv msg dv stats] — the refresh half of {!maintain}
     for a delta computed by {!maintain_sweep}: charge the refresh cost,
     refresh and commit the view.  Serial code — called at the round

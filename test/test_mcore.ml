@@ -1,0 +1,263 @@
+(* Multicore runtime: maintenance compute on real OCaml 5 domains.
+
+   Two layers under test.  [Dyno_sim.Domain_pool] is the fixed worker
+   set with chunked work stealing: results must come back in input
+   order, the first failing task (in input order) must re-raise on the
+   coordinator, and shutdown must drain and join every worker.  Above
+   it, [--runtime domains:N] must be observationally equivalent to the
+   default simulated backend: the pool only relocates pure local-sweep
+   compute, so for every workload, fault mix, strategy and shard count
+   the final extent, the consistency verdicts and the per-source
+   applied sets are identical. *)
+
+open Dyno_relational
+open Dyno_net
+open Dyno_workload
+module Pool = Dyno_sim.Domain_pool
+
+(* -- Domain_pool ------------------------------------------------------- *)
+
+let test_pool_order () =
+  let pool = Pool.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let n = 100 in
+      let tasks =
+        Array.init n (fun i () ->
+            (* Uneven work so fast tasks finish out of order internally. *)
+            let acc = ref 0 in
+            for k = 0 to (i mod 7) * 1000 do
+              acc := !acc + k
+            done;
+            ignore !acc;
+            i * i)
+      in
+      let results = Pool.run_all pool tasks in
+      Alcotest.(check int) "result count" n (Array.length results);
+      Array.iteri
+        (fun i r -> Alcotest.(check int) (Fmt.str "slot %d" i) (i * i) r)
+        results)
+
+exception Boom of int
+
+let test_pool_exception () =
+  let pool = Pool.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let tasks =
+        Array.init 20 (fun i () ->
+            if i = 3 || i = 17 then raise (Boom i) else i)
+      in
+      (match Pool.run_all pool tasks with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i ->
+          Alcotest.(check int) "first failure in input order wins" 3 i);
+      (* The pool survives a failed batch: the next batch is clean. *)
+      let ok = Pool.run_all pool (Array.init 8 (fun i () -> i + 1)) in
+      Alcotest.(check int) "pool reusable after failure" 8 ok.(7))
+
+let test_pool_shutdown_drains () =
+  let pool = Pool.create ~domains:3 in
+  let r = Pool.run_all pool (Array.init 50 (fun i () -> 2 * i)) in
+  Alcotest.(check int) "batch before shutdown" 98 r.(49);
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  (* After shutdown the pool degrades to serial evaluation — no worker
+     is left to park a task on, and nothing hangs. *)
+  let r = Pool.run_all pool (Array.init 5 (fun i () -> i + 10)) in
+  Alcotest.(check int) "serial after shutdown" 14 r.(4)
+
+let test_pool_serial_and_nesting () =
+  let pool = Pool.create ~domains:1 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let r = Pool.run_all pool (Array.init 9 (fun i () -> i * 3)) in
+      Alcotest.(check int) "domains:1 runs serially on the caller" 24 r.(8);
+      Alcotest.(check int) "empty batch" 0
+        (Array.length (Pool.run_all pool [||])));
+  let pool = Pool.create ~domains:2 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      match
+        Pool.run_all pool
+          [| (fun () -> Array.length (Pool.run_all pool [| (fun () -> 0) |])) |]
+      with
+      | _ -> Alcotest.fail "nested run_all must be rejected"
+      | exception Invalid_argument _ -> ())
+
+(* -- the runtime actually offloads ------------------------------------- *)
+
+let scenario ?faults ?net_seed ?(shards = 1) ~seed ~n_dus ~n_scs () =
+  let timeline =
+    Generator.mixed ~rows:10 ~seed ~n_dus ~du_interval:0.2 ~sc_start:0.1
+      ~sc_interval:1.5
+      ~sc_kinds:(Generator.drop_then_renames n_scs)
+      ()
+  in
+  let c =
+    Scenario.Config.(
+      default |> with_rows 10
+      |> with_cost { Dyno_sim.Cost_model.default with row_scale = 1.0 }
+      |> with_snapshots true |> with_shards shards)
+  in
+  let c =
+    match faults with Some f -> Scenario.Config.with_faults f c | None -> c
+  in
+  let c =
+    match net_seed with
+    | Some n -> Scenario.Config.with_net_seed n c
+    | None -> c
+  in
+  Scenario.make c ~timeline
+
+let run_with ~runtime ?faults ?net_seed ?shards ~strategy ~seed ~n_dus ~n_scs
+    () =
+  let t = scenario ?faults ?net_seed ?shards ~seed ~n_dus ~n_scs () in
+  let stats =
+    Scenario.run t
+      ~config:
+        Dyno_core.Run_config.(
+          of_strategy strategy |> with_parallel 4 |> with_self_maint true
+          |> with_runtime runtime)
+  in
+  (t, stats)
+
+let test_offload_fires () =
+  let _, stats =
+    run_with ~runtime:(`Domains 2)
+      ~strategy:Dyno_core.Strategy.Pessimistic ~seed:7 ~n_dus:24 ~n_scs:0 ()
+  in
+  Alcotest.(check bool)
+    "sweeps ran on worker domains" true
+    (stats.Dyno_core.Stats.mcore_tasks > 0);
+  let _, stats =
+    run_with ~runtime:`Simulated ~strategy:Dyno_core.Strategy.Pessimistic
+      ~seed:7 ~n_dus:24 ~n_scs:0 ()
+  in
+  Alcotest.(check int)
+    "simulated backend never counts pool tasks" 0
+    stats.Dyno_core.Stats.mcore_tasks
+
+(* -- the golden property ----------------------------------------------- *)
+
+(* Per-source sets of integrated update versions (see test_shard.ml). *)
+let applied_per_source (t : Scenario.t) =
+  let index = Scenario.msg_index t in
+  let tbl : (string, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (c : Dyno_view.Mat_view.commit) ->
+      List.iter
+        (fun id ->
+          match List.assoc_opt id index with
+          | None -> ()
+          | Some (src, version) -> (
+              match Hashtbl.find_opt tbl src with
+              | Some l -> l := version :: !l
+              | None -> Hashtbl.add tbl src (ref [ version ])))
+        c.maintained)
+    (Dyno_view.Mat_view.commits t.mv);
+  Hashtbl.fold
+    (fun src l acc -> (src, List.sort_uniq Int.compare !l) :: acc)
+    tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let arb_mcore_workload =
+  QCheck.make
+    QCheck.Gen.(
+      let f01 lo hi =
+        map (fun x -> float_of_int x /. 100.0) (int_range lo hi)
+      in
+      pair
+        (quad (int_range 1 10000) (int_range 1 12) (int_range 0 2)
+           (int_range 0 2))
+        (quad (f01 0 25) (f01 0 25)
+           (pair (f01 0 25) (int_range 0 2))
+           (pair (int_range 0 1000) (int_range 0 2))))
+    ~print:(fun ( (seed, dus, scs, strat),
+                  (loss, dup, (reorder, sh), (net_seed, dom)) ) ->
+      Fmt.str
+        "seed=%d dus=%d scs=%d strategy=%d loss=%.2f dup=%.2f reorder=%.2f \
+         shards=%d net_seed=%d domains=%d"
+        seed dus scs strat loss dup reorder
+        (match sh with 0 -> 1 | 1 -> 2 | _ -> 4)
+        net_seed
+        (match dom with 0 -> 1 | 1 -> 2 | _ -> 4))
+
+let prop_domains_equals_simulated =
+  QCheck.Test.make
+    ~name:
+      "--runtime domains:N is observationally the simulated backend \
+       (faults, SCs, shards included)"
+    ~count:300 arb_mcore_workload
+    (fun ( (seed, n_dus, n_scs, strat),
+           (loss, dup, (reorder, sh), (net_seed, dom)) ) ->
+      let strategy =
+        match strat with
+        | 0 -> Dyno_core.Strategy.Pessimistic
+        | 1 -> Dyno_core.Strategy.Optimistic
+        | _ -> Dyno_core.Strategy.Merge_all
+      in
+      let shards = match sh with 0 -> 1 | 1 -> 2 | _ -> 4 in
+      let domains = match dom with 0 -> 1 | 1 -> 2 | _ -> 4 in
+      let faults =
+        {
+          Channel.reliable with
+          loss;
+          dup;
+          reorder;
+          reorder_delay = 0.5;
+          retransmit = 0.05;
+        }
+      in
+      let run ~runtime =
+        run_with ~runtime ~faults ~net_seed ~shards ~strategy ~seed ~n_dus
+          ~n_scs ()
+      in
+      let tb, stats_b = run ~runtime:`Simulated in
+      let td, stats_d = run ~runtime:(`Domains domains) in
+      let same_extent =
+        Relation.equal
+          (Dyno_view.Mat_view.extent tb.Scenario.mv)
+          (Dyno_view.Mat_view.extent td.Scenario.mv)
+      in
+      let convergent =
+        match Scenario.check_convergent td with
+        | Ok b -> b
+        | Error _ -> false
+      in
+      let same_strong =
+        Bool.equal
+          (Dyno_core.Consistency.ok (Scenario.check_strong tb))
+          (Dyno_core.Consistency.ok (Scenario.check_strong td))
+      in
+      let same_applied = applied_per_source tb = applied_per_source td in
+      let no_undefined =
+        stats_b.Dyno_core.Stats.view_undefined
+        = stats_d.Dyno_core.Stats.view_undefined
+      in
+      same_extent && convergent && same_strong && same_applied && no_undefined)
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "mcore"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "results in input order" `Quick test_pool_order;
+          Alcotest.test_case "first exception propagates" `Quick
+            test_pool_exception;
+          Alcotest.test_case "shutdown drains and joins" `Quick
+            test_pool_shutdown_drains;
+          Alcotest.test_case "serial pool + nesting rejected" `Quick
+            test_pool_serial_and_nesting;
+        ] );
+      ( "runtime",
+        [ Alcotest.test_case "offload fires" `Quick test_offload_fires ] );
+      ( "equivalence",
+        List.map to_alcotest [ prop_domains_equals_simulated ] );
+    ]
